@@ -1,0 +1,54 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every file in this directory regenerates one table or figure from the
+paper's evaluation (see DESIGN.md's experiment index).  Each benchmark
+prints the paper-style rows and also writes them to
+``benchmarks/results/<experiment>.txt`` so the output survives pytest's
+capture.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Dataset sizes are the scaled-down defaults documented in
+`repro.workloads`; comparisons are always same-inputs-both-sides, so
+the reported error/speedup *shapes* are meaningful even though absolute
+cycle counts differ from the paper's testbed.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+SEED = 7
+
+
+def save_and_print(experiment: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"\n===== {experiment} =====\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(banner)
+
+
+def stage_into(workload, mem, seed: int = SEED):
+    """Stage a workload's dataset into a raw MemoryImage; return (args, data)."""
+    data = workload.make_data(np.random.default_rng(seed))
+    args = []
+    for name in workload.arg_order:
+        if name in data.inputs:
+            args.append(mem.alloc_array(np.ascontiguousarray(data.inputs[name])))
+        else:
+            args.append(data.scalars[name])
+    return args, data
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(SEED)

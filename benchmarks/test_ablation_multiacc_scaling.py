@@ -1,0 +1,103 @@
+"""Ablation — multi-accelerator scaling (extension of Sec. III-D2).
+
+The paper argues accelerator clusters "scale better with a larger
+number of accelerators than other pre-RTL simulators" because control
+lives in the devices, not in re-simulated traces.  This extension
+measures, for K parallel accelerators in one cluster (K = 1, 2, 4, 8):
+end-to-end time, host driver operations, and simulator wall-clock.
+
+Expected shape: end-to-end time grows far slower than K (the
+accelerators genuinely run concurrently), host ops grow linearly (the
+host must program each device once), and simulation wall-clock grows
+roughly linearly in total simulated work — not in configuration count.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import SEED, save_and_print
+from repro.core.mmr import ARGS_OFFSET, CTRL_IRQ_EN, CTRL_START
+from repro.dse import format_table
+from repro.frontend import compile_c
+from repro.hw.default_profile import default_profile
+from repro.system.soc import build_soc
+
+KERNEL = """
+void axpy(double x[64], double y[64]) {
+  for (int i = 0; i < 64; i++) { y[i] = 3.0 * x[i] + y[i]; }
+}
+"""
+
+
+def _run_cluster(k):
+    module = compile_c(KERNEL, "axpy")
+    soc = build_soc(dram_size=1 << 20)
+    cluster = soc.add_cluster("cl")
+    units = []
+    for i in range(k):
+        unit = cluster.add_accelerator(
+            f"acc{i}", module, "axpy", default_profile(), private_spm_bytes=1 << 11
+        )
+        unit.comm.connect_irq(soc.irq.line(i))
+        units.append(unit)
+    soc.finalize()
+
+    rng = np.random.default_rng(SEED)
+    x = rng.uniform(-1, 1, 64)
+    y = rng.uniform(-1, 1, 64)
+    for unit in units:
+        spm = unit.private_spm
+        spm.image.write_array(spm.range.start, x)
+        spm.image.write_array(spm.range.start + 512, y)
+
+    host = soc.host
+
+    def driver(h):
+        for unit in units:  # program + launch every device...
+            spm = unit.private_spm.range.start
+            mmr = unit.comm.mmr.range.start
+            yield h.write_mmr(mmr + ARGS_OFFSET + 0, spm)
+            yield h.write_mmr(mmr + ARGS_OFFSET + 8, spm + 512)
+            yield h.write_mmr(mmr, CTRL_START | CTRL_IRQ_EN)
+        for i in range(k):  # ...then collect every completion
+            yield h.wait_irq(i)
+
+    wall0 = time.perf_counter()
+    host.run_driver(driver(host))
+    cause = soc.run(max_ticks=10_000_000_000)
+    wall = time.perf_counter() - wall0
+    assert host.finished, cause
+    for unit in units:
+        spm = unit.private_spm
+        out = spm.image.read_array(spm.range.start + 512, np.float64, 64)
+        assert np.allclose(out, 3.0 * x + y)
+    report = None
+    for unit in units:
+        unit_report = unit.power_report()
+        report = unit_report if report is None else report.merged(unit_report)
+    return {
+        "k": k,
+        "end_to_end_us": host.finish_tick / 1e6,
+        "host_ops": int(host.stat_ops.value()),
+        "cluster_power_mw": report.total_mw,
+        "sim_wall_s": wall,
+    }
+
+
+def test_multiacc_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_run_cluster(k) for k in (1, 2, 4, 8)], rounds=1, iterations=1
+    )
+    save_and_print(
+        "ablation_multiacc_scaling",
+        format_table(rows, title="Ablation: K parallel accelerators in one cluster",
+                     float_fmt="{:.3f}"),
+    )
+    by_k = {r["k"]: r for r in rows}
+    # Concurrency: 8 accelerators finish in far less than 8x the time of 1.
+    assert by_k[8]["end_to_end_us"] < 3.0 * by_k[1]["end_to_end_us"]
+    # Host control work is linear in K (one programming sequence each).
+    assert by_k[8]["host_ops"] == 8 * by_k[1]["host_ops"]
+    # Cluster power aggregates across members.
+    assert by_k[8]["cluster_power_mw"] > by_k[1]["cluster_power_mw"]

@@ -1,0 +1,70 @@
+"""Fig. 10 — timing validation vs the HLS reference.
+
+Eight MachSuite benchmarks: SALAM's simulated cycle count against the
+independent HLS-style schedule estimate on the same IR and inputs.
+
+Expected shape (paper: avg ~1%): single-digit-percent errors, with the
+regular, data-independent kernels (FFT / GEMM / Stencil2D) showing the
+smallest error and FP-heavy MD among the largest.
+"""
+
+import numpy as np
+
+from conftest import SEED, save_and_print, stage_into
+from repro.dse import format_table
+from repro.hls import hls_cycle_estimate
+from repro.ir.memory import MemoryImage
+from repro.system.soc import StandaloneAccelerator
+from repro.workloads import get_workload
+
+BENCHES = ["fft", "gemm", "md_knn", "md_grid", "nw", "spmv", "stencil2d", "stencil3d"]
+
+
+def measure(name):
+    workload = get_workload(name)
+    acc = StandaloneAccelerator(
+        workload.source, workload.func_name, memory="spm", spm_bytes=1 << 16
+    )
+    data = workload.make_data(np.random.default_rng(SEED))
+    args, addresses = workload.stage(acc, data)
+    result = acc.run(args)
+    workload.verify(acc, addresses, data)
+
+    mem = MemoryImage(1 << 16, base=acc.SPM_BASE)
+    hls_args, __ = stage_into(workload, mem)
+    schedule = hls_cycle_estimate(
+        acc.module, workload.func_name, hls_args, mem, acc.profile, acc.config
+    )
+    return result.cycles, schedule.total_cycles
+
+
+def test_fig10(benchmark):
+    def run():
+        rows = []
+        for name in BENCHES:
+            salam, hls = measure(name)
+            rows.append(
+                {
+                    "benchmark": name,
+                    "salam_cycles": salam,
+                    "hls_cycles": hls,
+                    "error_pct": 100.0 * (salam - hls) / hls,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    avg = float(np.mean([abs(r["error_pct"]) for r in rows]))
+    rows.append({"benchmark": "AVERAGE |err|", "error_pct": avg})
+    save_and_print(
+        "fig10_timing_validation",
+        format_table(rows, title="Fig. 10: performance validation (SALAM vs HLS reference)",
+                     float_fmt="{:+.2f}"),
+    )
+
+    assert avg < 10.0, f"average timing error too large: {avg:.2f}%"
+    by_name = {r["benchmark"]: abs(r.get("error_pct", 0)) for r in rows[:-1]}
+    regular = np.mean([by_name["fft"], by_name["gemm"], by_name["stencil2d"]])
+    assert regular < avg, "regular kernels must validate best (paper's observation)"
+    for row in rows[:-1]:
+        assert abs(row["error_pct"]) < 15.0, row

@@ -1,0 +1,60 @@
+"""Fig. 11 — power validation vs the Design-Compiler-style reference.
+
+Same benchmark set as Fig. 10 minus Stencil3D (excluded in the paper
+because Design Compiler ran out of memory).  SALAM's total power vs the
+gate-level-style reference that additionally prices interconnect
+muxing, clock tree, and glitching.
+
+Expected shape (paper: avg ~3.25%): small underestimates, largest for
+the mux/irregular-operator heavy kernels (MD, NW).
+"""
+
+import numpy as np
+
+from conftest import SEED, save_and_print
+from repro.dse import format_table
+from repro.hls import rtl_power_reference
+from repro.system.soc import StandaloneAccelerator
+from repro.workloads import get_workload
+
+BENCHES = ["fft", "gemm", "md_knn", "md_grid", "nw", "spmv", "stencil2d"]
+
+
+def test_fig11(benchmark):
+    def run():
+        rows = []
+        for name in BENCHES:
+            workload = get_workload(name)
+            acc = StandaloneAccelerator(
+                workload.source, workload.func_name, memory="spm", spm_bytes=1 << 14
+            )
+            data = workload.make_data(np.random.default_rng(SEED))
+            args, __ = workload.stage(acc, data)
+            result = acc.run(args)
+            salam_mw = result.power.total_mw
+            reference_mw = rtl_power_reference(result.power, result.fu_counts)
+            rows.append(
+                {
+                    "benchmark": name,
+                    "salam_mW": salam_mw,
+                    "reference_mW": reference_mw,
+                    "error_pct": 100.0 * (salam_mw - reference_mw) / reference_mw,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    avg = float(np.mean([abs(r["error_pct"]) for r in rows]))
+    rows.append({"benchmark": "AVERAGE |err|", "error_pct": avg})
+    save_and_print(
+        "fig11_power_validation",
+        format_table(rows, title="Fig. 11: power validation (SALAM vs DC-style reference)",
+                     float_fmt="{:+.3f}"),
+    )
+
+    assert avg < 8.0, f"average power error too large: {avg:.2f}%"
+    by_name = {r["benchmark"]: abs(r["error_pct"]) for r in rows[:-1]}
+    # Irregular kernels show the largest gap (the paper's observation).
+    assert max(by_name["md_knn"], by_name["md_grid"], by_name["nw"]) >= max(
+        by_name["gemm"], by_name["stencil2d"]
+    )

@@ -1,0 +1,89 @@
+"""Fig. 13 — GEMM design-space Pareto curve.
+
+Sweep of functional-unit allocations x memory bandwidth for the GEMM
+accelerator in three memory configurations (datapath-only / +SPM /
++cache), plotting accelerator power vs execution time.
+
+Expected shape: a Pareto frontier where more resources buy time for
+power; duplicate-performance points with higher power (over-allocated
+FUs) appear off the frontier; the cache configuration sits up and to
+the right of the SPM one.
+"""
+
+import numpy as np
+
+from conftest import SEED, save_and_print
+from repro.core.config import DeviceConfig
+from repro.dse import format_table, pareto_front, sweep, to_csv
+from repro.workloads import get_workload
+
+FU_LIMITS = [2, 8, 32]
+PORTS = [1, 4, 16]
+
+
+def _configure(params):
+    config = DeviceConfig(
+        read_ports=params["ports"],
+        write_ports=max(1, params["ports"] // 2),
+        fu_limits={"fp_add": params["fus"], "fp_mul": params["fus"]},
+    )
+    kwargs = dict(config=config, unroll_factor=8, spm_bytes=1 << 15,  # full flatten
+                  spm_read_ports=params["ports"], spm_write_ports=max(1, params["ports"] // 2))
+    if params["memory"] == "ideal":
+        kwargs["memory"] = "ideal"
+    elif params["memory"] == "spm":
+        kwargs["memory"] = "spm"
+    else:
+        kwargs["memory"] = "cache"
+        kwargs["cache_kwargs"] = dict(size=4096, line_size=64, assoc=4)
+        kwargs.pop("spm_bytes")
+        kwargs.pop("spm_read_ports")
+        kwargs.pop("spm_write_ports")
+    return kwargs
+
+
+def test_fig13(benchmark):
+    workload = get_workload("gemm_dse")
+
+    def run():
+        return sweep(
+            workload,
+            {"memory": ["ideal", "spm", "cache"], "fus": FU_LIMITS, "ports": PORTS},
+            configure=_configure,
+            seed=SEED,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [p.record() for p in points]
+    front = pareto_front(points, objectives=lambda p: (p.runtime_us, p.power_mw))
+    for row, point in zip(rows, points):
+        row["pareto"] = "*" if point in front else ""
+    save_and_print(
+        "fig13_gemm_pareto",
+        format_table(rows, title="Fig. 13: GEMM design-space sweep (power vs time)")
+        + "\n\nCSV:\n" + to_csv(rows),
+    )
+
+    assert 1 <= len(front) < len(points)
+    by_config = {}
+    for point in points:
+        by_config.setdefault(point.params["memory"], []).append(point)
+    # Ideal memory is never slower than SPM, which is never slower than
+    # the cache config, at equal datapath parameters.
+    for fus in FU_LIMITS:
+        for ports in PORTS:
+            def cycles(mem):
+                return next(
+                    p.cycles for p in by_config[mem]
+                    if p.params["fus"] == fus and p.params["ports"] == ports
+                )
+            assert cycles("ideal") <= cycles("spm") <= cycles("cache")
+    # Over-allocation: same cycles, more power, somewhere in the sweep.
+    seen = {}
+    over_allocated = False
+    for point in points:
+        key = (point.params["memory"], point.params["ports"], point.cycles)
+        if key in seen and point.power_mw > seen[key] * 1.05:
+            over_allocated = True
+        seen[key] = min(seen.get(key, point.power_mw), point.power_mw)
+    assert over_allocated, "sweep should expose over-allocated FU points"

@@ -1,0 +1,72 @@
+"""Fig. 14 — GEMM stall breakdown vs read/write ports.
+
+(a) fraction of stalled vs new-execution cycles as memory bandwidth
+(read/write ports) grows; (b) the stall-source breakdown (which kinds
+of unfinished operations stalled cycles were waiting on).
+
+Expected shape: stalls shrink as ports grow, with diminishing returns
+once bandwidth exceeds the datapath's width; stalls are dominated by
+loads+computation, with load+store+computation combinations appearing
+at low port counts.
+"""
+
+import numpy as np
+
+from conftest import SEED, save_and_print
+from repro.core.config import DeviceConfig
+from repro.dse import format_table
+from repro.system.soc import StandaloneAccelerator
+from repro.workloads import get_workload
+
+PORTS = [64, 32, 16, 8, 4]
+
+
+def _run_with_ports(ports):
+    workload = get_workload("gemm_dse")
+    config = DeviceConfig(read_ports=ports, write_ports=ports)
+    acc = StandaloneAccelerator(
+        workload.source, workload.func_name, config=config, unroll_factor=8,
+        memory="spm", spm_bytes=1 << 15, spm_read_ports=ports, spm_write_ports=ports,
+    )
+    data = workload.make_data(np.random.default_rng(SEED))
+    args, addresses = workload.stage(acc, data)
+    result = acc.run(args)
+    workload.verify(acc, addresses, data)
+    return result
+
+
+def test_fig14(benchmark):
+    def run():
+        rows = []
+        for ports in PORTS:
+            result = _run_with_ports(ports)
+            occ = result.occupancy
+            row = {
+                "ports": ports,
+                "cycles": result.cycles,
+                "stalled_pct": 100 * occ.entry_stall_fraction(),
+                "new_exec_pct": 100 * (1 - occ.entry_stall_fraction()),
+            }
+            for source, share in sorted(occ.blocked_breakdown().items()):
+                row[f"stall[{source}]"] = 100 * share
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print(
+        "fig14_gemm_stalls",
+        format_table(rows, title="Fig. 14: GEMM stalls vs read/write ports",
+                     float_fmt="{:.2f}"),
+    )
+
+    by_ports = {r["ports"]: r for r in rows}
+    # (a) more ports -> fewer cycles and no more stalling.
+    assert by_ports[64]["cycles"] <= by_ports[4]["cycles"]
+    assert by_ports[64]["stalled_pct"] <= by_ports[4]["stalled_pct"] + 1e-9
+    # Diminishing returns at the top end (64 vs 32 nearly identical).
+    top_gain = (by_ports[32]["cycles"] - by_ports[64]["cycles"]) / by_ports[32]["cycles"]
+    low_gain = (by_ports[4]["cycles"] - by_ports[8]["cycles"]) / by_ports[4]["cycles"]
+    assert top_gain <= low_gain + 0.02
+    # (b) stall sources involve loads and computation.
+    load_keys = [k for k in rows[-1] if k.startswith("stall[") and "load" in k]
+    assert load_keys, "low-port run must report load-related stalls"

@@ -1,0 +1,92 @@
+"""Table IV — preprocessing and simulation wall-clock vs gem5-Aladdin.
+
+For nine MachSuite benchmarks: the trace-based baseline's preprocessing
+(instrumented run + trace-file generation) and simulation (trace load +
+graph build + schedule) wall-clock times against gem5-SALAM's
+preprocessing (kernel compilation only) and simulation times.
+
+Expected shape (paper: avg 123x preprocess / 697x simulation speedup;
+absolute factors depend on host and sizes): SALAM preprocessing beats
+trace generation on every benchmark, and the speedup is largest for
+data-dependent kernels (BFS, SPMV) whose traces are long relative to
+their simulated work.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import SEED, save_and_print, stage_into
+from repro.baseline import generate_trace, simulate_trace
+from repro.dse import format_table
+from repro.frontend import compile_c
+from repro.hw.default_profile import default_profile
+from repro.ir.memory import MemoryImage
+from repro.system.soc import StandaloneAccelerator
+from repro.workloads import get_workload
+
+BENCHES = ["bfs", "fft", "gemm", "md_grid", "md_knn", "nw", "spmv", "stencil2d", "stencil3d"]
+
+
+def _measure(name, tmp_path):
+    workload = get_workload(name)
+    profile = default_profile()
+
+    # gem5-Aladdin: preprocessing = instrumented run + trace generation.
+    mem = MemoryImage(1 << 18, base=0x10000)
+    module = compile_c(workload.source, workload.func_name)
+    args, __ = stage_into(workload, mem)
+    t0 = time.perf_counter()
+    trace = generate_trace(module, workload.func_name, args, mem, tmp_path / f"{name}.gz")
+    aladdin_preprocess = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    simulate_trace(trace, profile)
+    aladdin_sim = time.perf_counter() - t0
+
+    # gem5-SALAM: preprocessing = compiling the kernel.
+    t0 = time.perf_counter()
+    compile_c(workload.source, workload.func_name)
+    salam_preprocess = time.perf_counter() - t0
+    acc = StandaloneAccelerator(workload.source, workload.func_name,
+                                memory="spm", spm_bytes=1 << 16)
+    data = workload.make_data(np.random.default_rng(SEED))
+    run_args, __ = workload.stage(acc, data)
+    t0 = time.perf_counter()
+    acc.run(run_args)
+    salam_sim = time.perf_counter() - t0
+    return aladdin_preprocess, aladdin_sim, salam_preprocess, salam_sim
+
+
+def test_table4(benchmark, tmp_path):
+    def run():
+        rows = []
+        for name in BENCHES:
+            ap, asim, sp, ssim = _measure(name, tmp_path)
+            rows.append(
+                {
+                    "benchmark": name,
+                    "aladdin_tracegen_s": ap,
+                    "aladdin_sim_s": asim,
+                    "salam_compile_s": sp,
+                    "salam_sim_s": ssim,
+                    "preprocess_speedup": ap / sp,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    avg_pre = float(np.mean([r["preprocess_speedup"] for r in rows]))
+    rows.append({"benchmark": "AVERAGE", "preprocess_speedup": avg_pre})
+    save_and_print(
+        "table4_simulation_speed",
+        format_table(rows, title="Table IV: simulator setup and runtime (wall clock)",
+                     float_fmt="{:.4f}"),
+    )
+
+    # SALAM preprocessing (compile) must beat trace generation everywhere.
+    for row in rows[:-1]:
+        assert row["preprocess_speedup"] > 1.0, row
+    assert avg_pre > 2.0
+    # Note: our SALAM *simulation* is a Python cycle-level engine, so the
+    # paper's 697x simulation-time speedup does not transfer to wall clock
+    # here; the preprocessing claim (no trace generation/loading) does.

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Design-space exploration of a GEMM accelerator (the Sec. IV-D flow).
+
+Sweeps functional-unit limits x memory ports x memory type, prints the
+sweep as a table with the Pareto-optimal points marked, and shows the
+stall/occupancy introspection the paper uses for co-design (Figs 13-15).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core.config import DeviceConfig
+from repro.dse import format_table, pareto_front, sweep, to_csv
+from repro.workloads import get_workload
+
+
+def configure(params: dict) -> dict:
+    """Map one sweep point to a StandaloneAccelerator configuration."""
+    kwargs = dict(
+        config=DeviceConfig(
+            read_ports=params["ports"],
+            write_ports=max(1, params["ports"] // 2),
+            fu_limits={"fp_add": params["fus"], "fp_mul": params["fus"]},
+        ),
+        unroll_factor=8,
+        memory=params["memory"],
+    )
+    if params["memory"] == "spm":
+        kwargs.update(spm_bytes=1 << 15, spm_read_ports=params["ports"])
+    elif params["memory"] == "cache":
+        kwargs.update(cache_kwargs=dict(size=4096, line_size=64, assoc=4))
+    return kwargs
+
+
+def main() -> None:
+    gemm = get_workload("gemm")
+    points = sweep(
+        gemm,
+        {"memory": ["spm", "cache"], "fus": [2, 8, 32], "ports": [2, 8]},
+        configure=configure,
+    )
+
+    front = pareto_front(points, objectives=lambda p: (p.runtime_us, p.power_mw))
+    rows = []
+    for point in points:
+        row = point.record()
+        row["pareto"] = "*" if point in front else ""
+        rows.append(row)
+    print(format_table(rows, title="GEMM design-space sweep", float_fmt="{:.3f}"))
+
+    print("\nPareto-optimal configurations:")
+    for point in front:
+        print(f"  {point.params}  ->  {point.runtime_us:.1f} us @ {point.power_mw:.2f} mW")
+
+    best = min(front, key=lambda p: p.runtime_us)
+    occ = best.result.occupancy
+    print(f"\nfastest point {best.params}:")
+    print(f"  stall sources: {occ.stall_breakdown()}")
+    print(f"  issue mix    : {occ.issue_mix()}")
+
+    print("\nCSV export:\n" + to_csv(rows))
+
+
+if __name__ == "__main__":
+    main()

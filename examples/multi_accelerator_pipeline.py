@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Multi-accelerator integration study (the Fig. 16 experiment).
+
+Runs one CNN layer (3x3 conv -> ReLU -> 2x2 max-pool) through three
+system integrations and reports the end-to-end times:
+
+  private SPM + DMA + host sync   (what trace-based simulators support)
+  shared SPM + host sync          (PARADE-style central controller)
+  stream buffers, self-synced     (only expressible in gem5-SALAM)
+
+Run:  python examples/multi_accelerator_pipeline.py
+"""
+
+from repro.system.cnn_scenarios import run_all_scenarios
+
+
+def main() -> None:
+    results = run_all_scenarios()
+    base = results["private_spm"].total_us
+    print(f"{'scenario':14s} {'end-to-end':>12s} {'speedup':>8s}  verified")
+    for result in results.values():
+        print(
+            f"{result.name:14s} {result.total_us:10.2f} us "
+            f"{base / result.total_us:7.2f}x  {result.verified}"
+        )
+    print("\nper-accelerator busy cycles:")
+    for result in results.values():
+        print(f"  {result.name:14s} {result.acc_cycles}")
+    print(
+        "\nAll three produce bit-identical outputs; only the system\n"
+        "integration (and therefore time) differs — the decoupling of\n"
+        "computation from communication the paper demonstrates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro: a Python reproduction of gem5-SALAM (MICRO 2020).
+
+LLVM-based pre-RTL modeling and simulation of custom hardware
+accelerators: compile a C kernel to SSA IR, statically elaborate it
+into a datapath (CDFG + functional units + registers), then execute it
+cycle by cycle inside an event-driven full-system simulation with
+scratchpads, caches, DMAs, stream buffers, and a host driver agent.
+
+Quick start::
+
+    from repro import StandaloneAccelerator
+    import numpy as np
+
+    SRC = '''
+    void vecadd(double a[64], double b[64], double c[64]) {
+      for (int i = 0; i < 64; i++) { c[i] = a[i] + b[i]; }
+    }
+    '''
+    acc = StandaloneAccelerator(SRC, "vecadd", memory="spm", spm_bytes=1 << 14)
+    a, b = np.arange(64.0), np.ones(64)
+    pa, pb, pc = acc.alloc_array(a), acc.alloc_array(b), acc.alloc(512)
+    result = acc.run([pa, pb, pc])
+    print(result.cycles, result.power.total_mw)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-experiment index.
+"""
+
+from repro.core.config import DeviceConfig
+from repro.core.compute_unit import ComputeUnit
+from repro.core.cluster import AcceleratorCluster
+from repro.frontend import compile_c
+from repro.hw.default_profile import default_profile
+from repro.system.soc import (
+    RunResult,
+    SoC,
+    StandaloneAccelerator,
+    build_soc,
+    run_standalone,
+)
+from repro.workloads import all_workload_names, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeviceConfig",
+    "ComputeUnit",
+    "AcceleratorCluster",
+    "compile_c",
+    "default_profile",
+    "StandaloneAccelerator",
+    "RunResult",
+    "SoC",
+    "build_soc",
+    "run_standalone",
+    "get_workload",
+    "all_workload_names",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Aladdin-style trace-based comparator.
+
+A faithful reimplementation of the trace-based pre-RTL methodology the
+paper critiques: instrument a functional execution to produce a dynamic
+LLVM instruction trace (written to a real trace file, as Aladdin does),
+reverse-engineer a datapath from the trace's exposed parallelism, and
+schedule the trace to estimate cycles and power.  `gem5_aladdin`
+couples the schedule to a cache/SPM timing model, reproducing the
+pathologies of Tables I and II: the derived datapath changes with input
+data and with memory configuration.
+"""
+
+from repro.baseline.tracer import generate_trace, TraceFile
+from repro.baseline.datapath import TraceDatapath, build_datapath
+from repro.baseline.trace_sim import TraceSimResult, simulate_trace
+from repro.baseline.gem5_aladdin import AladdinMemoryModel, CacheModel, SPMModel
+
+__all__ = [
+    "generate_trace",
+    "TraceFile",
+    "TraceDatapath",
+    "build_datapath",
+    "TraceSimResult",
+    "simulate_trace",
+    "AladdinMemoryModel",
+    "CacheModel",
+    "SPMModel",
+]

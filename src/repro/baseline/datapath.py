@@ -1,0 +1,158 @@
+"""Datapath reverse-engineering from a dynamic trace (Aladdin's core).
+
+Builds the dynamic dependence graph of the trace (register deps through
+SSA names, memory deps through addresses), ASAP-schedules it against a
+memory timing model, and derives the datapath: one functional unit per
+*concurrently scheduled* operation, per class.  Because concurrency is
+a property of the schedule — which depends on the input data (Table I)
+and on memory latencies (Table II) — the derived datapath moves when
+either changes.  That is the pathology gem5-SALAM's dual static/dynamic
+CDFG eliminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baseline.gem5_aladdin import AladdinMemoryModel, IdealMemory
+from repro.baseline.tracer import TraceEntry
+from repro.core.config import DeviceConfig
+from repro.hw.profile import FU_NONE, HardwareProfile
+
+# Opcode -> FU class for trace entries (string-level mirror of
+# repro.hw.profile.fu_class_for, which needs instruction objects).
+_OPCODE_CLASS = {
+    "fadd": "fp_add", "fsub": "fp_add",
+    "fmul": "fp_mul",
+    "fdiv": "fp_div", "frem": "fp_div",
+    "fcmp": "fp_cmp",
+    "add": "int_add", "sub": "int_add", "icmp": "int_add",
+    "mul": "int_mul",
+    "sdiv": "int_div", "udiv": "int_div", "srem": "int_div", "urem": "int_div",
+    "and": "bitwise", "or": "bitwise", "xor": "bitwise",
+    "shl": "shifter", "lshr": "shifter", "ashr": "shifter",
+    "select": "mux",
+    "sitofp": "converter", "uitofp": "converter",
+    "fptosi": "converter", "fptoui": "converter",
+    "call": "fp_special",
+}
+
+# Operations Aladdin's trace optimization removes / treats as free.
+_FREE_OPCODES = frozenset(
+    ["phi", "br", "ret", "getelementptr", "zext", "sext", "trunc",
+     "bitcast", "fpext", "fptrunc", "inttoptr", "ptrtoint", "alloca"]
+)
+
+
+def fu_class_of_opcode(opcode: str) -> str:
+    if opcode in _FREE_OPCODES:
+        return FU_NONE
+    return _OPCODE_CLASS.get(opcode, FU_NONE)
+
+
+@dataclass
+class TraceDatapath:
+    """The datapath Aladdin derives from one trace + memory model.
+
+    ``fu_counts`` is schedule-derived (peak per-cycle concurrency, the
+    quantity that moves with memory configuration — Table II);
+    ``observed_units`` counts the *distinct static operations* that
+    appeared in the trace (the datapath's functional-unit inventory,
+    the quantity that moves with input data — Table I).
+    """
+
+    fu_counts: dict[str, int]
+    observed_units: dict[str, int]
+    cycles: int
+    dynamic_ops: int
+    schedule_issue: dict[int, int] = field(default_factory=dict, repr=False)
+    memory_model: Optional[AladdinMemoryModel] = None
+
+    def fu(self, fu_class: str) -> int:
+        return self.fu_counts.get(fu_class, 0)
+
+    def units(self, fu_class: str) -> int:
+        return self.observed_units.get(fu_class, 0)
+
+
+def build_datapath(
+    entries: list[TraceEntry],
+    profile: HardwareProfile,
+    memory_model: Optional[AladdinMemoryModel] = None,
+    config: Optional[DeviceConfig] = None,
+) -> TraceDatapath:
+    """ASAP-schedule the trace and derive FU allocation."""
+    memory_model = memory_model or IdealMemory()
+    config = config or DeviceConfig()
+
+    last_writer: dict[str, int] = {}     # SSA name -> entry index
+    finish: list[int] = [0] * len(entries)
+    issue: list[int] = [0] * len(entries)
+    last_store_at: dict[int, int] = {}   # address -> entry index of last store
+    last_access_at: dict[int, int] = {}  # address -> entry index of last access
+
+    # Issue-concurrency per (class, cycle).
+    concurrency: dict[tuple[str, int], int] = {}
+    peak: dict[str, int] = {}
+    observed: dict[str, set] = {}
+    dynamic_ops = 0
+
+    for index, entry in enumerate(entries):
+        ready = 0
+        for operand in entry.operands:
+            producer = last_writer.get(operand)
+            if producer is not None:
+                ready = max(ready, finish[producer])
+
+        if entry.opcode == "load":
+            assert entry.address is not None
+            producer = last_store_at.get(entry.address)
+            if producer is not None:
+                ready = max(ready, finish[producer])
+            issue[index] = ready
+            finish[index] = memory_model.access(
+                entry.address, entry.size, False, ready
+            )
+            last_access_at[entry.address] = index
+        elif entry.opcode == "store":
+            assert entry.address is not None
+            for table in (last_store_at, last_access_at):
+                producer = table.get(entry.address)
+                if producer is not None:
+                    ready = max(ready, finish[producer])
+            issue[index] = ready
+            finish[index] = memory_model.access(
+                entry.address, entry.size, True, ready
+            )
+            last_store_at[entry.address] = index
+            last_access_at[entry.address] = index
+        else:
+            fu_class = fu_class_of_opcode(entry.opcode)
+            if fu_class == FU_NONE:
+                issue[index] = ready
+                finish[index] = ready  # free op (wiring / removed by opt)
+            else:
+                spec = profile.spec_for(fu_class)
+                issue[index] = ready
+                finish[index] = ready + spec.latency
+                dynamic_ops += 1
+                key = (fu_class, ready)
+                used = concurrency.get(key, 0) + 1
+                concurrency[key] = used
+                if used > peak.get(fu_class, 0):
+                    peak[fu_class] = used
+                if entry.name:
+                    observed.setdefault(fu_class, set()).add(entry.name)
+
+        if entry.name:
+            last_writer[entry.name] = index
+
+    total_cycles = max(finish) if finish else 0
+    return TraceDatapath(
+        fu_counts=dict(peak),
+        observed_units={k: len(v) for k, v in observed.items()},
+        cycles=total_cycles,
+        dynamic_ops=dynamic_ops,
+        memory_model=memory_model,
+    )

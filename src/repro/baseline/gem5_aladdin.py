@@ -1,0 +1,91 @@
+"""Memory timing models for the trace-based baseline.
+
+The trace scheduler asks one question: "a memory access to address A
+becomes ready at cycle T — when does its data arrive?"  The answer
+couples the memory configuration into the schedule, which is exactly
+how gem5-Aladdin's datapath derivation becomes entangled with cache
+parameters (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class AladdinMemoryModel:
+    """Interface: access(addr, size, is_write, ready_cycle) -> done_cycle."""
+
+    def access(self, addr: int, size: int, is_write: bool, ready_cycle: int) -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class IdealMemory(AladdinMemoryModel):
+    latency: int = 1
+
+    def access(self, addr: int, size: int, is_write: bool, ready_cycle: int) -> int:
+        return ready_cycle + self.latency
+
+
+class SPMModel(AladdinMemoryModel):
+    """Multi-ported scratchpad: fixed latency, limited accesses/cycle."""
+
+    def __init__(self, latency: int = 1, read_ports: int = 2, write_ports: int = 1) -> None:
+        self.latency = latency
+        self.read_ports = read_ports
+        self.write_ports = write_ports
+        self._usage: dict[tuple[int, bool], int] = {}
+
+    def access(self, addr: int, size: int, is_write: bool, ready_cycle: int) -> int:
+        limit = self.write_ports if is_write else self.read_ports
+        cycle = ready_cycle
+        while self._usage.get((cycle, is_write), 0) >= limit:
+            cycle += 1
+        self._usage[(cycle, is_write)] = self._usage.get((cycle, is_write), 0) + 1
+        return cycle + self.latency
+
+
+class CacheModel(AladdinMemoryModel):
+    """Set-associative cache with LRU, hit/miss latencies, line fills.
+
+    Accesses are observed in trace order; temporal state (tags) evolves
+    with the access stream, so changing size/line/assoc changes every
+    subsequent latency — and therefore the derived datapath.
+    """
+
+    def __init__(
+        self,
+        size: int = 4096,
+        line_size: int = 64,
+        assoc: int = 4,
+        hit_latency: int = 2,
+        miss_latency: int = 22,
+    ) -> None:
+        if size % (line_size * assoc) != 0:
+            raise ValueError("cache size must divide into line_size*assoc sets")
+        self.size = size
+        self.line_size = line_size
+        self.assoc = assoc
+        self.hit_latency = hit_latency
+        self.miss_latency = miss_latency
+        self.num_sets = size // (line_size * assoc)
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._lru = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int, size: int, is_write: bool, ready_cycle: int) -> int:
+        line = addr // self.line_size
+        set_index = line % self.num_sets
+        tags = self._sets[set_index]
+        self._lru += 1
+        if line in tags:
+            tags[line] = self._lru
+            self.hits += 1
+            return ready_cycle + self.hit_latency
+        self.misses += 1
+        if len(tags) >= self.assoc:
+            victim = min(tags, key=tags.get)
+            del tags[victim]
+        tags[line] = self._lru
+        return ready_cycle + self.miss_latency

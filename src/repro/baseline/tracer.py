@@ -1,0 +1,105 @@
+"""Dynamic trace generation (Aladdin's instrumentation phase).
+
+Runs the kernel functionally with the interpreter's trace hook and
+writes one line per dynamic LLVM instruction to a trace file —
+mirroring Aladdin's workflow, where an instrumented binary emits a
+(gzipped) runtime trace that the simulator later parses.  Writing and
+re-parsing a real file is deliberate: Table IV's preprocessing and
+simulation-time comparison depends on these costs being real.
+"""
+
+from __future__ import annotations
+
+import gzip
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.ir.interpreter import Interpreter, TraceRecord
+from repro.ir.memory import MemoryImage
+from repro.ir.module import Module
+
+
+@dataclass
+class TraceEntry:
+    seq: int
+    opcode: str
+    name: str          # SSA result name ('' if none)
+    operands: tuple    # SSA operand names (registers only)
+    address: Optional[int]
+    size: int
+    block: str
+
+    def to_line(self) -> str:
+        ops = ",".join(self.operands)
+        addr = "-" if self.address is None else str(self.address)
+        return f"{self.seq};{self.opcode};{self.name};{ops};{addr};{self.size};{self.block}"
+
+    @staticmethod
+    def from_line(line: str) -> "TraceEntry":
+        seq, opcode, name, ops, addr, size, block = line.rstrip("\n").split(";")
+        return TraceEntry(
+            seq=int(seq),
+            opcode=opcode,
+            name=name,
+            operands=tuple(o for o in ops.split(",") if o),
+            address=None if addr == "-" else int(addr),
+            size=int(size),
+            block=block,
+        )
+
+
+class TraceFile:
+    """A dynamic trace on disk (gzip text, one entry per line)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def write(self, entries: list[TraceEntry]) -> None:
+        with gzip.open(self.path, "wt") as handle:
+            for entry in entries:
+                handle.write(entry.to_line() + "\n")
+
+    def read(self) -> list[TraceEntry]:
+        with gzip.open(self.path, "rt") as handle:
+            return [TraceEntry.from_line(line) for line in handle]
+
+    def size_bytes(self) -> int:
+        return self.path.stat().st_size
+
+
+def generate_trace(
+    module: Module,
+    func_name: str,
+    args: list,
+    memory: MemoryImage,
+    trace_path: Union[str, Path],
+) -> TraceFile:
+    """Instrumented functional run -> trace file (preprocessing phase)."""
+    entries: list[TraceEntry] = []
+
+    def hook(record: TraceRecord) -> None:
+        inst = record.inst
+        operand_names = tuple(
+            op.name for op in inst.operands if getattr(op, "name", "")
+        )
+        entries.append(
+            TraceEntry(
+                seq=record.seq,
+                opcode=inst.opcode,
+                name=inst.name if inst.produces_value else "",
+                operands=operand_names,
+                address=record.address,
+                size=record.size,
+                block=record.block,
+            )
+        )
+
+    shadow = MemoryImage(memory.size, base=memory.base, name="trace_shadow")
+    shadow.write(memory.base, memory.read(memory.base, memory.size))
+    interp = Interpreter(module, shadow, trace_hook=hook)
+    interp.run(func_name, args)
+
+    trace = TraceFile(trace_path)
+    trace.write(entries)
+    return trace

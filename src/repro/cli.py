@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the day-to-day gem5-SALAM workflow from a shell:
+
+* ``compile``   — mini-C -> textual IR (clang stand-in), with -O / unroll knobs
+* ``elaborate`` — static datapath report: CDFG, FU counts, static power/area
+* ``run``       — simulate a kernel on a workload from the registry
+* ``workloads`` — list the bundled MachSuite-style benchmarks
+* ``sweep``     — small port/FU design-space sweep with a Pareto summary
+
+Examples::
+
+    python -m repro compile kernel.c --unroll 4
+    python -m repro elaborate kernel.c --func saxpy --fu-limit fp_mul=2
+    python -m repro run gemm --ports 8 --memory spm
+    python -m repro sweep gemm_dse --unroll 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _parse_fu_limits(entries: list[str]) -> dict[str, int]:
+    limits: dict[str, int] = {}
+    for entry in entries or []:
+        name, __, count = entry.partition("=")
+        if not count.isdigit():
+            raise SystemExit(f"bad --fu-limit '{entry}' (expected CLASS=N)")
+        limits[name] = int(count)
+    return limits
+
+
+def _read_source(path: str) -> str:
+    source_path = Path(path)
+    if not source_path.exists():
+        raise SystemExit(f"no such file: {path}")
+    return source_path.read_text()
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.frontend import compile_c
+    from repro.ir.printer import print_module
+
+    module = compile_c(
+        _read_source(args.source),
+        optimize=not args.no_opt,
+        unroll_factor=args.unroll,
+        opt_level=args.opt_level,
+    )
+    text = print_module(module)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_elaborate(args: argparse.Namespace) -> int:
+    from repro.core.config import DeviceConfig
+    from repro.core.llvm_interface import LLVMInterface
+    from repro.frontend import compile_c
+    from repro.hw.default_profile import default_profile
+
+    module = compile_c(
+        _read_source(args.source), unroll_factor=args.unroll,
+        opt_level=args.opt_level,
+    )
+    func_name = args.func or next(iter(module.functions))
+    config = DeviceConfig(fu_limits=_parse_fu_limits(args.fu_limit))
+    iface = LLVMInterface(module, func_name, default_profile(), config)
+    print(f"function        : {func_name}")
+    print(f"instructions    : {iface.cdfg.total_instructions()}")
+    print(f"basic blocks    : {len(iface.cdfg.blocks)}")
+    print(f"register bits   : {iface.cdfg.register_bits}")
+    print("functional units:")
+    for fu_class, count in sorted(iface.cdfg.fu_counts.items()):
+        print(f"  {fu_class:12s} {count}")
+    print(f"static leakage  : {iface.static.fu_leakage_mw + iface.static.register_leakage_mw:.4f} mW")
+    print(f"datapath area   : {(iface.static.fu_area_um2 + iface.static.register_area_um2) / 1e3:.1f} kum^2")
+    return 0
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import all_workload_names, get_workload
+
+    for name in all_workload_names():
+        print(f"{name:12s} {get_workload(name).description}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.config import DeviceConfig
+    from repro.system.soc import StandaloneAccelerator
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+    config = DeviceConfig(
+        clock_freq_hz=args.clock_mhz * 1e6,
+        read_ports=args.ports,
+        write_ports=max(1, args.ports // 2),
+        fu_limits=_parse_fu_limits(args.fu_limit),
+    )
+    kwargs = dict(config=config, memory=args.memory, unroll_factor=args.unroll)
+    if args.memory in ("spm", "ideal"):
+        kwargs.update(spm_bytes=1 << 16, spm_read_ports=args.ports)
+    acc = StandaloneAccelerator(workload.source, workload.func_name, **kwargs)
+    data = workload.make_data(np.random.default_rng(args.seed))
+    run_args, addresses = workload.stage(acc, data)
+    result = acc.run(run_args)
+    workload.verify(acc, addresses, data)
+    print(f"workload        : {workload.name} ({workload.description})")
+    print("verified        : output matches the golden model")
+    print(f"cycles          : {result.cycles}")
+    print(f"runtime         : {result.runtime_ns / 1e3:.2f} us @ {args.clock_mhz} MHz")
+    print(f"total power     : {result.power.total_mw:.3f} mW")
+    print(f"datapath area   : {result.area.datapath_um2 / 1e3:.1f} kum^2")
+    print(f"functional units: {dict(sorted(result.fu_counts.items()))}")
+    print(f"stalled entries : {result.occupancy.entry_stall_fraction():.1%}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.config import DeviceConfig
+    from repro.dse import format_table, pareto_front, sweep
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.workload)
+
+    def configure(params):
+        return dict(
+            config=DeviceConfig(read_ports=params["ports"],
+                                write_ports=max(1, params["ports"] // 2)),
+            memory="spm", spm_bytes=1 << 16, spm_read_ports=params["ports"],
+            unroll_factor=args.unroll,
+        )
+
+    points = sweep(workload, {"ports": args.ports}, configure, seed=args.seed)
+    front = pareto_front(points, objectives=lambda p: (p.runtime_us, p.power_mw))
+    rows = []
+    for point in points:
+        row = point.record()
+        row["pareto"] = "*" if point in front else ""
+        rows.append(row)
+    print(format_table(rows, title=f"{workload.name} port sweep"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="gem5-SALAM reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile mini-C to textual IR")
+    p_compile.add_argument("source")
+    p_compile.add_argument("--output", "-o")
+    p_compile.add_argument("--unroll", type=int, default=1)
+    p_compile.add_argument("--opt-level", type=int, default=1, choices=[1, 2])
+    p_compile.add_argument("--no-opt", action="store_true")
+    p_compile.set_defaults(handler=cmd_compile)
+
+    p_elab = sub.add_parser("elaborate", help="static datapath report")
+    p_elab.add_argument("source")
+    p_elab.add_argument("--func")
+    p_elab.add_argument("--unroll", type=int, default=1)
+    p_elab.add_argument("--opt-level", type=int, default=1, choices=[1, 2])
+    p_elab.add_argument("--fu-limit", action="append", metavar="CLASS=N")
+    p_elab.set_defaults(handler=cmd_elaborate)
+
+    p_list = sub.add_parser("workloads", help="list bundled benchmarks")
+    p_list.set_defaults(handler=cmd_workloads)
+
+    p_run = sub.add_parser("run", help="simulate a bundled workload")
+    p_run.add_argument("workload")
+    p_run.add_argument("--memory", choices=["spm", "cache", "ideal"], default="spm")
+    p_run.add_argument("--ports", type=int, default=2)
+    p_run.add_argument("--unroll", type=int, default=1)
+    p_run.add_argument("--clock-mhz", type=float, default=100.0)
+    p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument("--fu-limit", action="append", metavar="CLASS=N")
+    p_run.set_defaults(handler=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="port sweep with Pareto summary")
+    p_sweep.add_argument("workload")
+    p_sweep.add_argument("--ports", type=int, nargs="+", default=[1, 2, 4, 8])
+    p_sweep.add_argument("--unroll", type=int, default=1)
+    p_sweep.add_argument("--seed", type=int, default=7)
+    p_sweep.set_defaults(handler=cmd_sweep)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""gem5-SALAM core: LLVM interface, runtime engine, system integration.
+
+This package is the paper's primary contribution:
+
+* `config` — the "device config": datapath constraints and runtime knobs.
+* `cdfg` — the statically elaborated CDFG with FU mapping and the
+  register netlist (Sec. III-A2).
+* `llvm_interface` — static elaboration plus static power/area analysis
+  (Sec. III-C1).
+* `runtime` — the dynamic LLVM runtime engine: reservation queue,
+  compute queue, memory queues, runtime scheduler (Sec. III-B).
+* `compute_unit` / `comm_interface` — the two base API models
+  (Sec. III-D1).
+* `cluster` — the hierarchical accelerator-cluster construct
+  (Sec. III-D2).
+* `occupancy` — cycle-level scheduling/stall/occupancy profiling
+  (Sec. III-C2, Figs. 14-15).
+"""
+
+from repro.core.config import DeviceConfig
+from repro.core.cdfg import StaticCDFG, StaticNode
+from repro.core.llvm_interface import LLVMInterface
+from repro.core.runtime import RuntimeEngine, DynInst
+from repro.core.comm_interface import CommInterface
+from repro.core.compute_unit import ComputeUnit
+from repro.core.cluster import AcceleratorCluster
+from repro.core.occupancy import OccupancyTracker
+
+__all__ = [
+    "DeviceConfig",
+    "StaticCDFG",
+    "StaticNode",
+    "LLVMInterface",
+    "RuntimeEngine",
+    "DynInst",
+    "CommInterface",
+    "ComputeUnit",
+    "AcceleratorCluster",
+    "OccupancyTracker",
+]

@@ -1,0 +1,129 @@
+"""Static control/data-flow graph (CDFG).
+
+Built once from the IR during static elaboration: a per-basic-block
+skeleton of the datapath where every instruction is a :class:`StaticNode`
+linked to its virtual functional unit and the register that will hold
+its result.  The dynamic runtime engine instantiates this skeleton
+block-by-block at runtime (the paper's dual-CDFG approach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.profile import FU_NONE, fu_class_for
+from repro.ir.instructions import Branch, Load, Phi, Ret, Store
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Instruction
+
+
+@dataclass
+class StaticNode:
+    """One instruction of the static datapath skeleton."""
+
+    inst: Instruction
+    index: int                     # position within the function (program order)
+    fu_class: str                  # FU_NONE for control/memory/wiring ops
+    fu_instance: Optional[int]     # dedicated unit id (1-to-1 mode) or None (pooled)
+    result_bits: int               # register width of the result (0 if void)
+
+    @property
+    def is_memory(self) -> bool:
+        return isinstance(self.inst, (Load, Store))
+
+    @property
+    def is_load(self) -> bool:
+        return isinstance(self.inst, Load)
+
+    @property
+    def is_store(self) -> bool:
+        return isinstance(self.inst, Store)
+
+    @property
+    def is_branch(self) -> bool:
+        return isinstance(self.inst, Branch)
+
+    @property
+    def is_ret(self) -> bool:
+        return isinstance(self.inst, Ret)
+
+    @property
+    def is_phi(self) -> bool:
+        return isinstance(self.inst, Phi)
+
+    @property
+    def is_compute(self) -> bool:
+        return self.fu_class != FU_NONE
+
+
+class StaticCDFG:
+    """The statically elaborated skeleton of one accelerator function."""
+
+    def __init__(self, func: Function, fu_limits: Optional[dict[str, int]] = None) -> None:
+        self.func = func
+        self.fu_limits = dict(fu_limits or {})
+        self.nodes: dict[Instruction, StaticNode] = {}
+        self.blocks: dict[str, list[StaticNode]] = {}
+        # fu_counts: instantiated units per class (after applying limits).
+        self.fu_counts: dict[str, int] = {}
+        self.static_op_counts: dict[str, int] = {}
+        self.register_bits = 0
+        self._elaborate()
+
+    def _elaborate(self) -> None:
+        dedicated_counter: dict[str, int] = {}
+        index = 0
+        for block in self.func.blocks:
+            node_list: list[StaticNode] = []
+            for inst in block.instructions:
+                fu_class = fu_class_for(inst)
+                result_bits = (
+                    inst.type.bit_width() if inst.produces_value else 0
+                )
+                fu_instance: Optional[int] = None
+                if fu_class != FU_NONE:
+                    self.static_op_counts[fu_class] = (
+                        self.static_op_counts.get(fu_class, 0) + 1
+                    )
+                    if fu_class not in self.fu_limits:
+                        # Default: dedicated unit per static instruction.
+                        fu_instance = dedicated_counter.get(fu_class, 0)
+                        dedicated_counter[fu_class] = fu_instance + 1
+                node = StaticNode(
+                    inst=inst,
+                    index=index,
+                    fu_class=fu_class,
+                    fu_instance=fu_instance,
+                    result_bits=result_bits,
+                )
+                self.nodes[inst] = node
+                node_list.append(node)
+                self.register_bits += result_bits
+                index += 1
+            self.blocks[block.name] = node_list
+        # Instantiated FU counts: limit if constrained, else 1-to-1.
+        for fu_class, static_count in self.static_op_counts.items():
+            limit = self.fu_limits.get(fu_class)
+            self.fu_counts[fu_class] = (
+                min(limit, static_count) if limit is not None else static_count
+            )
+
+    # ------------------------------------------------------------------
+    def node_for(self, inst: Instruction) -> StaticNode:
+        return self.nodes[inst]
+
+    def block_nodes(self, block: BasicBlock) -> list[StaticNode]:
+        return self.blocks[block.name]
+
+    def total_instructions(self) -> int:
+        return len(self.nodes)
+
+    def summary(self) -> dict:
+        return {
+            "function": self.func.name,
+            "instructions": self.total_instructions(),
+            "blocks": len(self.blocks),
+            "register_bits": self.register_bits,
+            "fu_counts": dict(sorted(self.fu_counts.items())),
+        }

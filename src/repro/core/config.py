@@ -1,0 +1,54 @@
+"""Device configuration (the paper's "device config" file).
+
+Constrains the accelerator datapath and tunes the runtime scheduler:
+clock, functional-unit pool limits (absent = the default 1-to-1 mapping
+of static instructions to dedicated units), per-class latency
+overrides, memory issue widths (read/write ports), and queue sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class DeviceConfig:
+    name: str = "acc"
+    clock_freq_hz: float = 100e6  # 10 ns cycle, the Vivado HLS default
+
+    # Datapath constraints: FU class -> pool size.  A class not listed
+    # gets one dedicated unit per static instruction (paper default).
+    fu_limits: dict[str, int] = field(default_factory=dict)
+    # Per-class latency overrides (cycles).
+    latency_overrides: dict[str, int] = field(default_factory=dict)
+
+    # Runtime scheduler knobs.
+    reservation_window: int = 128
+    read_queue_size: int = 64
+    write_queue_size: int = 64
+
+    # Memory interface issue widths (Fig. 14's "read/write ports").
+    read_ports: int = 2
+    write_ports: int = 2
+
+    # Ideal one-cycle memory (the "datapath only" configuration).
+    ideal_memory: bool = False
+
+    def validate(self) -> None:
+        if self.clock_freq_hz <= 0:
+            raise ValueError("clock frequency must be positive")
+        for knob in ("reservation_window", "read_queue_size", "write_queue_size",
+                     "read_ports", "write_ports"):
+            if getattr(self, knob) < 1:
+                raise ValueError(f"{knob} must be >= 1")
+        for fu_class, limit in self.fu_limits.items():
+            if limit < 1:
+                raise ValueError(f"FU limit for '{fu_class}' must be >= 1, got {limit}")
+        for fu_class, latency in self.latency_overrides.items():
+            if latency < 0:
+                raise ValueError(f"latency override for '{fu_class}' must be >= 0")
+
+    @property
+    def cycle_time_ns(self) -> float:
+        return 1e9 / self.clock_freq_hz

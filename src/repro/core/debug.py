@@ -1,0 +1,118 @@
+"""Pipeline tracing (Sec. III-C2's per-cycle scheduling log).
+
+The paper: "During the dynamic runtime simulation gem5-SALAM logs which
+instructions are scheduled or in-flight for each cycle."  When a
+:class:`PipelineTrace` is attached to a `RuntimeEngine`, every issue and
+commit is recorded with its cycle; the trace renders either as an event
+log or as a compact waterfall (one row per dynamic instruction, one
+column per cycle) for small kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class TraceEvent:
+    cycle: int
+    kind: str          # 'issue' | 'commit' | 'fetch'
+    seq: int
+    opcode: str
+    detail: str = ""
+
+
+@dataclass
+class PipelineTrace:
+    max_events: int = 100_000
+    events: list[TraceEvent] = field(default_factory=list)
+    truncated: bool = False
+
+    def record(self, cycle: int, kind: str, seq: int, opcode: str, detail: str = "") -> None:
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(TraceEvent(cycle, kind, seq, opcode, detail))
+
+    # ------------------------------------------------------------------
+    def issues_at(self, cycle: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == "issue" and e.cycle == cycle]
+
+    def lifetime(self, seq: int) -> tuple[Optional[int], Optional[int]]:
+        """(issue_cycle, commit_cycle) of one dynamic instruction."""
+        issue = commit = None
+        for event in self.events:
+            if event.seq == seq:
+                if event.kind == "issue":
+                    issue = event.cycle
+                elif event.kind == "commit":
+                    commit = event.cycle
+        return issue, commit
+
+    def log_text(self, limit: int = 200) -> str:
+        lines = [
+            f"cycle {e.cycle:6d}  {e.kind:6s}  #{e.seq:<5d} {e.opcode:14s} {e.detail}"
+            for e in self.events[:limit]
+        ]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        if self.truncated:
+            lines.append("(trace truncated at max_events)")
+        return "\n".join(lines)
+
+    def waterfall(self, max_rows: int = 64, max_cols: int = 120) -> str:
+        """ASCII waterfall: '=' from issue to commit per instruction."""
+        spans: dict[int, list] = {}
+        opcodes: dict[int, str] = {}
+        for event in self.events:
+            entry = spans.setdefault(event.seq, [None, None])
+            if event.kind == "issue":
+                entry[0] = event.cycle
+            elif event.kind == "commit":
+                entry[1] = event.cycle
+            opcodes.setdefault(event.seq, event.opcode)
+        rows = sorted(spans)[:max_rows]
+        if not rows:
+            return "(empty trace)"
+        base = min(s[0] for s in spans.values() if s[0] is not None)
+        lines = []
+        for seq in rows:
+            start, end = spans[seq]
+            if start is None:
+                continue
+            end = end if end is not None else start
+            left = start - base
+            width = min(max_cols, end - base + 1)
+            bar = " " * min(left, max_cols) + "=" * max(1, width - left)
+            lines.append(f"#{seq:<5d} {opcodes[seq]:12s} |{bar[:max_cols]}")
+        header = f"(cycles {base}..{base + max_cols - 1})"
+        return header + "\n" + "\n".join(lines)
+
+
+def attach_trace(engine, max_events: int = 100_000) -> PipelineTrace:
+    """Wrap an engine's issue/commit paths with trace recording."""
+    trace = PipelineTrace(max_events=max_events)
+    original_try_issue = engine._try_issue
+    original_commit = engine._commit
+
+    def traced_try_issue(dyn, cycle, issued_classes, issued_kinds):
+        done = original_try_issue(dyn, cycle, issued_classes, issued_kinds)
+        if done:
+            detail = ""
+            if dyn.addr is not None:
+                detail = f"addr={dyn.addr:#x}"
+            trace.record(cycle, "issue", dyn.seq, dyn.node.inst.opcode, detail)
+        return done
+
+    def traced_commit(dyn, result):
+        trace.record(
+            engine.cur_cycle, "commit", dyn.seq, dyn.node.inst.opcode,
+            "" if result is None else f"-> {result!r}"[:40],
+        )
+        original_commit(dyn, result)
+
+    engine._try_issue = traced_try_issue
+    engine._commit = traced_commit
+    engine.pipeline_trace = trace
+    return trace

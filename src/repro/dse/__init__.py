@@ -1,0 +1,7 @@
+"""Design-space exploration harness (Sec. IV-D)."""
+
+from repro.dse.sweep import SweepPoint, sweep
+from repro.dse.pareto import pareto_front
+from repro.dse.reports import format_table, to_csv
+
+__all__ = ["SweepPoint", "sweep", "pareto_front", "format_table", "to_csv"]

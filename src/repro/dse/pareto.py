@@ -1,0 +1,33 @@
+"""Pareto-front extraction for (time, power) trade-off studies."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    points: Sequence[T],
+    objectives: Callable[[T], tuple[float, ...]],
+) -> list[T]:
+    """Minimizing Pareto front: points no other point dominates.
+
+    A point dominates another if it is <= in every objective and < in
+    at least one.
+    """
+    front: list[T] = []
+    values = [objectives(p) for p in points]
+    for i, candidate in enumerate(points):
+        dominated = False
+        for j, other in enumerate(points):
+            if i == j:
+                continue
+            if all(a <= b for a, b in zip(values[j], values[i])) and any(
+                a < b for a, b in zip(values[j], values[i])
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return front

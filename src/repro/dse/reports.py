@@ -1,0 +1,49 @@
+"""Tabular report helpers: aligned ASCII tables and CSV export."""
+
+from __future__ import annotations
+
+import io
+from typing import Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Optional[list[str]] = None,
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render dict-rows as an aligned ASCII table (paper-style)."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = columns or list(rows[0].keys())
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_csv(rows: Sequence[dict], columns: Optional[list[str]] = None) -> str:
+    """Serialize dict-rows to CSV text (the paper exports sweeps as CSV)."""
+    if not rows:
+        return ""
+    columns = columns or list(rows[0].keys())
+    buffer = io.StringIO()
+    buffer.write(",".join(columns) + "\n")
+    for row in rows:
+        buffer.write(",".join(str(row.get(col, "")) for col in columns) + "\n")
+    return buffer.getvalue()

@@ -1,0 +1,25 @@
+"""Mini-C frontend (the "clang" of this reproduction).
+
+Compiles a C subset — functions, scalar/array locals and parameters,
+``for``/``while``/``do``/``if``, arithmetic, math builtins, and
+``#pragma unroll`` — into `repro.ir` SSA through a naive alloca-based
+codegen followed by the standard optimization pipeline (mem2reg,
+folding, unrolling, DCE).  Accelerator kernels for the benchmarks are
+written in this dialect, mirroring the paper's "write the accelerator
+as a single C function" flow.
+"""
+
+from repro.frontend.lexer import Lexer, LexerError, Token
+from repro.frontend.parser import CParseError, parse_c
+from repro.frontend.codegen import CodegenError, compile_c, lower_to_ir
+
+__all__ = [
+    "Lexer",
+    "LexerError",
+    "Token",
+    "parse_c",
+    "CParseError",
+    "compile_c",
+    "lower_to_ir",
+    "CodegenError",
+]

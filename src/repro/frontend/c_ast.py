@@ -1,0 +1,185 @@
+"""AST node definitions for the mini-C dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CType:
+    """A C type: base name, pointer depth, and array dimensions."""
+
+    base: str  # 'void' | 'char' | 'short' | 'int' | 'long' | 'float' | 'double'
+    unsigned: bool = False
+    pointers: int = 0
+    array_dims: list[int] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        text = ("unsigned " if self.unsigned else "") + self.base + "*" * self.pointers
+        for dim in self.array_dims:
+            text += f"[{dim}]"
+        return text
+
+
+# --- expressions --------------------------------------------------------
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+    is_single: bool = False
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""
+    lhs: Expr = None
+    rhs: Expr = None
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""  # '-', '!', '~', '*', '&'
+    operand: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="  # '=', '+=', ...
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class IncDec(Expr):
+    op: str = "++"
+    target: Expr = None
+    prefix: bool = False
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr = None
+    if_true: Expr = None
+    if_false: Expr = None
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class CastExpr(Expr):
+    to_type: CType = None
+    operand: Expr = None
+
+
+# --- statements -----------------------------------------------------------
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Stmt):
+    type: CType = None
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Compound(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+    unroll: Optional[int] = None  # None: no pragma, 0: full, N: factor
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+    unroll: Optional[int] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None
+    cond: Expr = None
+    unroll: Optional[int] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --- top level ---------------------------------------------------------------
+@dataclass
+class Param:
+    type: CType
+    name: str
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    return_type: CType
+    params: list[Param]
+    body: Compound
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    functions: list[FunctionDef] = field(default_factory=list)

@@ -1,0 +1,123 @@
+"""Tokenizer for the mini-C dialect."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+KEYWORDS = frozenset(
+    [
+        "void", "char", "short", "int", "long", "float", "double", "unsigned",
+        "if", "else", "for", "while", "do", "return", "break", "continue",
+        "const",
+    ]
+)
+
+# Multi-character operators first so maximal munch wins.
+OPERATORS = [
+    "<<=", ">>=",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", "!", "~", "?", ":",
+]
+PUNCTUATION = ["(", ")", "[", "]", "{", "}", ";", ","]
+
+
+class LexerError(ValueError):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'int' | 'float' | 'op' | 'punct' | 'pragma' | 'eof'
+    text: str
+    line: int
+    value: Optional[object] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+_FLOAT_RE = re.compile(r"\d+\.\d*(?:[eE][+-]?\d+)?[fF]?|\d+[eE][+-]?\d+[fF]?|\.\d+(?:[eE][+-]?\d+)?[fF]?")
+_INT_RE = re.compile(r"0[xX][0-9a-fA-F]+|\d+")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_PRAGMA_RE = re.compile(r"#\s*pragma\s+(.*)")
+
+
+class Lexer:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = self._tokenize()
+
+    def _tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        line = 1
+        pos = 0
+        src = self.source
+        length = len(src)
+        while pos < length:
+            ch = src[pos]
+            if ch == "\n":
+                line += 1
+                pos += 1
+                continue
+            if ch in " \t\r":
+                pos += 1
+                continue
+            if src.startswith("//", pos):
+                end = src.find("\n", pos)
+                pos = length if end == -1 else end
+                continue
+            if src.startswith("/*", pos):
+                end = src.find("*/", pos + 2)
+                if end == -1:
+                    raise LexerError("unterminated block comment", line)
+                line += src.count("\n", pos, end)
+                pos = end + 2
+                continue
+            if ch == "#":
+                end = src.find("\n", pos)
+                if end == -1:
+                    end = length
+                directive = src[pos:end]
+                match = _PRAGMA_RE.match(directive)
+                if match:
+                    tokens.append(Token("pragma", match.group(1).strip(), line))
+                # Other directives (#include, #define without args) ignored.
+                pos = end
+                continue
+            match = _FLOAT_RE.match(src, pos)
+            if match:
+                text = match.group()
+                tokens.append(Token("float", text, line, float(text.rstrip("fF"))))
+                pos = match.end()
+                continue
+            match = _INT_RE.match(src, pos)
+            if match:
+                text = match.group()
+                tokens.append(Token("int", text, line, int(text, 0)))
+                pos = match.end()
+                continue
+            match = _IDENT_RE.match(src, pos)
+            if match:
+                text = match.group()
+                kind = "keyword" if text in KEYWORDS else "ident"
+                tokens.append(Token(kind, text, line))
+                pos = match.end()
+                continue
+            for op in OPERATORS:
+                if src.startswith(op, pos):
+                    tokens.append(Token("op", op, line))
+                    pos += len(op)
+                    break
+            else:
+                if ch in PUNCTUATION:
+                    tokens.append(Token("punct", ch, line))
+                    pos += 1
+                else:
+                    raise LexerError(f"unexpected character {ch!r}", line)
+        tokens.append(Token("eof", "", line))
+        return tokens

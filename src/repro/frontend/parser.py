@@ -1,0 +1,374 @@
+"""Recursive-descent parser for the mini-C dialect."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend import c_ast as ast
+from repro.frontend.lexer import Lexer, Token
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_BASE_TYPES = frozenset(["void", "char", "short", "int", "long", "float", "double", "unsigned"])
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="])
+
+
+class CParseError(ValueError):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}: {message} (near {token.text!r})")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.pending_unroll: Optional[int] = None
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            expected = text or kind
+            raise CParseError(f"expected {expected!r}", self.peek())
+        return token
+
+    def _consume_pragmas(self) -> None:
+        while self.peek().kind == "pragma":
+            token = self.next()
+            parts = token.text.split()
+            if parts and parts[0] == "unroll":
+                if len(parts) > 1:
+                    try:
+                        self.pending_unroll = int(parts[1].strip("()"))
+                    except ValueError:
+                        raise CParseError("bad unroll factor", token)
+                else:
+                    self.pending_unroll = 0  # full unroll
+            # Unknown pragmas are ignored, like a real compiler.
+
+    # -- types ----------------------------------------------------------------
+    def looks_like_type(self) -> bool:
+        token = self.peek()
+        return token.kind == "keyword" and token.text in (_BASE_TYPES | {"const"})
+
+    def parse_type_prefix(self) -> ast.CType:
+        while self.accept("keyword", "const"):
+            pass
+        unsigned = bool(self.accept("keyword", "unsigned"))
+        token = self.peek()
+        if token.kind != "keyword" or token.text not in _BASE_TYPES:
+            if unsigned:
+                return ast.CType("int", unsigned=True)
+            raise CParseError("expected type name", token)
+        base = self.next().text
+        if base == "long":
+            self.accept("keyword", "long")  # accept 'long long'
+            self.accept("keyword", "int")
+        if base == "short":
+            self.accept("keyword", "int")
+        while self.accept("keyword", "const"):
+            pass
+        ctype = ast.CType(base, unsigned=unsigned)
+        while self.accept("op", "*"):
+            ctype.pointers += 1
+            while self.accept("keyword", "const"):
+                pass
+        return ctype
+
+    def parse_array_suffix(self, ctype: ast.CType) -> ast.CType:
+        while self.accept("punct", "["):
+            if self.accept("punct", "]"):
+                ctype.pointers += 1  # `T x[]` decays to pointer
+                continue
+            dim_token = self.expect("int")
+            ctype.array_dims.append(int(dim_token.value))
+            self.expect("punct", "]")
+        return ctype
+
+    # -- top level ---------------------------------------------------------------
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self.peek().kind != "eof":
+            self._consume_pragmas()
+            if self.peek().kind == "eof":
+                break
+            unit.functions.append(self.parse_function())
+        return unit
+
+    def parse_function(self) -> ast.FunctionDef:
+        line = self.peek().line
+        return_type = self.parse_type_prefix()
+        name = self.expect("ident").text
+        self.expect("punct", "(")
+        params: list[ast.Param] = []
+        if not self.accept("punct", ")"):
+            while True:
+                if self.accept("keyword", "void") and self.peek().text == ")":
+                    break
+                ptype = self.parse_type_prefix()
+                pname = self.expect("ident").text
+                ptype = self.parse_array_suffix(ptype)
+                if ptype.array_dims:
+                    # Outermost array dimension of a parameter decays.
+                    ptype.array_dims = ptype.array_dims[1:]
+                    ptype.pointers += 1
+                params.append(ast.Param(ptype, pname))
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        body = self.parse_compound()
+        return ast.FunctionDef(name, return_type, params, body, line=line)
+
+    # -- statements --------------------------------------------------------------
+    def parse_compound(self) -> ast.Compound:
+        line = self.expect("punct", "{").line
+        body: list[ast.Stmt] = []
+        while not self.accept("punct", "}"):
+            body.append(self.parse_statement())
+        return ast.Compound(line=line, body=body)
+
+    def parse_statement(self) -> ast.Stmt:
+        self._consume_pragmas()
+        token = self.peek()
+        if token.kind == "punct" and token.text == "{":
+            return self.parse_compound()
+        if token.kind == "keyword":
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "for":
+                return self.parse_for()
+            if token.text == "while":
+                return self.parse_while()
+            if token.text == "do":
+                return self.parse_do()
+            if token.text == "return":
+                line = self.next().line
+                value = None
+                if not self.accept("punct", ";"):
+                    value = self.parse_expression()
+                    self.expect("punct", ";")
+                return ast.Return(line=line, value=value)
+            if token.text == "break":
+                line = self.next().line
+                self.expect("punct", ";")
+                return ast.Break(line=line)
+            if token.text == "continue":
+                line = self.next().line
+                self.expect("punct", ";")
+                return ast.Continue(line=line)
+            if self.looks_like_type():
+                return self.parse_declaration()
+        if token.kind == "punct" and token.text == ";":
+            self.next()
+            return ast.ExprStmt(line=token.line, expr=None)
+        expr = self.parse_expression()
+        self.expect("punct", ";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def parse_declaration(self) -> ast.Stmt:
+        line = self.peek().line
+        base = self.parse_type_prefix()
+        decls: list[ast.VarDecl] = []
+        while True:
+            ctype = ast.CType(
+                base.base, unsigned=base.unsigned, pointers=base.pointers,
+                array_dims=[],
+            )
+            name = self.expect("ident").text
+            ctype = self.parse_array_suffix(ctype)
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_assignment()
+            decls.append(ast.VarDecl(line=line, type=ctype, name=name, init=init))
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Compound(line=line, body=list(decls))
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("keyword", "if").line
+        self.expect("punct", "(")
+        cond = self.parse_expression()
+        self.expect("punct", ")")
+        then = self.parse_statement()
+        otherwise = None
+        if self.accept("keyword", "else"):
+            otherwise = self.parse_statement()
+        return ast.If(line=line, cond=cond, then=then, otherwise=otherwise)
+
+    def parse_for(self) -> ast.For:
+        unroll = self.pending_unroll
+        self.pending_unroll = None
+        line = self.expect("keyword", "for").line
+        self.expect("punct", "(")
+        init: Optional[ast.Stmt] = None
+        if not self.accept("punct", ";"):
+            if self.looks_like_type():
+                init = self.parse_declaration()
+            else:
+                init = ast.ExprStmt(line=line, expr=self.parse_expression())
+                self.expect("punct", ";")
+        cond = None
+        if not self.accept("punct", ";"):
+            cond = self.parse_expression()
+            self.expect("punct", ";")
+        step = None
+        if self.peek().text != ")":
+            step = self.parse_expression()
+        self.expect("punct", ")")
+        body = self.parse_statement()
+        return ast.For(line=line, init=init, cond=cond, step=step, body=body, unroll=unroll)
+
+    def parse_while(self) -> ast.While:
+        unroll = self.pending_unroll
+        self.pending_unroll = None
+        line = self.expect("keyword", "while").line
+        self.expect("punct", "(")
+        cond = self.parse_expression()
+        self.expect("punct", ")")
+        body = self.parse_statement()
+        return ast.While(line=line, cond=cond, body=body, unroll=unroll)
+
+    def parse_do(self) -> ast.DoWhile:
+        unroll = self.pending_unroll
+        self.pending_unroll = None
+        line = self.expect("keyword", "do").line
+        body = self.parse_statement()
+        self.expect("keyword", "while")
+        self.expect("punct", "(")
+        cond = self.parse_expression()
+        self.expect("punct", ")")
+        self.expect("punct", ";")
+        return ast.DoWhile(line=line, body=body, cond=cond, unroll=unroll)
+
+    # -- expressions -----------------------------------------------------------------
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> ast.Expr:
+        lhs = self.parse_conditional()
+        token = self.peek()
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()
+            return ast.Assign(line=token.line, op=token.text, target=lhs, value=value)
+        return lhs
+
+    def parse_conditional(self) -> ast.Expr:
+        cond = self.parse_binary(0)
+        if self.accept("op", "?"):
+            if_true = self.parse_expression()
+            self.expect("op", ":")
+            if_false = self.parse_conditional()
+            return ast.Conditional(line=cond.line, cond=cond, if_true=if_true, if_false=if_false)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind != "op" or token.text not in _PRECEDENCE:
+                return lhs
+            prec = _PRECEDENCE[token.text]
+            if prec < min_prec:
+                return lhs
+            self.next()
+            rhs = self.parse_binary(prec + 1)
+            lhs = ast.BinOp(line=token.line, op=token.text, lhs=lhs, rhs=rhs)
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "+", "!", "~", "*", "&"):
+            self.next()
+            operand = self.parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.UnOp(line=token.line, op=token.text, operand=operand)
+        if token.kind == "op" and token.text in ("++", "--"):
+            self.next()
+            target = self.parse_unary()
+            return ast.IncDec(line=token.line, op=token.text, target=target, prefix=True)
+        # Cast: '(' type ')' unary
+        if token.kind == "punct" and token.text == "(":
+            save = self.pos
+            self.next()
+            if self.looks_like_type():
+                ctype = self.parse_type_prefix()
+                if self.accept("punct", ")"):
+                    operand = self.parse_unary()
+                    return ast.CastExpr(line=token.line, to_type=ctype, operand=operand)
+            self.pos = save
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "punct" and token.text == "[":
+                self.next()
+                index = self.parse_expression()
+                self.expect("punct", "]")
+                expr = ast.IndexExpr(line=token.line, base=expr, index=index)
+            elif token.kind == "op" and token.text in ("++", "--"):
+                self.next()
+                expr = ast.IncDec(line=token.line, op=token.text, target=expr, prefix=False)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.next()
+        if token.kind == "int":
+            return ast.IntLit(line=token.line, value=int(token.value))
+        if token.kind == "float":
+            return ast.FloatLit(
+                line=token.line, value=float(token.value),
+                is_single=token.text.lower().endswith("f"),
+            )
+        if token.kind == "ident":
+            if self.accept("punct", "("):
+                args = []
+                if not self.accept("punct", ")"):
+                    args.append(self.parse_assignment())
+                    while self.accept("punct", ","):
+                        args.append(self.parse_assignment())
+                    self.expect("punct", ")")
+                return ast.CallExpr(line=token.line, callee=token.text, args=args)
+            return ast.Ident(line=token.line, name=token.text)
+        if token.kind == "punct" and token.text == "(":
+            expr = self.parse_expression()
+            self.expect("punct", ")")
+            return expr
+        raise CParseError("expected expression", token)
+
+
+def parse_c(source: str) -> ast.TranslationUnit:
+    """Parse mini-C source text into an AST."""
+    return _Parser(Lexer(source).tokens).parse_translation_unit()

@@ -1,0 +1,27 @@
+"""Reference models the simulator is validated against.
+
+Offline stand-ins for the paper's validation flow (Fig. 9):
+
+* `scheduler` — an independent HLS-style performance model: per-block
+  resource-constrained list scheduling plus loop initiation intervals,
+  driven by functional block-visit counts (the role Vivado HLS
+  co-simulation plays in the paper).
+* `rtl_ref` — a Design-Compiler-style area/power reference that prices
+  the same datapath with synthesis effects (interconnect muxing, clock
+  tree, glitching) that the simulator's first-order model omits.
+* `fpga` — a ZCU102-style platform model for end-to-end times
+  (compute + burst DMA bulk transfers), used by Table III.
+"""
+
+from repro.hls.scheduler import HLSSchedule, hls_cycle_estimate
+from repro.hls.rtl_ref import rtl_area_reference, rtl_power_reference
+from repro.hls.fpga import FPGAPlatformModel, FPGAResult
+
+__all__ = [
+    "HLSSchedule",
+    "hls_cycle_estimate",
+    "rtl_area_reference",
+    "rtl_power_reference",
+    "FPGAPlatformModel",
+    "FPGAResult",
+]

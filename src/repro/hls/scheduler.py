@@ -1,0 +1,280 @@
+"""HLS-style static performance model.
+
+Models what an HLS tool reports after scheduling + co-simulation:
+
+1. every basic block is list-scheduled against the same hardware
+   profile and resource constraints the simulator uses (shared pricing,
+   as in the paper's validation methodology);
+2. loop initiation intervals are the max of the resource II and the
+   recurrence II (loop-carried dependence chains);
+3. dynamic block execution counts come from a functional run on the
+   *same inputs* (the role of RTL co-simulation);
+4. total cycles = for each maximal run of consecutive executions of a
+   block: one full block latency plus (run_length - 1) x II.
+
+This is an independent analytical model — it shares no scheduling code
+with the runtime engine — so the validation error reported in Fig. 10's
+reproduction measures genuine disagreement between the two models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import DeviceConfig
+from repro.hw.profile import FU_NONE, HardwareProfile, fu_class_for
+from repro.ir.instructions import Branch, Load, Phi, Store
+from repro.ir.interpreter import Interpreter
+from repro.ir.memory import MemoryImage
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Instruction
+
+
+@dataclass
+class BlockSchedule:
+    name: str
+    latency: int                  # cycles for one isolated execution
+    resource_ii: int
+    recurrence_ii: int
+    control_delay: int            # fetch-to-next-fetch latency (branch path)
+    op_count: int
+
+    @property
+    def ii(self) -> int:
+        return max(1, self.resource_ii, self.recurrence_ii, self.control_delay)
+
+
+@dataclass
+class HLSSchedule:
+    function: str
+    blocks: dict[str, BlockSchedule]
+    total_cycles: int
+    block_visits: dict[str, int] = field(default_factory=dict)
+
+
+def _latency_of(inst: Instruction, profile: HardwareProfile, config: DeviceConfig,
+                mem_read_latency: int, mem_write_latency: int) -> int:
+    if isinstance(inst, Load):
+        return mem_read_latency
+    if isinstance(inst, Store):
+        return mem_write_latency
+    fu_class = fu_class_for(inst)
+    if fu_class == FU_NONE:
+        return 0
+    if fu_class in config.latency_overrides:
+        return config.latency_overrides[fu_class]
+    return profile.spec_for(fu_class).latency
+
+
+def _schedule_block(
+    block: BasicBlock,
+    profile: HardwareProfile,
+    config: DeviceConfig,
+    mem_read_latency: int,
+    mem_write_latency: int,
+) -> BlockSchedule:
+    """Resource-constrained list scheduling of one block's DAG."""
+    insts = block.instructions
+    position = {inst: i for i, inst in enumerate(insts)}
+
+    # Dependence edges within the block (SSA + conservative memory order).
+    preds: dict[Instruction, list[Instruction]] = {inst: [] for inst in insts}
+    last_store: Optional[Instruction] = None
+    for inst in insts:
+        for operand in inst.operands:
+            if isinstance(operand, Instruction) and operand in position \
+                    and position[operand] < position[inst]:
+                preds[inst].append(operand)
+        if isinstance(inst, Load) and last_store is not None:
+            preds[inst].append(last_store)
+        if isinstance(inst, Store):
+            if last_store is not None:
+                preds[inst].append(last_store)
+            last_store = inst
+
+    # FU pool sizes per class for this block (1-to-1 default = per-op).
+    class_ops: dict[str, int] = {}
+    for inst in insts:
+        fu_class = fu_class_for(inst)
+        if fu_class != FU_NONE:
+            class_ops[fu_class] = class_ops.get(fu_class, 0) + 1
+
+    def pool_size(fu_class: str, ops_in_block: int) -> int:
+        limit = config.fu_limits.get(fu_class)
+        return min(limit, ops_in_block) if limit is not None else ops_in_block
+
+    # List scheduling by earliest-ready, tie-broken by program order.
+    start: dict[Instruction, int] = {}
+    finish: dict[Instruction, int] = {}
+    usage: dict[tuple[str, int], int] = {}  # (resource, cycle) -> used
+    mem_usage: dict[tuple[str, int], int] = {}
+
+    def resource_free(fu_class: str, cycle: int, size: int) -> bool:
+        return usage.get((fu_class, cycle), 0) < size
+
+    for inst in insts:
+        ready = 0
+        for pred in preds[inst]:
+            ready = max(ready, finish[pred])
+        latency = _latency_of(inst, profile, config, mem_read_latency, mem_write_latency)
+        cycle = ready
+        if isinstance(inst, (Load, Store)):
+            kind = "read" if isinstance(inst, Load) else "write"
+            ports = config.read_ports if kind == "read" else config.write_ports
+            while mem_usage.get((kind, cycle), 0) >= ports:
+                cycle += 1
+            mem_usage[(kind, cycle)] = mem_usage.get((kind, cycle), 0) + 1
+        else:
+            fu_class = fu_class_for(inst)
+            if fu_class != FU_NONE:
+                size = pool_size(fu_class, class_ops[fu_class])
+                while not resource_free(fu_class, cycle, size):
+                    cycle += 1
+                usage[(fu_class, cycle)] = usage.get((fu_class, cycle), 0) + 1
+        start[inst] = cycle
+        finish[inst] = cycle + latency
+
+    latency_total = max(finish.values()) if finish else 0
+
+    # Resource II: the steady-state rate limit per iteration.
+    resource_ii = 1
+    for fu_class, ops in class_ops.items():
+        size = pool_size(fu_class, ops)
+        spec = profile.spec_for(fu_class)
+        per_unit = 1 if spec.pipelined else max(
+            1, _latency_of_class(fu_class, profile, config)
+        )
+        resource_ii = max(resource_ii, -(-ops * per_unit // size))
+    loads = sum(1 for i in insts if isinstance(i, Load))
+    stores = sum(1 for i in insts if isinstance(i, Store))
+    resource_ii = max(resource_ii, -(-loads // config.read_ports))
+    resource_ii = max(resource_ii, -(-stores // config.write_ports))
+
+    # Recurrence II: the longest loop-carried dependence cycle, i.e. the
+    # latency-weighted path from a header phi to its own back-edge value
+    # (plus that value's latency).  The control recurrence (phi -> branch
+    # condition -> next-block fetch) adds one fetch cycle.
+    def longest_paths_from(source: Instruction) -> dict[Instruction, int]:
+        lp: dict[Instruction, int] = {source: 0}
+        for inst in insts:
+            if inst is source:
+                continue
+            best = None
+            for pred in preds[inst]:
+                if pred in lp:
+                    latency = _latency_of(
+                        pred, profile, config, mem_read_latency, mem_write_latency
+                    )
+                    candidate = lp[pred] + latency
+                    best = candidate if best is None else max(best, candidate)
+            if best is not None:
+                lp[inst] = best
+        return lp
+
+    recurrence_ii = 1
+    is_self_loop = block in block.successors()
+    if is_self_loop:
+        term = block.terminator
+        cond = term.condition if isinstance(term, Branch) and term.is_conditional else None
+        for phi in block.phis():
+            lp = longest_paths_from(phi)
+            for value, pred_block in phi.incoming:
+                if pred_block is block and isinstance(value, Instruction) and value in lp:
+                    data_ii = lp[value] + _latency_of(
+                        value, profile, config, mem_read_latency, mem_write_latency
+                    )
+                    recurrence_ii = max(recurrence_ii, data_ii)
+            if isinstance(cond, Instruction) and cond in lp:
+                control_ii = lp[cond] + _latency_of(
+                    cond, profile, config, mem_read_latency, mem_write_latency
+                ) + 1  # next-block fetch
+                recurrence_ii = max(recurrence_ii, control_ii)
+
+    # Control delay: time from block fetch until the next block can be
+    # fetched (branch condition resolution + one fetch cycle).
+    term = block.terminator
+    control_delay = 1
+    if isinstance(term, Branch) and term.is_conditional:
+        cond = term.condition
+        if isinstance(cond, Instruction) and cond in finish:
+            control_delay = finish[cond] + 1
+
+    return BlockSchedule(
+        name=block.name,
+        latency=max(1, latency_total),
+        resource_ii=resource_ii,
+        recurrence_ii=recurrence_ii,
+        control_delay=control_delay,
+        op_count=len(insts),
+    )
+
+
+def _latency_of_class(fu_class: str, profile: HardwareProfile, config: DeviceConfig) -> int:
+    if fu_class in config.latency_overrides:
+        return config.latency_overrides[fu_class]
+    return profile.spec_for(fu_class).latency
+
+
+def hls_cycle_estimate(
+    module: Module,
+    func_name: str,
+    args: list,
+    memory: MemoryImage,
+    profile: HardwareProfile,
+    config: Optional[DeviceConfig] = None,
+    mem_read_latency: int = 2,
+    mem_write_latency: int = 1,
+) -> HLSSchedule:
+    """Full HLS-style estimate for one kernel invocation.
+
+    ``memory`` must hold the same staged inputs the simulator uses; it
+    is copied before the functional co-simulation run so the caller's
+    image is untouched.
+    """
+    config = config or DeviceConfig()
+    func: Function = module.get_function(func_name)
+    schedules = {
+        block.name: _schedule_block(
+            block, profile, config, mem_read_latency, mem_write_latency
+        )
+        for block in func.blocks
+    }
+
+    # Functional co-simulation for block visit counts and run lengths.
+    shadow = MemoryImage(memory.size, base=memory.base, name="hls_cosim")
+    shadow.write(memory.base, memory.read(memory.base, memory.size))
+    visits: dict[str, int] = {}
+    runs: list[tuple[str, int]] = []  # (block, consecutive run length)
+
+    def block_hook(name: str) -> None:
+        visits[name] = visits.get(name, 0) + 1
+        if runs and runs[-1][0] == name:
+            runs[-1] = (name, runs[-1][1] + 1)
+        else:
+            runs.append((name, 1))
+
+    interp = Interpreter(module, shadow)
+    interp.block_hook = lambda block: block_hook(block.name)
+    interp.run(func_name, args)
+
+    # Fetch-timestamped walk over the dynamic block sequence: blocks
+    # overlap like the runtime engine's reservation queue — the next
+    # block is fetched as soon as the branch resolves, while earlier
+    # blocks may still be draining.  Total time is the latest finish.
+    t_fetch = 0
+    finish_max = 0
+    for name, length in runs:
+        sched = schedules[name]
+        finish_max = max(finish_max, t_fetch + sched.latency)
+        if length > 1:
+            t_fetch += (length - 1) * sched.ii
+            finish_max = max(finish_max, t_fetch + sched.latency)
+        t_fetch += sched.control_delay
+    total = finish_max
+    return HLSSchedule(
+        function=func_name,
+        blocks=schedules,
+        total_cycles=total,
+        block_visits=visits,
+    )

@@ -1,0 +1,34 @@
+"""Hardware profiles and power/area/energy models.
+
+`profile` defines functional-unit and register characteristics (latency,
+area, leakage, per-op energy); `default_profile` ships a 40 nm-flavoured
+characterization modelled on the one gem5-Aladdin/gem5-SALAM validated
+against Synopsys Design Compiler; `cacti` is an analytical SRAM model
+standing in for McPAT/CACTI; `power` aggregates everything into the
+static/dynamic breakdown of the paper's Fig. 4.
+"""
+
+from repro.hw.profile import (
+    FunctionalUnitSpec,
+    HardwareProfile,
+    RegisterSpec,
+    fu_class_for,
+    FU_NONE,
+)
+from repro.hw.default_profile import default_profile
+from repro.hw.cacti import SRAMConfig, SRAMMetrics, cacti_model
+from repro.hw.power import PowerReport, AreaReport
+
+__all__ = [
+    "FunctionalUnitSpec",
+    "RegisterSpec",
+    "HardwareProfile",
+    "fu_class_for",
+    "FU_NONE",
+    "default_profile",
+    "SRAMConfig",
+    "SRAMMetrics",
+    "cacti_model",
+    "PowerReport",
+    "AreaReport",
+]

@@ -1,0 +1,110 @@
+"""Analytical SRAM model (CACTI/McPAT stand-in).
+
+gem5-SALAM shells out to McPAT's CACTI to price private scratchpads and
+caches; offline we use an analytical model with the standard scaling
+behaviour CACTI exhibits at 40 nm:
+
+* area grows linearly in capacity plus a decoder/sense-amp term that
+  grows with the square root of the number of words;
+* access energy grows with word width and with sqrt(capacity)
+  (bitline/wordline length);
+* leakage is proportional to capacity;
+* extra ports multiply area/energy superlinearly (dual-port cells),
+  and banking trades a small area overhead for lower per-bank energy.
+
+The constants were fit so that representative points (a 4 KiB
+single-port SPM, a 64 KiB cache array) land in the range CACTI 6.5
+reports for 40 nm SRAM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SRAMConfig:
+    size_bytes: int
+    word_bytes: int = 8
+    read_ports: int = 1
+    write_ports: int = 1
+    banks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"SRAM size must be positive, got {self.size_bytes}")
+        if self.word_bytes <= 0:
+            raise ValueError("word size must be positive")
+        if self.read_ports < 1 or self.write_ports < 1:
+            raise ValueError("SRAM needs at least one read and one write port")
+        if self.banks < 1:
+            raise ValueError("bank count must be >= 1")
+
+
+@dataclass(frozen=True)
+class SRAMMetrics:
+    area_um2: float
+    leakage_mw: float
+    read_energy_pj: float
+    write_energy_pj: float
+    access_latency_cycles: int
+
+
+# Fitted 40 nm constants.
+_AREA_PER_BIT_UM2 = 0.485
+_AREA_PERIPHERY_UM2 = 1850.0
+_LEAKAGE_PER_BIT_MW = 1.45e-6
+_ENERGY_PER_WORD_BIT_PJ = 0.011
+_ENERGY_BITLINE_FACTOR = 0.0135
+_WRITE_ENERGY_RATIO = 1.18
+_PORT_AREA_FACTOR = 0.72  # each extra port adds 72% cell area
+_PORT_ENERGY_FACTOR = 0.32
+_BANK_AREA_OVERHEAD = 0.06
+_BANK_ENERGY_EXPONENT = 0.5
+
+
+def cacti_model(config: SRAMConfig) -> SRAMMetrics:
+    """Price an SRAM macro.
+
+    Returns area (um^2), leakage (mW), per-access read/write energy (pJ),
+    and access latency in cycles (1 for small arrays, growing with bank
+    size as wordlines lengthen).
+    """
+    bits = config.size_bytes * 8
+    word_bits = config.word_bytes * 8
+    words = max(1, config.size_bytes // config.word_bytes)
+    total_ports = config.read_ports + config.write_ports
+
+    port_area_mult = 1.0 + _PORT_AREA_FACTOR * (total_ports - 2)
+    port_energy_mult = 1.0 + _PORT_ENERGY_FACTOR * (total_ports - 2)
+    bank_area_mult = 1.0 + _BANK_AREA_OVERHEAD * (config.banks - 1)
+
+    area = (
+        bits * _AREA_PER_BIT_UM2 * port_area_mult * bank_area_mult
+        + _AREA_PERIPHERY_UM2 * config.banks
+        + 28.0 * math.sqrt(words) * config.banks
+    )
+    leakage = bits * _LEAKAGE_PER_BIT_MW * port_area_mult
+
+    words_per_bank = max(1, words // config.banks)
+    read_energy = (
+        word_bits * _ENERGY_PER_WORD_BIT_PJ
+        + _ENERGY_BITLINE_FACTOR * word_bits * math.sqrt(words_per_bank) ** _BANK_ENERGY_EXPONENT
+    ) * port_energy_mult
+    write_energy = read_energy * _WRITE_ENERGY_RATIO
+
+    bank_bytes = config.size_bytes / config.banks
+    if bank_bytes <= 16 * 1024:
+        latency = 1
+    elif bank_bytes <= 128 * 1024:
+        latency = 2
+    else:
+        latency = 3
+    return SRAMMetrics(
+        area_um2=area,
+        leakage_mw=leakage,
+        read_energy_pj=read_energy,
+        write_energy_pj=write_energy,
+        access_latency_cycles=latency,
+    )

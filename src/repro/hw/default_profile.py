@@ -1,0 +1,91 @@
+"""Default 40 nm hardware profile.
+
+Numbers are modelled after the open 40 nm characterization that Aladdin
+and gem5-SALAM validated against Synopsys Design Compiler: double-
+precision FP add/mul are 3-stage pipelined units (the paper notes SALAM
+"approximates floating point operations using 3-stage FP adders and
+multipliers"), integer logic is single cycle, division and special
+functions are long-latency iterative units.  Users tune latencies per
+device via the device config, exactly as in gem5-SALAM.
+"""
+
+from __future__ import annotations
+
+from repro.hw.profile import (
+    BITWISE,
+    CONVERTER,
+    FP_ADD,
+    FP_CMP,
+    FP_DIV,
+    FP_MUL,
+    FP_SPECIAL,
+    FunctionalUnitSpec,
+    HardwareProfile,
+    INT_ADD,
+    INT_DIV,
+    INT_MUL,
+    MUX,
+    RegisterSpec,
+    SHIFTER,
+)
+
+_DEFAULT_UNITS = {
+    FP_ADD: FunctionalUnitSpec(
+        FP_ADD, latency=3, area_um2=4184.0, leakage_mw=0.01372,
+        dynamic_energy_pj=7.216,
+    ),
+    FP_MUL: FunctionalUnitSpec(
+        FP_MUL, latency=3, area_um2=6115.0, leakage_mw=0.02016,
+        dynamic_energy_pj=14.42,
+    ),
+    FP_DIV: FunctionalUnitSpec(
+        FP_DIV, latency=16, area_um2=12208.0, leakage_mw=0.03940,
+        dynamic_energy_pj=31.85, pipelined=False,
+    ),
+    FP_CMP: FunctionalUnitSpec(
+        FP_CMP, latency=1, area_um2=1262.0, leakage_mw=0.00412,
+        dynamic_energy_pj=1.82,
+    ),
+    FP_SPECIAL: FunctionalUnitSpec(
+        FP_SPECIAL, latency=24, area_um2=24416.0, leakage_mw=0.0788,
+        dynamic_energy_pj=63.7, pipelined=False,
+    ),
+    INT_ADD: FunctionalUnitSpec(
+        INT_ADD, latency=1, area_um2=282.0, leakage_mw=0.00153,
+        dynamic_energy_pj=0.5036,
+    ),
+    INT_MUL: FunctionalUnitSpec(
+        INT_MUL, latency=2, area_um2=2418.0, leakage_mw=0.00797,
+        dynamic_energy_pj=4.538,
+    ),
+    INT_DIV: FunctionalUnitSpec(
+        INT_DIV, latency=12, area_um2=4010.0, leakage_mw=0.01310,
+        dynamic_energy_pj=10.42, pipelined=False,
+    ),
+    BITWISE: FunctionalUnitSpec(
+        BITWISE, latency=1, area_um2=113.0, leakage_mw=0.00061,
+        dynamic_energy_pj=0.2024,
+    ),
+    SHIFTER: FunctionalUnitSpec(
+        SHIFTER, latency=1, area_um2=206.0, leakage_mw=0.00108,
+        dynamic_energy_pj=0.3514,
+    ),
+    MUX: FunctionalUnitSpec(
+        MUX, latency=0, area_um2=94.0, leakage_mw=0.00049,
+        dynamic_energy_pj=0.1612,
+    ),
+    CONVERTER: FunctionalUnitSpec(
+        CONVERTER, latency=2, area_um2=1730.0, leakage_mw=0.00568,
+        dynamic_energy_pj=2.861,
+    ),
+}
+
+
+def default_profile(cycle_time_ns: float = 10.0) -> HardwareProfile:
+    """The validated default profile shipped with the simulator."""
+    return HardwareProfile(
+        name="salam-40nm-default",
+        units=dict(_DEFAULT_UNITS),
+        register=RegisterSpec(),
+        cycle_time_ns=cycle_time_ns,
+    )

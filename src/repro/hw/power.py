@@ -1,0 +1,121 @@
+"""Power and area aggregation.
+
+Collects the categories of the paper's Fig. 4: dynamic energy from
+functional units, internal registers, and SPM reads/writes, plus static
+(leakage) power from functional units, registers, and SPM.  Dynamic
+power is energy divided by runtime; everything is reported in mW so the
+stacked-percentage breakdown can be reproduced directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AreaReport:
+    """Area in square micrometres by component."""
+
+    functional_units_um2: float = 0.0
+    registers_um2: float = 0.0
+    spm_um2: float = 0.0
+
+    @property
+    def datapath_um2(self) -> float:
+        return self.functional_units_um2 + self.registers_um2
+
+    @property
+    def total_um2(self) -> float:
+        return self.datapath_um2 + self.spm_um2
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total_um2 / 1e6
+
+
+@dataclass
+class PowerReport:
+    """Static power (mW) and dynamic energy (pJ) by Fig. 4 category."""
+
+    runtime_ns: float = 0.0
+    # Dynamic energies (pJ), converted to power on demand.
+    fu_dynamic_pj: float = 0.0
+    register_dynamic_pj: float = 0.0
+    spm_read_pj: float = 0.0
+    spm_write_pj: float = 0.0
+    # Static power (mW).
+    fu_leakage_mw: float = 0.0
+    register_leakage_mw: float = 0.0
+    spm_leakage_mw: float = 0.0
+
+    def _to_mw(self, energy_pj: float) -> float:
+        if self.runtime_ns <= 0:
+            return 0.0
+        # pJ / ns == mW.
+        return energy_pj / self.runtime_ns
+
+    # -- dynamic power ----------------------------------------------------
+    @property
+    def fu_dynamic_mw(self) -> float:
+        return self._to_mw(self.fu_dynamic_pj)
+
+    @property
+    def register_dynamic_mw(self) -> float:
+        return self._to_mw(self.register_dynamic_pj)
+
+    @property
+    def spm_read_mw(self) -> float:
+        return self._to_mw(self.spm_read_pj)
+
+    @property
+    def spm_write_mw(self) -> float:
+        return self._to_mw(self.spm_write_pj)
+
+    @property
+    def dynamic_mw(self) -> float:
+        return (
+            self.fu_dynamic_mw
+            + self.register_dynamic_mw
+            + self.spm_read_mw
+            + self.spm_write_mw
+        )
+
+    @property
+    def static_mw(self) -> float:
+        return self.fu_leakage_mw + self.register_leakage_mw + self.spm_leakage_mw
+
+    @property
+    def total_mw(self) -> float:
+        return self.dynamic_mw + self.static_mw
+
+    # -- Fig. 4 breakdown ---------------------------------------------------
+    def breakdown(self) -> dict[str, float]:
+        """Power by category (mW), in Fig. 4's legend order."""
+        return {
+            "dynamic_functional_units": self.fu_dynamic_mw,
+            "dynamic_internal_registers": self.register_dynamic_mw,
+            "dynamic_spm_read": self.spm_read_mw,
+            "dynamic_spm_write": self.spm_write_mw,
+            "static_functional_units": self.fu_leakage_mw,
+            "static_internal_registers": self.register_leakage_mw,
+            "static_spm": self.spm_leakage_mw,
+        }
+
+    def breakdown_percent(self) -> dict[str, float]:
+        total = self.total_mw
+        if total <= 0:
+            return {key: 0.0 for key in self.breakdown()}
+        return {key: 100.0 * value / total for key, value in self.breakdown().items()}
+
+    def merged(self, other: "PowerReport") -> "PowerReport":
+        """Combine two reports (e.g. several accelerators in a cluster)."""
+        return PowerReport(
+            runtime_ns=max(self.runtime_ns, other.runtime_ns),
+            fu_dynamic_pj=self.fu_dynamic_pj + other.fu_dynamic_pj,
+            register_dynamic_pj=self.register_dynamic_pj + other.register_dynamic_pj,
+            spm_read_pj=self.spm_read_pj + other.spm_read_pj,
+            spm_write_pj=self.spm_write_pj + other.spm_write_pj,
+            fu_leakage_mw=self.fu_leakage_mw + other.fu_leakage_mw,
+            register_leakage_mw=self.register_leakage_mw + other.register_leakage_mw,
+            spm_leakage_mw=self.spm_leakage_mw + other.spm_leakage_mw,
+        )

@@ -1,0 +1,159 @@
+"""Hardware profile: functional-unit and register characterization.
+
+A :class:`HardwareProfile` maps *functional unit classes* (``FP_ADD``,
+``INT_MUL``, ...) to their timing/power/area specs and defines register
+characteristics.  `fu_class_for` assigns each IR instruction to an FU
+class — the same mapping used by static elaboration (datapath
+construction), the runtime engine (latency/energy), the Aladdin-style
+baseline (trace scheduling), and the HLS reference model, so all models
+price operations identically, exactly like the paper's shared hardware
+profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.values import Instruction
+
+# Functional unit class names.
+FP_ADD = "fp_add"
+FP_MUL = "fp_mul"
+FP_DIV = "fp_div"
+FP_CMP = "fp_cmp"
+FP_SPECIAL = "fp_special"  # sqrt/exp/log/trig
+INT_ADD = "int_add"
+INT_MUL = "int_mul"
+INT_DIV = "int_div"
+BITWISE = "bitwise"
+SHIFTER = "shifter"
+MUX = "mux"
+CONVERTER = "converter"  # int<->float conversion
+FU_NONE = "none"  # free operations: wiring-only casts, control, memory
+
+FU_CLASSES = [
+    FP_ADD, FP_MUL, FP_DIV, FP_CMP, FP_SPECIAL,
+    INT_ADD, INT_MUL, INT_DIV, BITWISE, SHIFTER, MUX, CONVERTER,
+]
+
+_FREE_CASTS = frozenset(["zext", "sext", "trunc", "bitcast", "inttoptr", "ptrtoint", "fpext", "fptrunc"])
+_SPECIAL_INTRINSICS = frozenset(["sqrt", "exp", "log", "sin", "cos", "pow"])
+
+
+def fu_class_for(inst: Instruction) -> str:
+    """Functional-unit class an instruction executes on.
+
+    Returns ``FU_NONE`` for operations with no datapath unit: control
+    flow, memory (priced by the memory system), phis, and pure-wiring
+    casts.
+    """
+    if isinstance(inst, BinaryOp):
+        table = {
+            "fadd": FP_ADD, "fsub": FP_ADD,
+            "fmul": FP_MUL,
+            "fdiv": FP_DIV, "frem": FP_DIV,
+            "add": INT_ADD, "sub": INT_ADD,
+            "mul": INT_MUL,
+            "sdiv": INT_DIV, "udiv": INT_DIV, "srem": INT_DIV, "urem": INT_DIV,
+            "and": BITWISE, "or": BITWISE, "xor": BITWISE,
+            "shl": SHIFTER, "lshr": SHIFTER, "ashr": SHIFTER,
+        }
+        return table[inst.opcode]
+    if isinstance(inst, ICmp):
+        return INT_ADD  # comparisons share the adder/subtractor
+    if isinstance(inst, FCmp):
+        return FP_CMP
+    if isinstance(inst, Select):
+        return MUX
+    if isinstance(inst, Cast):
+        if inst.opcode in _FREE_CASTS:
+            return FU_NONE
+        return CONVERTER
+    if isinstance(inst, GetElementPtr):
+        return INT_ADD  # address generation
+    if isinstance(inst, Call):
+        if inst.callee in _SPECIAL_INTRINSICS:
+            return FP_SPECIAL
+        if inst.callee in ("fmin", "fmax", "fabs"):
+            return FP_CMP
+        return FU_NONE
+    if isinstance(inst, (Load, Store, Alloca, Branch, Ret, Phi)):
+        return FU_NONE
+    return FU_NONE
+
+
+@dataclass(frozen=True)
+class FunctionalUnitSpec:
+    """Characterization of one functional unit class.
+
+    Energies are per operation in picojoules; leakage in milliwatts per
+    instantiated unit; area in square micrometres.  ``latency`` is in
+    accelerator cycles; pipelined units accept a new op every cycle.
+    """
+
+    name: str
+    latency: int
+    area_um2: float
+    leakage_mw: float
+    dynamic_energy_pj: float
+    pipelined: bool = True
+
+    def with_latency(self, latency: int) -> "FunctionalUnitSpec":
+        return replace(self, latency=latency)
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """Per-bit register characterization."""
+
+    area_um2_per_bit: float = 5.24
+    leakage_mw_per_bit: float = 6.2e-6
+    read_energy_pj_per_bit: float = 0.0032
+    write_energy_pj_per_bit: float = 0.0052
+
+
+@dataclass
+class HardwareProfile:
+    """The device-independent hardware characterization.
+
+    ``limits`` constrains how many units of a class may be instantiated
+    (absent key = unlimited, i.e. the paper's default 1-to-1 mapping of
+    instructions to dedicated units).
+    """
+
+    name: str
+    units: dict[str, FunctionalUnitSpec]
+    register: RegisterSpec = field(default_factory=RegisterSpec)
+    cycle_time_ns: float = 10.0  # matches a 100 MHz Vivado HLS default
+
+    def spec_for(self, fu_class: str) -> Optional[FunctionalUnitSpec]:
+        if fu_class == FU_NONE:
+            return None
+        if fu_class not in self.units:
+            raise KeyError(f"hardware profile '{self.name}' lacks FU class '{fu_class}'")
+        return self.units[fu_class]
+
+    def latency_of(self, inst: Instruction) -> int:
+        spec = self.spec_for(fu_class_for(inst))
+        return spec.latency if spec is not None else 0
+
+    def with_unit(self, spec: FunctionalUnitSpec) -> "HardwareProfile":
+        units = dict(self.units)
+        units[spec.name] = spec
+        return HardwareProfile(self.name, units, self.register, self.cycle_time_ns)

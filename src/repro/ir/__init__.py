@@ -1,0 +1,74 @@
+"""LLVM-like typed SSA intermediate representation.
+
+This subpackage stands in for the LLVM toolchain the paper relies on:
+a typed SSA IR with basic blocks, a builder API, a textual format with a
+parser (a subset of ``.ll`` syntax), a verifier, and a functional
+interpreter over a flat byte-addressable memory.  The accelerator model
+(`repro.core`) consumes this IR directly, exactly as gem5-SALAM's
+"LLVM Interface" consumes clang-emitted IR.
+"""
+
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    LabelType,
+    PointerType,
+    Type,
+    VoidType,
+    DOUBLE,
+    FLOAT,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    VOID,
+    array_of,
+    ptr_to,
+)
+from repro.ir.values import Argument, Constant, Instruction, Value
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_module, print_function
+from repro.ir.parser import parse_module, IRParseError
+from repro.ir.verifier import verify_module, VerifierError
+from repro.ir.memory import MemoryImage
+from repro.ir.interpreter import Interpreter, InterpreterError
+
+__all__ = [
+    "Type",
+    "VoidType",
+    "IntType",
+    "FloatType",
+    "PointerType",
+    "ArrayType",
+    "LabelType",
+    "VOID",
+    "I1",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "FLOAT",
+    "DOUBLE",
+    "ptr_to",
+    "array_of",
+    "Value",
+    "Constant",
+    "Argument",
+    "Instruction",
+    "Module",
+    "Function",
+    "BasicBlock",
+    "IRBuilder",
+    "print_module",
+    "print_function",
+    "parse_module",
+    "IRParseError",
+    "verify_module",
+    "VerifierError",
+    "MemoryImage",
+    "Interpreter",
+    "InterpreterError",
+]

@@ -1,0 +1,187 @@
+"""IRBuilder: convenient construction of IR, in the llvmlite style.
+
+The builder is positioned at the end of a basic block; every ``emit``
+method appends an instruction there and returns it as the SSA value.
+Temporary names are generated from the owning function's counter so
+they are unique module-wide after printing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import IntType, Type, I64
+from repro.ir.values import Constant, Instruction, Value
+
+IndexLike = Union[Value, int]
+
+
+class IRBuilder:
+    def __init__(self, block: Optional[BasicBlock] = None) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise ValueError("builder is not positioned inside a function")
+        return self.block.parent
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def _emit(self, inst: Instruction, name: str = "") -> Instruction:
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        if inst.produces_value and not inst.name:
+            inst.name = name or self.function.unique_name()
+        self.block.append(inst)
+        return inst
+
+    def _as_index(self, value: IndexLike) -> Value:
+        if isinstance(value, int):
+            return Constant(I64, value)
+        return value
+
+    # -- arithmetic -------------------------------------------------------
+    def binop(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self._emit(BinaryOp(opcode, lhs, rhs), name)
+
+    def add(self, a, b, name=""):
+        return self.binop("add", a, b, name)
+
+    def sub(self, a, b, name=""):
+        return self.binop("sub", a, b, name)
+
+    def mul(self, a, b, name=""):
+        return self.binop("mul", a, b, name)
+
+    def sdiv(self, a, b, name=""):
+        return self.binop("sdiv", a, b, name)
+
+    def srem(self, a, b, name=""):
+        return self.binop("srem", a, b, name)
+
+    def and_(self, a, b, name=""):
+        return self.binop("and", a, b, name)
+
+    def or_(self, a, b, name=""):
+        return self.binop("or", a, b, name)
+
+    def xor(self, a, b, name=""):
+        return self.binop("xor", a, b, name)
+
+    def shl(self, a, b, name=""):
+        return self.binop("shl", a, b, name)
+
+    def lshr(self, a, b, name=""):
+        return self.binop("lshr", a, b, name)
+
+    def ashr(self, a, b, name=""):
+        return self.binop("ashr", a, b, name)
+
+    def fadd(self, a, b, name=""):
+        return self.binop("fadd", a, b, name)
+
+    def fsub(self, a, b, name=""):
+        return self.binop("fsub", a, b, name)
+
+    def fmul(self, a, b, name=""):
+        return self.binop("fmul", a, b, name)
+
+    def fdiv(self, a, b, name=""):
+        return self.binop("fdiv", a, b, name)
+
+    # -- comparisons and select --------------------------------------------
+    def icmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self._emit(ICmp(pred, lhs, rhs), name)
+
+    def fcmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self._emit(FCmp(pred, lhs, rhs), name)
+
+    def select(self, cond: Value, a: Value, b: Value, name: str = "") -> Instruction:
+        return self._emit(Select(cond, a, b), name)
+
+    # -- casts --------------------------------------------------------------
+    def cast(self, opcode: str, value: Value, to_type: Type, name: str = "") -> Instruction:
+        return self._emit(Cast(opcode, value, to_type), name)
+
+    def zext(self, v, t, name=""):
+        return self.cast("zext", v, t, name)
+
+    def sext(self, v, t, name=""):
+        return self.cast("sext", v, t, name)
+
+    def trunc(self, v, t, name=""):
+        return self.cast("trunc", v, t, name)
+
+    def sitofp(self, v, t, name=""):
+        return self.cast("sitofp", v, t, name)
+
+    def fptosi(self, v, t, name=""):
+        return self.cast("fptosi", v, t, name)
+
+    def fpext(self, v, t, name=""):
+        return self.cast("fpext", v, t, name)
+
+    def fptrunc(self, v, t, name=""):
+        return self.cast("fptrunc", v, t, name)
+
+    def bitcast(self, v, t, name=""):
+        return self.cast("bitcast", v, t, name)
+
+    # -- memory ---------------------------------------------------------------
+    def alloca(self, allocated_type: Type, name: str = "") -> Instruction:
+        return self._emit(Alloca(allocated_type), name)
+
+    def load(self, pointer: Value, name: str = "") -> Instruction:
+        return self._emit(Load(pointer), name)
+
+    def store(self, value: Value, pointer: Value) -> Instruction:
+        return self._emit(Store(value, pointer))
+
+    def gep(self, pointer: Value, indices: Sequence[IndexLike], name: str = "") -> Instruction:
+        idx_values = [self._as_index(i) for i in indices]
+        return self._emit(GetElementPtr(pointer, idx_values), name)
+
+    # -- control flow -----------------------------------------------------------
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._emit(Branch(target))
+
+    def cbr(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> Instruction:
+        return self._emit(Branch(if_true, cond=cond, if_false=if_false))
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        return self._emit(Ret(value))
+
+    def phi(self, type_: Type, name: str = "") -> Phi:
+        phi = Phi(type_)
+        self._emit(phi, name)
+        return phi
+
+    def call(self, callee: str, return_type: Type, args: Sequence[Value], name: str = "") -> Instruction:
+        return self._emit(Call(callee, return_type, args), name)
+
+    # -- constants -----------------------------------------------------------------
+    @staticmethod
+    def const(type_: Type, value) -> Constant:
+        return Constant(type_, value)
+
+    @staticmethod
+    def const_int(value: int, bits: int = 32) -> Constant:
+        return Constant(IntType(bits), value)

@@ -1,0 +1,108 @@
+"""Dominator analysis (Cooper-Harvey-Kennedy algorithm).
+
+Used by the verifier (SSA dominance checks), mem2reg (phi placement via
+dominance frontiers), and loop analysis (back-edge detection).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.module import BasicBlock, Function
+
+
+class DominatorTree:
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.rpo: list[BasicBlock] = []
+        self.idom: dict[BasicBlock, Optional[BasicBlock]] = {}
+        self._order: dict[BasicBlock, int] = {}
+        self._preds = func.predecessor_map()
+        self._compute()
+
+    # ------------------------------------------------------------------
+    def _compute(self) -> None:
+        entry = self.func.entry
+        # Reverse post-order over reachable blocks.
+        visited: set[int] = set()
+        postorder: list[BasicBlock] = []
+
+        def dfs(block: BasicBlock) -> None:
+            stack = [(block, iter(block.successors()))]
+            visited.add(id(block))
+            while stack:
+                node, succs = stack[-1]
+                advanced = False
+                for succ in succs:
+                    if id(succ) not in visited:
+                        visited.add(id(succ))
+                        stack.append((succ, iter(succ.successors())))
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(node)
+                    stack.pop()
+
+        dfs(entry)
+        self.rpo = list(reversed(postorder))
+        self._order = {b: i for i, b in enumerate(self.rpo)}
+
+        idom: dict[BasicBlock, Optional[BasicBlock]] = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    continue
+                preds = [p for p in self._preds[block] if p in idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = self._intersect(pred, new_idom, idom)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        idom[entry] = None
+        self.idom = idom
+
+    def _intersect(self, b1: BasicBlock, b2: BasicBlock, idom) -> BasicBlock:
+        while b1 is not b2:
+            while self._order[b1] > self._order[b2]:
+                b1 = idom[b1]
+            while self._order[b2] > self._order[b1]:
+                b2 = idom[b2]
+        return b1
+
+    # ------------------------------------------------------------------
+    def is_reachable(self, block: BasicBlock) -> bool:
+        return block in self._order
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        node: Optional[BasicBlock] = b
+        while node is not None:
+            if node is a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def children(self, block: BasicBlock) -> list[BasicBlock]:
+        return [b for b, parent in self.idom.items() if parent is block]
+
+    def dominance_frontier(self) -> dict[BasicBlock, set[BasicBlock]]:
+        """Cytron et al. dominance frontiers for all reachable blocks."""
+        frontier: dict[BasicBlock, set[BasicBlock]] = {b: set() for b in self.rpo}
+        for block in self.rpo:
+            preds = [p for p in self._preds[block] if self.is_reachable(p)]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner: Optional[BasicBlock] = pred
+                while runner is not None and runner is not self.idom[block]:
+                    frontier[runner].add(block)
+                    runner = self.idom.get(runner)
+        return frontier

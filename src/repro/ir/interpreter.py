@@ -1,0 +1,234 @@
+"""Functional IR interpreter.
+
+Executes a function over a :class:`MemoryImage`, producing the golden
+result and (optionally) a dynamic instruction trace.  The trace hook is
+what the Aladdin-style baseline simulator uses for trace generation; the
+SALAM runtime engine does *not* use the interpreter — it executes the IR
+itself, cycle by cycle — but both share `repro.ir.semantics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.memory import MemoryImage
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.semantics import (
+    eval_binop,
+    eval_cast,
+    eval_fcmp,
+    eval_icmp,
+    eval_intrinsic,
+    gep_address,
+    signed_operand,
+)
+from repro.ir.values import Argument, Constant, Instruction, Value
+
+
+class InterpreterError(RuntimeError):
+    pass
+
+
+@dataclass
+class TraceRecord:
+    """One executed dynamic instruction (consumed by the trace-based baseline)."""
+
+    seq: int
+    inst: Instruction
+    result: object
+    address: Optional[int] = None
+    size: int = 0
+    block: str = ""
+
+
+@dataclass
+class ExecutionResult:
+    return_value: object
+    dynamic_instructions: int
+    opcode_counts: dict = field(default_factory=dict)
+    blocks_executed: int = 0
+
+
+class Interpreter:
+    """Executes IR functions functionally."""
+
+    def __init__(
+        self,
+        module: Module,
+        memory: MemoryImage,
+        max_instructions: int = 50_000_000,
+        trace_hook: Optional[Callable[[TraceRecord], None]] = None,
+    ) -> None:
+        self.module = module
+        self.memory = memory
+        self.max_instructions = max_instructions
+        self.trace_hook = trace_hook
+        # Called with the BasicBlock on every dynamic block entry.
+        self.block_hook = None
+        self._seq = 0
+        # Stack for allocas lives at the top of the memory image.
+        self._stack_ptr = memory.base + memory.size
+
+    # ------------------------------------------------------------------
+    def run(self, func_name: str, args: list) -> ExecutionResult:
+        func = self.module.get_function(func_name)
+        opcode_counts: dict[str, int] = {}
+        blocks = [0]
+        value = self._run_function(func, args, opcode_counts, blocks)
+        return ExecutionResult(
+            return_value=value,
+            dynamic_instructions=self._seq,
+            opcode_counts=opcode_counts,
+            blocks_executed=blocks[0],
+        )
+
+    # ------------------------------------------------------------------
+    def _alloca_alloc(self, size: int) -> int:
+        self._stack_ptr -= size
+        self._stack_ptr -= self._stack_ptr % 8
+        if self._stack_ptr < self.memory.base:
+            raise InterpreterError("interpreter stack overflow")
+        return self._stack_ptr
+
+    def _run_function(self, func: Function, args: list, opcode_counts, blocks) -> object:
+        if len(args) != len(func.args):
+            raise InterpreterError(
+                f"{func.name}: expected {len(func.args)} args, got {len(args)}"
+            )
+        env: dict[Value, object] = dict(zip(func.args, args))
+        block = func.entry
+        prev_block: Optional[BasicBlock] = None
+        while True:
+            blocks[0] += 1
+            if self.block_hook is not None:
+                self.block_hook(block)
+            # Phis are evaluated in parallel against the incoming edge.
+            phi_updates = {}
+            for inst in block.instructions:
+                if not isinstance(inst, Phi):
+                    break
+                if prev_block is None:
+                    raise InterpreterError(f"phi {inst.ref} in entry block")
+                phi_updates[inst] = self._value_of(inst.incoming_for(prev_block), env)
+            env.update(phi_updates)
+            for inst in phi_updates:
+                self._trace(inst, env[inst], block)
+                self._count(inst, opcode_counts)
+
+            for inst in block.non_phi_instructions():
+                if isinstance(inst, Branch):
+                    self._count(inst, opcode_counts)
+                    if inst.is_conditional:
+                        cond = self._value_of(inst.condition, env)
+                        target = inst.true_target if cond else inst.false_target
+                    else:
+                        target = inst.true_target
+                    self._trace(inst, None, block)
+                    prev_block, block = block, target
+                    break
+                if isinstance(inst, Ret):
+                    self._count(inst, opcode_counts)
+                    self._trace(inst, None, block)
+                    if inst.return_value is not None:
+                        return self._value_of(inst.return_value, env)
+                    return None
+                self._execute(inst, env, block, opcode_counts)
+            else:
+                raise InterpreterError(f"block '{block.name}' fell through without terminator")
+
+    # ------------------------------------------------------------------
+    def _count(self, inst: Instruction, opcode_counts: dict) -> None:
+        self._seq += 1
+        if self._seq > self.max_instructions:
+            raise InterpreterError("dynamic instruction limit exceeded")
+        opcode_counts[inst.opcode] = opcode_counts.get(inst.opcode, 0) + 1
+
+    def _trace(self, inst, result, block, address=None, size=0) -> None:
+        if self.trace_hook is not None:
+            self.trace_hook(
+                TraceRecord(self._seq, inst, result, address=address, size=size, block=block.name)
+            )
+
+    def _value_of(self, value: Value, env: dict) -> object:
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, (Argument, Instruction)):
+            if value not in env:
+                raise InterpreterError(f"use of undefined value {value.ref}")
+            return env[value]
+        raise InterpreterError(f"cannot evaluate operand {value!r}")
+
+    def _execute(self, inst: Instruction, env: dict, block: BasicBlock, opcode_counts) -> None:
+        self._count(inst, opcode_counts)
+        address = None
+        size = 0
+        if isinstance(inst, BinaryOp):
+            a = self._value_of(inst.lhs, env)
+            b = self._value_of(inst.rhs, env)
+            result = eval_binop(inst.opcode, inst.type, a, b)
+        elif isinstance(inst, ICmp):
+            a = self._value_of(inst.operands[0], env)
+            b = self._value_of(inst.operands[1], env)
+            result = eval_icmp(inst.pred, inst.operands[0].type, a, b)
+        elif isinstance(inst, FCmp):
+            a = self._value_of(inst.operands[0], env)
+            b = self._value_of(inst.operands[1], env)
+            result = eval_fcmp(inst.pred, a, b)
+        elif isinstance(inst, Select):
+            cond, tv, fv = (self._value_of(op, env) for op in inst.operands)
+            result = tv if cond else fv
+        elif isinstance(inst, Cast):
+            result = eval_cast(
+                inst.opcode, inst.src.type, inst.type, self._value_of(inst.src, env)
+            )
+        elif isinstance(inst, Alloca):
+            size = inst.allocated_type.size_bytes()
+            result = self._alloca_alloc(size)
+            address = result
+        elif isinstance(inst, Load):
+            address = self._value_of(inst.pointer, env)
+            size = inst.type.size_bytes()
+            result = self.memory.read_value(address, inst.type)
+        elif isinstance(inst, Store):
+            address = self._value_of(inst.pointer, env)
+            value = self._value_of(inst.value, env)
+            size = inst.value.type.size_bytes()
+            self.memory.write_value(address, value, inst.value.type)
+            result = None
+        elif isinstance(inst, GetElementPtr):
+            base = self._value_of(inst.pointer, env)
+            indices = [
+                signed_operand(self._value_of(idx, env), idx.type) for idx in inst.indices
+            ]
+            result = gep_address(inst, base, indices)
+        elif isinstance(inst, Call):
+            args = [self._value_of(a, env) for a in inst.operands]
+            if inst.is_intrinsic:
+                result = eval_intrinsic(inst.callee, inst.type, args)
+            else:
+                callee = self.module.get_function(inst.callee)
+                sub_counts: dict[str, int] = {}
+                blocks = [0]
+                result = self._run_function(callee, args, opcode_counts, blocks)
+        else:
+            raise InterpreterError(f"unsupported instruction '{inst.opcode}'")
+
+        if inst.produces_value:
+            env[inst] = result
+        self._trace(inst, result, block, address=address, size=size)

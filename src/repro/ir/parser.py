@@ -1,0 +1,384 @@
+"""Parser for the textual IR dialect emitted by `repro.ir.printer`.
+
+A hand-written tokenizer plus recursive descent.  Forward references to
+basic blocks are resolved by pre-creating all labelled blocks; forward
+references to SSA values (legal only through phi nodes) are resolved by
+a post-pass fixup.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import (
+    BINOPS,
+    CAST_OPS,
+    FCMP_PREDS,
+    ICMP_PREDS,
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import (
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    DOUBLE,
+    FLOAT,
+    I1,
+    LABEL,
+    VOID,
+    array_of,
+)
+from repro.ir.values import Constant, Value
+
+
+class IRParseError(ValueError):
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<ref>%[A-Za-z0-9_.\-]+)
+  | (?P<glob>@[A-Za-z0-9_.\-]+)
+  | (?P<num>-?(?:\d+\.\d*(?:e[+-]?\d+)?|\d+e[+-]?\d+|\d+|inf|nan))
+  | (?P<word>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<punct>[=,()\[\]{}:*])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str, line_no: int) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise IRParseError(f"unexpected character {text[pos]!r}", line_no)
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+        pos = match.end()
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: list[str], line_no: int) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.line_no = line_no
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        idx = self.pos + offset
+        return self.tokens[idx] if idx < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise IRParseError("unexpected end of line", self.line_no)
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> str:
+        got = self.next()
+        if got != token:
+            raise IRParseError(f"expected {token!r}, got {got!r}", self.line_no)
+        return got
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.pos += 1
+            return True
+        return False
+
+    def done(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+def _parse_type(cur: _Cursor) -> Type:
+    token = cur.next()
+    if token == "[":
+        count = int(cur.next())
+        word = cur.next()
+        if word != "x":
+            raise IRParseError(f"expected 'x' in array type, got {word!r}", cur.line_no)
+        element = _parse_type(cur)
+        cur.expect("]")
+        base: Type = array_of(element, count)
+    elif token == "void":
+        base = VOID
+    elif token == "label":
+        base = LABEL
+    elif token == "float":
+        base = FLOAT
+    elif token == "double":
+        base = DOUBLE
+    elif token.startswith("i") and token[1:].isdigit():
+        base = IntType(int(token[1:]))
+    else:
+        raise IRParseError(f"unknown type token {token!r}", cur.line_no)
+    while cur.accept("*"):
+        base = PointerType(base)
+    return base
+
+
+class _FunctionParser:
+    """Parses the body of one ``define``."""
+
+    def __init__(self, func: Function, line_no: int) -> None:
+        self.func = func
+        self.values: dict[str, Value] = {f"%{a.name}": a for a in func.args}
+        self.blocks: dict[str, BasicBlock] = {}
+        self.phi_fixups: list[tuple[Phi, list[tuple[str, str]]]] = []
+        self.start_line = line_no
+
+    def block(self, name: str) -> BasicBlock:
+        if name not in self.blocks:
+            block = BasicBlock(name, self.func)
+            self.func.blocks.append(block)
+            self.blocks[name] = block
+        return self.blocks[name]
+
+    def define(self, name: str, value: Value, line_no: int) -> None:
+        if name in self.values:
+            raise IRParseError(f"redefinition of {name}", line_no)
+        self.values[name] = value
+
+    def operand(self, type_: Type, token: str, cur: _Cursor) -> Value:
+        if token.startswith("%"):
+            if token not in self.values:
+                raise IRParseError(f"use of undefined value {token}", cur.line_no)
+            value = self.values[token]
+            if value.type != type_:
+                raise IRParseError(
+                    f"operand {token} has type {value.type}, expected {type_}", cur.line_no
+                )
+            return value
+        if token == "true":
+            return Constant(I1, 1)
+        if token == "false":
+            return Constant(I1, 0)
+        if token == "null":
+            return Constant(type_, 0)
+        try:
+            if type_.is_float:
+                return Constant(type_, float(token))
+            return Constant(type_, int(token))
+        except ValueError:
+            raise IRParseError(f"bad constant {token!r} for type {type_}", cur.line_no)
+
+    def typed_operand(self, cur: _Cursor) -> Value:
+        type_ = _parse_type(cur)
+        return self.operand(type_, cur.next(), cur)
+
+    # ------------------------------------------------------------------
+    def parse_line(self, line: str, line_no: int, current: Optional[BasicBlock]) -> BasicBlock:
+        tokens = _tokenize(line, line_no)
+        # Block label?
+        if len(tokens) == 2 and tokens[1] == ":":
+            return self.block(tokens[0])
+        if current is None:
+            raise IRParseError("instruction before first block label", line_no)
+        cur = _Cursor(tokens, line_no)
+        name = ""
+        if cur.peek() is not None and cur.peek().startswith("%") and cur.peek(1) == "=":
+            name = cur.next()
+            cur.expect("=")
+        inst = self._parse_instruction(cur, name, current)
+        if inst is not None:
+            current.instructions.append(inst)
+            inst.parent = current
+            if inst.produces_value:
+                inst.name = name[1:]
+                self.define(name, inst, line_no)
+        return current
+
+    def _parse_instruction(self, cur: _Cursor, name: str, current: BasicBlock):
+        op = cur.next()
+        if op in BINOPS:
+            type_ = _parse_type(cur)
+            lhs = self.operand(type_, cur.next(), cur)
+            cur.expect(",")
+            rhs = self.operand(type_, cur.next(), cur)
+            return BinaryOp(op, lhs, rhs)
+        if op == "icmp":
+            pred = cur.next()
+            if pred not in ICMP_PREDS:
+                raise IRParseError(f"bad icmp predicate {pred!r}", cur.line_no)
+            type_ = _parse_type(cur)
+            lhs = self.operand(type_, cur.next(), cur)
+            cur.expect(",")
+            rhs = self.operand(type_, cur.next(), cur)
+            return ICmp(pred, lhs, rhs)
+        if op == "fcmp":
+            pred = cur.next()
+            if pred not in FCMP_PREDS:
+                raise IRParseError(f"bad fcmp predicate {pred!r}", cur.line_no)
+            type_ = _parse_type(cur)
+            lhs = self.operand(type_, cur.next(), cur)
+            cur.expect(",")
+            rhs = self.operand(type_, cur.next(), cur)
+            return FCmp(pred, lhs, rhs)
+        if op == "select":
+            cur.expect("i1")
+            cond = self.operand(I1, cur.next(), cur)
+            cur.expect(",")
+            tv = self.typed_operand(cur)
+            cur.expect(",")
+            fv = self.typed_operand(cur)
+            return Select(cond, tv, fv)
+        if op in CAST_OPS:
+            src = self.typed_operand(cur)
+            word = cur.next()
+            if word != "to":
+                raise IRParseError(f"expected 'to' in cast, got {word!r}", cur.line_no)
+            return Cast(op, src, _parse_type(cur))
+        if op == "alloca":
+            return Alloca(_parse_type(cur))
+        if op == "load":
+            return Load(self.typed_operand(cur))
+        if op == "store":
+            value = self.typed_operand(cur)
+            cur.expect(",")
+            pointer = self.typed_operand(cur)
+            return Store(value, pointer)
+        if op == "getelementptr":
+            pointer = self.typed_operand(cur)
+            indices = []
+            while cur.accept(","):
+                indices.append(self.typed_operand(cur))
+            return GetElementPtr(pointer, indices)
+        if op == "br":
+            if cur.accept("label"):
+                target = self.block(cur.next()[1:])
+                return Branch(target)
+            cur.expect("i1")
+            cond = self.operand(I1, cur.next(), cur)
+            cur.expect(",")
+            cur.expect("label")
+            if_true = self.block(cur.next()[1:])
+            cur.expect(",")
+            cur.expect("label")
+            if_false = self.block(cur.next()[1:])
+            return Branch(if_true, cond=cond, if_false=if_false)
+        if op == "ret":
+            type_ = _parse_type(cur)
+            if type_.is_void:
+                return Ret()
+            return Ret(self.operand(type_, cur.next(), cur))
+        if op == "phi":
+            type_ = _parse_type(cur)
+            phi = Phi(type_)
+            pairs: list[tuple[str, str]] = []
+            while cur.accept("[") or cur.accept(","):
+                if cur.peek() == "[":
+                    cur.next()
+                value_token = cur.next()
+                cur.expect(",")
+                block_token = cur.next()
+                cur.expect("]")
+                pairs.append((value_token, block_token[1:]))
+            self.phi_fixups.append((phi, pairs))
+            return phi
+        if op == "call":
+            return_type = _parse_type(cur)
+            callee = cur.next()
+            if not callee.startswith("@"):
+                raise IRParseError(f"expected @callee, got {callee!r}", cur.line_no)
+            cur.expect("(")
+            args = []
+            if cur.peek() != ")":
+                args.append(self.typed_operand(cur))
+                while cur.accept(","):
+                    args.append(self.typed_operand(cur))
+            cur.expect(")")
+            return Call(callee[1:], return_type, args)
+        raise IRParseError(f"unknown instruction '{op}'", cur.line_no)
+
+    def finish(self) -> None:
+        for phi, pairs in self.phi_fixups:
+            for value_token, block_name in pairs:
+                if block_name not in self.blocks:
+                    raise IRParseError(
+                        f"phi references unknown block %{block_name}", self.start_line
+                    )
+                block = self.blocks[block_name]
+                if value_token.startswith("%"):
+                    if value_token not in self.values:
+                        raise IRParseError(
+                            f"phi references undefined value {value_token}", self.start_line
+                        )
+                    value = self.values[value_token]
+                else:
+                    cur = _Cursor([value_token], self.start_line)
+                    value = self.operand(phi.type, value_token, cur)
+                phi.add_incoming(value, block)
+
+
+_DEFINE_RE = re.compile(r"^define\s+(?P<rest>.*)\{$")
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    module = Module(name)
+    fparser: Optional[_FunctionParser] = None
+    current: Optional[BasicBlock] = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("define"):
+            if fparser is not None:
+                raise IRParseError("nested define", line_no)
+            match = _DEFINE_RE.match(line)
+            if match is None:
+                raise IRParseError("malformed define line", line_no)
+            cur = _Cursor(_tokenize(match.group("rest"), line_no), line_no)
+            return_type = _parse_type(cur)
+            fn_name = cur.next()
+            if not fn_name.startswith("@"):
+                raise IRParseError(f"expected @name, got {fn_name!r}", line_no)
+            cur.expect("(")
+            arg_specs = []
+            if cur.peek() != ")":
+                while True:
+                    arg_type = _parse_type(cur)
+                    arg_ref = cur.next()
+                    arg_specs.append((arg_type, arg_ref[1:]))
+                    if not cur.accept(","):
+                        break
+            cur.expect(")")
+            func = Function(fn_name[1:], return_type, arg_specs)
+            module.add_function(func)
+            fparser = _FunctionParser(func, line_no)
+            current = None
+            continue
+        if line == "}":
+            if fparser is None:
+                raise IRParseError("unmatched '}'", line_no)
+            fparser.finish()
+            fparser = None
+            current = None
+            continue
+        if fparser is None:
+            raise IRParseError(f"statement outside function: {line!r}", line_no)
+        current = fparser.parse_line(line, line_no, current)
+    if fparser is not None:
+        raise IRParseError("unterminated function at end of input")
+    return module

@@ -1,0 +1,92 @@
+"""Textual IR printer.
+
+Emits an LLVM-flavoured dialect that `repro.ir.parser` parses back
+(round-trip property-tested).  Deviations from stock LLVM syntax are
+deliberate simplifications: ``load``/``getelementptr`` use the legacy
+typed-pointer forms.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Instruction, Value
+
+
+def _operand(value: Value) -> str:
+    return f"{value.type} {value.ref}"
+
+
+def print_instruction(inst: Instruction) -> str:
+    if isinstance(inst, BinaryOp):
+        return f"{inst.ref} = {inst.opcode} {inst.type} {inst.lhs.ref}, {inst.rhs.ref}"
+    if isinstance(inst, ICmp):
+        a, b = inst.operands
+        return f"{inst.ref} = icmp {inst.pred} {a.type} {a.ref}, {b.ref}"
+    if isinstance(inst, FCmp):
+        a, b = inst.operands
+        return f"{inst.ref} = fcmp {inst.pred} {a.type} {a.ref}, {b.ref}"
+    if isinstance(inst, Select):
+        c, t, f = inst.operands
+        return f"{inst.ref} = select i1 {c.ref}, {_operand(t)}, {_operand(f)}"
+    if isinstance(inst, Cast):
+        return f"{inst.ref} = {inst.opcode} {_operand(inst.src)} to {inst.type}"
+    if isinstance(inst, Alloca):
+        return f"{inst.ref} = alloca {inst.allocated_type}"
+    if isinstance(inst, Load):
+        return f"{inst.ref} = load {_operand(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {_operand(inst.value)}, {_operand(inst.pointer)}"
+    if isinstance(inst, GetElementPtr):
+        parts = ", ".join(_operand(i) for i in inst.indices)
+        return f"{inst.ref} = getelementptr {_operand(inst.pointer)}, {parts}"
+    if isinstance(inst, Branch):
+        if inst.is_conditional:
+            return (
+                f"br i1 {inst.condition.ref}, label %{inst.true_target.name}, "
+                f"label %{inst.false_target.name}"
+            )
+        return f"br label %{inst.true_target.name}"
+    if isinstance(inst, Ret):
+        if inst.return_value is None:
+            return "ret void"
+        return f"ret {_operand(inst.return_value)}"
+    if isinstance(inst, Phi):
+        pairs = ", ".join(f"[ {v.ref}, %{b.name} ]" for v, b in inst.incoming)
+        return f"{inst.ref} = phi {inst.type} {pairs}"
+    if isinstance(inst, Call):
+        args = ", ".join(_operand(a) for a in inst.operands)
+        prefix = f"{inst.ref} = " if inst.produces_value else ""
+        return f"{prefix}call {inst.type} @{inst.callee}({args})"
+    raise TypeError(f"cannot print instruction {inst!r}")
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    lines.extend(f"  {print_instruction(i)}" for i in block.instructions)
+    return "\n".join(lines)
+
+
+def print_function(func: Function) -> str:
+    args = ", ".join(f"{a.type} %{a.name}" for a in func.args)
+    header = f"define {func.return_type} @{func.name}({args}) {{"
+    body = "\n".join(print_block(b) for b in func.blocks)
+    return f"{header}\n{body}\n}}"
+
+
+def print_module(module: Module) -> str:
+    return "\n\n".join(print_function(f) for f in module) + "\n"

@@ -1,0 +1,285 @@
+"""Pure evaluation semantics shared by the interpreter and the runtime engine.
+
+Integer values are N-bit unsigned bit patterns (Python ints in
+[0, 2^N)); signedness is interpreted per-opcode, matching LLVM.  Float
+values are Python floats; binary32 results are rounded through struct
+packing so ``float`` kernels behave like real hardware.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.ir.instructions import GetElementPtr
+from repro.ir.types import ArrayType, FloatType, IntType, PointerType, Type
+from repro.ir.values import Value
+
+
+class EvalError(RuntimeError):
+    """Raised on undefined or unsupported evaluation."""
+
+
+def wrap_int(value: int, type_: IntType) -> int:
+    return value & type_.mask
+
+
+def to_signed(value: int, type_: IntType) -> int:
+    value &= type_.mask
+    if value > type_.max_signed:
+        return value - (1 << type_.bits)
+    return value
+
+
+_FLOAT32_MAX = 3.4028235677973366e38  # largest double that rounds into binary32
+
+
+def round_float(value: float, type_: FloatType) -> float:
+    if type_.bits == 32:
+        if value != value or value in (math.inf, -math.inf):
+            return value
+        if value > _FLOAT32_MAX:
+            return math.inf  # overflow rounds to infinity, as in IEEE 754
+        if value < -_FLOAT32_MAX:
+            return -math.inf
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# Binary operations
+# ----------------------------------------------------------------------
+def eval_binop(opcode: str, type_: Type, a, b):
+    if isinstance(type_, FloatType):
+        return _eval_float_binop(opcode, type_, a, b)
+    if isinstance(type_, IntType):
+        return _eval_int_binop(opcode, type_, a, b)
+    raise EvalError(f"binary op {opcode} on unsupported type {type_}")
+
+
+def _eval_float_binop(opcode: str, type_: FloatType, a: float, b: float) -> float:
+    if opcode == "fadd":
+        result = a + b
+    elif opcode == "fsub":
+        result = a - b
+    elif opcode == "fmul":
+        result = a * b
+    elif opcode == "fdiv":
+        result = math.inf if b == 0 and a > 0 else (-math.inf if b == 0 and a < 0 else (math.nan if b == 0 else a / b))
+    elif opcode == "frem":
+        result = math.fmod(a, b) if b != 0 else math.nan
+    else:
+        raise EvalError(f"unknown float binop '{opcode}'")
+    return round_float(result, type_)
+
+
+def _eval_int_binop(opcode: str, type_: IntType, a: int, b: int) -> int:
+    sa, sb = to_signed(a, type_), to_signed(b, type_)
+    if opcode == "add":
+        return wrap_int(a + b, type_)
+    if opcode == "sub":
+        return wrap_int(a - b, type_)
+    if opcode == "mul":
+        return wrap_int(a * b, type_)
+    if opcode == "sdiv":
+        if sb == 0:
+            raise EvalError("sdiv by zero")
+        return wrap_int(int(sa / sb), type_)  # trunc toward zero
+    if opcode == "udiv":
+        if b == 0:
+            raise EvalError("udiv by zero")
+        return wrap_int(a // b, type_)
+    if opcode == "srem":
+        if sb == 0:
+            raise EvalError("srem by zero")
+        return wrap_int(sa - int(sa / sb) * sb, type_)
+    if opcode == "urem":
+        if b == 0:
+            raise EvalError("urem by zero")
+        return wrap_int(a % b, type_)
+    if opcode == "and":
+        return a & b
+    if opcode == "or":
+        return a | b
+    if opcode == "xor":
+        return a ^ b
+    if opcode == "shl":
+        return wrap_int(a << (b % type_.bits), type_) if b < type_.bits else 0
+    if opcode == "lshr":
+        return a >> b if b < type_.bits else 0
+    if opcode == "ashr":
+        return wrap_int(sa >> b, type_) if b < type_.bits else wrap_int(sa >> (type_.bits - 1), type_)
+    raise EvalError(f"unknown int binop '{opcode}'")
+
+
+# ----------------------------------------------------------------------
+# Comparisons
+# ----------------------------------------------------------------------
+def eval_icmp(pred: str, type_: Type, a: int, b: int) -> int:
+    if isinstance(type_, IntType):
+        sa, sb = to_signed(a, type_), to_signed(b, type_)
+    else:  # pointer compare is unsigned
+        sa, sb = a, b
+    table = {
+        "eq": a == b,
+        "ne": a != b,
+        "slt": sa < sb,
+        "sle": sa <= sb,
+        "sgt": sa > sb,
+        "sge": sa >= sb,
+        "ult": a < b,
+        "ule": a <= b,
+        "ugt": a > b,
+        "uge": a >= b,
+    }
+    if pred not in table:
+        raise EvalError(f"unknown icmp predicate '{pred}'")
+    return 1 if table[pred] else 0
+
+
+def eval_fcmp(pred: str, a: float, b: float) -> int:
+    unordered = math.isnan(a) or math.isnan(b)
+    if pred == "ord":
+        return 0 if unordered else 1
+    if pred == "uno":
+        return 1 if unordered else 0
+    ordered_table = {
+        "oeq": a == b,
+        "one": a != b and not unordered,
+        "olt": a < b,
+        "ole": a <= b,
+        "ogt": a > b,
+        "oge": a >= b,
+    }
+    if pred in ordered_table:
+        return 1 if (not unordered and ordered_table[pred]) else 0
+    unordered_table = {"ueq": a == b, "une": a != b}
+    if pred in unordered_table:
+        return 1 if (unordered or unordered_table[pred]) else 0
+    raise EvalError(f"unknown fcmp predicate '{pred}'")
+
+
+# ----------------------------------------------------------------------
+# Casts
+# ----------------------------------------------------------------------
+def eval_cast(opcode: str, from_type: Type, to_type: Type, value):
+    if opcode == "zext":
+        return value & to_type.mask
+    if opcode == "sext":
+        return wrap_int(to_signed(value, from_type), to_type)
+    if opcode == "trunc":
+        return value & to_type.mask
+    if opcode == "fptosi":
+        if math.isnan(value) or math.isinf(value):
+            return 0
+        return wrap_int(int(value), to_type)
+    if opcode == "fptoui":
+        if math.isnan(value) or math.isinf(value) or value < 0:
+            return 0
+        return wrap_int(int(value), to_type)
+    if opcode == "sitofp":
+        return round_float(float(to_signed(value, from_type)), to_type)
+    if opcode == "uitofp":
+        return round_float(float(value), to_type)
+    if opcode == "fpext":
+        return float(value)
+    if opcode == "fptrunc":
+        return round_float(value, to_type)
+    if opcode == "bitcast":
+        return _bitcast(from_type, to_type, value)
+    if opcode == "inttoptr":
+        return value & ((1 << 64) - 1)
+    if opcode == "ptrtoint":
+        return wrap_int(value, to_type)
+    raise EvalError(f"unknown cast '{opcode}'")
+
+
+def _bitcast(from_type: Type, to_type: Type, value):
+    if from_type.is_pointer and to_type.is_pointer:
+        return value
+    fmt_of = {32: ("<I", "<f"), 64: ("<Q", "<d")}
+    if from_type.is_float and to_type.is_int:
+        int_fmt, float_fmt = fmt_of[from_type.bit_width()]
+        return struct.unpack(int_fmt, struct.pack(float_fmt, value))[0]
+    if from_type.is_int and to_type.is_float:
+        int_fmt, float_fmt = fmt_of[to_type.bit_width()]
+        return struct.unpack(float_fmt, struct.pack(int_fmt, value))[0]
+    if from_type.is_int and to_type.is_int and from_type.bit_width() == to_type.bit_width():
+        return value
+    raise EvalError(f"unsupported bitcast {from_type} -> {to_type}")
+
+
+# ----------------------------------------------------------------------
+# Intrinsics and GEP
+# ----------------------------------------------------------------------
+def eval_intrinsic(callee: str, type_: Type, args: list):
+    handlers = {
+        "sqrt": lambda a: math.sqrt(a[0]) if a[0] >= 0 else math.nan,
+        "fabs": lambda a: abs(a[0]),
+        "exp": lambda a: math.exp(a[0]),
+        "log": lambda a: math.log(a[0]) if a[0] > 0 else (-math.inf if a[0] == 0 else math.nan),
+        "sin": lambda a: math.sin(a[0]),
+        "cos": lambda a: math.cos(a[0]),
+        "pow": lambda a: math.pow(a[0], a[1]),
+        "fmin": lambda a: min(a),
+        "fmax": lambda a: max(a),
+    }
+    if callee not in handlers:
+        raise EvalError(f"unknown intrinsic '{callee}'")
+    result = handlers[callee](args)
+    if isinstance(type_, FloatType):
+        result = round_float(result, type_)
+    return result
+
+
+def gep_address(gep: GetElementPtr, base_addr: int, index_values: list[int]) -> int:
+    """Compute the byte address of a ``getelementptr``.
+
+    ``index_values`` are the evaluated (signed) index operands in order.
+    """
+    current: Type = gep.pointer.type
+    addr = base_addr
+    for i, idx in enumerate(index_values):
+        if i == 0:
+            assert isinstance(current, PointerType)
+            stride = current.pointee.size_bytes()
+            current = current.pointee
+        else:
+            if not isinstance(current, ArrayType):
+                raise EvalError(f"gep index into non-array type {current}")
+            stride = current.element.size_bytes()
+            current = current.element
+        addr += stride * idx
+    return addr & ((1 << 64) - 1)
+
+
+def signed_operand(value, type_: Type):
+    """Interpret a raw operand value as signed when it is an integer."""
+    if isinstance(type_, IntType):
+        return to_signed(value, type_)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Byte conversion (memory <-> register values)
+# ----------------------------------------------------------------------
+def value_to_bytes(value, type_: Type) -> bytes:
+    if isinstance(type_, IntType):
+        return int(value & type_.mask).to_bytes(type_.size_bytes(), "little")
+    if isinstance(type_, FloatType):
+        fmt = "<f" if type_.bits == 32 else "<d"
+        return struct.pack(fmt, value)
+    if isinstance(type_, PointerType):
+        return int(value).to_bytes(8, "little")
+    raise EvalError(f"cannot serialize type {type_}")
+
+
+def bytes_to_value(data: bytes, type_: Type):
+    if isinstance(type_, IntType):
+        return int.from_bytes(data[: type_.size_bytes()], "little") & type_.mask
+    if isinstance(type_, FloatType):
+        fmt = "<f" if type_.bits == 32 else "<d"
+        return struct.unpack(fmt, data[: type_.size_bytes()])[0]
+    if isinstance(type_, PointerType):
+        return int.from_bytes(data[:8], "little")
+    raise EvalError(f"cannot deserialize type {type_}")

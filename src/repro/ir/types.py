@@ -1,0 +1,209 @@
+"""IR type system.
+
+Structural types in the LLVM style: ``void``, ``iN`` integers, ``float``
+/ ``double``, typed pointers, and fixed-size arrays.  Types compare and
+hash structurally so they can be freely constructed anywhere.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for all IR types."""
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_int or self.is_float or self.is_pointer
+
+    def size_bytes(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def bit_width(self) -> int:
+        return self.size_bytes() * 8
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return str(self)
+
+
+class VoidType(Type):
+    def size_bytes(self) -> int:
+        raise TypeError("void has no size")
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class LabelType(Type):
+    """Type of basic-block labels (branch targets)."""
+
+    def size_bytes(self) -> int:
+        raise TypeError("label has no size")
+
+    def __str__(self) -> str:
+        return "label"
+
+
+class IntType(Type):
+    """An ``iN`` integer; values are N-bit two's-complement patterns."""
+
+    def __init__(self, bits: int) -> None:
+        if bits <= 0 or bits > 128:
+            raise ValueError(f"unsupported integer width i{bits}")
+        self.bits = bits
+
+    def size_bytes(self) -> int:
+        return max(1, (self.bits + 7) // 8)
+
+    def bit_width(self) -> int:
+        return self.bits
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def min_signed(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    def _key(self):
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(Type):
+    """IEEE-754 binary32 (``float``) or binary64 (``double``)."""
+
+    def __init__(self, bits: int) -> None:
+        if bits not in (32, 64):
+            raise ValueError(f"unsupported float width f{bits}")
+        self.bits = bits
+
+    def size_bytes(self) -> int:
+        return self.bits // 8
+
+    def bit_width(self) -> int:
+        return self.bits
+
+    def _key(self):
+        return (self.bits,)
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+
+class PointerType(Type):
+    """A typed pointer.  Pointers are 64-bit addresses."""
+
+    POINTER_BYTES = 8
+
+    def __init__(self, pointee: Type) -> None:
+        if pointee.is_void:
+            raise ValueError("pointer to void is not supported; use i8*")
+        self.pointee = pointee
+
+    def size_bytes(self) -> int:
+        return self.POINTER_BYTES
+
+    def _key(self):
+        return (self.pointee,)
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(Type):
+    """A fixed-length array ``[N x T]``."""
+
+    def __init__(self, element: Type, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"array length must be non-negative, got {count}")
+        self.element = element
+        self.count = count
+
+    def size_bytes(self) -> int:
+        return self.element.size_bytes() * self.count
+
+    def _key(self):
+        return (self.element, self.count)
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+# Common singletons -----------------------------------------------------
+VOID = VoidType()
+LABEL = LabelType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+FLOAT = FloatType(32)
+DOUBLE = FloatType(64)
+
+
+def ptr_to(pointee: Type) -> PointerType:
+    return PointerType(pointee)
+
+
+def array_of(element: Type, count: int) -> ArrayType:
+    return ArrayType(element, count)
+
+
+_BY_NAME = {
+    "void": VOID,
+    "label": LABEL,
+    "float": FLOAT,
+    "double": DOUBLE,
+}
+
+
+def type_from_name(name: str) -> Type:
+    """Parse a type token like ``i32``, ``double``, ``float*``, ``[4 x i32]``."""
+    name = name.strip()
+    if name.endswith("*"):
+        return ptr_to(type_from_name(name[:-1]))
+    if name in _BY_NAME:
+        return _BY_NAME[name]
+    if name.startswith("i") and name[1:].isdigit():
+        return IntType(int(name[1:]))
+    if name.startswith("[") and name.endswith("]"):
+        body = name[1:-1]
+        count_str, __, elem_str = body.partition(" x ")
+        return array_of(type_from_name(elem_str), int(count_str))
+    raise ValueError(f"unknown type name '{name}'")

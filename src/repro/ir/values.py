@@ -1,0 +1,137 @@
+"""IR values: constants, arguments, and the instruction base class.
+
+Every SSA value has a type and (if named) a ``%name``.  Instructions
+track their operands and the basic block that owns them; use-def chains
+are maintained lazily by querying operands rather than via intrusive
+use lists, which keeps mutation (by optimization passes) simple.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Optional, TYPE_CHECKING
+
+from repro.ir.types import FloatType, IntType, PointerType, Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.module import BasicBlock
+
+
+class Value:
+    """Base class for everything that can appear as an operand."""
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        self.type = type_
+        self.name = name
+
+    @property
+    def ref(self) -> str:
+        """Textual reference for printing (``%name`` or a literal)."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.type} {self.ref}>"
+
+
+class Constant(Value):
+    """An immediate constant (int bit-pattern, float, or null pointer).
+
+    Integer payloads are stored as Python ints in the *unsigned*
+    bit-pattern domain [0, 2^N); helpers interpret signedness per-op,
+    matching LLVM semantics.
+    """
+
+    def __init__(self, type_: Type, value) -> None:
+        super().__init__(type_)
+        if isinstance(type_, IntType):
+            value = int(value) & type_.mask
+        elif isinstance(type_, FloatType):
+            value = float(value)
+            if type_.bits == 32:
+                # Round to binary32 so float constants behave like `float`.
+                value = struct.unpack("<f", struct.pack("<f", value))[0]
+        elif isinstance(type_, PointerType):
+            value = int(value)
+        else:
+            raise TypeError(f"cannot build constant of type {type_}")
+        self.value = value
+
+    @property
+    def ref(self) -> str:
+        if isinstance(self.type, FloatType):
+            return format_float(self.value)
+        if isinstance(self.type, PointerType):
+            return "null" if self.value == 0 else str(self.value)
+        if isinstance(self.type, IntType) and self.type.bits == 1:
+            return "true" if self.value else "false"
+        return str(self.signed_value())
+
+    def signed_value(self) -> int:
+        """Two's-complement interpretation of an integer constant."""
+        if not isinstance(self.type, IntType):
+            return self.value
+        if self.value > self.type.max_signed:
+            return self.value - (1 << self.type.bits)
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Constant)
+            and self.type == other.type
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value))
+
+
+def format_float(value: float) -> str:
+    """Print a float so it round-trips exactly through the parser."""
+    return repr(float(value))
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    def __init__(self, type_: Type, name: str, index: int) -> None:
+        super().__init__(type_, name)
+        self.index = index
+
+
+class Instruction(Value):
+    """Base class for all instructions.
+
+    ``opcode`` is the LLVM mnemonic; ``operands`` are Values.  Results
+    are the instruction object itself (SSA).  ``parent`` is the owning
+    basic block, set on insertion.
+    """
+
+    # Subclasses override; terminators end a basic block.
+    is_terminator = False
+    # True for instructions that touch memory.
+    is_memory = False
+
+    def __init__(self, opcode: str, type_: Type, operands: Iterable[Value], name: str = "") -> None:
+        super().__init__(type_, name)
+        self.opcode = opcode
+        self.operands: list[Value] = list(operands)
+        self.parent: Optional["BasicBlock"] = None
+
+    @property
+    def produces_value(self) -> bool:
+        return not self.type.is_void
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` in operands; return count."""
+        count = 0
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                count += 1
+        return count
+
+    def operand_values(self) -> list[Value]:
+        return list(self.operands)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.opcode} {self.ref if self.produces_value else ''}>"

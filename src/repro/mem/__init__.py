@@ -1,0 +1,30 @@
+"""Memory system models.
+
+The functional/timing split is central (see DESIGN.md): data lives in
+backing `MemoryImage` stores owned by DRAM and scratchpads, while caches
+and interconnect are timing overlays.  This is what lets gem5-SALAM (and
+this reproduction) sweep memory parameters without perturbing the
+datapath — the decoupling the paper demonstrates against gem5-Aladdin.
+"""
+
+from repro.mem.dram import DRAM
+from repro.mem.spm import Scratchpad
+from repro.mem.cache import Cache
+from repro.mem.xbar import Crossbar
+from repro.mem.dma import BlockDMA, StreamDMA
+from repro.mem.stream_buffer import StreamBuffer
+from repro.mem.stream_port import StreamPort
+from repro.mem.memctrl import AcceleratorMemController, MemRequest
+
+__all__ = [
+    "DRAM",
+    "Scratchpad",
+    "Cache",
+    "Crossbar",
+    "BlockDMA",
+    "StreamDMA",
+    "StreamBuffer",
+    "StreamPort",
+    "AcceleratorMemController",
+    "MemRequest",
+]

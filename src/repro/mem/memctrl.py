@@ -1,0 +1,184 @@
+"""Accelerator-side memory controller.
+
+Sits between the LLVM runtime engine's memory queues and the system:
+holds pending reads/writes, issues up to ``read_ports`` reads and
+``write_ports`` writes per cycle (the paper's Fig. 14 sweep knob),
+routes each request to the memory port covering its address (private
+SPM, cache, or the cluster crossbar), and delivers completions back to
+the requester.  An "ideal" mode services everything in one cycle with
+no port limit — the datapath-only configuration of Fig. 13.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.clock import ClockDomain
+from repro.sim.packet import Packet, read_packet, write_packet
+from repro.sim.ports import MasterPort, PortError
+from repro.sim.simobject import AddrRange, SimObject, System
+
+
+@dataclass
+class MemRequest:
+    """One outstanding accelerator memory operation."""
+
+    is_read: bool
+    addr: int
+    size: int
+    data: Optional[bytes] = None
+    on_complete: Optional[Callable[["MemRequest"], None]] = None
+    result: Optional[bytes] = None
+    issued: bool = False
+    issue_tick: int = -1
+    complete_tick: int = -1
+
+
+class AcceleratorMemController(SimObject):
+    def __init__(
+        self,
+        name: str,
+        system: System,
+        read_ports: int = 2,
+        write_ports: int = 2,
+        ideal: bool = False,
+        ideal_latency_cycles: int = 1,
+        clock: Optional[ClockDomain] = None,
+    ) -> None:
+        super().__init__(name, system, clock)
+        self.read_ports = read_ports
+        self.write_ports = write_ports
+        self.ideal = ideal
+        self.ideal_latency_cycles = ideal_latency_cycles
+        self._routes: list[tuple[AddrRange, MasterPort]] = []
+        # Device regions with strictly-ordered access semantics (stream
+        # windows, MMRs of other devices): same-address loads must not
+        # be reordered by the runtime scheduler.
+        self.strict_ranges: list[AddrRange] = []
+        self.read_queue: deque[MemRequest] = deque()
+        self.write_queue: deque[MemRequest] = deque()
+        self._inflight: dict[int, MemRequest] = {}
+        self._issued_this_cycle = [0, 0]  # [reads, writes]
+        self._cycle_stamp = -1
+        self.stat_reads = self.stats.scalar("reads")
+        self.stat_writes = self.stats.scalar("writes")
+        self.stat_read_stalls = self.stats.scalar("read_port_stalls")
+        self.stat_write_stalls = self.stats.scalar("write_port_stalls")
+        self.stat_bytes = self.stats.scalar("bytes")
+
+    # -- wiring -------------------------------------------------------------
+    def add_route(self, addr_range: AddrRange, label: str = "") -> MasterPort:
+        """Create a master port serving ``addr_range``; bind it to a slave."""
+        port = MasterPort(
+            f"{self.name}.m{label or len(self._routes)}",
+            recv_timing_resp=self._recv_timing_resp,
+            owner=self,
+        )
+        self._routes.append((addr_range, port))
+        return port
+
+    def add_strict_range(self, addr_range: AddrRange) -> None:
+        self.strict_ranges.append(addr_range)
+
+    def is_strict(self, addr: int) -> bool:
+        return any(r.contains(addr) for r in self.strict_ranges)
+
+    def _route(self, addr: int, size: int) -> MasterPort:
+        for addr_range, port in self._routes:
+            if addr_range.contains(addr, size):
+                return port
+        raise PortError(f"{self.name}: no memory route for {addr:#x} (+{size})")
+
+    # -- queueing API (called by the runtime engine) -----------------------------
+    def enqueue_read(
+        self, addr: int, size: int, on_complete: Callable[[MemRequest], None]
+    ) -> MemRequest:
+        request = MemRequest(True, addr, size, on_complete=on_complete)
+        self.read_queue.append(request)
+        return request
+
+    def enqueue_write(
+        self, addr: int, data: bytes, on_complete: Callable[[MemRequest], None]
+    ) -> MemRequest:
+        request = MemRequest(False, addr, len(data), data=bytes(data), on_complete=on_complete)
+        self.write_queue.append(request)
+        return request
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.read_queue) + len(self.write_queue) + len(self._inflight)
+
+    # -- issue logic -----------------------------------------------------------
+    def pump(self) -> None:
+        """Issue as many queued requests as this cycle's ports allow.
+
+        Called by the compute unit every cycle (and after completions).
+        """
+        cycle = self.cur_cycle
+        if cycle != self._cycle_stamp:
+            self._cycle_stamp = cycle
+            self._issued_this_cycle = [0, 0]
+        self._issue(self.read_queue, 0, self.read_ports, self.stat_read_stalls)
+        self._issue(self.write_queue, 1, self.write_ports, self.stat_write_stalls)
+
+    def _issue(self, queue: deque, slot: int, limit: int, stall_stat) -> None:
+        while queue:
+            if not self.ideal and self._issued_this_cycle[slot] >= limit:
+                stall_stat.inc(len(queue))
+                return
+            request = queue.popleft()
+            request.issued = True
+            request.issue_tick = self.cur_tick
+            self._issued_this_cycle[slot] += 1
+            if request.is_read:
+                self.stat_reads.inc()
+            else:
+                self.stat_writes.inc()
+            self.stat_bytes.inc(request.size)
+            if self.ideal:
+                self._complete_ideal(request)
+                continue
+            if request.is_read:
+                pkt = read_packet(request.addr, request.size, origin=request)
+            else:
+                pkt = write_packet(request.addr, request.data, origin=request)
+            port = self._route(request.addr, request.size)
+            if not port.send_timing_req(pkt):
+                # Backpressure: try again next cycle.
+                request.issued = False
+                self._issued_this_cycle[slot] -= 1
+                queue.appendleft(request)
+                self.schedule_callback_in_cycles(self.pump, 1, name=f"{self.name}.pump")
+                return
+            self._inflight[pkt.pkt_id] = request
+
+    def _complete_ideal(self, request: MemRequest) -> None:
+        # Ideal memory: functional access against whichever route matches,
+        # completing after a fixed latency.
+        port = self._route(request.addr, request.size)
+        if request.is_read:
+            pkt = read_packet(request.addr, request.size, origin=request)
+            request.result = port.send_functional(pkt).data
+        else:
+            pkt = write_packet(request.addr, request.data, origin=request)
+            port.send_functional(pkt)
+        self.schedule_callback_in_cycles(
+            lambda r=request: self._finish(r),
+            self.ideal_latency_cycles,
+            name=f"{self.name}.ideal",
+        )
+
+    def _recv_timing_resp(self, pkt: Packet) -> None:
+        request = self._inflight.pop(pkt.pkt_id, None)
+        if request is None:
+            raise PortError(f"{self.name}: orphan response {pkt}")
+        if request.is_read:
+            request.result = pkt.data
+        self._finish(request)
+
+    def _finish(self, request: MemRequest) -> None:
+        request.complete_tick = self.cur_tick
+        if request.on_complete is not None:
+            request.on_complete(request)

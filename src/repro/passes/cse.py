@@ -1,0 +1,95 @@
+"""Common-subexpression elimination (dominator-scoped value numbering).
+
+Two instructions with the same opcode and the same operands compute the
+same value; the later one is replaced by the earlier one when the
+earlier dominates it.  On accelerator datapaths this directly removes
+duplicated functional units under the default 1-to-1 mapping — the
+``benchmarks/test_ablation_passes.py`` ablation quantifies the effect.
+
+Loads, stores, phis and calls are never value-numbered (memory state
+and control dependence make them non-pure).
+"""
+
+from __future__ import annotations
+
+from repro.ir.dominance import DominatorTree
+from repro.ir.instructions import (
+    BinaryOp,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Select,
+)
+from repro.ir.module import Function
+from repro.ir.values import Argument, Constant, Instruction, Value
+from repro.passes.pass_manager import FunctionPass
+
+_COMMUTATIVE = frozenset(["add", "mul", "and", "or", "xor", "fadd", "fmul"])
+
+
+def _operand_key(operand: Value):
+    if isinstance(operand, Constant):
+        return ("const", str(operand.type), operand.value)
+    return ("val", id(operand))
+
+
+def _value_key(inst: Instruction):
+    """Hashable identity of a pure computation, or None if not pure."""
+    if isinstance(inst, BinaryOp):
+        operands = [_operand_key(inst.lhs), _operand_key(inst.rhs)]
+        if inst.opcode in _COMMUTATIVE:
+            operands.sort()
+        return ("bin", inst.opcode, str(inst.type), tuple(operands))
+    if isinstance(inst, ICmp):
+        return ("icmp", inst.pred, _operand_key(inst.operands[0]),
+                _operand_key(inst.operands[1]))
+    if isinstance(inst, FCmp):
+        return ("fcmp", inst.pred, _operand_key(inst.operands[0]),
+                _operand_key(inst.operands[1]))
+    if isinstance(inst, Select):
+        return ("select", tuple(_operand_key(op) for op in inst.operands))
+    if isinstance(inst, Cast):
+        return ("cast", inst.opcode, str(inst.type), _operand_key(inst.src))
+    if isinstance(inst, GetElementPtr):
+        return ("gep", str(inst.type), tuple(_operand_key(op) for op in inst.operands))
+    return None
+
+
+class CommonSubexpressionElimination(FunctionPass):
+    name = "cse"
+
+    def run(self, func: Function) -> bool:
+        dt = DominatorTree(func)
+        replacements: dict[Instruction, Value] = {}
+
+        def visit(block, scope: dict) -> None:
+            local = dict(scope)
+            for inst in list(block.instructions):
+                for operand in list(inst.operands):
+                    if operand in replacements:
+                        inst.replace_operand(operand, replacements[operand])
+                key = _value_key(inst)
+                if key is None:
+                    continue
+                existing = local.get(key)
+                if existing is not None:
+                    replacements[inst] = existing
+                    block.remove(inst)
+                else:
+                    local[key] = inst
+            for child in dt.children(block):
+                visit(child, local)
+
+        visit(func.entry, {})
+
+        if not replacements:
+            return False
+        # Phis in blocks visited before their incoming values may still
+        # reference removed instructions.
+        for block in func.blocks:
+            for inst in block.instructions:
+                for operand in list(inst.operands):
+                    if operand in replacements:
+                        inst.replace_operand(operand, replacements[operand])
+        return True

@@ -1,0 +1,52 @@
+"""Dead code elimination.
+
+Removes value-producing instructions with no users and no side effects
+(stores, calls to non-intrinsic functions, and terminators are roots).
+Runs to a fixed point so whole dead expression trees vanish — e.g. the
+induction arithmetic left behind by full loop unrolling.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Call, Phi, Store
+from repro.ir.module import Function
+from repro.ir.values import Instruction
+from repro.passes.pass_manager import FunctionPass
+
+
+def _has_side_effects(inst: Instruction) -> bool:
+    if inst.is_terminator:
+        return True
+    if isinstance(inst, Store):
+        return True
+    if isinstance(inst, Call) and not inst.is_intrinsic:
+        # Conservatively keep calls into other functions (they may store).
+        return True
+    return False
+
+
+class DeadCodeElimination(FunctionPass):
+    name = "dce"
+
+    def run(self, func: Function) -> bool:
+        changed_any = False
+        while True:
+            used: set[int] = set()
+            for inst in func.instructions():
+                for operand in inst.operands:
+                    used.add(id(operand))
+                if isinstance(inst, Phi):
+                    for value, __ in inst.incoming:
+                        used.add(id(value))
+            dead = [
+                inst
+                for inst in func.instructions()
+                if inst.produces_value
+                and id(inst) not in used
+                and not _has_side_effects(inst)
+            ]
+            if not dead:
+                return changed_any
+            for inst in dead:
+                inst.parent.remove(inst)
+            changed_any = True

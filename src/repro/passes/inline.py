@@ -1,0 +1,175 @@
+"""Function inlining.
+
+gem5-SALAM requires the accelerated kernel to be a *single in-lined
+function* (Sec. III-A1) — calls to anything but math intrinsics cannot
+reach the datapath.  This pass inlines every call to a module-local
+function, bottom-up, so multi-function kernels can be written naturally
+and still elaborate into one datapath.
+
+Recursive functions cannot be inlined (no stack in the datapath) and
+are reported as errors when ``require_complete`` is set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import Branch, Call, Phi, Ret
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Instruction, Value
+from repro.passes.pass_manager import FunctionPass
+from repro.passes.unroll import clone_instruction
+
+
+class InlineError(RuntimeError):
+    pass
+
+
+def _call_targets(func: Function, module: Module) -> set[str]:
+    return {
+        inst.callee
+        for inst in func.instructions()
+        if isinstance(inst, Call) and not inst.is_intrinsic
+        and inst.callee in module.functions
+    }
+
+
+def _is_recursive(name: str, module: Module, visiting: Optional[set] = None) -> bool:
+    visiting = visiting or set()
+    if name in visiting:
+        return True
+    visiting = visiting | {name}
+    func = module.functions.get(name)
+    if func is None:
+        return False
+    return any(
+        _is_recursive(callee, module, visiting)
+        for callee in _call_targets(func, module)
+    )
+
+
+def inline_call(caller: Function, call: Call, module: Module) -> None:
+    """Inline one call site into ``caller``."""
+    callee = module.get_function(call.callee)
+    block = call.parent
+    call_index = block.instructions.index(call)
+
+    # Split the caller block: instructions after the call move to a
+    # continuation block.
+    continuation = BasicBlock(caller.unique_name(f"{call.callee}.cont"), caller)
+    tail = block.instructions[call_index + 1 :]
+    block.instructions = block.instructions[:call_index]
+    for inst in tail:
+        inst.parent = continuation
+        continuation.instructions.append(inst)
+    # Successor phis referenced the original block as predecessor.
+    for succ in continuation.successors():
+        for phi in succ.phis():
+            phi.incoming = [
+                (v, continuation if p is block else p) for v, p in phi.incoming
+            ]
+
+    # Clone the callee body with arguments substituted.
+    value_map: dict[Value, Value] = dict(zip(callee.args, call.operands))
+    block_map: dict[BasicBlock, BasicBlock] = {}
+    for src_block in callee.blocks:
+        block_map[src_block] = BasicBlock(
+            caller.unique_name(f"{call.callee}.{src_block.name}"), caller
+        )
+
+    returns: list[tuple[Value, BasicBlock]] = []  # (value, returning block)
+    phi_todo: list[tuple[Phi, Phi]] = []
+    for src_block in callee.blocks:
+        new_block = block_map[src_block]
+        for inst in src_block.instructions:
+            if isinstance(inst, Ret):
+                value = inst.return_value
+                if value is not None:
+                    value = value_map.get(value, value)
+                returns.append((value, new_block))
+                terminator = Branch(continuation)
+                terminator.parent = new_block
+                new_block.instructions.append(terminator)
+                continue
+            if isinstance(inst, Phi):
+                clone: Instruction = Phi(inst.type)
+                phi_todo.append((inst, clone))
+            else:
+                clone = clone_instruction(inst, value_map, block_map)
+            if clone.produces_value:
+                clone.name = caller.unique_name(f"{inst.name}.in")
+            clone.parent = new_block
+            new_block.instructions.append(clone)
+            value_map[inst] = clone
+    for orig, clone in phi_todo:
+        for value, pred in orig.incoming:
+            clone.add_incoming(value_map.get(value, value), block_map.get(pred, pred))
+
+    # Enter the inlined body.
+    entry_branch = Branch(block_map[callee.entry])
+    entry_branch.parent = block
+    block.instructions.append(entry_branch)
+
+    # Wire the return value into the continuation.
+    if call.produces_value:
+        if len(returns) == 1:
+            replacement = returns[0][0]
+        else:
+            phi = Phi(call.type)
+            phi.name = caller.unique_name(f"{call.callee}.ret")
+            for value, ret_block in returns:
+                phi.add_incoming(value, ret_block)
+            continuation.insert(0, phi)
+            replacement = phi
+        for other in caller.blocks:
+            for inst in other.instructions:
+                if inst is not call:
+                    inst.replace_operand(call, replacement)
+        for inst in continuation.instructions:
+            if inst is not call:
+                inst.replace_operand(call, replacement)
+
+    # Insert the new blocks right after the split point.
+    insert_at = caller.blocks.index(block) + 1
+    caller.blocks[insert_at:insert_at] = [block_map[b] for b in callee.blocks] + [
+        continuation
+    ]
+
+
+class InlineFunctions(FunctionPass):
+    """Inline all module-local calls in a function (recursively)."""
+
+    name = "inline"
+
+    def __init__(self, module: Module, require_complete: bool = True,
+                 max_inlined_blocks: int = 10_000) -> None:
+        self.module = module
+        self.require_complete = require_complete
+        self.max_inlined_blocks = max_inlined_blocks
+
+    def run(self, func: Function) -> bool:
+        changed = False
+        while True:
+            call = next(
+                (
+                    inst
+                    for inst in func.instructions()
+                    if isinstance(inst, Call)
+                    and not inst.is_intrinsic
+                    and inst.callee in self.module.functions
+                ),
+                None,
+            )
+            if call is None:
+                return changed
+            if _is_recursive(call.callee, self.module):
+                if self.require_complete:
+                    raise InlineError(
+                        f"{func.name}: cannot inline recursive function "
+                        f"'@{call.callee}' into a datapath"
+                    )
+                return changed
+            if len(func.blocks) > self.max_inlined_blocks:
+                raise InlineError(f"{func.name}: inlining exploded past the block budget")
+            inline_call(func, call, self.module)
+            changed = True

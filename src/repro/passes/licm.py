@@ -1,0 +1,118 @@
+"""Loop-invariant code motion (LICM).
+
+Hoists computations whose operands do not change across loop iterations
+into the loop preheader.  For accelerator datapaths this removes
+redundant per-iteration address arithmetic (e.g. ``i * N`` terms whose
+factors are invariant in an inner loop), shrinking both the dynamic
+instruction stream and, under 1-to-1 mapping, doing so without touching
+the set of functional units the static CDFG allocates per class.
+
+Only speculation-free instructions are hoisted: pure arithmetic,
+comparisons, selects, casts, and address computation.  Loads/stores and
+division (which can trap on data reached only under a guard) stay put.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.dominance import DominatorTree
+from repro.ir.instructions import (
+    BinaryOp,
+    Branch,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Phi,
+    Select,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Argument, Constant, Instruction, Value
+from repro.passes.loop_analysis import Loop, find_loops
+from repro.passes.pass_manager import FunctionPass
+
+# Opcodes never hoisted even when invariant (may trap).
+_TRAPPING = frozenset(["sdiv", "udiv", "srem", "urem"])
+
+
+def _hoistable(inst: Instruction) -> bool:
+    if isinstance(inst, (ICmp, FCmp, Select, Cast, GetElementPtr)):
+        return True
+    if isinstance(inst, BinaryOp):
+        return inst.opcode not in _TRAPPING
+    return False
+
+
+class LoopInvariantCodeMotion(FunctionPass):
+    name = "licm"
+
+    def run(self, func: Function) -> bool:
+        changed = False
+        # Innermost-first so invariants bubble outward across runs.
+        for loop in find_loops(func):
+            changed |= self._hoist_loop(func, loop)
+        return changed
+
+    # ------------------------------------------------------------------
+    def _hoist_loop(self, func: Function, loop: Loop) -> bool:
+        preheader = self._find_preheader(func, loop)
+        if preheader is None:
+            return False
+        in_loop = set(map(id, loop.blocks))
+        dt = DominatorTree(func)
+
+        invariant: set[int] = set()
+
+        def operand_invariant(operand: Value) -> bool:
+            if isinstance(operand, (Constant, Argument)):
+                return True
+            if isinstance(operand, Instruction):
+                if id(operand) in invariant:
+                    return True
+                return operand.parent is not None and id(operand.parent) not in in_loop
+            return False
+
+        hoisted: list[Instruction] = []
+        changed = True
+        while changed:
+            changed = False
+            for block in loop.blocks:
+                # Hoist only from blocks that execute every iteration
+                # (dominate the latch): guarded code must not move.
+                if not dt.dominates(block, loop.latch):
+                    continue
+                for inst in list(block.instructions):
+                    if id(inst) in invariant or not _hoistable(inst):
+                        continue
+                    if all(operand_invariant(op) for op in inst.operands):
+                        invariant.add(id(inst))
+                        block.remove(inst)
+                        hoisted.append(inst)
+                        changed = True
+
+        if not hoisted:
+            return False
+        # Insert before the preheader's terminator, preserving the
+        # def-before-use order in which we discovered them.
+        terminator_index = len(preheader.instructions) - 1
+        for offset, inst in enumerate(hoisted):
+            inst.parent = preheader
+            preheader.instructions.insert(terminator_index + offset, inst)
+        return True
+
+    @staticmethod
+    def _find_preheader(func: Function, loop: Loop) -> Optional[BasicBlock]:  # noqa: D401
+        """The unique out-of-loop predecessor that unconditionally enters
+        the header (the shape the frontend's rotated loops produce)."""
+        pred_map = func.predecessor_map()
+        outside = [
+            pred for pred in pred_map.get(loop.header, ()) if pred not in loop.blocks
+        ]
+        if len(outside) != 1:
+            return None
+        pred = outside[0]
+        terminator = pred.terminator
+        if not isinstance(terminator, Branch) or terminator.is_conditional:
+            return None
+        return pred

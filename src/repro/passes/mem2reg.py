@@ -1,0 +1,149 @@
+"""mem2reg: promote scalar allocas to SSA registers.
+
+The classic Cytron et al. algorithm: find promotable allocas (scalar,
+only loaded from / stored to), insert phi nodes at iterated dominance
+frontiers of defining blocks, then rename along the dominator tree.
+This is what turns the frontend's naive stack-based codegen into the
+SSA dataflow the accelerator datapath is elaborated from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.dominance import DominatorTree
+from repro.ir.instructions import Alloca, Load, Phi, Store
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Constant, Instruction, Value
+from repro.passes.pass_manager import FunctionPass
+
+
+def _zero_value(type_) -> Value:
+    """An "undef" stand-in: reading an uninitialised local yields zero."""
+    return Constant(type_, 0)
+
+
+class Mem2Reg(FunctionPass):
+    name = "mem2reg"
+
+    def run(self, func: Function) -> bool:
+        allocas = self._promotable_allocas(func)
+        if not allocas:
+            return False
+        dt = DominatorTree(func)
+        frontier = dt.dominance_frontier()
+        phi_sites = self._place_phis(func, allocas, dt, frontier)
+        self._rename(func, allocas, phi_sites, dt)
+        # Drop the now-dead allocas and their loads/stores.
+        for block in func.blocks:
+            block.instructions = [
+                inst
+                for inst in block.instructions
+                if not self._is_promoted_access(inst, allocas)
+            ]
+        return True
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _promotable_allocas(func: Function) -> set[Alloca]:
+        allocas = [i for i in func.instructions() if isinstance(i, Alloca)]
+        promotable: set[Alloca] = set()
+        for alloca in allocas:
+            if not alloca.allocated_type.is_scalar:
+                continue
+            ok = True
+            for inst in func.instructions():
+                if inst is alloca:
+                    continue
+                for operand in inst.operands:
+                    if operand is not alloca:
+                        continue
+                    is_load = isinstance(inst, Load)
+                    is_store_ptr = isinstance(inst, Store) and inst.pointer is alloca and inst.value is not alloca
+                    if not (is_load or is_store_ptr):
+                        ok = False
+            if ok:
+                promotable.add(alloca)
+        return promotable
+
+    @staticmethod
+    def _is_promoted_access(inst: Instruction, allocas: set[Alloca]) -> bool:
+        if isinstance(inst, Alloca) and inst in allocas:
+            return True
+        if isinstance(inst, Load) and inst.pointer in allocas:
+            return True
+        if isinstance(inst, Store) and inst.pointer in allocas:
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _place_phis(self, func, allocas, dt, frontier) -> dict[Phi, Alloca]:
+        phi_for_alloca: dict[Phi, Alloca] = {}
+        for alloca in allocas:
+            def_blocks = {
+                inst.parent
+                for inst in func.instructions()
+                if isinstance(inst, Store) and inst.pointer is alloca
+            }
+            placed: set[BasicBlock] = set()
+            work = [b for b in def_blocks if dt.is_reachable(b)]
+            while work:
+                block = work.pop()
+                for df_block in frontier.get(block, ()):
+                    if df_block in placed:
+                        continue
+                    placed.add(df_block)
+                    phi = Phi(alloca.allocated_type)
+                    phi.name = func.unique_name(f"{alloca.name}.phi")
+                    df_block.insert(0, phi)
+                    phi_for_alloca[phi] = alloca
+                    if df_block not in def_blocks:
+                        work.append(df_block)
+        return phi_for_alloca
+
+    def _rename(self, func, allocas, phi_sites, dt) -> None:
+        current: dict[Alloca, list[Value]] = {a: [_zero_value(a.allocated_type)] for a in allocas}
+        replacements: dict[Instruction, Value] = {}
+
+        def visit(block: BasicBlock) -> None:
+            pushed: dict[Alloca, int] = {}
+            for inst in list(block.instructions):
+                if isinstance(inst, Phi) and inst in phi_sites:
+                    alloca = phi_sites[inst]
+                    current[alloca].append(inst)
+                    pushed[alloca] = pushed.get(alloca, 0) + 1
+                elif isinstance(inst, Load) and inst.pointer in allocas:
+                    replacements[inst] = current[inst.pointer][-1]
+                elif isinstance(inst, Store) and inst.pointer in allocas:
+                    value = inst.value
+                    value = replacements.get(value, value)
+                    alloca = inst.pointer
+                    current[alloca].append(value)
+                    pushed[alloca] = pushed.get(alloca, 0) + 1
+                else:
+                    for operand in list(inst.operands):
+                        if operand in replacements:
+                            inst.replace_operand(operand, replacements[operand])
+
+            for succ in block.successors():
+                for phi in succ.phis():
+                    if phi in phi_sites:
+                        value = current[phi_sites[phi]][-1]
+                        value = replacements.get(value, value)
+                        phi.add_incoming(value, block)
+
+            for child in dt.children(block):
+                visit(child)
+
+            for alloca, count in pushed.items():
+                del current[alloca][-count:]
+
+        visit(func.entry)
+
+        # Second pass: fix any remaining references (e.g. phis added before
+        # the defining store was visited).
+        for block in func.blocks:
+            for inst in block.instructions:
+                for operand in list(inst.operands):
+                    if operand in replacements:
+                        inst.replace_operand(operand, replacements[operand])

@@ -1,0 +1,98 @@
+"""Pass manager: sequences function passes over a module."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.module import Function, Module
+from repro.ir.verifier import verify_function
+
+
+class FunctionPass:
+    """Base class: transforms one function, returns True if it changed it."""
+
+    name = "pass"
+
+    def run(self, func: Function) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__}>"
+
+
+class PassManager:
+    """Runs an ordered list of passes, optionally verifying after each."""
+
+    def __init__(self, passes: list[FunctionPass], verify: bool = True) -> None:
+        self.passes = list(passes)
+        self.verify = verify
+        self.history: list[tuple[str, str, bool]] = []
+
+    def add(self, pass_: FunctionPass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run_function(self, func: Function) -> bool:
+        changed_any = False
+        for pass_ in self.passes:
+            changed = pass_.run(func)
+            self.history.append((func.name, pass_.name, changed))
+            changed_any |= changed
+            if self.verify and changed:
+                verify_function(func)
+        return changed_any
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for func in module:
+            changed |= self.run_function(func)
+        return changed
+
+
+def standard_pipeline(
+    unroll_factor: int = 1,
+    verify: bool = True,
+    module: Optional["Module"] = None,
+    opt_level: int = 1,
+) -> PassManager:
+    """The default "clang -O" style pipeline used by the frontend.
+
+    Level 1 (default): inline module-local calls (datapaths must be a
+    single function), mem2reg builds SSA, folding/DCE clean up,
+    unrolling expands loops (a factor of 1 leaves loops alone but still
+    honours per-loop pragmas), and a final fold/DCE/simplify round
+    tidies the result.
+
+    Level 2 adds loop-invariant code motion and common-subexpression
+    elimination — datapath-shrinking optimizations whose effect the
+    pass-ablation benchmark quantifies.
+    """
+    from repro.passes.constfold import ConstantFold
+    from repro.passes.cse import CommonSubexpressionElimination
+    from repro.passes.dce import DeadCodeElimination
+    from repro.passes.inline import InlineFunctions
+    from repro.passes.licm import LoopInvariantCodeMotion
+    from repro.passes.mem2reg import Mem2Reg
+    from repro.passes.simplify_cfg import SimplifyCFG
+    from repro.passes.unroll import LoopUnroll
+
+    passes: list[FunctionPass] = []
+    if module is not None:
+        passes.append(InlineFunctions(module, require_complete=False))
+    passes += [
+        Mem2Reg(),
+        ConstantFold(),
+        DeadCodeElimination(),
+    ]
+    if opt_level >= 2:
+        passes += [LoopInvariantCodeMotion(), CommonSubexpressionElimination(),
+                   DeadCodeElimination()]
+    passes += [
+        LoopUnroll(default_factor=unroll_factor),
+        ConstantFold(),
+        SimplifyCFG(),
+        DeadCodeElimination(),
+    ]
+    if opt_level >= 2:
+        passes += [CommonSubexpressionElimination(), DeadCodeElimination()]
+    return PassManager(passes, verify=verify)

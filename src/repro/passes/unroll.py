@@ -1,0 +1,327 @@
+"""Loop unrolling.
+
+The ILP-tuning knob of the flow: the paper shapes accelerator datapaths
+by applying clang unroll pragmas before the IR reaches the simulator.
+`LoopUnroll` fully unrolls canonical counted loops whose trip count is
+a compile-time constant, or partially unrolls by a factor (clamped to a
+divisor of the trip count so no remainder loop is needed).  Loops are
+processed innermost-first; per-loop factors come from ``#pragma unroll``
+annotations stored on the latch branch (``branch.unroll_factor``, where
+0 means "full"), falling back to ``default_factor``.
+
+Unrolling requires rotated (bottom-tested) loops: a header carrying the
+phis and a latch ending in ``update; icmp; br header, exit``.  The
+frontend emits exactly this shape for counted ``for`` loops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    BlockRef,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Instruction, Value
+from repro.passes.loop_analysis import Loop, find_loops, trip_count
+from repro.passes.pass_manager import FunctionPass
+
+
+class UnrollError(RuntimeError):
+    pass
+
+
+def clone_instruction(inst: Instruction, value_map: dict, block_map: dict) -> Instruction:
+    """Clone one non-phi instruction, remapping operands and targets."""
+
+    def val(operand: Value) -> Value:
+        return value_map.get(operand, operand)
+
+    if isinstance(inst, BinaryOp):
+        clone = BinaryOp(inst.opcode, val(inst.lhs), val(inst.rhs))
+    elif isinstance(inst, ICmp):
+        clone = ICmp(inst.pred, val(inst.operands[0]), val(inst.operands[1]))
+    elif isinstance(inst, FCmp):
+        clone = FCmp(inst.pred, val(inst.operands[0]), val(inst.operands[1]))
+    elif isinstance(inst, Select):
+        clone = Select(val(inst.operands[0]), val(inst.operands[1]), val(inst.operands[2]))
+    elif isinstance(inst, Cast):
+        clone = Cast(inst.opcode, val(inst.src), inst.type)
+    elif isinstance(inst, Alloca):
+        clone = Alloca(inst.allocated_type)
+    elif isinstance(inst, Load):
+        clone = Load(val(inst.pointer))
+    elif isinstance(inst, Store):
+        clone = Store(val(inst.value), val(inst.pointer))
+    elif isinstance(inst, GetElementPtr):
+        clone = GetElementPtr(val(inst.pointer), [val(i) for i in inst.indices])
+    elif isinstance(inst, Call):
+        clone = Call(inst.callee, inst.type, [val(a) for a in inst.operands])
+    elif isinstance(inst, Branch):
+        if inst.is_conditional:
+            clone = Branch(
+                block_map.get(inst.true_target, inst.true_target),
+                cond=val(inst.condition),
+                if_false=block_map.get(inst.false_target, inst.false_target),
+            )
+        else:
+            clone = Branch(block_map.get(inst.true_target, inst.true_target))
+    elif isinstance(inst, Ret):
+        clone = Ret(val(inst.return_value) if inst.return_value is not None else None)
+    else:
+        raise UnrollError(f"cannot clone instruction '{inst.opcode}'")
+    return clone
+
+
+def clone_region(
+    func: Function,
+    blocks: list[BasicBlock],
+    seed_map: dict,
+    suffix: str,
+) -> tuple[list[BasicBlock], dict, dict]:
+    """Clone ``blocks``, remapping intra-region values and branch targets.
+
+    ``seed_map`` substitutes values up-front (header phi -> incoming
+    value); substituted phis are *not* cloned.  Returns (new blocks,
+    value map original->clone, block map).
+    """
+    block_map: dict[BasicBlock, BasicBlock] = {
+        block: BasicBlock(func.unique_name(f"{block.name}.{suffix}."), func)
+        for block in blocks
+    }
+    vmap = dict(seed_map)
+    pairs: list[tuple[Instruction, Instruction]] = []
+    phi_todo: list[tuple[Phi, Phi]] = []
+
+    for block in blocks:
+        new_block = block_map[block]
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                if inst in vmap:
+                    continue  # substituted away by the seed
+                clone: Instruction = Phi(inst.type)
+                phi_todo.append((inst, clone))
+            else:
+                clone = clone_instruction(inst, vmap, block_map)
+            if clone.produces_value:
+                clone.name = func.unique_name(f"{inst.name}.{suffix}")
+            clone.parent = new_block
+            new_block.instructions.append(clone)
+            pairs.append((inst, clone))
+            vmap[inst] = clone
+
+    for orig, clone in phi_todo:
+        for value, pred in orig.incoming:
+            clone.add_incoming(vmap.get(value, value), block_map.get(pred, pred))
+
+    return [block_map[b] for b in blocks], vmap, block_map
+
+
+class LoopUnroll(FunctionPass):
+    name = "loop-unroll"
+
+    def __init__(self, default_factor: int = 1, max_unrolled_insts: int = 200_000) -> None:
+        self.default_factor = default_factor
+        self.max_unrolled_insts = max_unrolled_insts
+
+    def run(self, func: Function) -> bool:
+        changed = False
+        for _ in range(1000):  # re-discover loops after each transform
+            loops = find_loops(func)
+            target = self._pick_loop(loops)
+            if target is None:
+                break
+            loop, factor = target
+            self._unroll(func, loop, factor)
+            changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    def _pick_loop(self, loops: list[Loop]) -> Optional[tuple[Loop, int]]:
+        for loop in loops:
+            if not loop.is_canonical:
+                continue
+            term = loop.latch.terminator
+            if getattr(term, "unroll_done", False):
+                continue
+            if self._contains_other_loop(loop, loops):
+                continue
+            count = trip_count(loop)
+            if count is None:
+                continue
+            requested = getattr(term, "unroll_factor", self.default_factor)
+            if requested == 0:  # pragma shorthand for "full"
+                requested = count
+            factor = self._effective_factor(requested, count, loop)
+            if factor > 1:
+                return loop, factor
+            term.unroll_done = True  # nothing to do; never re-pick
+        return None
+
+    @staticmethod
+    def _contains_other_loop(loop: Loop, loops: list[Loop]) -> bool:
+        return any(other is not loop and other.header in loop.blocks for other in loops)
+
+    def _effective_factor(self, requested: int, count: int, loop: Loop) -> int:
+        requested = max(1, min(requested, count))
+        body_size = sum(len(b) for b in loop.blocks)
+        budget = max(1, self.max_unrolled_insts // max(1, body_size))
+        requested = min(requested, budget)
+        if requested >= count:
+            return count
+        while requested > 1 and count % requested != 0:
+            requested -= 1
+        return requested
+
+    # ------------------------------------------------------------------
+    def _unroll(self, func: Function, loop: Loop, factor: int) -> None:
+        count = trip_count(loop)
+        assert count is not None and factor >= 2
+        full = factor >= count
+
+        header, latch = loop.header, loop.latch
+        orig_term = latch.terminator
+        assert isinstance(orig_term, Branch) and orig_term.is_conditional
+        continue_on_true = orig_term.true_target is header
+        orig_cond = orig_term.condition
+        exit_block = next(t for t in orig_term.targets() if t not in loop.blocks)
+
+        back_values: dict[Phi, Value] = {}
+        preheader_values: dict[Phi, Value] = {}
+        for phi in header.phis():
+            for value, pred in phi.incoming:
+                if pred in loop.blocks:
+                    back_values[phi] = value
+                else:
+                    preheader_values[phi] = value
+
+        ordered = self._loop_rpo(loop)
+
+        prev_latch = latch
+        prev_vmap: dict = {}
+        all_new_blocks: list[BasicBlock] = []
+        last_vmap: dict = {}
+        iterations = count if full else factor
+
+        for k in range(1, iterations):
+            seed = {
+                phi: prev_vmap.get(back, back) for phi, back in back_values.items()
+            }
+            new_blocks, vmap, block_map = clone_region(func, ordered, seed, f"u{k}")
+            self._replace_terminator(prev_latch, Branch(block_map[header]))
+            all_new_blocks.extend(new_blocks)
+            prev_latch = block_map[latch]
+            prev_vmap = vmap
+            last_vmap = vmap
+
+        # Insert clones after the original latch, before rewiring (so
+        # live-out fixes see a consistent block list).
+        insert_at = func.blocks.index(latch) + 1
+        func.blocks[insert_at:insert_at] = all_new_blocks
+
+        if full:
+            # Map each loop value to its final-iteration version for
+            # uses outside the loop (phi -> value *during* last iter).
+            if iterations > 1:
+                final_map = dict(last_vmap)
+            else:
+                final_map = dict(preheader_values)
+            self._fix_live_outs(func, loop, all_new_blocks, prev_latch, final_map)
+            self._replace_terminator(prev_latch, Branch(exit_block))
+            self._substitute_header_phis(func, header, preheader_values)
+        else:
+            final_map = dict(last_vmap)
+            self._fix_live_outs(func, loop, all_new_blocks, prev_latch, final_map)
+            # Last clone's latch becomes the new backedge to the original
+            # header, preserving branch orientation.
+            cond_clone = last_vmap.get(orig_cond, orig_cond)
+            if continue_on_true:
+                new_term = Branch(header, cond=cond_clone, if_false=exit_block)
+            else:
+                new_term = Branch(exit_block, cond=cond_clone, if_false=header)
+            new_term.unroll_done = True
+            self._replace_terminator(prev_latch, new_term)
+            for phi in header.phis():
+                for j, (value, pred) in enumerate(phi.incoming):
+                    if pred in loop.blocks:
+                        mapped = last_vmap.get(back_values[phi], back_values[phi])
+                        phi.incoming[j] = (mapped, prev_latch)
+                phi.operands = [v for v, __ in phi.incoming]
+
+    @staticmethod
+    def _loop_rpo(loop: Loop) -> list[BasicBlock]:
+        """Loop blocks in reverse post-order from the header (back edge
+        ignored), so cloning never sees a forward reference."""
+        in_loop = set(map(id, loop.blocks))
+        visited: set[int] = {id(loop.header)}
+        postorder: list[BasicBlock] = []
+
+        def dfs(block: BasicBlock) -> None:
+            for succ in block.successors():
+                if id(succ) in in_loop and id(succ) not in visited:
+                    visited.add(id(succ))
+                    dfs(succ)
+            postorder.append(block)
+
+        dfs(loop.header)
+        ordered = list(reversed(postorder))
+        # Defensive: include any loop block unreachable from the header
+        # without the back edge (should not happen for natural loops).
+        for block in loop.blocks:
+            if id(block) not in visited:
+                ordered.append(block)
+        return ordered
+
+    @staticmethod
+    def _replace_terminator(block: BasicBlock, new_term: Branch) -> None:
+        old = block.instructions.pop()
+        assert old.is_terminator
+        new_term.parent = block
+        block.instructions.append(new_term)
+
+    @staticmethod
+    def _substitute_header_phis(func: Function, header: BasicBlock, values: dict) -> None:
+        for phi in header.phis():
+            replacement = values[phi]
+            for block in func.blocks:
+                for inst in block.instructions:
+                    if inst is not phi:
+                        inst.replace_operand(phi, replacement)
+            header.instructions.remove(phi)
+
+    @staticmethod
+    def _fix_live_outs(func, loop, new_blocks, last_latch, final_map) -> None:
+        inside = set(map(id, loop.blocks)) | set(map(id, new_blocks))
+        for block in func.blocks:
+            if id(block) in inside:
+                continue
+            for inst in block.instructions:
+                if isinstance(inst, Phi):
+                    for j, (value, pred) in enumerate(inst.incoming):
+                        new_pred = (
+                            last_latch
+                            if pred is loop.latch and pred is not last_latch
+                            else pred
+                        )
+                        # Loop-defined values reaching any outside phi flow
+                        # through (or after) the final iteration, so they
+                        # always remap to the final clone's version.
+                        inst.incoming[j] = (final_map.get(value, value), new_pred)
+                    inst.operands = [v for v, __ in inst.incoming]
+                else:
+                    for operand in list(inst.operands):
+                        if operand in final_map:
+                            inst.replace_operand(operand, final_map[operand])

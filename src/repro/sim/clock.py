@@ -1,0 +1,73 @@
+"""Clock domains and clocked objects.
+
+A :class:`ClockDomain` converts between cycles and ticks (1 tick = 1 ps,
+as in gem5).  A :class:`ClockedObject` belongs to a domain and offers
+cycle-aligned scheduling helpers; the accelerator datapath and its
+communications interface may sit in *different* domains, which is one of
+the configuration knobs the paper calls out (Sec. III-D1).
+"""
+
+from __future__ import annotations
+
+from repro.sim.eventq import Event, EventQueue
+
+TICKS_PER_SECOND = 10**12  # 1 tick == 1 picosecond
+
+
+def frequency_to_period(freq_hz: float) -> int:
+    """Clock period in ticks for a frequency in Hz."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return max(1, round(TICKS_PER_SECOND / freq_hz))
+
+
+class ClockDomain:
+    """A named clock with a fixed period in ticks."""
+
+    def __init__(self, name: str, freq_hz: float = 1e9) -> None:
+        self.name = name
+        self.freq_hz = float(freq_hz)
+        self.period = frequency_to_period(freq_hz)
+
+    def cycles_to_ticks(self, cycles: int) -> int:
+        return cycles * self.period
+
+    def ticks_to_cycles(self, ticks: int) -> int:
+        return ticks // self.period
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ClockDomain {self.name} {self.freq_hz/1e6:.1f} MHz>"
+
+
+class ClockedObject:
+    """Mixin giving an object a clock domain and cycle-aligned scheduling."""
+
+    def __init__(self, eventq: EventQueue, clock: ClockDomain) -> None:
+        self.eventq = eventq
+        self.clock = clock
+
+    @property
+    def cur_tick(self) -> int:
+        return self.eventq.cur_tick
+
+    @property
+    def cur_cycle(self) -> int:
+        return self.eventq.cur_tick // self.clock.period
+
+    def clock_edge(self, cycles: int = 0) -> int:
+        """Tick of the next rising clock edge at least ``cycles`` ahead.
+
+        If the current tick already lies on an edge, ``cycles=0`` returns
+        the current tick (gem5 semantics).
+        """
+        period = self.clock.period
+        now = self.eventq.cur_tick
+        remainder = now % period
+        edge = now if remainder == 0 else now + (period - remainder)
+        return edge + cycles * period
+
+    def schedule_in_cycles(self, event: Event, cycles: int) -> Event:
+        return self.eventq.schedule(event, self.clock_edge(cycles))
+
+    def schedule_callback_in_cycles(self, callback, cycles: int, name: str = "") -> Event:
+        return self.eventq.schedule_callback(callback, self.clock_edge(cycles), name=name)

@@ -1,0 +1,183 @@
+"""Global event queue for the discrete-event simulation kernel.
+
+The design mirrors gem5's event queue: events carry an absolute tick and
+a priority; the queue pops events in (tick, priority, sequence) order.
+Ticks are integers (picoseconds by convention, so a 1 GHz clock has a
+1000-tick period).  Simulation proceeds by draining the queue until it
+is empty, a tick limit is reached, or an exit event fires.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal conditions inside the simulation kernel."""
+
+
+class Event:
+    """A schedulable callback.
+
+    Events are one-shot: once fired (or cancelled) they may be scheduled
+    again.  ``priority`` breaks ties at the same tick; lower runs first
+    (gem5 convention).
+    """
+
+    # Priority bands, mirroring gem5's defaults.
+    MINIMUM_PRI = -100
+    DEFAULT_PRI = 0
+    CPU_TICK_PRI = 50
+    STAT_PRI = 90
+    MAXIMUM_PRI = 100
+
+    __slots__ = ("callback", "priority", "name", "_when", "_scheduled", "_gen")
+
+    def __init__(
+        self,
+        callback: Callable[[], None],
+        priority: int = DEFAULT_PRI,
+        name: str = "",
+    ) -> None:
+        self.callback = callback
+        self.priority = priority
+        self.name = name or getattr(callback, "__qualname__", "event")
+        self._when: int = -1
+        self._scheduled = False
+        self._gen = 0  # bumped on every (de)schedule; stale heap entries skip
+
+    @property
+    def when(self) -> int:
+        """Tick this event is scheduled for (-1 if unscheduled)."""
+        return self._when
+
+    def scheduled(self) -> bool:
+        return self._scheduled
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"@{self._when}" if self._scheduled else "idle"
+        return f"<Event {self.name} {state}>"
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` ordered by (tick, priority, seq)."""
+
+    def __init__(self, name: str = "main") -> None:
+        self.name = name
+        self._heap: list[tuple[int, int, int, Event, int]] = []
+        self._seq = 0
+        self._cur_tick = 0
+        self._exit_requested = False
+        self._exit_message = ""
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling API
+    # ------------------------------------------------------------------
+    @property
+    def cur_tick(self) -> int:
+        return self._cur_tick
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def schedule(self, event: Event, when: int) -> Event:
+        """Schedule ``event`` at absolute tick ``when``."""
+        if when < self._cur_tick:
+            raise SimulationError(
+                f"cannot schedule event '{event.name}' in the past "
+                f"(when={when}, now={self._cur_tick})"
+            )
+        if event._scheduled:
+            raise SimulationError(f"event '{event.name}' is already scheduled")
+        event._when = when
+        event._scheduled = True
+        event._gen += 1
+        self._seq += 1
+        heapq.heappush(self._heap, (when, event.priority, self._seq, event, event._gen))
+        return event
+
+    def schedule_callback(
+        self,
+        callback: Callable[[], None],
+        when: int,
+        priority: int = Event.DEFAULT_PRI,
+        name: str = "",
+    ) -> Event:
+        """Convenience: wrap ``callback`` in an Event and schedule it."""
+        event = Event(callback, priority=priority, name=name)
+        return self.schedule(event, when)
+
+    def deschedule(self, event: Event) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        if not event._scheduled:
+            raise SimulationError(f"event '{event.name}' is not scheduled")
+        event._gen += 1  # invalidate the heap entry lazily
+        event._scheduled = False
+
+    def reschedule(self, event: Event, when: int) -> None:
+        if event._scheduled:
+            self.deschedule(event)
+        self.schedule(event, when)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def empty(self) -> bool:
+        self._drop_squashed()
+        return not self._heap
+
+    def _drop_squashed(self) -> None:
+        while self._heap:
+            __, __, __, event, gen = self._heap[0]
+            if event._gen == gen and event._scheduled:
+                return
+            heapq.heappop(self._heap)
+
+    def next_tick(self) -> Optional[int]:
+        """Tick of the next live event, or None if the queue is empty."""
+        self._drop_squashed()
+        return self._heap[0][0] if self._heap else None
+
+    def exit_simulation(self, message: str = "") -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._exit_requested = True
+        self._exit_message = message
+
+    def run(self, max_tick: Optional[int] = None, max_events: Optional[int] = None) -> str:
+        """Drain the queue.
+
+        Returns a human-readable exit cause: ``"empty"``, ``"max_tick"``,
+        ``"max_events"`` or the message passed to :meth:`exit_simulation`.
+        """
+        self._exit_requested = False
+        fired = 0
+        while True:
+            self._drop_squashed()
+            if not self._heap:
+                return "empty"
+            when = self._heap[0][0]
+            if max_tick is not None and when > max_tick:
+                self._cur_tick = max_tick
+                return "max_tick"
+            __, __, __, event, __ = heapq.heappop(self._heap)
+            self._cur_tick = when
+            event._scheduled = False
+            event._when = -1
+            event.callback()
+            self._events_fired += 1
+            fired += 1
+            if self._exit_requested:
+                return self._exit_message or "exit"
+            if max_events is not None and fired >= max_events:
+                return "max_events"
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind time to tick 0."""
+        self._heap.clear()
+        self._cur_tick = 0
+        self._seq = 0
+        self._exit_requested = False
+        self._events_fired = 0

@@ -1,0 +1,123 @@
+"""Memory packets.
+
+A :class:`Packet` is the unit of communication on ports: a command
+(read/write), an address range, and — for functional correctness — the
+actual data bytes.  Packets carry an opaque ``origin`` so the requester
+can match responses to outstanding operations, and accumulate latency
+annotations as they traverse the hierarchy.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+_packet_ids = itertools.count()
+
+
+class MemCmd(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    READ_RESP = "read_resp"
+    WRITE_RESP = "write_resp"
+
+    @property
+    def is_request(self) -> bool:
+        return self in (MemCmd.READ, MemCmd.WRITE)
+
+    @property
+    def is_read(self) -> bool:
+        return self in (MemCmd.READ, MemCmd.READ_RESP)
+
+    @property
+    def is_write(self) -> bool:
+        return self in (MemCmd.WRITE, MemCmd.WRITE_RESP)
+
+    def response(self) -> "MemCmd":
+        if self is MemCmd.READ:
+            return MemCmd.READ_RESP
+        if self is MemCmd.WRITE:
+            return MemCmd.WRITE_RESP
+        raise ValueError(f"{self} has no response command")
+
+
+class Packet:
+    """A memory request or response."""
+
+    __slots__ = (
+        "cmd",
+        "addr",
+        "size",
+        "data",
+        "origin",
+        "pkt_id",
+        "req_tick",
+        "resp_tick",
+        "hops",
+        "hit_level",
+    )
+
+    def __init__(
+        self,
+        cmd: MemCmd,
+        addr: int,
+        size: int,
+        data: Optional[bytes] = None,
+        origin: Any = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        if cmd.is_write and cmd.is_request and (data is None or len(data) != size):
+            raise ValueError("write request must carry data of exactly `size` bytes")
+        self.cmd = cmd
+        self.addr = addr
+        self.size = size
+        self.data = data
+        self.origin = origin
+        self.pkt_id = next(_packet_ids)
+        self.req_tick: int = -1
+        self.resp_tick: int = -1
+        self.hops: list[str] = []
+        self.hit_level: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def is_request(self) -> bool:
+        return self.cmd.is_request
+
+    @property
+    def is_read(self) -> bool:
+        return self.cmd.is_read
+
+    @property
+    def is_write(self) -> bool:
+        return self.cmd.is_write
+
+    def make_response(self, data: Optional[bytes] = None) -> "Packet":
+        """Build the matching response packet (sharing origin and id)."""
+        if self.cmd is MemCmd.READ and data is None:
+            raise ValueError("read response must carry data")
+        resp = Packet(self.cmd.response(), self.addr, self.size, data=data, origin=self.origin)
+        resp.pkt_id = self.pkt_id
+        resp.req_tick = self.req_tick
+        resp.hops = list(self.hops)
+        resp.hit_level = self.hit_level
+        return resp
+
+    def overlaps(self, addr: int, size: int) -> bool:
+        return self.addr < addr + size and addr < self.addr + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Packet #{self.pkt_id} {self.cmd.value} "
+            f"addr={self.addr:#x} size={self.size}>"
+        )
+
+
+def read_packet(addr: int, size: int, origin: Any = None) -> Packet:
+    return Packet(MemCmd.READ, addr, size, origin=origin)
+
+
+def write_packet(addr: int, data: bytes, origin: Any = None) -> Packet:
+    return Packet(MemCmd.WRITE, addr, len(data), data=bytes(data), origin=origin)

@@ -1,0 +1,107 @@
+"""SimObject base class and the top-level System container.
+
+Every modelled hardware component derives from :class:`SimObject`, which
+ties together a name, the shared event queue, a clock domain, and a stat
+group.  :class:`System` owns the event queue, the registry of objects,
+and the address map used to route packets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.clock import ClockDomain, ClockedObject
+from repro.sim.eventq import EventQueue
+from repro.sim.stats import StatGroup, format_stats
+
+
+class AddrRange:
+    """A half-open address interval [start, end)."""
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: int, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"address range size must be positive, got {size}")
+        self.start = start
+        self.end = start + size
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.start <= addr and addr + size <= self.end
+
+    def overlaps(self, other: "AddrRange") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"[{self.start:#x}, {self.end:#x})"
+
+
+class SimObject(ClockedObject):
+    """Base class for all modelled components."""
+
+    def __init__(self, name: str, system: "System", clock: Optional[ClockDomain] = None) -> None:
+        super().__init__(system.eventq, clock or system.clock)
+        self.name = name
+        self.system = system
+        self.stats = StatGroup(name)
+        system.register(self)
+
+    def init(self) -> None:
+        """Called once after the full system is wired, before simulation."""
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class System:
+    """Top-level container: event queue, clocks, object registry."""
+
+    def __init__(self, name: str = "system", clock_freq_hz: float = 1e9) -> None:
+        self.name = name
+        self.eventq = EventQueue(name)
+        self.clock = ClockDomain(f"{name}.clk", clock_freq_hz)
+        self.objects: dict[str, SimObject] = {}
+        self._initialized = False
+
+    def register(self, obj: SimObject) -> None:
+        if obj.name in self.objects:
+            raise ValueError(f"duplicate SimObject name '{obj.name}'")
+        self.objects[obj.name] = obj
+
+    def __getitem__(self, name: str) -> SimObject:
+        return self.objects[name]
+
+    def init_all(self) -> None:
+        for obj in self.objects.values():
+            obj.init()
+        self._initialized = True
+
+    def run(self, max_tick: Optional[int] = None) -> str:
+        """Initialise (once) and drain the event queue."""
+        if not self._initialized:
+            self.init_all()
+        return self.eventq.run(max_tick=max_tick)
+
+    @property
+    def cur_tick(self) -> int:
+        return self.eventq.cur_tick
+
+    def dump_stats(self) -> dict:
+        merged: dict = {}
+        for obj in self.objects.values():
+            merged.update(obj.stats.dump())
+        return merged
+
+    def stats_report(self) -> str:
+        return format_stats(self.dump_stats(), title=self.name)
+
+    def reset_stats(self) -> None:
+        for obj in self.objects.values():
+            obj.reset_stats()

@@ -1,0 +1,163 @@
+"""Statistics framework.
+
+Mirrors gem5's stats in miniature: named scalar and vector statistics
+attached to SimObjects, grouped under a :class:`StatGroup`, dumpable as a
+flat ``name -> value`` mapping.  Formula stats are computed lazily from
+callables so derived metrics (e.g. occupancy percentages) always reflect
+the current counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Union
+
+
+class Stat:
+    """Base class for a named statistic."""
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        self.name = name
+        self.desc = desc
+
+    def value(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ScalarStat(Stat):
+    """A single accumulating number."""
+
+    def __init__(self, name: str, desc: str = "", init: float = 0) -> None:
+        super().__init__(name, desc)
+        self._value: float = init
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def __iadd__(self, amount: float) -> "ScalarStat":
+        self._value += amount
+        return self
+
+
+class VectorStat(Stat):
+    """A keyed family of counters (e.g. per functional-unit-type)."""
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        super().__init__(name, desc)
+        self._values: dict[str, float] = {}
+
+    def inc(self, key: str, amount: float = 1) -> None:
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def set(self, key: str, value: float) -> None:
+        self._values[key] = value
+
+    def get(self, key: str, default: float = 0) -> float:
+        return self._values.get(key, default)
+
+    def value(self) -> dict[str, float]:
+        return dict(self._values)
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def keys(self):
+        return self._values.keys()
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+class FormulaStat(Stat):
+    """A statistic computed on demand from a callable."""
+
+    def __init__(self, name: str, func: Callable[[], float], desc: str = "") -> None:
+        super().__init__(name, desc)
+        self._func = func
+
+    def value(self) -> float:
+        return self._func()
+
+    def reset(self) -> None:
+        pass
+
+
+class StatGroup:
+    """A named collection of stats, nestable like gem5's stat hierarchy."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._stats: dict[str, Stat] = {}
+        self._children: dict[str, "StatGroup"] = {}
+
+    # -- registration ---------------------------------------------------
+    def scalar(self, name: str, desc: str = "") -> ScalarStat:
+        return self._register(ScalarStat(name, desc))
+
+    def vector(self, name: str, desc: str = "") -> VectorStat:
+        return self._register(VectorStat(name, desc))
+
+    def formula(self, name: str, func: Callable[[], float], desc: str = "") -> FormulaStat:
+        return self._register(FormulaStat(name, func, desc))
+
+    def _register(self, stat: Stat):
+        if stat.name in self._stats:
+            raise ValueError(f"duplicate stat '{stat.name}' in group '{self.name}'")
+        self._stats[stat.name] = stat
+        return stat
+
+    def add_child(self, child: "StatGroup") -> "StatGroup":
+        if child.name in self._children:
+            raise ValueError(f"duplicate stat group '{child.name}' under '{self.name}'")
+        self._children[child.name] = child
+        return child
+
+    # -- access ----------------------------------------------------------
+    def __getitem__(self, name: str) -> Stat:
+        return self._stats[name]
+
+    def get(self, name: str) -> Optional[Stat]:
+        return self._stats.get(name)
+
+    def walk(self, prefix: str = "") -> Iterator[tuple[str, Stat]]:
+        base = f"{prefix}{self.name}." if self.name else prefix
+        for name, stat in self._stats.items():
+            yield base + name, stat
+        for child in self._children.values():
+            yield from child.walk(base)
+
+    def dump(self) -> dict[str, Union[float, dict]]:
+        """Flatten to ``full.path.name -> value``."""
+        return {path: stat.value() for path, stat in self.walk()}
+
+    def reset(self) -> None:
+        for stat in self._stats.values():
+            stat.reset()
+        for child in self._children.values():
+            child.reset()
+
+
+def format_stats(stats: dict, title: str = "stats") -> str:
+    """Pretty-print a flat stat dump in gem5's two-column style."""
+    lines = [f"---------- {title} ----------"]
+    for key in sorted(stats):
+        value = stats[key]
+        if isinstance(value, dict):
+            for subkey in sorted(value):
+                lines.append(f"{key}::{subkey:<30} {value[subkey]}")
+        elif isinstance(value, float):
+            lines.append(f"{key:<55} {value:.6g}")
+        else:
+            lines.append(f"{key:<55} {value}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Full-system layer: interrupt controller, host driver agent, SoC builders."""
+
+from repro.system.interrupts import InterruptController
+from repro.system.host import HostAgent, DriverProgram
+from repro.system.soc import (
+    StandaloneAccelerator,
+    RunResult,
+    run_standalone,
+    build_soc,
+    SoC,
+)
+
+__all__ = [
+    "InterruptController",
+    "HostAgent",
+    "DriverProgram",
+    "StandaloneAccelerator",
+    "RunResult",
+    "run_standalone",
+    "build_soc",
+    "SoC",
+]

@@ -1,0 +1,50 @@
+"""GIC-like interrupt controller.
+
+Devices raise numbered lines; waiters (the host agent, or another
+accelerator's controller logic) register for a line and are called on
+the next assertion.  Level semantics are simplified to edge events with
+a pending latch, which is all the driver model needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.simobject import SimObject, System
+
+
+class InterruptController(SimObject):
+    def __init__(self, name: str, system: System, clock=None) -> None:
+        super().__init__(name, system, clock)
+        self._pending: set[int] = set()
+        self._waiters: dict[int, list[Callable[[], None]]] = {}
+        self.stat_raised = self.stats.vector("irqs_raised")
+
+    def line(self, irq: int) -> Callable[[], None]:
+        """A callback that asserts ``irq`` (bind this to a device)."""
+        return lambda: self.raise_irq(irq)
+
+    def raise_irq(self, irq: int) -> None:
+        self.stat_raised.inc(str(irq))
+        waiters = self._waiters.pop(irq, [])
+        if not waiters:
+            self._pending.add(irq)
+            return
+        for waiter in waiters:
+            # Interrupt delivery takes one controller cycle.
+            self.eventq.schedule_callback(
+                waiter, self.clock_edge(1), name=f"{self.name}.irq{irq}"
+            )
+
+    def wait(self, irq: int, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` when ``irq`` fires (immediately if pending)."""
+        if irq in self._pending:
+            self._pending.discard(irq)
+            self.eventq.schedule_callback(
+                callback, self.clock_edge(1), name=f"{self.name}.irq{irq}"
+            )
+            return
+        self._waiters.setdefault(irq, []).append(callback)
+
+    def clear(self, irq: int) -> None:
+        self._pending.discard(irq)

@@ -1,0 +1,22 @@
+"""MachSuite-style benchmark kernels.
+
+Each workload bundles: mini-C source for the accelerated kernel, a
+dataset generator, a NumPy golden model, and staging helpers that place
+inputs in accelerator memory and verify outputs.  Dataset sizes are
+scaled down from stock MachSuite so a Python cycle-level simulator
+finishes in seconds (documented per workload); every experiment uses
+the same inputs on every simulator/reference, so comparisons remain
+apples-to-apples.
+"""
+
+from repro.workloads.base import Workload, WorkloadData
+from repro.workloads.registry import all_workload_names, get_workload
+from repro.workloads import cnn
+
+__all__ = [
+    "Workload",
+    "WorkloadData",
+    "get_workload",
+    "all_workload_names",
+    "cnn",
+]

@@ -1,0 +1,97 @@
+"""Workload abstraction shared by all benchmark kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+
+@dataclass
+class WorkloadData:
+    """Staged arrays for one run: inputs, outputs, golden outputs."""
+
+    inputs: dict[str, np.ndarray]
+    output_names: list[str]
+    golden: dict[str, np.ndarray]
+    # Arrays written in place (e.g. FFT) appear in both inputs and golden.
+    scalars: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Workload:
+    """A benchmark kernel: source + data + golden + verification."""
+
+    name: str
+    source: str
+    func_name: str
+    arg_order: list[str]                      # argument name -> staged array/scalar
+    make_data: Callable[[np.random.Generator], WorkloadData]
+    description: str = ""
+    default_unroll: int = 1
+
+    def stage(self, acc, data: WorkloadData) -> tuple[list, dict[str, int]]:
+        """Allocate arrays in accelerator memory, build the arg list.
+
+        Returns (args, addresses) where ``addresses`` maps array names to
+        their staged base addresses (for later verification).
+        """
+        addresses: dict[str, int] = {}
+        args = []
+        for arg_name in self.arg_order:
+            if arg_name in data.inputs:
+                addr = acc.alloc_array(data.inputs[arg_name])
+                addresses[arg_name] = addr
+                args.append(addr)
+            elif arg_name in data.scalars:
+                args.append(data.scalars[arg_name])
+            else:
+                raise KeyError(f"{self.name}: no staged value for argument '{arg_name}'")
+        return args, addresses
+
+    def verify(self, acc, addresses: dict[str, int], data: WorkloadData,
+               rtol: float = 1e-6, atol: float = 1e-9) -> None:
+        """Compare staged output arrays against the golden model."""
+        for name in data.output_names:
+            expected = data.golden[name]
+            actual = acc.read_array(addresses[name], expected.dtype, expected.size)
+            if not np.allclose(actual, expected.ravel(), rtol=rtol, atol=atol):
+                bad = np.argmax(
+                    ~np.isclose(actual, expected.ravel(), rtol=rtol, atol=atol)
+                )
+                raise AssertionError(
+                    f"{self.name}: output '{name}' mismatch at index {bad}: "
+                    f"got {actual[bad]!r}, expected {expected.ravel()[bad]!r}"
+                )
+
+    def run_golden_interp(self, rng: Optional[np.random.Generator] = None):
+        """Convenience: run functionally via the interpreter and verify.
+
+        Used by tests to check that the compiled kernel computes what the
+        golden model says, independent of any timing model.
+        """
+        from repro.frontend import compile_c
+        from repro.ir.interpreter import Interpreter
+        from repro.ir.memory import MemoryImage
+
+        rng = rng or np.random.default_rng(7)
+        data = self.make_data(rng)
+        module = compile_c(self.source, self.name)
+        mem = MemoryImage(1 << 22, base=0x10000)
+        addresses = {}
+        args = []
+        for arg_name in self.arg_order:
+            if arg_name in data.inputs:
+                addr = mem.alloc_array(np.ascontiguousarray(data.inputs[arg_name]))
+                addresses[arg_name] = addr
+                args.append(addr)
+            else:
+                args.append(data.scalars[arg_name])
+        Interpreter(module, mem).run(self.func_name, args)
+        for name in data.output_names:
+            expected = data.golden[name]
+            actual = mem.read_array(addresses[name], expected.dtype, expected.size)
+            if not np.allclose(actual, expected.ravel(), rtol=1e-6, atol=1e-9):
+                raise AssertionError(f"{self.name}: interpreter output '{name}' mismatch")
+        return data

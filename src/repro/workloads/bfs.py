@@ -1,0 +1,89 @@
+"""BFS (MachSuite bfs/queue), scaled to a 32-node random graph.
+
+Queue-based breadth-first search writing per-node levels.  Control is
+entirely data-dependent (frontier contents), which is why it is the
+extreme case in the paper's Table IV simulation-time comparison.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.workloads.base import Workload, WorkloadData
+
+N_NODES = 32
+N_EDGES = 128
+
+SOURCE = f"""
+void bfs(int nodes_begin[{N_NODES}], int nodes_end[{N_NODES}],
+         int edges[{N_EDGES}], int start, int level[{N_NODES}],
+         int queue[{N_NODES}]) {{
+  int q_in = 0;
+  int q_out = 0;
+  level[start] = 0;
+  queue[q_in] = start;
+  q_in = 1;
+  while (q_out < q_in) {{
+    int n = queue[q_out];
+    q_out++;
+    int begin = nodes_begin[n];
+    int end = nodes_end[n];
+    for (int e = begin; e < end; e++) {{
+      int child = edges[e];
+      if (level[child] == 127) {{
+        level[child] = level[n] + 1;
+        queue[q_in] = child;
+        q_in++;
+      }}
+    }}
+  }}
+}}
+"""
+
+
+def make_data(rng: np.random.Generator) -> WorkloadData:
+    # Random graph in CSR-ish (begin/end per node) form.
+    targets = rng.integers(0, N_NODES, N_EDGES).astype(np.int32)
+    counts = np.bincount(rng.integers(0, N_NODES, N_EDGES), minlength=N_NODES)
+    begin = np.zeros(N_NODES, dtype=np.int32)
+    begin[1:] = np.cumsum(counts)[:-1].astype(np.int32)
+    end = (begin + counts).astype(np.int32)
+    start = 0
+    level = np.full(N_NODES, 127, dtype=np.int32)
+
+    golden_level = level.copy()
+    golden_level[start] = 0
+    queue = deque([start])
+    order = [start]
+    while queue:
+        n = queue.popleft()
+        for e in range(begin[n], end[n]):
+            child = int(targets[e])
+            if golden_level[child] == 127:
+                golden_level[child] = golden_level[n] + 1
+                queue.append(child)
+                order.append(child)
+    golden_queue = np.zeros(N_NODES, dtype=np.int32)
+    golden_queue[: len(order)] = order
+
+    return WorkloadData(
+        inputs={
+            "nodes_begin": begin, "nodes_end": end, "edges": targets,
+            "level": level, "queue": np.zeros(N_NODES, dtype=np.int32),
+        },
+        output_names=["level"],
+        golden={"level": golden_level, "queue": golden_queue},
+        scalars={"start": start},
+    )
+
+
+WORKLOAD = Workload(
+    name="bfs",
+    source=SOURCE,
+    func_name="bfs",
+    arg_order=["nodes_begin", "nodes_end", "edges", "start", "level", "queue"],
+    make_data=make_data,
+    description=f"queue BFS over a {N_NODES}-node random graph",
+)

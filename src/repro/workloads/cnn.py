@@ -1,0 +1,193 @@
+"""CNN first-layer kernels for the multi-accelerator study (Fig. 16).
+
+Three stages — 3x3 valid convolution, ReLU, 2x2 max-pool — in two
+styles: *batch* kernels that read/write whole arrays in scratchpad
+memory (scenarios a and b), and *stream* kernels that pop/push tokens
+through stream-buffer windows (scenario c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, WorkloadData
+
+IN = 16                 # input is IN x IN
+CONV = IN - 2           # 14x14 after 3x3 valid conv
+POOL = CONV // 2        # 7x7 after 2x2 pooling
+
+CONV_SOURCE = f"""
+void conv2d(double image[{IN * IN}], double kernel[9], double out[{CONV * CONV}]) {{
+  double c0 = kernel[0];
+  double c1 = kernel[1];
+  double c2 = kernel[2];
+  double c3 = kernel[3];
+  double c4 = kernel[4];
+  double c5 = kernel[5];
+  double c6 = kernel[6];
+  double c7 = kernel[7];
+  double c8 = kernel[8];
+  for (int r = 0; r < {CONV}; r++) {{
+    int r0 = r * {IN};
+    int r1 = (r + 1) * {IN};
+    int r2 = (r + 2) * {IN};
+    for (int c = 0; c < {CONV}; c++) {{
+      double acc = c0 * image[r0 + c] + c1 * image[r0 + c + 1]
+                 + c2 * image[r0 + c + 2]
+                 + c3 * image[r1 + c] + c4 * image[r1 + c + 1]
+                 + c5 * image[r1 + c + 2]
+                 + c6 * image[r2 + c] + c7 * image[r2 + c + 1]
+                 + c8 * image[r2 + c + 2];
+      out[r * {CONV} + c] = acc;
+    }}
+  }}
+}}
+"""
+
+RELU_SOURCE = f"""
+void relu(double in[{CONV * CONV}], double out[{CONV * CONV}]) {{
+  for (int i = 0; i < {CONV * CONV}; i++) {{
+    double v = in[i];
+    out[i] = v > 0.0 ? v : 0.0;
+  }}
+}}
+"""
+
+POOL_SOURCE = f"""
+void maxpool(double in[{CONV * CONV}], double out[{POOL * POOL}]) {{
+  for (int r = 0; r < {POOL}; r++) {{
+    for (int c = 0; c < {POOL}; c++) {{
+      double a = in[(2 * r) * {CONV} + 2 * c];
+      double b = in[(2 * r) * {CONV} + 2 * c + 1];
+      double x = in[(2 * r + 1) * {CONV} + 2 * c];
+      double y = in[(2 * r + 1) * {CONV} + 2 * c + 1];
+      double m1 = a > b ? a : b;
+      double m2 = x > y ? x : y;
+      out[r * {POOL} + c] = m1 > m2 ? m1 : m2;
+    }}
+  }}
+}}
+"""
+
+# --- streaming variants -----------------------------------------------------
+# The line ring buffer holds 4 rows (not the minimal 3) so filling row
+# r+1 never overwrites a row the in-flight computation of row r still
+# reads -- the fill and compute phases overlap in the pipeline.
+CONV_STREAM_SOURCE = f"""
+void conv2d_stream(double sin[1], double sout[1], double win[{4 * IN}],
+                   double kernel[9]) {{
+  double c0 = kernel[0];
+  double c1 = kernel[1];
+  double c2 = kernel[2];
+  double c3 = kernel[3];
+  double c4 = kernel[4];
+  double c5 = kernel[5];
+  double c6 = kernel[6];
+  double c7 = kernel[7];
+  double c8 = kernel[8];
+  for (int r = 0; r < {IN}; r++) {{
+    int ring = r % 4;
+    #pragma unroll 8
+    for (int c = 0; c < {IN}; c++) {{
+      win[ring * {IN} + c] = sin[0];
+    }}
+    if (r >= 2) {{
+      int r0 = ((r - 2) % 4) * {IN};
+      int r1 = ((r - 1) % 4) * {IN};
+      int r2 = (r % 4) * {IN};
+      #pragma unroll 14
+      for (int c = 0; c < {CONV}; c++) {{
+        double acc = c0 * win[r0 + c] + c1 * win[r0 + c + 1]
+                   + c2 * win[r0 + c + 2]
+                   + c3 * win[r1 + c] + c4 * win[r1 + c + 1]
+                   + c5 * win[r1 + c + 2]
+                   + c6 * win[r2 + c] + c7 * win[r2 + c + 1]
+                   + c8 * win[r2 + c + 2];
+        sout[0] = acc;
+      }}
+    }}
+  }}
+}}
+"""
+
+RELU_STREAM_SOURCE = f"""
+void relu_stream(double sin[1], double sout[1]) {{
+  #pragma unroll 4
+  for (int i = 0; i < {CONV * CONV}; i++) {{
+    double v = sin[0];
+    sout[0] = v > 0.0 ? v : 0.0;
+  }}
+}}
+"""
+
+POOL_STREAM_SOURCE = f"""
+void maxpool_stream(double sin[1], double sout[1], double rowbuf[{CONV}]) {{
+  for (int r = 0; r < {CONV}; r++) {{
+    if (r % 2 == 0) {{
+      #pragma unroll 14
+      for (int c = 0; c < {CONV}; c++) {{
+        rowbuf[c] = sin[0];
+      }}
+    }} else {{
+      #pragma unroll 7
+      for (int c = 0; c < {POOL}; c++) {{
+        double a = rowbuf[2 * c];
+        double b = rowbuf[2 * c + 1];
+        double x = sin[0];
+        double y = sin[0];
+        double m1 = a > b ? a : b;
+        double m2 = x > y ? x : y;
+        sout[0] = m1 > m2 ? m1 : m2;
+      }}
+    }}
+  }}
+}}
+"""
+
+
+def golden_layer(image: np.ndarray, kernel: np.ndarray):
+    """Conv -> ReLU -> pool reference pipeline."""
+    conv = np.zeros((CONV, CONV))
+    for r in range(CONV):
+        for c in range(CONV):
+            acc = 0.0
+            for kr in range(3):
+                for kc in range(3):
+                    acc += kernel[kr * 3 + kc] * image[r + kr, c + kc]
+            conv[r, c] = acc
+    relu = np.maximum(conv, 0.0)
+    pool = np.zeros((POOL, POOL))
+    for r in range(POOL):
+        for c in range(POOL):
+            pool[r, c] = max(
+                relu[2 * r, 2 * c], relu[2 * r, 2 * c + 1],
+                relu[2 * r + 1, 2 * c], relu[2 * r + 1, 2 * c + 1],
+            )
+    return conv, relu, pool
+
+
+def make_layer_data(rng: np.random.Generator):
+    image = rng.uniform(-1.0, 1.0, (IN, IN))
+    kernel = rng.uniform(-1.0, 1.0, 9)
+    conv, relu, pool = golden_layer(image, kernel)
+    return image, kernel, conv, relu, pool
+
+
+def make_conv_data(rng: np.random.Generator) -> WorkloadData:
+    image, kernel, conv, __, __ = make_layer_data(rng)
+    return WorkloadData(
+        inputs={"image": image, "kernel": kernel,
+                "out": np.zeros((CONV, CONV))},
+        output_names=["out"],
+        golden={"out": conv},
+    )
+
+
+CONV_WORKLOAD = Workload(
+    name="conv2d",
+    source=CONV_SOURCE,
+    func_name="conv2d",
+    arg_order=["image", "kernel", "out"],
+    make_data=make_conv_data,
+    description=f"3x3 valid convolution over {IN}x{IN}",
+)

@@ -1,0 +1,102 @@
+"""FFT (MachSuite fft/strided), scaled to 64 points.
+
+In-place iterative radix-2 with strided butterflies and a twiddle
+table, exactly mirroring the MachSuite kernel structure (including the
+``odd |= span`` index trick and the data-dependent twiddle branch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, WorkloadData
+
+SIZE = 64
+HALF = SIZE // 2
+
+SOURCE = f"""
+void fft(double real[{SIZE}], double img[{SIZE}],
+         double real_twid[{HALF}], double img_twid[{HALF}]) {{
+  int log = 0;
+  for (int span = {HALF}; span > 0; span = span >> 1) {{
+    for (int odd = span; odd < {SIZE}; odd++) {{
+      odd |= span;
+      int even = odd ^ span;
+
+      double temp = real[even] + real[odd];
+      real[odd] = real[even] - real[odd];
+      real[even] = temp;
+
+      temp = img[even] + img[odd];
+      img[odd] = img[even] - img[odd];
+      img[even] = temp;
+
+      int rootindex = (even << log) & {SIZE - 1};
+      if (rootindex != 0) {{
+        temp = real_twid[rootindex] * real[odd] - img_twid[rootindex] * img[odd];
+        img[odd] = real_twid[rootindex] * img[odd] + img_twid[rootindex] * real[odd];
+        real[odd] = temp;
+      }}
+    }}
+    log++;
+  }}
+}}
+"""
+
+
+def golden_fft(real: np.ndarray, img: np.ndarray,
+               real_twid: np.ndarray, img_twid: np.ndarray) -> None:
+    """Literal Python translation of the kernel (operates in place)."""
+    log = 0
+    span = HALF
+    while span > 0:
+        odd = span
+        while odd < SIZE:
+            odd |= span
+            even = odd ^ span
+
+            temp = real[even] + real[odd]
+            real[odd] = real[even] - real[odd]
+            real[even] = temp
+
+            temp = img[even] + img[odd]
+            img[odd] = img[even] - img[odd]
+            img[even] = temp
+
+            rootindex = (even << log) & (SIZE - 1)
+            if rootindex != 0:
+                temp = real_twid[rootindex] * real[odd] - img_twid[rootindex] * img[odd]
+                img[odd] = real_twid[rootindex] * img[odd] + img_twid[rootindex] * real[odd]
+                real[odd] = temp
+            odd += 1
+        span >>= 1
+        log += 1
+
+
+def make_data(rng: np.random.Generator) -> WorkloadData:
+    real = rng.uniform(-1.0, 1.0, SIZE)
+    img = rng.uniform(-1.0, 1.0, SIZE)
+    angles = -2.0 * np.pi * np.arange(HALF) / SIZE
+    real_twid = np.cos(angles)
+    img_twid = np.sin(angles)
+    golden_real = real.copy()
+    golden_img = img.copy()
+    golden_fft(golden_real, golden_img, real_twid, img_twid)
+    return WorkloadData(
+        inputs={
+            "real": real, "img": img,
+            "real_twid": real_twid, "img_twid": img_twid,
+        },
+        output_names=["real", "img"],
+        golden={"real": golden_real, "img": golden_img},
+    )
+
+
+WORKLOAD = Workload(
+    name="fft",
+    source=SOURCE,
+    func_name="fft",
+    arg_order=["real", "img", "real_twid", "img_twid"],
+    make_data=make_data,
+    description=f"{SIZE}-point in-place strided radix-2 FFT",
+)

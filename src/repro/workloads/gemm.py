@@ -1,0 +1,104 @@
+"""GEMM (MachSuite gemm/ncubed), scaled to 16x16 doubles."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, WorkloadData
+
+N = 16
+
+SOURCE = f"""
+void gemm(double m1[{N * N}], double m2[{N * N}], double prod[{N * N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    for (int j = 0; j < {N}; j++) {{
+      double sum = 0;
+      for (int k = 0; k < {N}; k++) {{
+        double mult = m1[i * {N} + k] * m2[k * {N} + j];
+        sum += mult;
+      }}
+      prod[i * {N} + j] = sum;
+    }}
+  }}
+}}
+"""
+
+
+def make_data(rng: np.random.Generator) -> WorkloadData:
+    m1 = rng.uniform(-1.0, 1.0, size=(N, N))
+    m2 = rng.uniform(-1.0, 1.0, size=(N, N))
+    prod = np.zeros((N, N))
+    golden = np.empty((N, N))
+    for i in range(N):
+        for j in range(N):
+            acc = 0.0
+            for k in range(N):
+                acc += m1[i, k] * m2[k, j]
+            golden[i, j] = acc
+    return WorkloadData(
+        inputs={"m1": m1, "m2": m2, "prod": prod},
+        output_names=["prod"],
+        golden={"prod": golden},
+    )
+
+
+WORKLOAD = Workload(
+    name="gemm",
+    source=SOURCE,
+    func_name="gemm",
+    arg_order=["m1", "m2", "prod"],
+    make_data=make_data,
+    description=f"dense {N}x{N} double matrix multiply (n-cubed)",
+)
+
+
+# ---------------------------------------------------------------------------
+# DSE variant: a smaller GEMM meant to be *fully unrolled* (the paper's
+# "N-Cubed (Fully unrolled)" configuration of Table II and the Fig. 13-15
+# design-space studies).  8x8 keeps the flattened datapath simulable in
+# seconds while still exposing hundreds of parallel memory accesses.
+N_DSE = 8
+
+SOURCE_DSE = f"""
+void gemm_dse(double m1[{N_DSE * N_DSE}], double m2[{N_DSE * N_DSE}],
+              double prod[{N_DSE * N_DSE}]) {{
+  for (int i = 0; i < {N_DSE}; i++) {{
+    for (int j = 0; j < {N_DSE}; j++) {{
+      double sum = 0;
+      for (int k = 0; k < {N_DSE}; k++) {{
+        double mult = m1[i * {N_DSE} + k] * m2[k * {N_DSE} + j];
+        sum += mult;
+      }}
+      prod[i * {N_DSE} + j] = sum;
+    }}
+  }}
+}}
+"""
+
+
+def make_data_dse(rng: np.random.Generator) -> WorkloadData:
+    m1 = rng.uniform(-1.0, 1.0, size=(N_DSE, N_DSE))
+    m2 = rng.uniform(-1.0, 1.0, size=(N_DSE, N_DSE))
+    golden = np.empty((N_DSE, N_DSE))
+    for i in range(N_DSE):
+        for j in range(N_DSE):
+            acc = 0.0
+            for k in range(N_DSE):
+                acc += m1[i, k] * m2[k, j]
+            golden[i, j] = acc
+    return WorkloadData(
+        inputs={"m1": m1, "m2": m2, "prod": np.zeros((N_DSE, N_DSE))},
+        output_names=["prod"],
+        golden={"prod": golden},
+    )
+
+
+GEMM_DSE = Workload(
+    name="gemm_dse",
+    source=SOURCE_DSE,
+    func_name="gemm_dse",
+    arg_order=["m1", "m2", "prod"],
+    make_data=make_data_dse,
+    description=f"{N_DSE}x{N_DSE} GEMM for fully-unrolled design sweeps",
+    default_unroll=N_DSE,
+)

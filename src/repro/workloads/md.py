@@ -1,0 +1,213 @@
+"""Molecular dynamics kernels (MachSuite md/knn and md/grid), scaled.
+
+MD-KNN: Lennard-Jones forces over a fixed k-nearest-neighbour list
+(32 atoms, 8 neighbours).  Heavily floating-point — the hardest timing
+case in the paper's Fig. 10.
+
+MD-Grid: all-pairs LJ interactions between particles of neighbouring
+cells on a 2x2x2 cell grid with 4 particles per cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, WorkloadData
+
+N_ATOMS = 32
+MAX_NEIGHBORS = 8
+LJ1 = 1.5
+LJ2 = 2.0
+
+SOURCE_KNN = f"""
+void md_knn(double force_x[{N_ATOMS}], double force_y[{N_ATOMS}],
+            double force_z[{N_ATOMS}],
+            double position_x[{N_ATOMS}], double position_y[{N_ATOMS}],
+            double position_z[{N_ATOMS}], int NL[{N_ATOMS * MAX_NEIGHBORS}]) {{
+  for (int i = 0; i < {N_ATOMS}; i++) {{
+    double i_x = position_x[i];
+    double i_y = position_y[i];
+    double i_z = position_z[i];
+    double fx = 0;
+    double fy = 0;
+    double fz = 0;
+    for (int j = 0; j < {MAX_NEIGHBORS}; j++) {{
+      int jidx = NL[i * {MAX_NEIGHBORS} + j];
+      double delx = i_x - position_x[jidx];
+      double dely = i_y - position_y[jidx];
+      double delz = i_z - position_z[jidx];
+      double r2inv = 1.0 / (delx * delx + dely * dely + delz * delz);
+      double r6inv = r2inv * r2inv * r2inv;
+      double potential = r6inv * ({LJ1} * r6inv - {LJ2});
+      double force = r2inv * potential;
+      fx += delx * force;
+      fy += dely * force;
+      fz += delz * force;
+    }}
+    force_x[i] = fx;
+    force_y[i] = fy;
+    force_z[i] = fz;
+  }}
+}}
+"""
+
+
+def make_data_knn(rng: np.random.Generator) -> WorkloadData:
+    pos = rng.uniform(0.0, 4.0, size=(3, N_ATOMS))
+    nl = np.zeros((N_ATOMS, MAX_NEIGHBORS), dtype=np.int32)
+    for i in range(N_ATOMS):
+        dists = np.sum((pos[:, i, None] - pos) ** 2, axis=0)
+        dists[i] = np.inf
+        nl[i] = np.argsort(dists)[:MAX_NEIGHBORS]
+    golden = np.zeros((3, N_ATOMS))
+    for i in range(N_ATOMS):
+        fx = fy = fz = 0.0
+        for j in range(MAX_NEIGHBORS):
+            jidx = int(nl[i, j])
+            delx = pos[0, i] - pos[0, jidx]
+            dely = pos[1, i] - pos[1, jidx]
+            delz = pos[2, i] - pos[2, jidx]
+            r2inv = 1.0 / (delx * delx + dely * dely + delz * delz)
+            r6inv = r2inv * r2inv * r2inv
+            potential = r6inv * (LJ1 * r6inv - LJ2)
+            force = r2inv * potential
+            fx += delx * force
+            fy += dely * force
+            fz += delz * force
+        golden[0, i], golden[1, i], golden[2, i] = fx, fy, fz
+    zeros = np.zeros(N_ATOMS)
+    return WorkloadData(
+        inputs={
+            "force_x": zeros.copy(), "force_y": zeros.copy(), "force_z": zeros.copy(),
+            "position_x": pos[0].copy(), "position_y": pos[1].copy(),
+            "position_z": pos[2].copy(), "NL": nl,
+        },
+        output_names=["force_x", "force_y", "force_z"],
+        golden={"force_x": golden[0], "force_y": golden[1], "force_z": golden[2]},
+    )
+
+
+MD_KNN = Workload(
+    name="md_knn",
+    source=SOURCE_KNN,
+    func_name="md_knn",
+    arg_order=["force_x", "force_y", "force_z",
+               "position_x", "position_y", "position_z", "NL"],
+    make_data=make_data_knn,
+    description=f"LJ forces, {N_ATOMS} atoms x {MAX_NEIGHBORS} neighbours",
+)
+
+
+# ---------------------------------------------------------------------------
+B = 2          # cells per dimension
+DENS = 4       # particles per cell
+CELLS = B * B * B
+
+SOURCE_GRID = f"""
+void md_grid(double n_points[{CELLS * DENS * 3}], double forces[{CELLS * DENS * 3}],
+             int n_valid[{CELLS}]) {{
+  for (int b0x = 0; b0x < {B}; b0x++) {{
+  for (int b0y = 0; b0y < {B}; b0y++) {{
+  for (int b0z = 0; b0z < {B}; b0z++) {{
+    int b0 = (b0x * {B} + b0y) * {B} + b0z;
+    for (int b1x = b0x - 1; b1x < b0x + 2; b1x++) {{
+    for (int b1y = b0y - 1; b1y < b0y + 2; b1y++) {{
+    for (int b1z = b0z - 1; b1z < b0z + 2; b1z++) {{
+      if (b1x >= 0 && b1x < {B} && b1y >= 0 && b1y < {B}
+          && b1z >= 0 && b1z < {B}) {{
+        int b1 = (b1x * {B} + b1y) * {B} + b1z;
+        for (int p = 0; p < {DENS}; p++) {{
+          double px = n_points[(b0 * {DENS} + p) * 3 + 0];
+          double py = n_points[(b0 * {DENS} + p) * 3 + 1];
+          double pz = n_points[(b0 * {DENS} + p) * 3 + 2];
+          double fx = 0;
+          double fy = 0;
+          double fz = 0;
+          for (int q = 0; q < {DENS}; q++) {{
+            double qx = n_points[(b1 * {DENS} + q) * 3 + 0];
+            double qy = n_points[(b1 * {DENS} + q) * 3 + 1];
+            double qz = n_points[(b1 * {DENS} + q) * 3 + 2];
+            double dx = px - qx;
+            double dy = py - qy;
+            double dz = pz - qz;
+            double r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 > 0.000001) {{
+              double r2inv = 1.0 / r2;
+              double r6inv = r2inv * r2inv * r2inv;
+              double pot = r6inv * ({LJ1} * r6inv - {LJ2});
+              double force = r2inv * pot;
+              fx += dx * force;
+              fy += dy * force;
+              fz += dz * force;
+            }}
+          }}
+          forces[(b0 * {DENS} + p) * 3 + 0] += fx;
+          forces[(b0 * {DENS} + p) * 3 + 1] += fy;
+          forces[(b0 * {DENS} + p) * 3 + 2] += fz;
+        }}
+      }}
+    }}
+    }}
+    }}
+  }}
+  }}
+  }}
+}}
+"""
+
+
+def make_data_grid(rng: np.random.Generator) -> WorkloadData:
+    points = rng.uniform(0.0, 1.0, size=(CELLS, DENS, 3))
+    # Spread cells apart so distances vary.
+    for cx in range(B):
+        for cy in range(B):
+            for cz in range(B):
+                cell = (cx * B + cy) * B + cz
+                points[cell, :, 0] += cx
+                points[cell, :, 1] += cy
+                points[cell, :, 2] += cz
+    forces = np.zeros_like(points)
+    golden = np.zeros_like(points)
+    for b0x in range(B):
+     for b0y in range(B):
+      for b0z in range(B):
+        b0 = (b0x * B + b0y) * B + b0z
+        for b1x in range(b0x - 1, b0x + 2):
+         for b1y in range(b0y - 1, b0y + 2):
+          for b1z in range(b0z - 1, b0z + 2):
+            if 0 <= b1x < B and 0 <= b1y < B and 0 <= b1z < B:
+                b1 = (b1x * B + b1y) * B + b1z
+                for p in range(DENS):
+                    px, py, pz = points[b0, p]
+                    fx = fy = fz = 0.0
+                    for q in range(DENS):
+                        qx, qy, qz = points[b1, q]
+                        dx, dy, dz = px - qx, py - qy, pz - qz
+                        r2 = dx * dx + dy * dy + dz * dz
+                        if r2 > 1e-6:
+                            r2inv = 1.0 / r2
+                            r6inv = r2inv * r2inv * r2inv
+                            pot = r6inv * (LJ1 * r6inv - LJ2)
+                            force = r2inv * pot
+                            fx += dx * force
+                            fy += dy * force
+                            fz += dz * force
+                    golden[b0, p, 0] += fx
+                    golden[b0, p, 1] += fy
+                    golden[b0, p, 2] += fz
+    n_valid = np.full(CELLS, DENS, dtype=np.int32)
+    return WorkloadData(
+        inputs={"n_points": points, "forces": forces, "n_valid": n_valid},
+        output_names=["forces"],
+        golden={"forces": golden},
+    )
+
+
+MD_GRID = Workload(
+    name="md_grid",
+    source=SOURCE_GRID,
+    func_name="md_grid",
+    arg_order=["n_points", "forces", "n_valid"],
+    make_data=make_data_grid,
+    description=f"cell-grid LJ forces, {B}^3 cells x {DENS} particles",
+)

@@ -1,0 +1,184 @@
+"""Needleman-Wunsch sequence alignment (MachSuite nw), scaled to 24-char
+sequences.
+
+Dynamic-programming matrix fill followed by traceback.  The paper notes
+NW maps much of its runtime control to MUXes; the kernel is rich in
+compare/select patterns and data-dependent branches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, WorkloadData
+
+ALEN = 24
+BLEN = 24
+MATCH = 1
+MISMATCH = -1
+GAP = -1
+
+SOURCE = f"""
+void nw(int seqA[{ALEN}], int seqB[{BLEN}], int alignedA[{ALEN + BLEN}],
+        int alignedB[{ALEN + BLEN}], int M[{(ALEN + 1) * (BLEN + 1)}],
+        int ptr[{(ALEN + 1) * (BLEN + 1)}]) {{
+  // Boundary conditions.
+  for (int a = 0; a < {ALEN + 1}; a++) {{
+    M[a * {BLEN + 1}] = a * {GAP};
+    ptr[a * {BLEN + 1}] = 2;
+  }}
+  for (int b = 0; b < {BLEN + 1}; b++) {{
+    M[b] = b * {GAP};
+    ptr[b] = 1;
+  }}
+  ptr[0] = 0;
+
+  // Matrix fill.
+  for (int i = 1; i < {ALEN + 1}; i++) {{
+    for (int j = 1; j < {BLEN + 1}; j++) {{
+      int score;
+      if (seqA[i - 1] == seqB[j - 1]) {{
+        score = {MATCH};
+      }} else {{
+        score = {MISMATCH};
+      }}
+      int row_up = (i - 1) * {BLEN + 1};
+      int row = i * {BLEN + 1};
+      int match = M[row_up + j - 1] + score;
+      int insert = M[row + j - 1] + {GAP};
+      int del = M[row_up + j] + {GAP};
+      int cell;
+      int dir;
+      if (match >= insert && match >= del) {{
+        cell = match;
+        dir = 0;
+      }} else {{
+        if (insert >= del) {{
+          cell = insert;
+          dir = 1;
+        }} else {{
+          cell = del;
+          dir = 2;
+        }}
+      }}
+      M[row + j] = cell;
+      ptr[row + j] = dir;
+    }}
+  }}
+
+  // Traceback.
+  int a_idx = {ALEN};
+  int b_idx = {BLEN};
+  int a_str = {ALEN + BLEN} - 1;
+  int b_str = {ALEN + BLEN} - 1;
+  while (a_idx > 0 || b_idx > 0) {{
+    int dir = ptr[a_idx * {BLEN + 1} + b_idx];
+    if (dir == 0) {{
+      alignedA[a_str] = seqA[a_idx - 1];
+      alignedB[b_str] = seqB[b_idx - 1];
+      a_idx--;
+      b_idx--;
+    }} else {{
+      if (dir == 1) {{
+        alignedA[a_str] = 45;
+        alignedB[b_str] = seqB[b_idx - 1];
+        b_idx--;
+      }} else {{
+        alignedA[a_str] = seqA[a_idx - 1];
+        alignedB[b_str] = 45;
+        a_idx--;
+      }}
+    }}
+    a_str--;
+    b_str--;
+  }}
+  // Pad the front with '_' (95).
+  while (a_str >= 0) {{
+    alignedA[a_str] = 95;
+    a_str--;
+  }}
+  while (b_str >= 0) {{
+    alignedB[b_str] = 95;
+    b_str--;
+  }}
+}}
+"""
+
+
+def golden_nw(seq_a: np.ndarray, seq_b: np.ndarray):
+    """Literal Python translation of the kernel."""
+    rows, cols = ALEN + 1, BLEN + 1
+    m = np.zeros((rows, cols), dtype=np.int32)
+    ptr = np.zeros((rows, cols), dtype=np.int32)
+    for a in range(rows):
+        m[a, 0] = a * GAP
+        ptr[a, 0] = 2
+    for b in range(cols):
+        m[0, b] = b * GAP
+        ptr[0, b] = 1
+    ptr[0, 0] = 0
+    for i in range(1, rows):
+        for j in range(1, cols):
+            score = MATCH if seq_a[i - 1] == seq_b[j - 1] else MISMATCH
+            match = m[i - 1, j - 1] + score
+            insert = m[i, j - 1] + GAP
+            delete = m[i - 1, j] + GAP
+            if match >= insert and match >= delete:
+                m[i, j], ptr[i, j] = match, 0
+            elif insert >= delete:
+                m[i, j], ptr[i, j] = insert, 1
+            else:
+                m[i, j], ptr[i, j] = delete, 2
+    aligned_a = np.zeros(ALEN + BLEN, dtype=np.int32)
+    aligned_b = np.zeros(ALEN + BLEN, dtype=np.int32)
+    a_idx, b_idx = ALEN, BLEN
+    a_str = b_str = ALEN + BLEN - 1
+    while a_idx > 0 or b_idx > 0:
+        direction = ptr[a_idx, b_idx]
+        if direction == 0:
+            aligned_a[a_str] = seq_a[a_idx - 1]
+            aligned_b[b_str] = seq_b[b_idx - 1]
+            a_idx -= 1
+            b_idx -= 1
+        elif direction == 1:
+            aligned_a[a_str] = 45
+            aligned_b[b_str] = seq_b[b_idx - 1]
+            b_idx -= 1
+        else:
+            aligned_a[a_str] = seq_a[a_idx - 1]
+            aligned_b[b_str] = 45
+            a_idx -= 1
+        a_str -= 1
+        b_str -= 1
+    aligned_a[: a_str + 1] = 95
+    aligned_b[: b_str + 1] = 95
+    return m, ptr, aligned_a, aligned_b
+
+
+def make_data(rng: np.random.Generator) -> WorkloadData:
+    bases = np.array([65, 67, 71, 84], dtype=np.int32)  # ACGT
+    seq_a = bases[rng.integers(0, 4, ALEN)].astype(np.int32)
+    seq_b = bases[rng.integers(0, 4, BLEN)].astype(np.int32)
+    m, ptr, aligned_a, aligned_b = golden_nw(seq_a, seq_b)
+    size = (ALEN + 1) * (BLEN + 1)
+    return WorkloadData(
+        inputs={
+            "seqA": seq_a, "seqB": seq_b,
+            "alignedA": np.zeros(ALEN + BLEN, dtype=np.int32),
+            "alignedB": np.zeros(ALEN + BLEN, dtype=np.int32),
+            "M": np.zeros(size, dtype=np.int32),
+            "ptr": np.zeros(size, dtype=np.int32),
+        },
+        output_names=["alignedA", "alignedB"],
+        golden={"alignedA": aligned_a, "alignedB": aligned_b},
+    )
+
+
+WORKLOAD = Workload(
+    name="nw",
+    source=SOURCE,
+    func_name="nw",
+    arg_order=["seqA", "seqB", "alignedA", "alignedB", "M", "ptr"],
+    make_data=make_data,
+    description=f"Needleman-Wunsch alignment of {ALEN}-char sequences",
+)

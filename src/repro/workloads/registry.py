@@ -1,0 +1,42 @@
+"""Workload registry."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.bfs import WORKLOAD as BFS
+from repro.workloads.cnn import CONV_WORKLOAD
+from repro.workloads.fft import WORKLOAD as FFT
+from repro.workloads.gemm import GEMM_DSE, WORKLOAD as GEMM
+from repro.workloads.md import MD_GRID, MD_KNN
+from repro.workloads.nw import WORKLOAD as NW
+from repro.workloads.spmv import SPMV_SHIFT, WORKLOAD as SPMV
+from repro.workloads.stencil import STENCIL2D, STENCIL3D
+
+_REGISTRY: dict[str, Workload] = {
+    w.name: w
+    for w in [
+        BFS, FFT, GEMM, GEMM_DSE, MD_KNN, MD_GRID, NW, SPMV, SPMV_SHIFT,
+        STENCIL2D, STENCIL3D, CONV_WORKLOAD,
+    ]
+}
+
+#: The eight benchmarks of the paper's Fig. 10 timing validation.
+VALIDATION_SET = [
+    "fft", "gemm", "md_knn", "md_grid", "nw", "spmv", "stencil2d", "stencil3d",
+]
+
+#: The nine benchmarks of Table IV.
+SPEED_SET = VALIDATION_SET[:]
+SPEED_SET.insert(0, "bfs")
+
+
+def get_workload(name: str) -> Workload:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown workload '{name}'; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def all_workload_names() -> list[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,145 @@
+"""SPMV over CRS (MachSuite spmv/crs), scaled to a 32-row matrix.
+
+Two variants:
+
+* ``spmv`` — the stock kernel.
+* ``spmv_shift`` — the Table I probe: a bit-shift activates only when a
+  matrix value falls inside a trigger range, so its *dynamic* execution
+  depends on the dataset.  `make_data_shift(trigger=True/False)` builds
+  datasets with/without trigger values; a trace-based simulator derives
+  different datapaths for the two, while SALAM's static CDFG is fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, WorkloadData
+
+N = 32
+MAX_NNZ = 8
+NNZ = N * MAX_NNZ  # padded CRS storage upper bound
+
+TRIGGER_LO = 0.90
+TRIGGER_HI = 0.99
+
+SOURCE = f"""
+void spmv(double val[{NNZ}], int cols[{NNZ}], int rowDelimiters[{N + 1}],
+          double vec[{N}], double out[{N}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    double sum = 0;
+    int start = rowDelimiters[i];
+    int stop = rowDelimiters[i + 1];
+    for (int j = start; j < stop; j++) {{
+      double Si = val[j] * vec[cols[j]];
+      sum += Si;
+    }}
+    out[i] = sum;
+  }}
+}}
+"""
+
+SOURCE_SHIFT = f"""
+void spmv_shift(double val[{NNZ}], int cols[{NNZ}], int rowDelimiters[{N + 1}],
+                double vec[{N}], double out[{N}], int flags[{NNZ}]) {{
+  for (int i = 0; i < {N}; i++) {{
+    double sum = 0;
+    int start = rowDelimiters[i];
+    int stop = rowDelimiters[i + 1];
+    for (int j = start; j < stop; j++) {{
+      double v = val[j];
+      int c = cols[j];
+      if (v > {TRIGGER_LO} && v < {TRIGGER_HI}) {{
+        flags[j] = c << 1;
+        sum += v;
+      }}
+      double Si = v * vec[c];
+      sum += Si;
+    }}
+    out[i] = sum;
+  }}
+}}
+"""
+
+
+def _make_crs(rng: np.random.Generator, trigger: bool):
+    nnz_per_row = rng.integers(2, MAX_NNZ + 1, size=N)
+    row_delims = np.zeros(N + 1, dtype=np.int32)
+    row_delims[1:] = np.cumsum(nnz_per_row)
+    total = int(row_delims[-1])
+    vals = rng.uniform(-0.8, 0.8, NNZ)
+    if trigger:
+        # Plant values inside the trigger window.
+        hits = rng.choice(total, size=max(1, total // 8), replace=False)
+        vals[hits] = rng.uniform(TRIGGER_LO + 0.01, TRIGGER_HI - 0.01, hits.size)
+    cols = np.zeros(NNZ, dtype=np.int32)
+    for i in range(N):
+        count = int(nnz_per_row[i])
+        cols[row_delims[i] : row_delims[i] + count] = np.sort(
+            rng.choice(N, size=count, replace=False)
+        )
+    vec = rng.uniform(-1.0, 1.0, N)
+    return vals, cols, row_delims, vec
+
+
+def make_data(rng: np.random.Generator) -> WorkloadData:
+    vals, cols, row_delims, vec = _make_crs(rng, trigger=False)
+    out = np.zeros(N)
+    golden = np.zeros(N)
+    for i in range(N):
+        acc = 0.0
+        for j in range(row_delims[i], row_delims[i + 1]):
+            acc += vals[j] * vec[cols[j]]
+        golden[i] = acc
+    return WorkloadData(
+        inputs={"val": vals, "cols": cols, "rowDelimiters": row_delims,
+                "vec": vec, "out": out},
+        output_names=["out"],
+        golden={"out": golden},
+    )
+
+
+def make_data_shift(trigger: bool):
+    def build(rng: np.random.Generator) -> WorkloadData:
+        vals, cols, row_delims, vec = _make_crs(rng, trigger=trigger)
+        out = np.zeros(N)
+        flags = np.zeros(NNZ, dtype=np.int32)
+        golden = np.zeros(N)
+        golden_flags = np.zeros(NNZ, dtype=np.int32)
+        for i in range(N):
+            acc = 0.0
+            for j in range(row_delims[i], row_delims[i + 1]):
+                v = vals[j]
+                c = int(cols[j])
+                if TRIGGER_LO < v < TRIGGER_HI:
+                    golden_flags[j] = c << 1
+                    acc += v
+                acc += v * vec[c]
+            golden[i] = acc
+        return WorkloadData(
+            inputs={"val": vals, "cols": cols, "rowDelimiters": row_delims,
+                    "vec": vec, "out": out, "flags": flags},
+            output_names=["out", "flags"],
+            golden={"out": golden, "flags": golden_flags},
+        )
+
+    return build
+
+
+WORKLOAD = Workload(
+    name="spmv",
+    source=SOURCE,
+    func_name="spmv",
+    arg_order=["val", "cols", "rowDelimiters", "vec", "out"],
+    make_data=make_data,
+    description=f"sparse matrix-vector multiply, CRS, {N} rows",
+)
+
+SPMV_SHIFT = Workload(
+    name="spmv_shift",
+    source=SOURCE_SHIFT,
+    func_name="spmv_shift",
+    arg_order=["val", "cols", "rowDelimiters", "vec", "out", "flags"],
+    make_data=make_data_shift(trigger=True),
+    description="SPMV with a data-activated shift (Table I probe)",
+)

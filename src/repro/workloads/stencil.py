@@ -1,0 +1,142 @@
+"""Stencil kernels (MachSuite stencil/stencil2d and stencil/stencil3d).
+
+Stencil2D: 3x3 filter over a 16x16 double grid.
+Stencil3D: 7-point stencil over an 8x8x8 int32 grid with boundary copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import Workload, WorkloadData
+
+ROWS = 16
+COLS = 16
+
+SOURCE_2D = f"""
+void stencil2d(double orig[{ROWS * COLS}], double sol[{ROWS * COLS}],
+               double filter[9]) {{
+  for (int r = 0; r < {ROWS - 2}; r++) {{
+    for (int c = 0; c < {COLS - 2}; c++) {{
+      double temp = 0;
+      for (int k1 = 0; k1 < 3; k1++) {{
+        for (int k2 = 0; k2 < 3; k2++) {{
+          double mul = filter[k1 * 3 + k2] * orig[(r + k1) * {COLS} + c + k2];
+          temp += mul;
+        }}
+      }}
+      sol[r * {COLS} + c] = temp;
+    }}
+  }}
+}}
+"""
+
+
+def make_data_2d(rng: np.random.Generator) -> WorkloadData:
+    orig = rng.uniform(-1.0, 1.0, (ROWS, COLS))
+    filt = rng.uniform(-1.0, 1.0, 9)
+    sol = np.zeros((ROWS, COLS))
+    golden = np.zeros((ROWS, COLS))
+    for r in range(ROWS - 2):
+        for c in range(COLS - 2):
+            temp = 0.0
+            for k1 in range(3):
+                for k2 in range(3):
+                    temp += filt[k1 * 3 + k2] * orig[r + k1, c + k2]
+            golden[r, c] = temp
+    return WorkloadData(
+        inputs={"orig": orig, "sol": sol, "filter": filt},
+        output_names=["sol"],
+        golden={"sol": golden},
+    )
+
+
+STENCIL2D = Workload(
+    name="stencil2d",
+    source=SOURCE_2D,
+    func_name="stencil2d",
+    arg_order=["orig", "sol", "filter"],
+    make_data=make_data_2d,
+    description=f"3x3 filter over a {ROWS}x{COLS} double grid",
+)
+
+
+# ---------------------------------------------------------------------------
+H, C3, R3 = 8, 8, 8  # height (slowest) x col x row
+
+SOURCE_3D = f"""
+void stencil3d(int C0, int C1, int orig[{H * C3 * R3}], int sol[{H * C3 * R3}]) {{
+  // Boundary copy: faces keep their original values.
+  for (int j = 0; j < {C3}; j++) {{
+    for (int k = 0; k < {R3}; k++) {{
+      sol[j * {R3} + k] = orig[j * {R3} + k];
+      sol[({H - 1}) * {C3 * R3} + j * {R3} + k] =
+          orig[({H - 1}) * {C3 * R3} + j * {R3} + k];
+    }}
+  }}
+  for (int i = 1; i < {H - 1}; i++) {{
+    for (int k = 0; k < {R3}; k++) {{
+      sol[i * {C3 * R3} + k] = orig[i * {C3 * R3} + k];
+      sol[i * {C3 * R3} + ({C3 - 1}) * {R3} + k] =
+          orig[i * {C3 * R3} + ({C3 - 1}) * {R3} + k];
+    }}
+    for (int j = 1; j < {C3 - 1}; j++) {{
+      sol[i * {C3 * R3} + j * {R3}] = orig[i * {C3 * R3} + j * {R3}];
+      sol[i * {C3 * R3} + j * {R3} + {R3 - 1}] =
+          orig[i * {C3 * R3} + j * {R3} + {R3 - 1}];
+    }}
+  }}
+  // Interior 7-point stencil.
+  for (int i = 1; i < {H - 1}; i++) {{
+    for (int j = 1; j < {C3 - 1}; j++) {{
+      for (int k = 1; k < {R3 - 1}; k++) {{
+        int sum0 = orig[i * {C3 * R3} + j * {R3} + k];
+        int sum1 = orig[i * {C3 * R3} + j * {R3} + k + 1]
+                 + orig[i * {C3 * R3} + j * {R3} + k - 1]
+                 + orig[i * {C3 * R3} + (j + 1) * {R3} + k]
+                 + orig[i * {C3 * R3} + (j - 1) * {R3} + k]
+                 + orig[(i + 1) * {C3 * R3} + j * {R3} + k]
+                 + orig[(i - 1) * {C3 * R3} + j * {R3} + k];
+        int mul0 = sum0 * C0;
+        int mul1 = sum1 * C1;
+        sol[i * {C3 * R3} + j * {R3} + k] = mul0 + mul1;
+      }}
+    }}
+  }}
+}}
+"""
+
+
+def make_data_3d(rng: np.random.Generator) -> WorkloadData:
+    orig = rng.integers(-100, 100, size=(H, C3, R3), dtype=np.int32)
+    sol = np.zeros((H, C3, R3), dtype=np.int32)
+    c0, c1 = 2, -1
+    golden = orig.copy()
+    interior = np.zeros_like(orig)
+    for i in range(1, H - 1):
+        for j in range(1, C3 - 1):
+            for k in range(1, R3 - 1):
+                sum0 = int(orig[i, j, k])
+                sum1 = (
+                    int(orig[i, j, k + 1]) + int(orig[i, j, k - 1])
+                    + int(orig[i, j + 1, k]) + int(orig[i, j - 1, k])
+                    + int(orig[i + 1, j, k]) + int(orig[i - 1, j, k])
+                )
+                interior[i, j, k] = np.int32(sum0 * c0 + sum1 * c1)
+    golden[1:-1, 1:-1, 1:-1] = interior[1:-1, 1:-1, 1:-1]
+    return WorkloadData(
+        inputs={"orig": orig, "sol": sol},
+        output_names=["sol"],
+        golden={"sol": golden},
+        scalars={"C0": c0, "C1": c1},
+    )
+
+
+STENCIL3D = Workload(
+    name="stencil3d",
+    source=SOURCE_3D,
+    func_name="stencil3d",
+    arg_order=["C0", "C1", "orig", "sol"],
+    make_data=make_data_3d,
+    description=f"7-point stencil over an {H}x{C3}x{R3} int32 grid",
+)

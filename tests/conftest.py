@@ -1,0 +1,30 @@
+"""Shared fixtures."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests without installation.
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.hw.default_profile import default_profile  # noqa: E402
+from repro.sim.simobject import System  # noqa: E402
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def profile():
+    return default_profile()
+
+
+@pytest.fixture
+def system():
+    return System("testsys", clock_freq_hz=1e9)

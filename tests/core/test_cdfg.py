@@ -1,0 +1,88 @@
+"""Static CDFG elaboration and FU mapping."""
+
+from repro.core.cdfg import StaticCDFG
+from repro.frontend import compile_c
+
+SRC = """
+void k(double a[16], double b[16], double c[16]) {
+  for (int i = 0; i < 16; i++) {
+    c[i] = a[i] * b[i] + a[i];
+  }
+}
+"""
+
+
+def _cdfg(fu_limits=None, unroll_factor=1):
+    module = compile_c(SRC, unroll_factor=unroll_factor)
+    return StaticCDFG(module.get_function("k"), fu_limits=fu_limits)
+
+
+def test_one_to_one_mapping_default():
+    cdfg = _cdfg()
+    assert cdfg.fu_counts["fp_mul"] == 1
+    assert cdfg.fu_counts["fp_add"] == 1
+    # Dedicated instance ids assigned per static op.
+    mul_nodes = [n for n in cdfg.nodes.values() if n.fu_class == "fp_mul"]
+    assert all(n.fu_instance is not None for n in mul_nodes)
+
+
+def test_unrolling_grows_datapath():
+    small = _cdfg()
+    big = _cdfg(unroll_factor=4)
+    assert big.fu_counts["fp_mul"] == 4 * small.fu_counts["fp_mul"]
+    assert big.register_bits > small.register_bits
+
+
+def test_fu_limits_cap_counts():
+    cdfg = _cdfg(fu_limits={"fp_mul": 2}, unroll_factor=8)
+    assert cdfg.fu_counts["fp_mul"] == 2
+    assert cdfg.static_op_counts["fp_mul"] == 8
+    # Constrained class becomes pooled: no dedicated instance ids.
+    mul_nodes = [n for n in cdfg.nodes.values() if n.fu_class == "fp_mul"]
+    assert all(n.fu_instance is None for n in mul_nodes)
+
+
+def test_limit_never_exceeds_static_count():
+    cdfg = _cdfg(fu_limits={"fp_mul": 100})
+    assert cdfg.fu_counts["fp_mul"] == 1
+
+
+def test_register_bits_counts_value_producers():
+    cdfg = _cdfg()
+    expected = sum(
+        node.inst.type.bit_width()
+        for node in cdfg.nodes.values()
+        if node.inst.produces_value
+    )
+    assert cdfg.register_bits == expected
+    assert cdfg.register_bits > 0
+
+
+def test_node_classification():
+    cdfg = _cdfg()
+    kinds = {"load": 0, "store": 0, "branch": 0, "compute": 0, "phi": 0}
+    for node in cdfg.nodes.values():
+        kinds["load"] += node.is_load
+        kinds["store"] += node.is_store
+        kinds["branch"] += node.is_branch
+        kinds["compute"] += node.is_compute
+        kinds["phi"] += node.is_phi
+    assert kinds["load"] >= 2
+    assert kinds["store"] >= 1
+    assert kinds["branch"] >= 1
+    assert kinds["phi"] >= 1
+
+
+def test_blocks_indexed_by_name():
+    cdfg = _cdfg()
+    func = cdfg.func
+    for block in func.blocks:
+        nodes = cdfg.block_nodes(block)
+        assert [n.inst for n in nodes] == block.instructions
+
+
+def test_summary_fields():
+    summary = _cdfg().summary()
+    assert summary["function"] == "k"
+    assert summary["instructions"] == _cdfg().total_instructions()
+    assert "fu_counts" in summary

@@ -1,0 +1,96 @@
+"""MMRs and the communications interface."""
+
+import struct
+
+import pytest
+
+from repro.core.comm_interface import CommInterface
+from repro.core.mmr import ARGS_OFFSET, CTRL_DONE, CTRL_IRQ_EN, CTRL_START, MMRFile
+from repro.ir.types import DOUBLE, FLOAT, I32, ptr_to
+from repro.sim.packet import read_packet, write_packet
+from repro.sim.ports import MasterPort
+
+
+def test_mmr_device_side_access(system):
+    mmr = MMRFile("mmr", system, base=0x1000_0000, num_args=4)
+    mmr.set_arg(2, 0xDEADBEEF)
+    assert mmr.arg(2) == 0xDEADBEEF
+    with pytest.raises(IndexError):
+        mmr.arg(4)
+
+
+def test_mmr_bus_write_triggers_hook(system):
+    writes = []
+    mmr = MMRFile("mmr", system, base=0x1000_0000,
+                  on_write=lambda off, val: writes.append((off, val)))
+    responses = []
+    master = MasterPort("m", recv_timing_resp=responses.append)
+    master.bind(mmr.pio)
+    master.send_timing_req(
+        write_packet(0x1000_0000 + ARGS_OFFSET, (77).to_bytes(8, "little"))
+    )
+    system.run()
+    assert writes == [(ARGS_OFFSET, 77)]
+    assert mmr.arg(0) == 77
+    assert len(responses) == 1
+
+
+def test_mmr_bus_read(system):
+    mmr = MMRFile("mmr", system, base=0x1000_0000)
+    mmr.control = CTRL_DONE
+    responses = []
+    master = MasterPort("m", recv_timing_resp=responses.append)
+    master.bind(mmr.pio)
+    master.send_timing_req(read_packet(0x1000_0000, 8))
+    system.run()
+    assert int.from_bytes(responses[0].data, "little") == CTRL_DONE
+
+
+def test_set_done_clears_start(system):
+    mmr = MMRFile("mmr", system, base=0)
+    mmr.control = CTRL_START | CTRL_IRQ_EN
+    mmr.set_done()
+    assert mmr.control & CTRL_DONE
+    assert not mmr.control & CTRL_START
+    assert mmr.control & CTRL_IRQ_EN
+
+
+def test_out_of_range_access_rejected(system):
+    mmr = MMRFile("mmr", system, base=0x1000, num_args=1)
+    master = MasterPort("m", recv_timing_resp=lambda p: None)
+    master.bind(mmr.pio)
+    with pytest.raises(ValueError):
+        master.send_functional(read_packet(0x2000, 8))
+
+
+def test_comm_interface_start_hook(system):
+    comm = CommInterface("comm", system, mmr_base=0x1000_0000)
+    started = []
+    comm.on_start(lambda: started.append(True))
+    comm.mmr._apply_write(0, CTRL_START.to_bytes(8, "little"))
+    assert started == [True]
+    # Non-control writes do not trigger.
+    comm.mmr._apply_write(ARGS_OFFSET, CTRL_START.to_bytes(8, "little"))
+    assert len(started) == 1
+
+
+def test_argument_marshalling_roundtrip(system):
+    comm = CommInterface("comm", system, mmr_base=0x1000_0000)
+    types = [ptr_to(DOUBLE), I32, DOUBLE, FLOAT]
+    values = [0x2000_0000, -5 & 0xFFFFFFFF, 3.25, 1.5]
+    for i, (type_, value) in enumerate(zip(types, values)):
+        comm.mmr.set_arg(i, CommInterface.encode_argument(value, type_))
+    decoded = comm.read_arguments(types)
+    assert decoded[0] == 0x2000_0000
+    assert decoded[1] == (-5 & 0xFFFFFFFF)
+    assert decoded[2] == 3.25
+    assert decoded[3] == 1.5
+
+
+def test_interrupt_raised_to_all_handlers(system):
+    comm = CommInterface("comm", system, mmr_base=0x1000_0000)
+    hits = []
+    comm.connect_irq(lambda: hits.append("a"))
+    comm.connect_irq(lambda: hits.append("b"))
+    comm.raise_interrupt()
+    assert hits == ["a", "b"]

@@ -1,0 +1,71 @@
+"""Pipeline trace tooling."""
+
+import numpy as np
+
+from repro.core.debug import PipelineTrace, attach_trace
+from repro.system.soc import StandaloneAccelerator
+
+SRC = """
+void axpy(double x[8], double y[8]) {
+  for (int i = 0; i < 8; i++) { y[i] = 2.0 * x[i] + y[i]; }
+}
+"""
+
+
+def _traced_run(rng):
+    acc = StandaloneAccelerator(SRC, "axpy", spm_bytes=1 << 12)
+    trace = attach_trace(acc.unit.engine)
+    x, y = rng.uniform(-1, 1, 8), rng.uniform(-1, 1, 8)
+    px, py = acc.alloc_array(x), acc.alloc_array(y)
+    acc.run([px, py])
+    out = acc.read_array(py, np.float64, 8)
+    assert np.allclose(out, 2 * x + y)
+    return trace, acc
+
+
+def test_every_issue_gets_a_commit(rng):
+    trace, acc = _traced_run(rng)
+    issued = {e.seq for e in trace.events if e.kind == "issue"}
+    committed = {e.seq for e in trace.events if e.kind == "commit"}
+    assert issued and issued == committed
+
+
+def test_commit_never_precedes_issue(rng):
+    trace, __ = _traced_run(rng)
+    for seq in {e.seq for e in trace.events}:
+        issue, commit = trace.lifetime(seq)
+        assert issue is not None and commit is not None
+        assert commit >= issue
+
+
+def test_fp_latency_visible_in_trace(rng):
+    trace, acc = _traced_run(rng)
+    fadd_latency = acc.profile.spec_for("fp_add").latency
+    fadds = [e.seq for e in trace.events if e.opcode == "fadd" and e.kind == "issue"]
+    assert fadds
+    for seq in fadds:
+        issue, commit = trace.lifetime(seq)
+        assert commit - issue == fadd_latency
+
+
+def test_memory_issues_carry_addresses(rng):
+    trace, __ = _traced_run(rng)
+    loads = [e for e in trace.events if e.opcode == "load" and e.kind == "issue"]
+    assert loads and all("addr=0x" in e.detail for e in loads)
+
+
+def test_log_and_waterfall_render(rng):
+    trace, __ = _traced_run(rng)
+    text = trace.log_text(limit=20)
+    assert "issue" in text and "commit" in text
+    art = trace.waterfall(max_rows=16)
+    assert "=" in art and "load" in art
+
+
+def test_trace_truncation():
+    trace = PipelineTrace(max_events=2)
+    for i in range(5):
+        trace.record(i, "issue", i, "add")
+    assert len(trace.events) == 2
+    assert trace.truncated
+    assert "truncated" in trace.log_text()

@@ -1,0 +1,67 @@
+"""LLVM Interface: static elaboration and static metrics."""
+
+import pytest
+
+from repro.core.config import DeviceConfig
+from repro.core.llvm_interface import LLVMInterface
+from repro.frontend import compile_c
+from repro.hw.default_profile import default_profile
+
+SRC = """
+void k(double a[8], double out[8]) {
+  for (int i = 0; i < 8; i++) { out[i] = a[i] * 2.5 + 1.0; }
+}
+"""
+
+
+def _iface(config=None, unroll=1):
+    module = compile_c(SRC, unroll_factor=unroll)
+    return LLVMInterface(module, "k", default_profile(), config or DeviceConfig())
+
+
+def test_static_metrics_positive():
+    iface = _iface()
+    assert iface.static.fu_leakage_mw > 0
+    assert iface.static.fu_area_um2 > 0
+    assert iface.static.register_bits > 0
+    assert iface.static.register_area_um2 > 0
+
+
+def test_static_metrics_scale_with_unrolling():
+    small = _iface().static
+    large = _iface(unroll=8).static
+    assert large.fu_area_um2 > small.fu_area_um2
+    assert large.fu_leakage_mw > small.fu_leakage_mw
+    assert large.register_bits > small.register_bits
+
+
+def test_fu_limits_cap_static_power():
+    unlimited = _iface(unroll=8).static
+    limited = _iface(DeviceConfig(fu_limits={"fp_mul": 1, "fp_add": 1}), unroll=8).static
+    assert limited.fu_leakage_mw < unlimited.fu_leakage_mw
+
+
+def test_latency_overrides():
+    iface = _iface(DeviceConfig(latency_overrides={"fp_add": 7}))
+    assert iface.latency_for_class("fp_add") == 7
+    assert iface.latency_for_class("fp_mul") == 3
+
+
+def test_area_report_includes_spm():
+    iface = _iface()
+    report = iface.area_report(spm_um2=12345.0)
+    assert report.spm_um2 == 12345.0
+    assert report.total_um2 == report.datapath_um2 + 12345.0
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        _iface(DeviceConfig(read_ports=0))
+    with pytest.raises(ValueError):
+        _iface(DeviceConfig(fu_limits={"fp_add": 0}))
+
+
+def test_unknown_function_rejected():
+    module = compile_c(SRC)
+    with pytest.raises(KeyError):
+        LLVMInterface(module, "missing", default_profile(), DeviceConfig())

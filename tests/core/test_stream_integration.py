@@ -1,0 +1,91 @@
+"""Accelerator <-> stream-port integration and strict ordering."""
+
+import numpy as np
+
+from repro.core.compute_unit import ComputeUnit
+from repro.core.config import DeviceConfig
+from repro.frontend import compile_c
+from repro.hw.default_profile import default_profile
+from repro.mem.stream_buffer import StreamBuffer
+from repro.mem.stream_port import StreamPort
+from repro.sim.simobject import System
+
+# Two distinct static loads popping the same stream: the ordering trap.
+PAIR_POP = """
+void pairs(double sin[1], double out[32]) {
+  for (int i = 0; i < 16; i++) {
+    double first = sin[0];
+    double second = sin[0];
+    out[2 * i] = first;
+    out[2 * i + 1] = second;
+  }
+}
+"""
+
+
+def _build(system, source, func, read_ports=2):
+    cfg = DeviceConfig(clock_freq_hz=100e6, read_ports=read_ports, write_ports=2)
+    unit = ComputeUnit(func, system, compile_c(source, func), func,
+                       default_profile(), config=cfg)
+    return unit
+
+
+def test_strict_region_preserves_pop_order():
+    system = System("s", clock_freq_hz=1e9)
+    unit = _build(system, PAIR_POP, "pairs")
+    from repro.mem.spm import Scratchpad
+
+    spm = Scratchpad("spm", system, base=0x2000_0000, size=4096, clock=unit.clock)
+    unit.attach_private_spm(spm)
+    unit.comm.add_memory_route(spm.range, spm.make_port())
+    buffer = StreamBuffer("b", system, capacity_tokens=64)
+    port = StreamPort("sp", system, buffer, base=0x9000_0000)
+    unit.comm.add_memory_route(port.range, port.port, strict=True)
+
+    tokens = np.arange(32, dtype=np.float64)
+    for value in tokens:
+        buffer.try_push(np.float64(value).tobytes())
+    unit.launch([0x9000_0000, 0x2000_0000])
+    system.run()
+    out = spm.image.read_array(0x2000_0000, np.float64, 32)
+    assert np.array_equal(out, tokens), "tokens consumed out of order"
+
+
+def test_strict_ranges_registered():
+    system = System("s")
+    unit = _build(system, PAIR_POP, "pairs")
+    buffer = StreamBuffer("b", system, capacity_tokens=4)
+    port = StreamPort("sp", system, buffer, base=0x9000_0000)
+    unit.comm.add_memory_route(port.range, port.port, strict=True)
+    assert unit.comm.memctrl.is_strict(0x9000_0000)
+    assert not unit.comm.memctrl.is_strict(0x1234)
+
+
+def test_accelerator_blocks_on_empty_stream_until_data():
+    """Execute-in-execute over a handshake: the pop stalls, data arrives
+    later, the kernel completes with the right value."""
+    system = System("s", clock_freq_hz=1e9)
+    source = """
+    void take1(double sin[1], double out[1]) {
+      out[0] = sin[0] * 2.0;
+    }
+    """
+    unit = _build(system, source, "take1")
+    from repro.mem.spm import Scratchpad
+
+    spm = Scratchpad("spm", system, base=0x2000_0000, size=256, clock=unit.clock)
+    unit.attach_private_spm(spm)
+    unit.comm.add_memory_route(spm.range, spm.make_port())
+    buffer = StreamBuffer("b", system, capacity_tokens=4)
+    port = StreamPort("sp", system, buffer, base=0x9000_0000)
+    unit.comm.add_memory_route(port.range, port.port, strict=True)
+
+    unit.launch([0x9000_0000, 0x2000_0000])
+    # Deliver the token only after 100 cycles.
+    system.eventq.schedule_callback(
+        lambda: buffer.try_push(np.float64(21.0).tobytes()),
+        system.clock.cycles_to_ticks(100),
+    )
+    system.run()
+    assert spm.image.read_array(0x2000_0000, np.float64, 1)[0] == 42.0
+    assert unit.engine.total_cycles >= 100 // 10  # waited at 100 MHz

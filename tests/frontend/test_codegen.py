@@ -1,0 +1,224 @@
+"""Codegen semantics: compiled mini-C must compute what C computes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import CodegenError, compile_c
+from repro.ir.interpreter import Interpreter
+from repro.ir.memory import MemoryImage
+from repro.ir.semantics import to_signed
+from repro.ir.types import I32
+
+
+def run(source, func, args=(), arrays=None, read_back=None):
+    """Compile + interpret; optionally stage arrays and read results."""
+    module = compile_c(source, func)
+    mem = MemoryImage(1 << 16, base=0x1000)
+    staged = {}
+    final_args = []
+    for arg in args:
+        if isinstance(arg, np.ndarray):
+            addr = mem.alloc_array(arg)
+            staged[id(arg)] = addr
+            final_args.append(addr)
+        else:
+            final_args.append(arg)
+    result = Interpreter(module, mem).run(func, final_args)
+    if read_back is not None:
+        array = read_back
+        return mem.read_array(staged[id(array)], array.dtype, array.size)
+    return result.return_value
+
+
+def signed(value):
+    return to_signed(value, I32)
+
+
+# -- arithmetic ------------------------------------------------------------
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+@settings(max_examples=30)
+def test_int_arith(a, b):
+    src = "int f(int a, int b) { return a * 3 - b / 2 + (a % 7); }"
+    expected = a * 3 - int(b / 2) + int(np.fmod(a, 7))
+    assert signed(run(src, "f", [a & 0xFFFFFFFF, b & 0xFFFFFFFF])) == expected
+
+
+@given(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6))
+@settings(max_examples=30)
+def test_double_arith(a, b):
+    src = "double f(double a, double b) { return a * b - a / 2.0 + 1.5; }"
+    assert run(src, "f", [a, b]) == a * b - a / 2.0 + 1.5
+
+
+def test_unsigned_division():
+    src = "unsigned int f(unsigned int a, unsigned int b) { return a / b; }"
+    assert run(src, "f", [0xFFFFFFF0, 16]) == 0xFFFFFFF0 // 16
+
+
+def test_shift_semantics():
+    src = "int f(int a) { return (a << 4) >> 2; }"
+    assert signed(run(src, "f", [-8 & 0xFFFFFFFF])) == (-8 << 4) >> 2
+
+
+def test_unary_ops():
+    assert signed(run("int f(int a) { return -a; }", "f", [5])) == -5
+    assert run("int f(int a) { return !a; }", "f", [5]) == 0
+    assert run("int f(int a) { return !a; }", "f", [0]) == 1
+    assert signed(run("int f(int a) { return ~a; }", "f", [5])) == ~5
+
+
+def test_comparisons_and_logic():
+    src = "int f(int a, int b) { return (a > b && a > 0) || b == 7; }"
+    assert run(src, "f", [5, 3]) == 1
+    assert run(src, "f", [1, 7]) == 1
+    assert run(src, "f", [0, 3]) == 0
+
+
+def test_ternary():
+    src = "int f(int a) { return a > 10 ? 100 : 200; }"
+    assert run(src, "f", [11]) == 100
+    assert run(src, "f", [10]) == 200
+
+
+def test_compound_assignment():
+    src = "int f(int a) { a += 3; a *= 2; a -= 1; a /= 3; return a; }"
+    assert run(src, "f", [6]) == ((6 + 3) * 2 - 1) // 3
+
+
+def test_pre_post_increment():
+    src = "int f() { int i = 5; int a = i++; int b = ++i; return a * 100 + b * 10 + i; }"
+    assert run(src, "f") == 5 * 100 + 7 * 10 + 7
+
+
+def test_mixed_int_double_promotion():
+    src = "double f(int a, double b) { return a + b * 2; }"
+    assert run(src, "f", [3, 1.5]) == 6.0
+
+
+def test_float_vs_double_precision():
+    src = "float f() { return 0.1f + 0.2f; }"
+    result = run(src, "f")
+    assert result == np.float32(np.float32(0.1) + np.float32(0.2))
+
+
+def test_int_to_double_conversion_in_condition():
+    src = "int f(double x) { if (x) { return 1; } return 0; }"
+    assert run(src, "f", [0.5]) == 1
+    assert run(src, "f", [0.0]) == 0
+
+
+def test_arrays_and_pointers():
+    data = np.arange(16, dtype=np.int32)
+    src = "int f(int a[16]) { int *p = a + 4; return p[1] + *p + a[0]; }"
+    assert run(src, "f", [data]) == 5 + 4 + 0
+
+
+def test_local_2d_array():
+    src = """
+    int f() {
+      int m[3][4];
+      for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 4; j++) { m[i][j] = i * 10 + j; }
+      }
+      return m[2][3];
+    }
+    """
+    assert run(src, "f") == 23
+
+
+def test_2d_array_param():
+    grid = np.arange(32, dtype=np.float64).reshape(4, 8)
+    src = "double f(double g[4][8]) { return g[2][5]; }"
+    assert run(src, "f", [grid]) == 21.0
+
+
+def test_write_through_param(rng):
+    data = np.zeros(8, dtype=np.float64)
+    src = "void f(double out[8]) { for (int i = 0; i < 8; i++) { out[i] = i * 0.5; } }"
+    result = run(src, "f", [data], read_back=data)
+    assert np.allclose(result, np.arange(8) * 0.5)
+
+
+def test_math_builtins():
+    src = "double f(double x) { return sqrt(x) + pow(2.0, 3.0) + fmax(x, 100.0); }"
+    assert run(src, "f", [25.0]) == 5.0 + 8.0 + 100.0
+
+
+def test_min_max_lowered_to_select():
+    src = "int f(int a, int b) { return min(a, b) * 100 + max(a, b); }"
+    assert run(src, "f", [3, 9]) == 309
+
+
+def test_break_continue():
+    src = """
+    int f() {
+      int s = 0;
+      for (int i = 0; i < 100; i++) {
+        if (i % 2 == 0) { continue; }
+        if (i > 10) { break; }
+        s += i;
+      }
+      return s;
+    }
+    """
+    assert run(src, "f") == 1 + 3 + 5 + 7 + 9
+
+
+def test_while_and_do_while():
+    src = """
+    int f(int n) {
+      int i = 0;
+      while (i * i < n) { i++; }
+      int j = 0;
+      do { j++; } while (j < 3);
+      return i * 10 + j;
+    }
+    """
+    assert run(src, "f", [17]) == 53
+
+
+def test_scoping_and_shadowing():
+    src = """
+    int f() {
+      int x = 1;
+      { int x = 2; { int x = 3; } }
+      return x;
+    }
+    """
+    assert run(src, "f") == 1
+
+
+def test_char_type_width():
+    src = "int f() { char c = 200; return c; }"  # i8 wraps: 200 -> -56
+    assert signed(run(src, "f")) == to_signed(200, __import__("repro.ir.types", fromlist=["I8"]).I8)
+
+
+def test_undeclared_identifier():
+    with pytest.raises(CodegenError):
+        compile_c("int f() { return nope; }")
+
+
+def test_call_unknown_function():
+    with pytest.raises(CodegenError):
+        compile_c("int f() { return g(1); }")
+
+
+def test_break_outside_loop():
+    with pytest.raises(CodegenError):
+        compile_c("void f() { break; }")
+
+
+def test_return_value_from_void():
+    with pytest.raises(CodegenError):
+        compile_c("void f() { return 1; }")
+
+
+def test_assign_to_rvalue():
+    with pytest.raises(CodegenError):
+        compile_c("void f(int a) { (a + 1) = 2; }")
+
+
+def test_missing_return_defaults_to_zero():
+    assert run("int f() { }", "f") == 0

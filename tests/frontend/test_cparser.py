@@ -1,0 +1,135 @@
+"""Mini-C parser: AST structure and error reporting."""
+
+import pytest
+
+from repro.frontend import c_ast as ast
+from repro.frontend.parser import CParseError, parse_c
+
+
+def _one_function(source):
+    unit = parse_c(source)
+    assert len(unit.functions) == 1
+    return unit.functions[0]
+
+
+def test_function_signature():
+    f = _one_function("double f(double a[16], int n, float *p) { return 0; }")
+    assert f.name == "f"
+    assert f.return_type.base == "double"
+    assert [p.name for p in f.params] == ["a", "n", "p"]
+    assert f.params[0].type.pointers == 1       # array param decays
+    assert f.params[2].type.pointers == 1
+
+
+def test_multidim_array_param_keeps_inner_dims():
+    f = _one_function("void f(double a[8][16]) { }")
+    assert f.params[0].type.pointers == 1
+    assert f.params[0].type.array_dims == [16]
+
+
+def test_operator_precedence():
+    f = _one_function("int f() { return 1 + 2 * 3; }")
+    ret = f.body.body[0]
+    assert isinstance(ret.value, ast.BinOp) and ret.value.op == "+"
+    assert isinstance(ret.value.rhs, ast.BinOp) and ret.value.rhs.op == "*"
+
+
+def test_comparison_binds_looser_than_shift():
+    f = _one_function("int f(int a) { return a << 1 < 8; }")
+    expr = f.body.body[0].value
+    assert expr.op == "<"
+    assert expr.lhs.op == "<<"
+
+
+def test_ternary():
+    f = _one_function("int f(int a) { return a > 0 ? a : -a; }")
+    expr = f.body.body[0].value
+    assert isinstance(expr, ast.Conditional)
+
+
+def test_for_loop_parts():
+    f = _one_function("void f() { for (int i = 0; i < 4; i++) { } }")
+    loop = f.body.body[0]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.init, ast.VarDecl)
+    assert isinstance(loop.cond, ast.BinOp)
+    assert isinstance(loop.step, ast.IncDec)
+
+
+def test_for_loop_empty_parts():
+    f = _one_function("void f() { for (;;) { break; } }")
+    loop = f.body.body[0]
+    assert loop.init is None and loop.cond is None and loop.step is None
+
+
+def test_pragma_attaches_to_next_loop():
+    source = """
+    void f() {
+      #pragma unroll 4
+      for (int i = 0; i < 8; i++) { }
+      for (int j = 0; j < 8; j++) { }
+    }
+    """
+    f = _one_function(source)
+    first, second = f.body.body
+    assert first.unroll == 4
+    assert second.unroll is None
+
+
+def test_pragma_unroll_full():
+    f = _one_function("void f() {\n#pragma unroll\nfor (int i = 0; i < 8; i++) { } }")
+    assert f.body.body[0].unroll == 0
+
+
+def test_if_else_chain():
+    f = _one_function("int f(int a) { if (a > 0) return 1; else if (a < 0) return -1; else return 0; }")
+    stmt = f.body.body[0]
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.otherwise, ast.If)
+
+
+def test_do_while():
+    f = _one_function("void f() { do { } while (0); }")
+    assert isinstance(f.body.body[0], ast.DoWhile)
+
+
+def test_multi_declarator():
+    f = _one_function("void f() { int a = 1, b = 2; }")
+    compound = f.body.body[0]
+    assert isinstance(compound, ast.Compound)
+    assert [d.name for d in compound.body] == ["a", "b"]
+
+
+def test_index_chain():
+    f = _one_function("int f(int a[4][4]) { return a[1][2]; }")
+    expr = f.body.body[0].value
+    assert isinstance(expr, ast.IndexExpr)
+    assert isinstance(expr.base, ast.IndexExpr)
+
+
+def test_cast_expression():
+    f = _one_function("double f(int a) { return (double)a / 2; }")
+    expr = f.body.body[0].value
+    assert expr.op == "/"
+    assert isinstance(expr.lhs, ast.CastExpr)
+
+
+def test_parenthesized_not_cast():
+    f = _one_function("int f(int a) { return (a) + 1; }")
+    expr = f.body.body[0].value
+    assert isinstance(expr.lhs, ast.Ident)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "int f( { }",
+        "int f() { return 1 }",       # missing semicolon
+        "int f() { for int i; }",
+        "int f() { 1 +; }",
+        "int () { }",                 # missing name
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(CParseError):
+        parse_c(bad)

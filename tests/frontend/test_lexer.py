@@ -1,0 +1,68 @@
+"""Mini-C lexer."""
+
+import pytest
+
+from repro.frontend.lexer import Lexer, LexerError
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in Lexer(source).tokens if t.kind != "eof"]
+
+
+def test_basic_tokens():
+    assert kinds("int x = 42;") == [
+        ("keyword", "int"), ("ident", "x"), ("op", "="), ("int", "42"), ("punct", ";"),
+    ]
+
+
+def test_float_literals():
+    tokens = Lexer("1.5 2e3 3.25f .5").tokens
+    values = [t.value for t in tokens if t.kind == "float"]
+    assert values == [1.5, 2000.0, 3.25, 0.5]
+
+
+def test_hex_literal():
+    token = Lexer("0xFF").tokens[0]
+    assert token.kind == "int" and token.value == 255
+
+
+def test_maximal_munch_operators():
+    assert [t.text for t in Lexer("a<<=b<=c<d++").tokens[:-1]] == [
+        "a", "<<=", "b", "<=", "c", "<", "d", "++",
+    ]
+
+
+def test_comments_stripped():
+    source = """
+    int a; // line comment
+    /* block
+       comment */ int b;
+    """
+    assert [t.text for t in Lexer(source).tokens if t.kind == "ident"] == ["a", "b"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexerError):
+        Lexer("/* never ends")
+
+
+def test_pragma_extraction():
+    tokens = Lexer("#pragma unroll 4\nfor").tokens
+    assert tokens[0].kind == "pragma"
+    assert tokens[0].text == "unroll 4"
+    assert tokens[1].text == "for"
+
+
+def test_other_directives_ignored():
+    tokens = Lexer('#include "foo.h"\nint x;').tokens
+    assert tokens[0].kind == "keyword"
+
+
+def test_line_numbers():
+    tokens = Lexer("a\nb\n\nc").tokens
+    assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+def test_unexpected_character():
+    with pytest.raises(LexerError):
+        Lexer("int $bad;")

@@ -1,0 +1,135 @@
+"""HLS scheduler, RTL reference, FPGA platform model."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DeviceConfig
+from repro.frontend import compile_c
+from repro.hls import (
+    FPGAPlatformModel,
+    hls_cycle_estimate,
+    rtl_area_reference,
+    rtl_power_reference,
+)
+from repro.hw.power import AreaReport, PowerReport
+from repro.ir.memory import MemoryImage
+from repro.system.soc import StandaloneAccelerator
+from repro.workloads import get_workload
+
+
+def _estimate(workload_name, config=None, seed=7):
+    w = get_workload(workload_name)
+    module = compile_c(w.source, w.func_name)
+    data = w.make_data(np.random.default_rng(seed))
+    mem = MemoryImage(1 << 17, base=0x10000)
+    args = []
+    for name in w.arg_order:
+        if name in data.inputs:
+            args.append(mem.alloc_array(np.ascontiguousarray(data.inputs[name])))
+        else:
+            args.append(data.scalars[name])
+    from repro.hw.default_profile import default_profile
+
+    return hls_cycle_estimate(module, w.func_name, args, mem,
+                              default_profile(), config or DeviceConfig())
+
+
+def test_schedule_has_blocks_and_visits():
+    sched = _estimate("gemm")
+    assert sched.total_cycles > 0
+    assert sched.blocks
+    assert sum(sched.block_visits.values()) > 0
+    for block in sched.blocks.values():
+        assert block.latency >= 1
+        assert block.ii >= 1
+        assert block.control_delay >= 1
+
+
+def test_resource_limits_raise_estimate():
+    free = _estimate("gemm")
+    limited = _estimate("gemm", DeviceConfig(read_ports=1, write_ports=1))
+    assert limited.total_cycles >= free.total_cycles
+
+
+def test_estimate_tracks_simulation_within_tolerance(rng):
+    """The Fig. 10 relationship: SALAM vs the HLS reference within ~10%
+    per benchmark on the default configuration."""
+    for name in ("gemm", "fft", "stencil2d"):
+        w = get_workload(name)
+        acc = StandaloneAccelerator(w.source, w.func_name, memory="spm",
+                                    spm_bytes=1 << 16)
+        data = w.make_data(np.random.default_rng(7))
+        args, __ = w.stage(acc, data)
+        measured = acc.run(args).cycles
+        estimated = _estimate(name).total_cycles
+        error = abs(measured - estimated) / estimated
+        assert error < 0.10, f"{name}: salam={measured} hls={estimated}"
+
+
+def test_cosimulation_is_side_effect_free():
+    w = get_workload("fft")
+    module = compile_c(w.source, w.func_name)
+    data = w.make_data(np.random.default_rng(7))
+    mem = MemoryImage(1 << 17, base=0x10000)
+    args = [mem.alloc_array(np.ascontiguousarray(data.inputs[n])) for n in w.arg_order]
+    before = mem.read(mem.base, 1 << 17)
+    from repro.hw.default_profile import default_profile
+
+    hls_cycle_estimate(module, w.func_name, args, mem, default_profile())
+    assert mem.read(mem.base, 1 << 17) == before
+
+
+# -- RTL reference ----------------------------------------------------------
+def _sample_power():
+    return PowerReport(
+        runtime_ns=10000.0, fu_dynamic_pj=5000.0, register_dynamic_pj=800.0,
+        spm_read_pj=1000.0, spm_write_pj=500.0,
+        fu_leakage_mw=0.4, register_leakage_mw=0.05, spm_leakage_mw=0.1,
+    )
+
+
+def test_rtl_power_reference_slightly_above_model(profile):
+    salam = _sample_power()
+    regular = rtl_power_reference(salam, {"fp_add": 4, "fp_mul": 4})
+    assert regular > salam.total_mw
+    assert regular < salam.total_mw * 1.15  # single-digit-% overhead
+
+
+def test_irregular_datapaths_show_larger_power_gap(profile):
+    salam = _sample_power()
+    regular = rtl_power_reference(salam, {"fp_add": 8, "fp_mul": 8})
+    irregular = rtl_power_reference(salam, {"mux": 8, "fp_cmp": 6, "fp_div": 2})
+    assert irregular > regular  # the paper's MD/NW observation
+
+
+def test_rtl_area_reference_adds_interconnect(profile):
+    area = AreaReport(functional_units_um2=50000.0, registers_um2=10000.0)
+    ref = rtl_area_reference(area, {"fp_add": 8, "fp_mul": 8}, 4096, profile)
+    assert ref > area.total_um2
+    assert ref < area.total_um2 * 1.25
+
+
+# -- FPGA platform model --------------------------------------------------------
+def test_fpga_compute_time_scales_with_cycles():
+    fpga = FPGAPlatformModel()
+    assert fpga.compute_time_us(20000) == pytest.approx(2 * fpga.compute_time_us(10000))
+
+
+def test_fp_penalty_applies():
+    fpga = FPGAPlatformModel()
+    assert fpga.compute_time_us(10000, fp_fraction=1.0) > fpga.compute_time_us(10000)
+
+
+def test_bulk_transfer_decomposition():
+    fpga = FPGAPlatformModel()
+    result = fpga.run(hls_cycles=10000, bytes_in=4096, bytes_out=4096)
+    assert result.compute_us > 0
+    assert result.bulk_transfer_us > fpga.dma_setup_us * 2
+    assert result.total_us == result.compute_us + result.bulk_transfer_us
+
+
+def test_larger_transfers_cost_more():
+    fpga = FPGAPlatformModel()
+    small = fpga.bulk_transfer_us(1024, 1024)
+    large = fpga.bulk_transfer_us(65536, 65536)
+    assert large > small

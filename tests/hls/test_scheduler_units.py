@@ -1,0 +1,83 @@
+"""HLS block scheduler unit-level behaviour."""
+
+from repro.core.config import DeviceConfig
+from repro.frontend import compile_c
+from repro.hls.scheduler import _schedule_block
+from repro.hw.default_profile import default_profile
+
+
+def _block_schedules(source, func="f", config=None, unroll=1):
+    module = compile_c(source, func, unroll_factor=unroll)
+    profile = default_profile()
+    config = config or DeviceConfig()
+    return {
+        block.name: _schedule_block(block, profile, config, 2, 1)
+        for block in module.get_function(func).blocks
+    }
+
+
+def test_chain_latency_accumulates():
+    # a*b then +c then *d: three dependent FP ops at 3 cycles each.
+    src = "double f(double a, double b, double c, double d) { return (a * b + c) * d; }"
+    schedules = _block_schedules(src)
+    entry = next(iter(schedules.values()))
+    assert entry.latency >= 9
+
+
+def test_independent_ops_overlap():
+    src_dependent = "double f(double a, double b) { return ((a * b) * a) * b; }"
+    src_parallel = "double f(double a, double b) { return (a * a) * (b * b); }"
+    dep = next(iter(_block_schedules(src_dependent).values())).latency
+    par = next(iter(_block_schedules(src_parallel).values())).latency
+    assert par < dep
+
+
+def test_port_constraint_lengthens_schedule():
+    src = """
+    double f(double p[8]) {
+      return p[0] + p[1] + p[2] + p[3] + p[4] + p[5] + p[6] + p[7];
+    }
+    """
+    free = _block_schedules(src, config=DeviceConfig(read_ports=8))
+    tight = _block_schedules(src, config=DeviceConfig(read_ports=1))
+    assert next(iter(tight.values())).latency > next(iter(free.values())).latency
+
+
+def test_fu_limit_raises_resource_ii():
+    src = """
+    void f(double a[16], double out[16]) {
+      for (int i = 0; i < 16; i++) { out[i] = a[i] * 2.0; }
+    }
+    """
+    free = _block_schedules(src, unroll=8)
+    limited = _block_schedules(
+        src, unroll=8, config=DeviceConfig(fu_limits={"fp_mul": 1})
+    )
+    free_ii = max(s.resource_ii for s in free.values())
+    limited_ii = max(s.resource_ii for s in limited.values())
+    assert limited_ii > free_ii
+
+
+def test_loop_recurrence_ii_reflects_accumulator():
+    src = """
+    double f(double a[32]) {
+      double s = 0;
+      for (int i = 0; i < 32; i++) { s += a[i]; }
+      return s;
+    }
+    """
+    schedules = _block_schedules(src)
+    loop_blocks = [s for name, s in schedules.items() if "loop" in name]
+    # The fadd accumulation chain (latency 3) bounds the recurrence.
+    assert any(s.recurrence_ii >= 3 for s in loop_blocks)
+
+
+def test_control_delay_includes_condition_path():
+    src = """
+    void f(int a[8]) {
+      for (int i = 0; i < 8; i++) { a[i] = i; }
+    }
+    """
+    schedules = _block_schedules(src)
+    loop = [s for name, s in schedules.items() if "loop.body" in name or "latch" in name]
+    assert any(s.control_delay >= 2 for s in loop)  # add + icmp + fetch

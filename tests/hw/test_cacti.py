@@ -1,0 +1,67 @@
+"""Analytical SRAM model: scaling-law properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw.cacti import SRAMConfig, cacti_model
+
+sizes = st.sampled_from([256, 512, 1024, 4096, 16384, 65536, 262144])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SRAMConfig(size_bytes=0)
+    with pytest.raises(ValueError):
+        SRAMConfig(size_bytes=1024, read_ports=0)
+    with pytest.raises(ValueError):
+        SRAMConfig(size_bytes=1024, banks=0)
+
+
+@given(sizes)
+def test_all_metrics_positive(size):
+    m = cacti_model(SRAMConfig(size_bytes=size))
+    assert m.area_um2 > 0
+    assert m.leakage_mw > 0
+    assert m.read_energy_pj > 0
+    assert m.write_energy_pj > m.read_energy_pj  # writes cost more
+    assert m.access_latency_cycles >= 1
+
+
+@given(sizes)
+def test_area_and_leakage_grow_with_capacity(size):
+    small = cacti_model(SRAMConfig(size_bytes=size))
+    large = cacti_model(SRAMConfig(size_bytes=size * 4))
+    assert large.area_um2 > small.area_um2
+    assert large.leakage_mw > small.leakage_mw
+    assert large.read_energy_pj > small.read_energy_pj
+
+
+@given(sizes)
+def test_extra_ports_cost_area_and_energy(size):
+    single = cacti_model(SRAMConfig(size_bytes=size, read_ports=1, write_ports=1))
+    multi = cacti_model(SRAMConfig(size_bytes=size, read_ports=4, write_ports=2))
+    assert multi.area_um2 > single.area_um2
+    assert multi.read_energy_pj > single.read_energy_pj
+
+
+@given(sizes)
+def test_banking_reduces_access_energy(size):
+    flat = cacti_model(SRAMConfig(size_bytes=size, banks=1))
+    banked = cacti_model(SRAMConfig(size_bytes=size, banks=8))
+    assert banked.read_energy_pj < flat.read_energy_pj
+    assert banked.area_um2 > flat.area_um2  # overhead
+
+
+def test_latency_grows_with_bank_size():
+    small = cacti_model(SRAMConfig(size_bytes=4096))
+    huge = cacti_model(SRAMConfig(size_bytes=1 << 20))
+    assert huge.access_latency_cycles > small.access_latency_cycles
+
+
+def test_representative_4kb_spm_in_cacti_range():
+    m = cacti_model(SRAMConfig(size_bytes=4096, word_bytes=8))
+    # CACTI 6.5 at 40nm reports roughly 1-10 pJ/access and 0.01-0.1 mm^2
+    # for this point; our analytical stand-in must land in that decade.
+    assert 0.5 < m.read_energy_pj < 20
+    assert 10_000 < m.area_um2 < 200_000

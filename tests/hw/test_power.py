@@ -1,0 +1,64 @@
+"""Power/area report aggregation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw.power import AreaReport, PowerReport
+
+energies = st.floats(min_value=0, max_value=1e9)
+mw = st.floats(min_value=0, max_value=1e3)
+
+
+def _report(runtime=1000.0):
+    return PowerReport(
+        runtime_ns=runtime,
+        fu_dynamic_pj=500.0,
+        register_dynamic_pj=100.0,
+        spm_read_pj=200.0,
+        spm_write_pj=100.0,
+        fu_leakage_mw=0.3,
+        register_leakage_mw=0.1,
+        spm_leakage_mw=0.2,
+    )
+
+
+def test_pj_per_ns_is_mw():
+    r = _report(runtime=1000.0)
+    assert r.fu_dynamic_mw == 0.5
+    assert r.dynamic_mw == pytest.approx(0.9)
+    assert r.static_mw == pytest.approx(0.6)
+    assert r.total_mw == pytest.approx(1.5)
+
+
+def test_zero_runtime_means_no_dynamic_power():
+    r = _report(runtime=0.0)
+    assert r.dynamic_mw == 0.0
+    assert r.static_mw > 0
+
+
+def test_breakdown_sums_to_total():
+    r = _report()
+    assert sum(r.breakdown().values()) == pytest.approx(r.total_mw)
+
+
+def test_breakdown_percent_sums_to_100():
+    r = _report()
+    assert sum(r.breakdown_percent().values()) == pytest.approx(100.0)
+
+
+@given(energies, energies, mw, mw)
+def test_merge_adds_energy_and_leakage(e1, e2, l1, l2):
+    a = PowerReport(runtime_ns=100.0, fu_dynamic_pj=e1, fu_leakage_mw=l1)
+    b = PowerReport(runtime_ns=200.0, fu_dynamic_pj=e2, fu_leakage_mw=l2)
+    merged = a.merged(b)
+    assert merged.fu_dynamic_pj == e1 + e2
+    assert merged.fu_leakage_mw == l1 + l2
+    assert merged.runtime_ns == 200.0  # parallel: the longer runtime
+
+
+def test_area_report():
+    a = AreaReport(functional_units_um2=1000.0, registers_um2=500.0, spm_um2=2000.0)
+    assert a.datapath_um2 == 1500.0
+    assert a.total_um2 == 3500.0
+    assert a.total_mm2 == pytest.approx(0.0035)

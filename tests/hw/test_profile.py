@@ -1,0 +1,118 @@
+"""Hardware profile and FU-class mapping."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.hw.default_profile import default_profile
+from repro.hw.profile import (
+    FU_NONE,
+    FunctionalUnitSpec,
+    HardwareProfile,
+    fu_class_for,
+)
+from repro.ir.instructions import (
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Select,
+    Store,
+)
+from repro.ir.module import BasicBlock
+from repro.ir.types import DOUBLE, I1, I32, I64, ptr_to
+from repro.ir.values import Constant
+
+
+def c32(v):
+    return Constant(I32, v)
+
+
+def cd(v):
+    return Constant(DOUBLE, v)
+
+
+@pytest.mark.parametrize(
+    "make,expected",
+    [
+        (lambda: BinaryOp("fadd", cd(1), cd(2)), "fp_add"),
+        (lambda: BinaryOp("fsub", cd(1), cd(2)), "fp_add"),
+        (lambda: BinaryOp("fmul", cd(1), cd(2)), "fp_mul"),
+        (lambda: BinaryOp("fdiv", cd(1), cd(2)), "fp_div"),
+        (lambda: BinaryOp("add", c32(1), c32(2)), "int_add"),
+        (lambda: BinaryOp("mul", c32(1), c32(2)), "int_mul"),
+        (lambda: BinaryOp("sdiv", c32(1), c32(2)), "int_div"),
+        (lambda: BinaryOp("and", c32(1), c32(2)), "bitwise"),
+        (lambda: BinaryOp("shl", c32(1), c32(2)), "shifter"),
+        (lambda: ICmp("slt", c32(1), c32(2)), "int_add"),
+        (lambda: FCmp("olt", cd(1), cd(2)), "fp_cmp"),
+        (lambda: Select(Constant(I1, 1), c32(1), c32(2)), "mux"),
+        (lambda: Cast("sitofp", c32(1), DOUBLE), "converter"),
+        (lambda: Cast("sext", c32(1), I64), FU_NONE),
+        (lambda: Load(Constant(ptr_to(I32), 0)), FU_NONE),
+        (lambda: Store(c32(1), Constant(ptr_to(I32), 0)), FU_NONE),
+        (lambda: Branch(BasicBlock("b")), FU_NONE),
+        (lambda: GetElementPtr(Constant(ptr_to(I32), 0), [Constant(I64, 1)]), "int_add"),
+        (lambda: Call("sqrt", DOUBLE, [cd(4.0)]), "fp_special"),
+        (lambda: Call("fmin", DOUBLE, [cd(1.0), cd(2.0)]), "fp_cmp"),
+    ],
+)
+def test_fu_class_mapping(make, expected):
+    assert fu_class_for(make()) == expected
+
+
+def test_default_profile_covers_all_classes():
+    profile = default_profile()
+    module = compile_c(
+        """
+        double k(double a, double b, int i, int j) {
+          double x = a * b + a / b - sqrt(a);
+          int y = (i * j) / (i + 1) ^ (j << 2);
+          return x + y + (i > j ? a : b);
+        }
+        """,
+        "k",
+    )
+    for inst in module.get_function("k").instructions():
+        fu_class = fu_class_for(inst)
+        if fu_class != FU_NONE:
+            spec = profile.spec_for(fu_class)
+            assert spec.latency >= 0
+            assert spec.area_um2 > 0
+            assert spec.dynamic_energy_pj > 0
+
+
+def test_fp_units_are_three_stage():
+    profile = default_profile()
+    assert profile.spec_for("fp_add").latency == 3
+    assert profile.spec_for("fp_mul").latency == 3
+    assert profile.spec_for("fp_div").latency > profile.spec_for("fp_mul").latency
+    assert not profile.spec_for("fp_div").pipelined
+
+
+def test_unknown_class_raises():
+    profile = default_profile()
+    with pytest.raises(KeyError):
+        profile.spec_for("warp_drive")
+
+
+def test_spec_for_none_is_none():
+    assert default_profile().spec_for(FU_NONE) is None
+
+
+def test_with_unit_override():
+    profile = default_profile()
+    fast_add = FunctionalUnitSpec("fp_add", latency=1, area_um2=1.0,
+                                  leakage_mw=0.1, dynamic_energy_pj=1.0)
+    modified = profile.with_unit(fast_add)
+    assert modified.spec_for("fp_add").latency == 1
+    assert profile.spec_for("fp_add").latency == 3  # original untouched
+
+
+def test_with_latency():
+    spec = default_profile().spec_for("fp_add")
+    assert spec.with_latency(5).latency == 5
+    assert spec.latency == 3

@@ -1,0 +1,103 @@
+"""Dominator analysis, with structural properties."""
+
+from repro.frontend import compile_c
+from repro.ir.builder import IRBuilder
+from repro.ir.dominance import DominatorTree
+from repro.ir.module import Function
+from repro.ir.types import I1, I32
+from repro.ir.values import Constant
+
+
+def _diamond():
+    """entry -> (left | right) -> merge."""
+    f = Function("f")
+    entry, left, right, merge = (
+        f.add_block("entry"), f.add_block("left"),
+        f.add_block("right"), f.add_block("merge"),
+    )
+    b = IRBuilder(entry)
+    b.cbr(Constant(I1, 1), left, right)
+    b.position_at_end(left)
+    b.br(merge)
+    b.position_at_end(right)
+    b.br(merge)
+    b.position_at_end(merge)
+    b.ret()
+    return f, entry, left, right, merge
+
+
+def test_diamond_idoms():
+    f, entry, left, right, merge = _diamond()
+    dt = DominatorTree(f)
+    assert dt.idom[entry] is None
+    assert dt.idom[left] is entry
+    assert dt.idom[right] is entry
+    assert dt.idom[merge] is entry  # neither branch dominates the merge
+
+
+def test_dominates_reflexive_and_entry():
+    f, entry, left, right, merge = _diamond()
+    dt = DominatorTree(f)
+    for block in f.blocks:
+        assert dt.dominates(block, block)
+        assert dt.dominates(entry, block)
+    assert not dt.dominates(left, merge)
+    assert not dt.strictly_dominates(left, left)
+
+
+def test_dominance_frontier_diamond():
+    f, entry, left, right, merge = _diamond()
+    dt = DominatorTree(f)
+    frontier = dt.dominance_frontier()
+    assert frontier[left] == {merge}
+    assert frontier[right] == {merge}
+    assert frontier[entry] == set()
+
+
+def test_loop_frontier_contains_header():
+    f = Function("f")
+    entry, loop, out = f.add_block("entry"), f.add_block("loop"), f.add_block("out")
+    b = IRBuilder(entry)
+    b.br(loop)
+    b.position_at_end(loop)
+    b.cbr(Constant(I1, 1), loop, out)
+    b.position_at_end(out)
+    b.ret()
+    dt = DominatorTree(f)
+    assert dt.idom[loop] is entry
+    assert dt.idom[out] is loop
+    frontier = dt.dominance_frontier()
+    assert loop in frontier[loop]  # back edge puts the header in its own DF
+
+
+def test_unreachable_blocks_detected():
+    f = Function("f")
+    entry = f.add_block("entry")
+    dead = f.add_block("dead")
+    b = IRBuilder(entry)
+    b.ret()
+    b.position_at_end(dead)
+    b.ret()
+    dt = DominatorTree(f)
+    assert dt.is_reachable(entry)
+    assert not dt.is_reachable(dead)
+
+
+def test_idom_strictly_dominates_on_real_kernel():
+    module = compile_c(
+        """
+        void k(int a[16], int n) {
+          for (int i = 0; i < n; i++) {
+            if (a[i] > 0) { a[i] = a[i] * 2; } else { a[i] = 0; }
+          }
+        }
+        """,
+        "k",
+    )
+    func = module.get_function("k")
+    dt = DominatorTree(func)
+    for block, idom in dt.idom.items():
+        if idom is not None:
+            assert dt.strictly_dominates(idom, block)
+    # Entry's RPO order starts at the entry block.
+    assert dt.rpo[0] is func.entry

@@ -1,0 +1,134 @@
+"""Instruction constructors and their type checking."""
+
+import pytest
+
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import BasicBlock
+from repro.ir.types import DOUBLE, I1, I32, I64, array_of, ptr_to
+from repro.ir.values import Constant
+
+
+def c32(v):
+    return Constant(I32, v)
+
+
+def cd(v):
+    return Constant(DOUBLE, v)
+
+
+def test_binop_type_checks():
+    assert BinaryOp("add", c32(1), c32(2)).type == I32
+    with pytest.raises(TypeError):
+        BinaryOp("add", c32(1), Constant(I64, 2))  # width mismatch
+    with pytest.raises(TypeError):
+        BinaryOp("fadd", c32(1), c32(2))  # float op on ints
+    with pytest.raises(TypeError):
+        BinaryOp("add", cd(1), cd(2))  # int op on floats
+    with pytest.raises(ValueError):
+        BinaryOp("bogus", c32(1), c32(2))
+
+
+def test_icmp_produces_i1():
+    cmp_ = ICmp("slt", c32(1), c32(2))
+    assert cmp_.type == I1
+    assert cmp_.pred == "slt"
+    with pytest.raises(ValueError):
+        ICmp("oeq", c32(1), c32(2))
+    with pytest.raises(TypeError):
+        ICmp("eq", cd(1), cd(1))
+
+
+def test_fcmp_validation():
+    assert FCmp("olt", cd(1), cd(2)).type == I1
+    with pytest.raises(ValueError):
+        FCmp("slt", cd(1), cd(2))
+
+
+def test_select_arms_must_match():
+    cond = Constant(I1, 1)
+    assert Select(cond, c32(1), c32(2)).type == I32
+    with pytest.raises(TypeError):
+        Select(cond, c32(1), cd(2))
+    with pytest.raises(TypeError):
+        Select(c32(1), c32(1), c32(2))  # condition must be i1
+
+
+def test_load_store_pointer_checks():
+    ptr = Constant(ptr_to(I32), 0x100)
+    assert Load(ptr).type == I32
+    Store(c32(5), ptr)  # ok
+    with pytest.raises(TypeError):
+        Load(c32(5))
+    with pytest.raises(TypeError):
+        Store(cd(1.0), ptr)  # type mismatch through pointer
+
+
+def test_gep_type_walking():
+    scalar_ptr = Constant(ptr_to(DOUBLE), 0)
+    gep = GetElementPtr(scalar_ptr, [Constant(I64, 3)])
+    assert gep.type == ptr_to(DOUBLE)
+
+    array_ptr = Constant(ptr_to(array_of(DOUBLE, 8)), 0)
+    gep2 = GetElementPtr(array_ptr, [Constant(I64, 0), Constant(I64, 2)])
+    assert gep2.type == ptr_to(DOUBLE)
+
+    with pytest.raises(TypeError):
+        GetElementPtr(scalar_ptr, [Constant(I64, 0), Constant(I64, 1)])
+
+
+def test_branch_targets():
+    b1, b2 = BasicBlock("a"), BasicBlock("b")
+    br = Branch(b1)
+    assert not br.is_conditional
+    assert br.targets() == [b1]
+    cbr = Branch(b1, cond=Constant(I1, 1), if_false=b2)
+    assert cbr.is_conditional
+    assert cbr.true_target is b1 and cbr.false_target is b2
+    with pytest.raises(TypeError):
+        Branch(b1, cond=c32(1), if_false=b2)
+    with pytest.raises(ValueError):
+        Branch(b1, cond=Constant(I1, 1))
+
+
+def test_ret():
+    assert Ret().return_value is None
+    assert Ret(c32(3)).return_value.value == 3
+    assert Ret().is_terminator
+
+
+def test_phi_incoming():
+    b1, b2 = BasicBlock("a"), BasicBlock("b")
+    phi = Phi(I32)
+    phi.add_incoming(c32(1), b1)
+    phi.add_incoming(c32(2), b2)
+    assert phi.incoming_for(b1).value == 1
+    assert phi.incoming_for(b2).value == 2
+    with pytest.raises(KeyError):
+        phi.incoming_for(BasicBlock("c"))
+    with pytest.raises(TypeError):
+        phi.add_incoming(cd(1.0), b1)
+
+
+def test_call_intrinsic_flag():
+    assert Call("sqrt", DOUBLE, [cd(4.0)]).is_intrinsic
+    assert not Call("helper", DOUBLE, [cd(4.0)]).is_intrinsic
+
+
+def test_alloca_result_is_pointer():
+    alloca = Alloca(array_of(I32, 4))
+    assert alloca.type == ptr_to(array_of(I32, 4))
+    assert alloca.is_memory

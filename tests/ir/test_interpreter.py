@@ -1,0 +1,152 @@
+"""Functional interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_c
+from repro.ir.builder import IRBuilder
+from repro.ir.interpreter import Interpreter, InterpreterError
+from repro.ir.memory import MemoryImage
+from repro.ir.module import Function, Module
+from repro.ir.types import DOUBLE, I32, I64, ptr_to, VOID
+
+
+def _run_c(source, func, args, mem_size=1 << 16):
+    module = compile_c(source, func)
+    mem = MemoryImage(mem_size, base=0x1000)
+    return Interpreter(module, mem), mem, module
+
+
+def test_return_value():
+    module = compile_c("int f(int a, int b) { return a * b + 1; }", "f")
+    mem = MemoryImage(1 << 12)
+    assert Interpreter(module, mem).run("f", [6, 7]).return_value == 43
+
+
+def test_loop_and_memory():
+    src = """
+    void fill(int out[16], int n) {
+      for (int i = 0; i < n; i++) { out[i] = i * i; }
+    }
+    """
+    module = compile_c(src, "fill")
+    mem = MemoryImage(1 << 12, base=0x100)
+    addr = mem.alloc(64)
+    Interpreter(module, mem).run("fill", [addr, 16])
+    out = mem.read_array(addr, np.int32, 16)
+    assert np.array_equal(out, np.arange(16) ** 2)
+
+
+def test_data_dependent_branching():
+    src = """
+    int count_positive(double x[8], int n) {
+      int count = 0;
+      for (int i = 0; i < n; i++) {
+        if (x[i] > 0.0) { count++; }
+      }
+      return count;
+    }
+    """
+    module = compile_c(src, "count_positive")
+    mem = MemoryImage(1 << 12, base=0x100)
+    data = np.array([1.0, -2.0, 3.0, 0.0, 5.0, -6.0, 7.0, -8.0])
+    addr = mem.alloc_array(data)
+    result = Interpreter(module, mem).run("count_positive", [addr, 8])
+    assert result.return_value == 4
+
+
+def test_nested_calls():
+    src = """
+    int square(int x) { return x * x; }
+    int sum_squares(int n) {
+      int total = 0;
+      for (int i = 1; i <= n; i++) { total += square(i); }
+      return total;
+    }
+    """
+    module = compile_c(src, "sum_squares")
+    mem = MemoryImage(1 << 12)
+    assert Interpreter(module, mem).run("sum_squares", [4]).return_value == 30
+
+
+def test_intrinsic_call():
+    module = compile_c("double f(double x) { return sqrt(x) + fabs(-1.0); }", "f")
+    mem = MemoryImage(1 << 12)
+    assert Interpreter(module, mem).run("f", [16.0]).return_value == 5.0
+
+
+def test_alloca_locals():
+    src = """
+    int reverse_sum(int n) {
+      int buf[16];
+      for (int i = 0; i < n; i++) { buf[i] = i; }
+      int total = 0;
+      for (int i = n - 1; i >= 0; i--) { total += buf[i]; }
+      return total;
+    }
+    """
+    module = compile_c(src, "reverse_sum")
+    mem = MemoryImage(1 << 14, base=0)
+    assert Interpreter(module, mem).run("reverse_sum", [10]).return_value == 45
+
+
+def test_instruction_limit():
+    module = compile_c(
+        "void spin() { int i = 0; while (i >= 0) { i = 0; } }", "spin"
+    )
+    mem = MemoryImage(1 << 12)
+    interp = Interpreter(module, mem, max_instructions=1000)
+    with pytest.raises(InterpreterError):
+        interp.run("spin", [])
+
+
+def test_wrong_arity():
+    module = compile_c("int f(int a) { return a; }", "f")
+    interp = Interpreter(module, MemoryImage(256))
+    with pytest.raises(InterpreterError):
+        interp.run("f", [1, 2])
+
+
+def test_opcode_counts():
+    module = compile_c("int f(int a) { return a * a + a; }", "f")
+    result = Interpreter(module, MemoryImage(256)).run("f", [3])
+    assert result.return_value == 12
+    assert result.opcode_counts.get("mul") == 1
+    assert result.opcode_counts.get("add") == 1
+
+
+def test_block_hook_sees_every_entry():
+    src = "void f(int n) { for (int i = 0; i < n; i++) { } }"
+    module = compile_c(src, "f")
+    interp = Interpreter(module, MemoryImage(256))
+    entries = []
+    interp.block_hook = lambda block: entries.append(block.name)
+    interp.run("f", [5])
+    # entry + 5 loop iterations (header/latch merged by simplify-cfg) + exit
+    loop_entries = [n for n in entries if "loop" in n or "body" in n or "latch" in n]
+    assert len(loop_entries) >= 5
+
+
+def test_trace_hook_records_addresses():
+    src = "void f(int out[4]) { out[2] = 7; }"
+    module = compile_c(src, "f")
+    mem = MemoryImage(1 << 12, base=0x100)
+    addr = mem.alloc(16)
+    records = []
+    interp = Interpreter(module, mem, trace_hook=records.append)
+    interp.run("f", [addr])
+    stores = [r for r in records if r.inst.opcode == "store"]
+    assert stores and stores[0].address == addr + 8
+
+
+def test_phi_in_entry_rejected_at_runtime():
+    m = Module("bad")
+    f = Function("f", VOID, [])
+    m.add_function(f)
+    entry = f.add_block("entry")
+    b = IRBuilder(entry)
+    phi = b.phi(I32)
+    b.ret()
+    interp = Interpreter(m, MemoryImage(256))
+    with pytest.raises(InterpreterError):
+        interp.run("f", [])

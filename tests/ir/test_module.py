@@ -1,0 +1,102 @@
+"""Module / Function / BasicBlock structure."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import I32, VOID
+
+
+def test_block_append_and_terminator():
+    f = Function("f")
+    block = f.add_block("entry")
+    b = IRBuilder(block)
+    b.ret()
+    assert block.is_terminated
+    with pytest.raises(ValueError):
+        b.ret()  # appending after a terminator
+
+
+def test_cfg_edges():
+    f = Function("f")
+    entry, loop, out = f.add_block("entry"), f.add_block("loop"), f.add_block("out")
+    b = IRBuilder(entry)
+    b.br(loop)
+    b.position_at_end(loop)
+    cond = b.icmp("slt", b.const(I32, 0), b.const(I32, 1))
+    b.cbr(cond, loop, out)
+    b.position_at_end(out)
+    b.ret()
+    assert entry.successors() == [loop]
+    assert set(x.name for x in loop.successors()) == {"loop", "out"}
+    assert set(x.name for x in loop.predecessors()) == {"entry", "loop"}
+    assert out.predecessors() == [loop]
+
+
+def test_conditional_branch_same_target_dedup():
+    f = Function("f")
+    a, b_ = f.add_block("a"), f.add_block("b")
+    builder = IRBuilder(a)
+    cond = builder.icmp("eq", builder.const(I32, 1), builder.const(I32, 1))
+    builder.cbr(cond, b_, b_)
+    assert a.successors() == [b_]
+
+
+def test_entry_requires_blocks():
+    f = Function("f")
+    with pytest.raises(ValueError):
+        f.entry
+
+
+def test_block_named_lookup():
+    f = Function("f")
+    f.add_block("x")
+    assert f.block_named("x").name == "x"
+    with pytest.raises(KeyError):
+        f.block_named("nope")
+
+
+def test_unique_names_are_unique():
+    f = Function("f")
+    names = {f.unique_name() for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_module_function_registry():
+    m = Module("m")
+    f = Function("f")
+    m.add_function(f)
+    assert m.get_function("f") is f
+    with pytest.raises(ValueError):
+        m.add_function(Function("f"))
+    with pytest.raises(KeyError):
+        m.get_function("g")
+
+
+def test_instruction_count_and_iteration():
+    f = Function("f")
+    block = f.add_block("entry")
+    b = IRBuilder(block)
+    b.add(b.const(I32, 1), b.const(I32, 2))
+    b.ret()
+    assert f.instruction_count() == 2
+    assert len(list(f.instructions())) == 2
+
+
+def test_arg_named():
+    f = Function("f", VOID, [(I32, "n")])
+    assert f.arg_named("n").type == I32
+    with pytest.raises(KeyError):
+        f.arg_named("missing")
+
+
+def test_remove_instruction_and_block():
+    f = Function("f")
+    block = f.add_block("entry")
+    b = IRBuilder(block)
+    inst = b.add(b.const(I32, 1), b.const(I32, 2))
+    b.ret()
+    block.remove(inst)
+    assert len(block) == 1
+    f.remove_block(block)
+    assert not f.blocks

@@ -1,0 +1,189 @@
+"""Textual IR: printing, parsing, and the round-trip property."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Function, Module
+from repro.ir.parser import IRParseError, parse_module
+from repro.ir.printer import print_module
+from repro.ir.types import DOUBLE, I1, I32, I64, array_of, ptr_to, VOID
+from repro.ir.verifier import verify_module
+
+
+def _saxpy_module():
+    m = Module("t")
+    f = Function(
+        "saxpy", VOID,
+        [(ptr_to(DOUBLE), "x"), (ptr_to(DOUBLE), "y"), (I32, "n"), (DOUBLE, "a")],
+    )
+    m.add_function(f)
+    entry, loop, done = f.add_block("entry"), f.add_block("loop"), f.add_block("done")
+    b = IRBuilder(entry)
+    b.br(loop)
+    b.position_at_end(loop)
+    i = b.phi(I32, "i")
+    i.add_incoming(b.const(I32, 0), entry)
+    i64 = b.sext(i, I64)
+    px = b.gep(f.args[0], [i64])
+    py = b.gep(f.args[1], [i64])
+    v = b.fadd(b.fmul(b.load(px), f.args[3]), b.load(py))
+    b.store(v, py)
+    nxt = b.add(i, b.const(I32, 1))
+    i.add_incoming(nxt, loop)
+    b.cbr(b.icmp("slt", nxt, f.args[2]), loop, done)
+    b.position_at_end(done)
+    b.ret()
+    return m
+
+
+def test_roundtrip_saxpy():
+    m = _saxpy_module()
+    verify_module(m)
+    text = print_module(m)
+    m2 = parse_module(text)
+    verify_module(m2)
+    assert print_module(m2) == text
+
+
+def test_roundtrip_all_scalar_ops():
+    text = """define i32 @ops(i32 %a, i32 %b, double %x, double %y) {
+entry:
+  %t1 = add i32 %a, %b
+  %t2 = sub i32 %t1, 7
+  %t3 = mul i32 %t2, %a
+  %t4 = sdiv i32 %t3, 3
+  %t5 = and i32 %t4, 255
+  %t6 = shl i32 %t5, 2
+  %t7 = xor i32 %t6, -1
+  %c1 = icmp sgt i32 %t7, 0
+  %f1 = fmul double %x, %y
+  %f2 = fdiv double %f1, 2.0
+  %c2 = fcmp olt double %f2, %x
+  %both = and i1 %c1, %c2
+  %sel = select i1 %both, i32 %t7, i32 0
+  %w = sext i32 %sel to i64
+  %d = sitofp i32 %sel to double
+  %s = call double @sqrt(double %d)
+  %r = fptosi double %s to i32
+  ret i32 %r
+}
+"""
+    m = parse_module(text)
+    verify_module(m)
+    assert print_module(m) == text
+
+
+def test_roundtrip_memory_and_arrays():
+    text = """define void @k(i32* %p) {
+entry:
+  %buf = alloca [8 x i32]
+  %e = getelementptr [8 x i32]* %buf, i64 0, i64 3
+  %v = load i32* %p
+  store i32 %v, i32* %e
+  %v2 = load i32* %e
+  store i32 %v2, i32* %p
+  ret void
+}
+"""
+    m = parse_module(text)
+    verify_module(m)
+    assert print_module(m) == text
+
+
+def test_parse_negative_and_float_constants():
+    text = """define double @c() {
+entry:
+  %a = fadd double 1.5, -2.5
+  %b = fmul double %a, 1e-3
+  ret double %b
+}
+"""
+    m = parse_module(text)
+    assert print_module(parse_module(print_module(m))) == print_module(m)
+
+
+def test_comments_and_blank_lines_ignored():
+    text = """
+; full line comment
+define void @f() {
+entry:
+  ret void ; trailing comment
+}
+"""
+    m = parse_module(text)
+    assert "f" in m.functions
+
+
+def test_multiple_functions_and_calls():
+    text = """define i32 @helper(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+define i32 @main(i32 %a) {
+entry:
+  %r = call i32 @helper(i32 %a)
+  ret i32 %r
+}
+"""
+    m = parse_module(text)
+    verify_module(m)
+    assert print_module(m) == text
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "define void @f( {\nentry:\n  ret void\n}",          # malformed args
+        "define void @f() {\nentry:\n  bogus i32 %a\n}",      # unknown op
+        "define void @f() {\nentry:\n  %a = add i32 %x, 1\n  ret void\n}",  # undef
+        "define void @f() {\nentry:\n  ret void\n",           # missing brace
+        "%a = add i32 1, 2",                                   # outside function
+        "define void @f() {\n  ret void\n}",                   # inst before label
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(IRParseError):
+        parse_module(bad)
+
+
+def test_duplicate_ssa_name_rejected():
+    text = """define void @f() {
+entry:
+  %a = add i32 1, 2
+  %a = add i32 3, 4
+  ret void
+}
+"""
+    with pytest.raises(IRParseError):
+        parse_module(text)
+
+
+def test_operand_type_mismatch_rejected():
+    text = """define void @f(i32 %x) {
+entry:
+  %a = add i64 %x, 1
+  ret void
+}
+"""
+    with pytest.raises(IRParseError):
+        parse_module(text)
+
+
+def test_phi_forward_reference_resolved():
+    text = """define i32 @count() {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %next, %loop ]
+  %next = add i32 %i, 1
+  %done = icmp sge i32 %next, 10
+  br i1 %done, label %out, label %loop
+out:
+  ret i32 %next
+}
+"""
+    m = parse_module(text)
+    verify_module(m)
+    assert print_module(m) == text

@@ -1,0 +1,71 @@
+"""Property: randomly built IR survives print -> parse -> print intact."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.builder import IRBuilder
+from repro.ir.module import Function, Module
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.types import DOUBLE, I1, I32, I64, ptr_to
+from repro.ir.verifier import verify_module
+
+# Each step appends one instruction; operands come from prior values.
+_INT_OPS = ["add", "sub", "mul", "and", "or", "xor", "shl"]
+_FP_OPS = ["fadd", "fsub", "fmul", "fdiv"]
+
+step = st.sampled_from(
+    ["int_op", "fp_op", "icmp", "fcmp", "select_i", "cast_up", "cast_down",
+     "tofp", "toint", "gep_load", "store"]
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(step, st.integers(0, 7), st.integers(0, 7),
+                          st.integers(0, 6)), min_size=1, max_size=25),
+       st.randoms(use_true_random=False))
+def test_random_module_roundtrips(steps, rnd):
+    module = Module("fuzz")
+    func = Function("f", I32, [(I32, "a"), (DOUBLE, "x"), (ptr_to(I32), "p")])
+    module.add_function(func)
+    block = func.add_block("entry")
+    builder = IRBuilder(block)
+
+    ints = [func.args[0], builder.const(I32, 7)]
+    fps = [func.args[1], builder.const(DOUBLE, 1.5)]
+    bools = []
+
+    for kind, i, j, k in steps:
+        a_int, b_int = ints[i % len(ints)], ints[j % len(ints)]
+        a_fp, b_fp = fps[i % len(fps)], fps[j % len(fps)]
+        if kind == "int_op":
+            ints.append(builder.binop(_INT_OPS[k % len(_INT_OPS)], a_int, b_int))
+        elif kind == "fp_op":
+            fps.append(builder.binop(_FP_OPS[k % len(_FP_OPS)], a_fp, b_fp))
+        elif kind == "icmp":
+            bools.append(builder.icmp("slt", a_int, b_int))
+        elif kind == "fcmp":
+            bools.append(builder.fcmp("olt", a_fp, b_fp))
+        elif kind == "select_i" and bools:
+            ints.append(builder.select(bools[i % len(bools)], a_int, b_int))
+        elif kind == "cast_up":
+            ints.append(builder.trunc(builder.sext(a_int, I64), I32))
+        elif kind == "cast_down":
+            ints.append(builder.zext(builder.trunc(a_int, I1), I32))
+        elif kind == "tofp":
+            fps.append(builder.sitofp(a_int, DOUBLE))
+        elif kind == "toint":
+            ints.append(builder.fptosi(a_fp, I32))
+        elif kind == "gep_load":
+            addr = builder.gep(func.args[2], [builder.sext(a_int, I64)])
+            ints.append(builder.load(addr))
+        elif kind == "store":
+            addr = builder.gep(func.args[2], [k])
+            builder.store(a_int, addr)
+    builder.ret(ints[-1])
+
+    verify_module(module)
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    assert print_module(reparsed) == text

@@ -1,0 +1,217 @@
+"""Evaluation semantics, including hypothesis properties.
+
+These are the ground-truth semantics shared by the interpreter and the
+runtime engine, so they get the heaviest property testing.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.semantics import (
+    EvalError,
+    bytes_to_value,
+    eval_binop,
+    eval_cast,
+    eval_fcmp,
+    eval_icmp,
+    eval_intrinsic,
+    round_float,
+    to_signed,
+    value_to_bytes,
+    wrap_int,
+)
+from repro.ir.types import DOUBLE, FLOAT, IntType, I8, I32, I64, ptr_to
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+s32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+# -- integer arithmetic -----------------------------------------------------
+@given(u32, u32)
+def test_add_matches_c_semantics(a, b):
+    assert eval_binop("add", I32, a, b) == (a + b) % 2**32
+
+
+@given(u32, u32)
+def test_sub_add_inverse(a, b):
+    total = eval_binop("add", I32, a, b)
+    assert eval_binop("sub", I32, total, b) == a
+
+
+@given(u32, u32)
+def test_mul_commutative(a, b):
+    assert eval_binop("mul", I32, a, b) == eval_binop("mul", I32, b, a)
+
+
+@given(s32, s32)
+def test_sdiv_truncates_toward_zero(a, b):
+    if b == 0:
+        return
+    result = to_signed(eval_binop("sdiv", I32, a & 0xFFFFFFFF, b & 0xFFFFFFFF), I32)
+    expected = int(a / b)
+    if expected == 2**31:  # INT_MIN / -1 wraps
+        expected = -(2**31)
+    assert result == expected
+
+
+@given(s32, s32)
+def test_srem_sign_follows_dividend(a, b):
+    if b == 0:
+        return
+    result = to_signed(eval_binop("srem", I32, a & 0xFFFFFFFF, b & 0xFFFFFFFF), I32)
+    assert result == math.fmod(a, b)
+
+
+def test_division_by_zero_raises():
+    for op in ("sdiv", "udiv", "srem", "urem"):
+        with pytest.raises(EvalError):
+            eval_binop(op, I32, 1, 0)
+
+
+@given(u32, st.integers(min_value=0, max_value=31))
+def test_shl_lshr(a, sh):
+    shifted = eval_binop("shl", I32, a, sh)
+    assert shifted == (a << sh) % 2**32
+    assert eval_binop("lshr", I32, a, sh) == a >> sh
+
+
+@given(s32, st.integers(min_value=0, max_value=31))
+def test_ashr_preserves_sign(a, sh):
+    result = to_signed(eval_binop("ashr", I32, a & 0xFFFFFFFF, sh), I32)
+    assert result == a >> sh
+
+
+@given(u32, u32)
+def test_bitwise_ops(a, b):
+    assert eval_binop("and", I32, a, b) == a & b
+    assert eval_binop("or", I32, a, b) == a | b
+    assert eval_binop("xor", I32, a, b) == a ^ b
+
+
+# -- comparisons ---------------------------------------------------------------
+@given(s32, s32)
+def test_signed_compare(a, b):
+    ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+    assert eval_icmp("slt", I32, ua, ub) == int(a < b)
+    assert eval_icmp("sge", I32, ua, ub) == int(a >= b)
+    assert eval_icmp("eq", I32, ua, ub) == int(a == b)
+
+
+@given(u32, u32)
+def test_unsigned_compare(a, b):
+    assert eval_icmp("ult", I32, a, b) == int(a < b)
+    assert eval_icmp("uge", I32, a, b) == int(a >= b)
+
+
+@given(finite_doubles, finite_doubles)
+def test_ordered_float_compare(a, b):
+    assert eval_fcmp("olt", a, b) == int(a < b)
+    assert eval_fcmp("oeq", a, b) == int(a == b)
+
+
+def test_nan_comparisons():
+    nan = float("nan")
+    assert eval_fcmp("oeq", nan, 1.0) == 0
+    assert eval_fcmp("une", nan, 1.0) == 1
+    assert eval_fcmp("ord", nan, 1.0) == 0
+    assert eval_fcmp("uno", nan, 1.0) == 1
+
+
+# -- floats ------------------------------------------------------------------------
+@given(finite_doubles, finite_doubles)
+def test_fadd_matches_python(a, b):
+    assert eval_binop("fadd", DOUBLE, a, b) == a + b
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32),
+       st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_float32_ops_round(a, b):
+    result = eval_binop("fmul", FLOAT, a, b)
+    expected = np.float32(a) * np.float32(b)  # numpy applies binary32 rounding
+    assert result == expected or (math.isnan(result) and math.isnan(expected))
+
+
+def test_fdiv_by_zero_is_ieee():
+    assert eval_binop("fdiv", DOUBLE, 1.0, 0.0) == math.inf
+    assert eval_binop("fdiv", DOUBLE, -1.0, 0.0) == -math.inf
+    assert math.isnan(eval_binop("fdiv", DOUBLE, 0.0, 0.0))
+
+
+# -- casts --------------------------------------------------------------------------
+@given(st.integers(min_value=-128, max_value=127))
+def test_sext_zext(v):
+    pattern = v & 0xFF
+    assert to_signed(eval_cast("sext", I8, I32, pattern), I32) == v
+    assert eval_cast("zext", I8, I32, pattern) == pattern
+
+
+@given(u32)
+def test_trunc_keeps_low_bits(v):
+    assert eval_cast("trunc", I32, I8, v) == v & 0xFF
+
+
+@given(s32)
+def test_sitofp_fptosi_roundtrip(v):
+    f = eval_cast("sitofp", I32, DOUBLE, v & 0xFFFFFFFF)
+    assert f == float(v)
+    back = eval_cast("fptosi", DOUBLE, I32, f)
+    assert to_signed(back, I32) == v
+
+
+def test_fptosi_of_nan_is_zero():
+    assert eval_cast("fptosi", DOUBLE, I32, float("nan")) == 0
+    assert eval_cast("fptosi", DOUBLE, I32, float("inf")) == 0
+
+
+@given(finite_doubles)
+def test_bitcast_double_i64_roundtrip(v):
+    bits = eval_cast("bitcast", DOUBLE, I64, v)
+    assert eval_cast("bitcast", I64, DOUBLE, bits) == v
+
+
+# -- intrinsics ------------------------------------------------------------------
+def test_intrinsics():
+    assert eval_intrinsic("sqrt", DOUBLE, [9.0]) == 3.0
+    assert eval_intrinsic("fabs", DOUBLE, [-2.5]) == 2.5
+    assert eval_intrinsic("fmin", DOUBLE, [1.0, 2.0]) == 1.0
+    assert eval_intrinsic("fmax", DOUBLE, [1.0, 2.0]) == 2.0
+    assert math.isnan(eval_intrinsic("sqrt", DOUBLE, [-1.0]))
+    with pytest.raises(EvalError):
+        eval_intrinsic("nosuch", DOUBLE, [1.0])
+
+
+# -- byte serialization ------------------------------------------------------------
+@given(u32)
+def test_int_bytes_roundtrip(v):
+    assert bytes_to_value(value_to_bytes(v, I32), I32) == v
+
+
+@given(finite_doubles)
+def test_double_bytes_roundtrip(v):
+    assert bytes_to_value(value_to_bytes(v, DOUBLE), DOUBLE) == v
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_float_bytes_roundtrip(v):
+    assert bytes_to_value(value_to_bytes(v, FLOAT), FLOAT) == v
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_pointer_bytes_roundtrip(v):
+    t = ptr_to(I32)
+    assert bytes_to_value(value_to_bytes(v, t), t) == v
+
+
+@given(st.integers(), st.integers(min_value=1, max_value=64))
+def test_wrap_to_signed_consistency(v, bits):
+    t = IntType(bits)
+    wrapped = wrap_int(v, t)
+    assert 0 <= wrapped <= t.mask
+    signed = to_signed(wrapped, t)
+    assert t.min_signed <= signed <= t.max_signed
+    assert wrap_int(signed, t) == wrapped

@@ -1,0 +1,114 @@
+"""IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    DOUBLE,
+    FLOAT,
+    I1,
+    I8,
+    I32,
+    I64,
+    VOID,
+    array_of,
+    ptr_to,
+    type_from_name,
+)
+
+
+def test_structural_equality():
+    assert IntType(32) == I32
+    assert IntType(32) != IntType(64)
+    assert ptr_to(I32) == ptr_to(IntType(32))
+    assert ptr_to(I32) != ptr_to(I64)
+    assert array_of(I8, 4) == array_of(I8, 4)
+    assert array_of(I8, 4) != array_of(I8, 5)
+
+
+def test_types_hashable():
+    seen = {I32, IntType(32), DOUBLE, ptr_to(DOUBLE)}
+    assert len(seen) == 3
+
+
+def test_sizes():
+    assert I1.size_bytes() == 1
+    assert I8.size_bytes() == 1
+    assert I32.size_bytes() == 4
+    assert I64.size_bytes() == 8
+    assert FLOAT.size_bytes() == 4
+    assert DOUBLE.size_bytes() == 8
+    assert ptr_to(I8).size_bytes() == 8
+    assert array_of(DOUBLE, 10).size_bytes() == 80
+    assert array_of(array_of(I32, 4), 3).size_bytes() == 48
+
+
+def test_bit_widths():
+    assert I1.bit_width() == 1
+    assert I32.bit_width() == 32
+    assert DOUBLE.bit_width() == 64
+
+
+def test_void_has_no_size():
+    with pytest.raises(TypeError):
+        VOID.size_bytes()
+
+
+def test_int_type_bounds():
+    assert I8.max_signed == 127
+    assert I8.min_signed == -128
+    assert I8.mask == 0xFF
+    with pytest.raises(ValueError):
+        IntType(0)
+    with pytest.raises(ValueError):
+        IntType(1000)
+
+
+def test_float_width_validation():
+    assert FloatType(32) == FLOAT
+    with pytest.raises(ValueError):
+        FloatType(16)
+
+
+def test_pointer_to_void_rejected():
+    with pytest.raises(ValueError):
+        PointerType(VOID)
+
+
+def test_predicates():
+    assert I32.is_int and not I32.is_float
+    assert DOUBLE.is_float and DOUBLE.is_scalar
+    assert ptr_to(I32).is_pointer and ptr_to(I32).is_scalar
+    assert array_of(I32, 2).is_array and not array_of(I32, 2).is_scalar
+    assert VOID.is_void
+
+
+def test_str_forms():
+    assert str(I32) == "i32"
+    assert str(DOUBLE) == "double"
+    assert str(ptr_to(FLOAT)) == "float*"
+    assert str(array_of(I32, 4)) == "[4 x i32]"
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [
+        ("i32", I32),
+        ("double", DOUBLE),
+        ("float*", ptr_to(FLOAT)),
+        ("i8**", ptr_to(ptr_to(I8))),
+        ("[4 x i32]", array_of(I32, 4)),
+        ("[2 x [3 x double]]", array_of(array_of(DOUBLE, 3), 2)),
+    ],
+)
+def test_type_from_name_roundtrip(name, expected):
+    assert type_from_name(name) == expected
+    assert type_from_name(str(expected)) == expected
+
+
+def test_type_from_name_rejects_garbage():
+    with pytest.raises(ValueError):
+        type_from_name("notatype")

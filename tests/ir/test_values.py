@@ -1,0 +1,64 @@
+"""Constants, arguments, instruction basics."""
+
+import pytest
+
+from repro.ir.instructions import BinaryOp
+from repro.ir.types import DOUBLE, FLOAT, I1, I8, I32, ptr_to
+from repro.ir.values import Argument, Constant
+
+
+def test_int_constant_wraps_to_bit_pattern():
+    assert Constant(I8, 255).value == 255
+    assert Constant(I8, 256).value == 0
+    assert Constant(I8, -1).value == 255
+    assert Constant(I32, -1).value == 0xFFFFFFFF
+
+
+def test_signed_view():
+    assert Constant(I8, 255).signed_value() == -1
+    assert Constant(I8, 127).signed_value() == 127
+    assert Constant(I32, 2**31).signed_value() == -(2**31)
+
+
+def test_float32_constant_rounded():
+    c = Constant(FLOAT, 0.1)
+    assert c.value != 0.1  # binary32 rounding applied
+    assert abs(c.value - 0.1) < 1e-7
+    assert Constant(DOUBLE, 0.1).value == 0.1
+
+
+def test_bool_constant_refs():
+    assert Constant(I1, 1).ref == "true"
+    assert Constant(I1, 0).ref == "false"
+
+
+def test_pointer_constant():
+    assert Constant(ptr_to(I32), 0).ref == "null"
+    assert Constant(ptr_to(I32), 0x1000).value == 0x1000
+
+
+def test_constant_equality_and_hash():
+    assert Constant(I32, 5) == Constant(I32, 5)
+    assert Constant(I32, 5) != Constant(I8, 5)
+    assert len({Constant(I32, 5), Constant(I32, 5)}) == 1
+
+
+def test_constant_rejects_bad_type():
+    from repro.ir.types import array_of
+
+    with pytest.raises(TypeError):
+        Constant(array_of(I32, 2), 0)
+
+
+def test_argument_fields():
+    arg = Argument(I32, "n", 2)
+    assert arg.ref == "%n"
+    assert arg.index == 2
+
+
+def test_instruction_replace_operand():
+    a = Constant(I32, 1)
+    b = Constant(I32, 2)
+    inst = BinaryOp("add", a, a)
+    assert inst.replace_operand(a, b) == 2
+    assert inst.operands == [b, b]

@@ -1,0 +1,115 @@
+"""Cache: timing overlay correctness and functional transparency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import Cache
+from repro.mem.dram import DRAM
+from repro.sim.packet import read_packet, write_packet
+from repro.sim.ports import MasterPort
+from repro.sim.simobject import System
+
+
+def _build(system, **cache_kwargs):
+    dram = DRAM("dram", system, base=0, size=1 << 16, latency_cycles=50)
+    cache = Cache("l1", system, **cache_kwargs)
+    cache.mem_side.bind(dram.port)
+    responses = []
+    master = MasterPort("m", recv_timing_resp=responses.append)
+    master.bind(cache.cpu_side)
+    return dram, cache, master, responses
+
+
+def test_bad_geometry_rejected(system):
+    with pytest.raises(ValueError):
+        Cache("c", system, size=100, line_size=64, assoc=4)
+
+
+def test_cold_miss_then_hit(system):
+    dram, cache, master, responses = _build(system)
+    dram.image.write(0x100, b"\x42" + bytes(7))
+    master.send_timing_req(read_packet(0x100, 8))
+    system.run()
+    miss_time = responses[0].resp_tick
+    assert responses[0].data[0] == 0x42
+    assert cache.stat_misses.value() == 1
+
+    master.send_timing_req(read_packet(0x108, 8))  # same line
+    system.run()
+    hit_time = responses[1].resp_tick - miss_time
+    assert cache.stat_hits.value() == 1
+    assert hit_time < miss_time
+
+
+def test_writes_are_functionally_visible_downstream(system):
+    dram, cache, master, responses = _build(system)
+    master.send_timing_req(write_packet(0x200, b"\x99" * 8))
+    system.run()
+    assert dram.image.read(0x200, 8) == b"\x99" * 8
+
+
+def test_mshr_merging(system):
+    dram, cache, master, responses = _build(system)
+    for i in range(4):
+        master.send_timing_req(read_packet(0x300 + i * 8, 8))  # same line
+    system.run()
+    assert len(responses) == 4
+    assert cache.stat_misses.value() == 1
+    assert cache.stat_mshr_merges.value() == 3
+
+
+def test_eviction_and_writeback(system):
+    dram, cache, master, responses = _build(
+        system, size=256, line_size=64, assoc=1
+    )  # 4 sets, direct mapped
+    master.send_timing_req(write_packet(0x0, b"\x01" * 8))
+    system.run()
+    # Same set, different tag: evicts the dirty line -> writeback traffic.
+    master.send_timing_req(read_packet(0x400, 8))
+    system.run()
+    assert cache.stat_writebacks.value() == 1
+    assert dram.image.read(0x0, 8) == b"\x01" * 8
+
+
+def test_oversize_access_rejected(system):
+    __, cache, master, __ = _build(system, line_size=64)
+    with pytest.raises(ValueError):
+        master.send_timing_req(read_packet(0, 128))
+
+
+def test_miss_rate_formula(system):
+    dram, cache, master, responses = _build(system)
+    master.send_timing_req(read_packet(0, 8))
+    system.run()
+    master.send_timing_req(read_packet(0, 8))
+    system.run()
+    stats = cache.stats.dump()
+    assert stats["l1.miss_rate"] == pytest.approx(0.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 255), st.booleans()), min_size=1, max_size=40))
+def test_cache_is_functionally_transparent(ops):
+    """Property: any access pattern through the cache yields exactly the
+    same data as direct backing-store access (timing never corrupts)."""
+    system = System("p")
+    dram, cache, master, responses = _build(system, size=256, line_size=32, assoc=2)
+    shadow = bytearray(1 << 16)
+    for i, (word_index, is_write) in enumerate(ops):
+        addr = word_index * 8
+        if is_write:
+            payload = bytes([i % 256]) * 8
+            shadow[addr : addr + 8] = payload
+            master.send_timing_req(write_packet(addr, payload))
+        else:
+            master.send_timing_req(read_packet(addr, 8))
+        system.run()
+    reads = [
+        (ops[i], r) for i, r in enumerate(responses) if r.data is not None
+    ]
+    # Re-check final memory state.
+    for word_index in {w for w, __ in ops}:
+        addr = word_index * 8
+        assert dram.image.read(addr, 8) == bytes(shadow[addr : addr + 8])

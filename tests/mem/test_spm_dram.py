@@ -1,0 +1,134 @@
+"""Scratchpad and DRAM timing/functional behaviour."""
+
+import pytest
+
+from repro.mem.dram import DRAM
+from repro.mem.spm import Scratchpad
+from repro.sim.packet import read_packet, write_packet
+from repro.sim.ports import MasterPort
+
+
+def _master(responses):
+    return MasterPort("m", recv_timing_resp=responses.append)
+
+
+def test_spm_functional_roundtrip(system):
+    spm = Scratchpad("spm", system, base=0x1000, size=4096)
+    responses = []
+    master = _master(responses)
+    master.bind(spm.make_port())
+    master.send_functional(write_packet(0x1010, b"\xAA" * 8))
+    resp = master.send_functional(read_packet(0x1010, 8))
+    assert resp.data == b"\xAA" * 8
+
+
+def test_spm_timing_latency(system):
+    spm = Scratchpad("spm", system, base=0x1000, size=4096, latency_cycles=3)
+    responses = []
+    master = _master(responses)
+    master.bind(spm.make_port())
+    spm.image.write(0x1000, b"\x07" + bytes(7))
+    master.send_timing_req(read_packet(0x1000, 8))
+    system.run()
+    assert len(responses) == 1
+    assert responses[0].data[0] == 7
+    assert system.cur_tick == system.clock.cycles_to_ticks(3)
+
+
+def test_spm_port_conflicts_serialize(system):
+    spm = Scratchpad("spm", system, base=0, size=4096, latency_cycles=1,
+                     read_ports=1, write_ports=1)
+    responses = []
+    master = _master(responses)
+    master.bind(spm.make_port())
+    for i in range(4):
+        master.send_timing_req(read_packet(i * 8, 8))
+    system.run()
+    assert len(responses) == 4
+    assert spm.stat_conflicts.value() == 3  # only one read port
+    ticks = sorted(r.resp_tick for r in responses)
+    assert len(set(ticks)) == 4  # all served in different cycles
+
+
+def test_spm_banking_allows_parallelism(system):
+    spm = Scratchpad("spm", system, base=0, size=4096, latency_cycles=1,
+                     read_ports=1, write_ports=1, banks=4, partitioning="cyclic")
+    responses = []
+    master = _master(responses)
+    master.bind(spm.make_port())
+    # Four accesses to four different banks: no conflicts.
+    for i in range(4):
+        master.send_timing_req(read_packet(i * 8, 8))
+    system.run()
+    assert spm.stat_conflicts.value() == 0
+
+
+def test_spm_bank_mapping():
+    from repro.sim.simobject import System
+
+    system = System("s")
+    cyclic = Scratchpad("c", system, base=0, size=1024, banks=4, word_bytes=8)
+    assert [cyclic.bank_of(i * 8) for i in range(5)] == [0, 1, 2, 3, 0]
+    block = Scratchpad("b", system, base=0, size=1024, banks=4, word_bytes=8,
+                       partitioning="block")
+    assert block.bank_of(0) == 0
+    assert block.bank_of(1016) == 3
+
+
+def test_spm_energy_accounting(system):
+    spm = Scratchpad("spm", system, base=0, size=4096)
+    master = _master([])
+    master.bind(spm.make_port())
+    master.send_timing_req(read_packet(0, 8))
+    master.send_timing_req(write_packet(8, bytes(8)))
+    system.run()
+    assert spm.read_energy_pj() == pytest.approx(spm.sram.read_energy_pj)
+    assert spm.write_energy_pj() == pytest.approx(spm.sram.write_energy_pj)
+    assert spm.area_um2() > 0
+
+
+def test_bad_partitioning_rejected(system):
+    with pytest.raises(ValueError):
+        Scratchpad("x", system, base=0, size=64, partitioning="diagonal")
+
+
+def test_dram_read_write(system):
+    dram = DRAM("dram", system, base=0x8000_0000, size=1 << 16)
+    responses = []
+    master = _master(responses)
+    master.bind(dram.port)
+    master.send_timing_req(write_packet(0x8000_0000, b"\x11" * 64))
+    master.send_timing_req(read_packet(0x8000_0000, 64))
+    system.run()
+    assert len(responses) == 2
+    read_resp = [r for r in responses if r.data is not None][0]
+    assert read_resp.data == b"\x11" * 64
+
+
+def test_dram_row_hit_faster(system):
+    dram = DRAM("dram", system, base=0, size=1 << 16,
+                latency_cycles=60, row_hit_latency_cycles=10, row_size=1024)
+    responses = []
+    master = _master(responses)
+    master.bind(dram.port)
+    master.send_timing_req(read_packet(0, 8))
+    system.run()
+    first = responses[0].resp_tick
+    master.send_timing_req(read_packet(64, 8))  # same row
+    system.run()
+    second = responses[1].resp_tick - first
+    assert second < first
+    assert dram.stat_row_hits.value() == 1
+
+
+def test_dram_bandwidth_serializes_bus(system):
+    dram = DRAM("dram", system, base=0, size=1 << 16,
+                latency_cycles=10, row_hit_latency_cycles=10, bytes_per_cycle=8)
+    responses = []
+    master = _master(responses)
+    master.bind(dram.port)
+    master.send_timing_req(read_packet(0, 64))       # 8 cycles of bus
+    master.send_timing_req(read_packet(1 << 12, 64))
+    system.run()
+    t1, t2 = (r.resp_tick for r in responses)
+    assert t2 - t1 >= system.clock.cycles_to_ticks(8)

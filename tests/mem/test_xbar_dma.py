@@ -1,0 +1,137 @@
+"""Crossbar routing and DMA engines."""
+
+import pytest
+
+from repro.mem.dma import BlockDMA, DMAError
+from repro.mem.dram import DRAM
+from repro.mem.spm import Scratchpad
+from repro.mem.xbar import Crossbar
+from repro.sim.packet import read_packet, write_packet
+from repro.sim.ports import MasterPort, PortError
+from repro.sim.simobject import AddrRange
+
+
+def _fabric(system):
+    """xbar with a DRAM at 0x8000_0000 and an SPM at 0x1000."""
+    xbar = Crossbar("xbar", system)
+    dram = DRAM("dram", system, base=0x8000_0000, size=1 << 16)
+    spm = Scratchpad("spm", system, base=0x1000, size=4096)
+    xbar.attach_slave(dram.port, dram.range, label="dram")
+    xbar.attach_slave(spm.make_port(), spm.range, label="spm")
+    return xbar, dram, spm
+
+
+def test_routing_by_address(system):
+    xbar, dram, spm = _fabric(system)
+    responses = []
+    master = MasterPort("m", recv_timing_resp=responses.append)
+    master.bind(xbar.slave_port())
+    master.send_timing_req(write_packet(0x8000_0100, b"\x01" * 8))
+    master.send_timing_req(write_packet(0x1008, b"\x02" * 8))
+    system.run()
+    assert dram.image.read(0x8000_0100, 8) == b"\x01" * 8
+    assert spm.image.read(0x1008, 8) == b"\x02" * 8
+    assert len(responses) == 2
+
+
+def test_functional_routing(system):
+    xbar, dram, spm = _fabric(system)
+    master = MasterPort("m", recv_timing_resp=lambda p: None)
+    master.bind(xbar.slave_port())
+    dram.image.write(0x8000_0000, b"\x55" * 8)
+    resp = master.send_functional(read_packet(0x8000_0000, 8))
+    assert resp.data == b"\x55" * 8
+
+
+def test_unrouteable_address_raises(system):
+    xbar, __, __ = _fabric(system)
+    master = MasterPort("m", recv_timing_resp=lambda p: None)
+    master.bind(xbar.slave_port())
+    with pytest.raises(PortError):
+        master.send_functional(read_packet(0xDEAD_0000, 8))
+
+
+def test_overlapping_ranges_rejected(system):
+    xbar, dram, __ = _fabric(system)
+    other = Scratchpad("other", system, base=0x8000_0000, size=64)
+    with pytest.raises(PortError):
+        xbar.attach_slave(other.make_port(), other.range)
+
+
+def test_responses_return_to_correct_master(system):
+    xbar, dram, spm = _fabric(system)
+    got = {0: [], 1: []}
+    masters = []
+    for i in range(2):
+        m = MasterPort(f"m{i}", recv_timing_resp=got[i].append)
+        m.bind(xbar.slave_port(str(i)))
+        masters.append(m)
+    dram.image.write(0x8000_0000, bytes([1] * 8))
+    spm.image.write(0x1000, bytes([2] * 8))
+    masters[0].send_timing_req(read_packet(0x8000_0000, 8))
+    masters[1].send_timing_req(read_packet(0x1000, 8))
+    system.run()
+    assert got[0][0].data[0] == 1
+    assert got[1][0].data[0] == 2
+
+
+def test_block_dma_copies(system):
+    xbar, dram, spm = _fabric(system)
+    dma = BlockDMA("dma", system, burst_bytes=64)
+    dma.port.bind(xbar.slave_port("dma"))
+    payload = bytes(range(256))
+    dram.image.write(0x8000_0000, payload)
+    done = []
+    dma.start(0x8000_0000, 0x1000, 256, on_done=lambda: done.append(system.cur_tick))
+    system.run()
+    assert done, "DMA never completed"
+    assert spm.image.read(0x1000, 256) == payload
+    assert dma.stat_bytes.value() == 256
+    assert not dma.busy
+
+
+def test_dma_partial_tail_burst(system):
+    xbar, dram, spm = _fabric(system)
+    dma = BlockDMA("dma", system, burst_bytes=64)
+    dma.port.bind(xbar.slave_port("dma"))
+    payload = bytes((i * 7) % 256 for i in range(100))  # not burst aligned
+    dram.image.write(0x8000_0000, payload)
+    dma.start(0x8000_0000, 0x1000, 100)
+    system.run()
+    assert spm.image.read(0x1000, 100) == payload
+
+
+def test_dma_busy_rejected(system):
+    xbar, dram, spm = _fabric(system)
+    dma = BlockDMA("dma", system)
+    dma.port.bind(xbar.slave_port("dma"))
+    dma.start(0x8000_0000, 0x1000, 64)
+    with pytest.raises(DMAError):
+        dma.start(0x8000_0000, 0x1000, 64)
+    system.run()
+
+
+def test_dma_bad_size(system):
+    dma = BlockDMA("dma", system)
+    with pytest.raises(ValueError):
+        dma.start(0, 0, 0)
+
+
+def test_bigger_bursts_fewer_cycles(system):
+    """Larger DMA bursts amortize DRAM row activations."""
+    import repro.sim.simobject as so
+
+    times = {}
+    for burst in (16, 128):
+        sys2 = so.System(f"s{burst}")
+        xbar = Crossbar("xbar", sys2)
+        dram = DRAM("dram", sys2, base=0x8000_0000, size=1 << 16)
+        spm = Scratchpad("spm", sys2, base=0x1000, size=4096)
+        xbar.attach_slave(dram.port, dram.range)
+        xbar.attach_slave(spm.make_port(), spm.range)
+        dma = BlockDMA("dma", sys2, burst_bytes=burst)
+        dma.port.bind(xbar.slave_port("dma"))
+        dma.start(0x8000_0000, 0x1000, 1024)
+        sys2.run()
+        times[burst] = sys2.cur_tick
+    assert times[128] < times[16]

@@ -1,0 +1,116 @@
+"""Constant folding, DCE, and CFG simplification."""
+
+from repro.frontend import compile_c, lower_to_ir, parse_c
+from repro.ir.instructions import BinaryOp, Branch
+from repro.ir.interpreter import Interpreter
+from repro.ir.memory import MemoryImage
+from repro.ir.verifier import verify_module
+from repro.passes import ConstantFold, DeadCodeElimination, Mem2Reg, SimplifyCFG
+
+
+def _prepare(source, func):
+    module = lower_to_ir(parse_c(source))
+    Mem2Reg().run(module.get_function(func))
+    return module
+
+
+def _value(module, func, args=()):
+    return Interpreter(module, MemoryImage(1 << 14, base=0x100)).run(
+        func, list(args)
+    ).return_value
+
+
+def test_folds_constant_expression():
+    module = _prepare("int f() { return (2 + 3) * 4 - 1; }", "f")
+    func = module.get_function("f")
+    assert ConstantFold().run(func)
+    DeadCodeElimination().run(func)
+    verify_module(module)
+    assert not any(isinstance(i, BinaryOp) for i in func.instructions())
+    assert _value(module, "f") == 19
+
+
+def test_identity_simplifications():
+    module = _prepare("int f(int x) { return x * 1 + 0 + x * 0; }", "f")
+    func = module.get_function("f")
+    ConstantFold().run(func)
+    DeadCodeElimination().run(func)
+    binops = [i for i in func.instructions() if isinstance(i, BinaryOp)]
+    assert binops == []  # x*1 -> x, +0 -> x, x*0 -> 0, x+0 -> x
+    assert _value(module, "f", [9]) == 9
+
+
+def test_constant_branch_folded_and_cfg_cleaned():
+    module = _prepare("int f() { if (1 > 2) { return 100; } return 7; }", "f")
+    func = module.get_function("f")
+    ConstantFold().run(func)
+    SimplifyCFG().run(func)
+    DeadCodeElimination().run(func)
+    verify_module(module)
+    assert _value(module, "f") == 7
+    for block in func.blocks:
+        term = block.terminator
+        if isinstance(term, Branch):
+            assert not term.is_conditional
+
+
+def test_float_identities_not_folded():
+    # x + 0.0 is not an identity under IEEE (x = -0.0), so it must stay.
+    module = _prepare("double f(double x) { return x + 0.0; }", "f")
+    func = module.get_function("f")
+    ConstantFold().run(func)
+    assert any(i.opcode == "fadd" for i in func.instructions())
+
+
+def test_dce_removes_unused_chain():
+    module = _prepare(
+        "int f(int x) { int dead = x * 37 + 4; return x; }", "f"
+    )
+    func = module.get_function("f")
+    assert DeadCodeElimination().run(func)
+    assert not any(isinstance(i, BinaryOp) for i in func.instructions())
+
+
+def test_dce_keeps_stores():
+    module = _prepare("void f(int p[4]) { p[0] = 42; }", "f")
+    func = module.get_function("f")
+    DeadCodeElimination().run(func)
+    assert any(i.opcode == "store" for i in func.instructions())
+
+
+def test_simplify_merges_straight_line():
+    module = _prepare("int f(int x) { int y = x + 1; { int z = y * 2; return z; } }", "f")
+    func = module.get_function("f")
+    ConstantFold().run(func)
+    SimplifyCFG().run(func)
+    verify_module(module)
+    assert _value(module, "f", [3]) == 8
+
+
+def test_unreachable_loop_removed():
+    module = _prepare(
+        "int f() { if (0) { for (int i = 0; i < 10; i++) { } } return 1; }", "f"
+    )
+    func = module.get_function("f")
+    ConstantFold().run(func)
+    SimplifyCFG().run(func)
+    DeadCodeElimination().run(func)
+    verify_module(module)
+    assert len(func.blocks) <= 2
+    assert _value(module, "f") == 1
+
+
+def test_full_pipeline_preserves_semantics():
+    src = """
+    int poly(int x) {
+      int a = 3 * 1;
+      int b = a + 0;
+      int acc = 0;
+      for (int i = 0; i < 4; i++) { acc += x * b + i; }
+      return acc;
+    }
+    """
+    unopt = lower_to_ir(parse_c(src))
+    opt = compile_c(src)
+    for x in (-3, 0, 5, 1000):
+        assert _value(unopt, "poly", [x]) == _value(opt, "poly", [x])

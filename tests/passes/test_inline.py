@@ -1,0 +1,138 @@
+"""Function inlining."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_c, lower_to_ir, parse_c
+from repro.ir.instructions import Call
+from repro.ir.interpreter import Interpreter
+from repro.ir.memory import MemoryImage
+from repro.ir.verifier import verify_module
+from repro.passes import InlineError, InlineFunctions, Mem2Reg
+
+
+def _no_local_calls(func):
+    return not any(
+        isinstance(i, Call) and not i.is_intrinsic for i in func.instructions()
+    )
+
+
+def _run(module, func, args=()):
+    return Interpreter(module, MemoryImage(1 << 14, base=0x100)).run(
+        func, list(args)
+    ).return_value
+
+
+def test_simple_call_inlined():
+    src = """
+    int helper(int x) { return x * 3 + 1; }
+    int f(int a) { return helper(a) + helper(a + 1); }
+    """
+    module = lower_to_ir(parse_c(src))
+    expected = _run(module, "f", [5])
+    InlineFunctions(module).run(module.get_function("f"))
+    verify_module(module)
+    assert _no_local_calls(module.get_function("f"))
+    assert _run(module, "f", [5]) == expected == (16 + 19)
+
+
+def test_nested_calls_inlined_transitively():
+    src = """
+    int inner(int x) { return x + 1; }
+    int middle(int x) { return inner(x) * 2; }
+    int f(int a) { return middle(a); }
+    """
+    module = lower_to_ir(parse_c(src))
+    InlineFunctions(module).run(module.get_function("f"))
+    verify_module(module)
+    assert _no_local_calls(module.get_function("f"))
+    assert _run(module, "f", [4]) == 10
+
+
+def test_callee_with_control_flow():
+    src = """
+    int clamp(int x) { if (x > 10) { return 10; } return x; }
+    int f(int a, int b) { return clamp(a) + clamp(b); }
+    """
+    module = lower_to_ir(parse_c(src))
+    InlineFunctions(module).run(module.get_function("f"))
+    verify_module(module)
+    assert _run(module, "f", [3, 25]) == 13
+    assert _run(module, "f", [100, 100]) == 20
+
+
+def test_callee_with_loop():
+    src = """
+    int tri(int n) { int s = 0; for (int i = 1; i <= n; i++) { s += i; } return s; }
+    int f(int a) { return tri(a) * 10; }
+    """
+    module = lower_to_ir(parse_c(src))
+    InlineFunctions(module).run(module.get_function("f"))
+    verify_module(module)
+    assert _run(module, "f", [4]) == 100
+
+
+def test_void_callee_with_side_effects():
+    src = """
+    void bump(int p[4], int i) { p[i] = p[i] + 1; }
+    void f(int p[4]) { bump(p, 0); bump(p, 0); bump(p, 3); }
+    """
+    module = lower_to_ir(parse_c(src))
+    InlineFunctions(module).run(module.get_function("f"))
+    verify_module(module)
+    mem = MemoryImage(1 << 12, base=0x100)
+    addr = mem.alloc_array(np.zeros(4, dtype=np.int32))
+    Interpreter(module, mem).run("f", [addr])
+    assert list(mem.read_array(addr, np.int32, 4)) == [2, 0, 0, 1]
+
+
+def test_recursion_rejected():
+    src = """
+    int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+    int f(int a) { return fact(a); }
+    """
+    module = lower_to_ir(parse_c(src))
+    with pytest.raises(InlineError):
+        InlineFunctions(module, require_complete=True).run(module.get_function("f"))
+
+
+def test_recursion_tolerated_when_incomplete_allowed():
+    src = """
+    int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+    int f(int a) { return fact(a); }
+    """
+    module = lower_to_ir(parse_c(src))
+    InlineFunctions(module, require_complete=False).run(module.get_function("f"))
+    assert _run(module, "f", [5]) == 120  # still functionally correct
+
+
+def test_compile_c_inlines_by_default():
+    src = """
+    double sq(double x) { return x * x; }
+    double f(double a) { return sq(a) + sq(a + 1.0); }
+    """
+    module = compile_c(src)
+    assert _no_local_calls(module.get_function("f"))
+    assert _run(module, "f", [2.0]) == 4.0 + 9.0
+
+
+def test_inlined_kernel_runs_on_simulator():
+    from repro.system.soc import StandaloneAccelerator
+
+    src = """
+    double mac(double a, double b, double acc) { return acc + a * b; }
+    void dot(double x[16], double y[16], double out[1]) {
+      double s = 0;
+      for (int i = 0; i < 16; i++) { s = mac(x[i], y[i], s); }
+      out[0] = s;
+    }
+    """
+    acc = StandaloneAccelerator(src, "dot", spm_bytes=1 << 12)
+    rng = np.random.default_rng(1)
+    x, y = rng.uniform(-1, 1, 16), rng.uniform(-1, 1, 16)
+    px, py, po = acc.alloc_array(x), acc.alloc_array(y), acc.alloc(8)
+    acc.run([px, py, po])
+    expected = 0.0
+    for a, b in zip(x, y):
+        expected += a * b
+    assert acc.read_array(po, np.float64, 1)[0] == expected

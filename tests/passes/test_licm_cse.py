@@ -1,0 +1,233 @@
+"""LICM and CSE: correctness and effect."""
+
+import numpy as np
+
+from repro.frontend import compile_c, lower_to_ir, parse_c
+from repro.ir.instructions import BinaryOp
+from repro.ir.interpreter import Interpreter
+from repro.ir.memory import MemoryImage
+from repro.ir.verifier import verify_module
+from repro.passes import (
+    CommonSubexpressionElimination,
+    ConstantFold,
+    DeadCodeElimination,
+    LoopInvariantCodeMotion,
+    Mem2Reg,
+)
+from repro.passes.loop_analysis import find_loops
+
+
+def _prep(src, func="f"):
+    module = lower_to_ir(parse_c(src))
+    f = module.get_function(func)
+    Mem2Reg().run(f)
+    ConstantFold().run(f)
+    DeadCodeElimination().run(f)
+    return module, f
+
+
+def _run(module, func, arrays=(), scalars=()):
+    mem = MemoryImage(1 << 14, base=0x100)
+    args = [mem.alloc_array(a) for a in arrays] + list(scalars)
+    result = Interpreter(module, mem).run(func, args)
+    return result, mem, args
+
+
+# -- LICM -------------------------------------------------------------------
+def test_licm_hoists_invariant_multiply():
+    src = """
+    void f(double a[16], double out[16], int n) {
+      for (int i = 0; i < 16; i++) { out[i] = a[i] * (n * 7); }
+    }
+    """
+    module, f = _prep(src)
+    loop = find_loops(f)[0]
+    in_loop_muls_before = sum(
+        1 for b in loop.blocks for i in b.instructions
+        if isinstance(i, BinaryOp) and i.opcode == "mul"
+    )
+    assert LoopInvariantCodeMotion().run(f)
+    verify_module(module)
+    loop = find_loops(f)[0]
+    in_loop_muls_after = sum(
+        1 for b in loop.blocks for i in b.instructions
+        if isinstance(i, BinaryOp) and i.opcode == "mul"
+    )
+    assert in_loop_muls_after < in_loop_muls_before
+
+
+def test_licm_preserves_semantics(rng):
+    src = """
+    void f(double a[16], double out[16], int n) {
+      for (int i = 0; i < 16; i++) { out[i] = a[i] * (n * 7) + (n - 2); }
+    }
+    """
+    data = rng.uniform(-1, 1, 16)
+
+    def run(module):
+        __, mem, args = _run(module, "f", arrays=[data, np.zeros(16)], scalars=[3])
+        return mem.read_array(args[1], np.float64, 16)
+
+    module, f = _prep(src)
+    before = run(module)
+    LoopInvariantCodeMotion().run(f)
+    verify_module(module)
+    assert np.allclose(run(module), before)
+
+
+def test_licm_does_not_hoist_division():
+    src = """
+    void f(int a[16], int out[16], int n) {
+      for (int i = 0; i < 16; i++) {
+        if (n != 0) { out[i] = a[i] + 100 / n; }
+      }
+    }
+    """
+    module, f = _prep(src)
+    LoopInvariantCodeMotion().run(f)
+    verify_module(module)
+    # 100/n stays inside the guard: running with n=0 must not trap.
+    _run(module, "f", arrays=[np.zeros(16, np.int32), np.zeros(16, np.int32)],
+         scalars=[0])
+
+
+def test_licm_does_not_hoist_guarded_code():
+    src = """
+    void f(double a[16], double out[16], double n_arr[1]) {
+      double n = n_arr[0];
+      for (int i = 0; i < 16; i++) {
+        if (a[i] > 0.0) { out[i] = n * 2.0; } else { out[i] = 0.0; }
+      }
+    }
+    """
+    module, f = _prep(src)
+    loops_before = find_loops(f)
+    LoopInvariantCodeMotion().run(f)
+    verify_module(module)
+    data = np.array([1.0, -1.0] * 8)
+    __, mem, args = _run(module, "f",
+                         arrays=[data, np.zeros(16), np.array([5.0])])
+    out = mem.read_array(args[1], np.float64, 16)
+    assert np.allclose(out, np.where(data > 0, 10.0, 0.0))
+
+
+def test_licm_nested_loops(rng):
+    src = """
+    void f(double a[64], double out[64], int n) {
+      for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+          out[i * 8 + j] = a[i * 8 + j] * (n * n);
+        }
+      }
+    }
+    """
+    module, f = _prep(src)
+    LoopInvariantCodeMotion().run(f)
+    verify_module(module)
+    data = rng.uniform(-1, 1, 64)
+    __, mem, args = _run(module, "f", arrays=[data, np.zeros(64)], scalars=[4])
+    assert np.allclose(mem.read_array(args[1], np.float64, 64), data * 16)
+
+
+# -- CSE ---------------------------------------------------------------------
+def test_cse_removes_duplicate_expression():
+    src = "int f(int a, int b) { return (a + b) * (a + b); }"
+    module, f = _prep(src)
+    adds_before = sum(1 for i in f.instructions() if i.opcode == "add")
+    assert CommonSubexpressionElimination().run(f)
+    verify_module(module)
+    adds_after = sum(1 for i in f.instructions() if i.opcode == "add")
+    assert adds_after == adds_before - 1
+    result, __, __ = _run(module, "f", scalars=[3, 4])
+    assert result.return_value == 49
+
+
+def test_cse_commutative_matching():
+    src = "int f(int a, int b) { return a * b + b * a; }"
+    module, f = _prep(src)
+    CommonSubexpressionElimination().run(f)
+    muls = sum(1 for i in f.instructions() if i.opcode == "mul")
+    assert muls == 1
+    result, __, __ = _run(module, "f", scalars=[6, 7])
+    assert result.return_value == 84
+
+
+def test_cse_respects_dominance():
+    src = """
+    int f(int a, int b) {
+      int x;
+      if (a > 0) { x = a + b; } else { x = a - b; }
+      return x + (a + b);
+    }
+    """
+    module, f = _prep(src)
+    CommonSubexpressionElimination().run(f)
+    verify_module(module)
+    # (a+b) in the then-arm does NOT dominate the final use; semantics hold.
+    result, __, __ = _run(module, "f", scalars=[5, 2])
+    assert result.return_value == 14
+    result, __, __ = _run(module, "f", scalars=[(-5) & 0xFFFFFFFF, 2])
+    from repro.ir.semantics import to_signed
+    from repro.ir.types import I32
+    assert to_signed(result.return_value, I32) == (-5 - 2) + (-5 + 2)
+
+
+def test_cse_does_not_merge_loads():
+    src = """
+    int f(int p[4]) {
+      int a = p[0];
+      p[0] = a + 1;
+      int b = p[0];
+      return a + b;
+    }
+    """
+    module, f = _prep(src)
+    CommonSubexpressionElimination().run(f)
+    data = np.array([10, 0, 0, 0], dtype=np.int32)
+    result, __, __ = _run(module, "f", arrays=[data])
+    assert result.return_value == 21  # second load sees the store
+
+
+def test_cse_shrinks_datapath_fu_count():
+    from repro.core.cdfg import StaticCDFG
+
+    src = """
+    void f(double a[8], double out[8], double s_arr[1]) {
+      double s = s_arr[0];
+      for (int i = 0; i < 8; i++) {
+        out[i] = a[i] * (s * s) + (s * s);
+      }
+    }
+    """
+    level1 = compile_c(src, opt_level=1)
+    level2 = compile_c(src, opt_level=2)
+    fu1 = StaticCDFG(level1.get_function("f")).fu_counts
+    fu2 = StaticCDFG(level2.get_function("f")).fu_counts
+    assert fu2.get("fp_mul", 0) < fu1.get("fp_mul", 0)
+
+
+def test_opt_level2_preserves_all_workloads():
+    """Every benchmark kernel compiled at -O2 still matches its golden."""
+    from repro.ir.interpreter import Interpreter as Interp
+    from repro.workloads import all_workload_names, get_workload
+
+    for name in ["gemm", "fft", "spmv", "nw", "stencil3d"]:
+        w = get_workload(name)
+        data = w.make_data(np.random.default_rng(5))
+        module = compile_c(w.source, w.name, opt_level=2)
+        mem = MemoryImage(1 << 20, base=0x10000)
+        addresses, args = {}, []
+        for arg_name in w.arg_order:
+            if arg_name in data.inputs:
+                addr = mem.alloc_array(np.ascontiguousarray(data.inputs[arg_name]))
+                addresses[arg_name] = addr
+                args.append(addr)
+            else:
+                args.append(data.scalars[arg_name])
+        Interp(module, mem).run(w.func_name, args)
+        for out_name in data.output_names:
+            expected = data.golden[out_name]
+            actual = mem.read_array(addresses[out_name], expected.dtype, expected.size)
+            assert np.allclose(actual, expected.ravel(), rtol=1e-6, atol=1e-9), (
+                name, out_name,
+            )

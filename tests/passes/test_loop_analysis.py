@@ -1,0 +1,87 @@
+"""Natural-loop detection and trip counting."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.passes.loop_analysis import find_loops, trip_count
+
+
+def _loops_of(source, func="f", unroll_factor=1, optimize=True):
+    module = compile_c(source, func, optimize=optimize, unroll_factor=unroll_factor)
+    return find_loops(module.get_function(func)), module
+
+
+@pytest.mark.parametrize(
+    "header,expected",
+    [
+        ("for (int i = 0; i < 10; i++)", 10),
+        ("for (int i = 0; i < 10; i += 2)", 5),
+        ("for (int i = 10; i > 0; i--)", 10),
+        ("for (int i = 1; i <= 7; i++)", 7),
+        ("for (int i = 0; i != 4; i++)", 4),
+        ("for (int i = 5; i >= 0; i -= 1)", 6),
+    ],
+)
+def test_trip_count_shapes(header, expected):
+    loops, __ = _loops_of(f"void f(int a[64]) {{ {header} {{ a[0] += 1; }} }}")
+    assert len(loops) == 1
+    assert trip_count(loops[0]) == expected
+
+
+def test_non_constant_bound_has_no_trip_count():
+    loops, __ = _loops_of("void f(int a[64], int n) { for (int i = 0; i < n; i++) { a[0] += 1; } }")
+    assert len(loops) == 1
+    assert trip_count(loops[0]) is None
+
+
+def test_nested_loops_found_innermost_first():
+    src = """
+    void f(int a[64]) {
+      for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 8; j++) { a[i] += j; }
+      }
+    }
+    """
+    loops, __ = _loops_of(src)
+    assert len(loops) == 2
+    assert len(loops[0].blocks) <= len(loops[1].blocks)
+    inner, outer = loops
+    assert trip_count(inner) == 8
+    assert all(block in outer.blocks for block in inner.blocks)
+
+
+def test_canonical_detection():
+    loops, __ = _loops_of("void f(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = i; } }")
+    loop = loops[0]
+    assert loop.is_canonical
+    assert loop.induction is not None
+    assert loop.exits_from_latch
+
+
+def test_while_loop_with_data_dependent_exit():
+    src = """
+    int f(int a[64]) {
+      int i = 0;
+      while (a[i] != 0) { i++; }
+      return i;
+    }
+    """
+    loops, __ = _loops_of(src)
+    assert len(loops) == 1
+    assert trip_count(loops[0]) is None
+
+
+def test_loop_with_break_is_not_canonical_for_unroll():
+    src = """
+    int f(int a[16]) {
+      int found = -1;
+      for (int i = 0; i < 16; i++) {
+        if (a[i] == 7) { found = i; break; }
+      }
+      return found;
+    }
+    """
+    loops, __ = _loops_of(src)
+    # The break adds a second exit; full unrolling must not apply.
+    for loop in loops:
+        assert trip_count(loop) is None or not loop.exits_from_latch or len(loop.exits) > 1

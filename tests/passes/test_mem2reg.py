@@ -1,0 +1,100 @@
+"""mem2reg: promotion and semantic preservation."""
+
+import numpy as np
+
+from repro.frontend import lower_to_ir, parse_c
+from repro.ir.instructions import Alloca, Load, Phi, Store
+from repro.ir.interpreter import Interpreter
+from repro.ir.memory import MemoryImage
+from repro.ir.verifier import verify_module
+from repro.passes import Mem2Reg
+
+
+def _lower(source):
+    return lower_to_ir(parse_c(source))
+
+
+def _run(module, func, args, mem_base=0x1000):
+    mem = MemoryImage(1 << 16, base=mem_base)
+    return Interpreter(module, mem).run(func, args).return_value
+
+
+def test_scalar_allocas_removed():
+    module = _lower("int f(int a) { int x = a; int y = x + 1; return y * 2; }")
+    func = module.get_function("f")
+    assert any(isinstance(i, Alloca) for i in func.instructions())
+    assert Mem2Reg().run(func)
+    verify_module(module)
+    assert not any(isinstance(i, Alloca) for i in func.instructions())
+    assert not any(isinstance(i, (Load, Store)) for i in func.instructions())
+
+
+def test_array_allocas_survive():
+    module = _lower("int f() { int buf[4]; buf[0] = 1; return buf[0]; }")
+    func = module.get_function("f")
+    Mem2Reg().run(func)
+    assert any(isinstance(i, Alloca) for i in func.instructions())
+
+
+def test_phi_inserted_for_if_else():
+    module = _lower(
+        "int f(int a) { int r; if (a > 0) { r = 1; } else { r = 2; } return r; }"
+    )
+    func = module.get_function("f")
+    Mem2Reg().run(func)
+    verify_module(module)
+    assert any(isinstance(i, Phi) for i in func.instructions())
+    assert _run(module, "f", [5]) == 1
+    assert _run(module, "f", [0xFFFFFFFF]) == 2  # -1 as bit pattern
+
+
+def test_loop_carried_phi_semantics():
+    src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }"
+    module = _lower(src)
+    func = module.get_function("f")
+    before = _run(module, "f", [10])
+    Mem2Reg().run(func)
+    verify_module(module)
+    assert _run(module, "f", [10]) == before == 45
+
+
+def test_uninitialized_local_reads_zero():
+    module = _lower("int f(int a) { int x; if (a > 0) { x = 5; } return x; }")
+    func = module.get_function("f")
+    Mem2Reg().run(func)
+    verify_module(module)
+    assert _run(module, "f", [1]) == 5
+    assert _run(module, "f", [0]) == 0
+
+
+def test_idempotent():
+    module = _lower("int f(int a) { int x = a * 2; return x; }")
+    func = module.get_function("f")
+    assert Mem2Reg().run(func)
+    assert not Mem2Reg().run(func)
+
+
+def test_semantics_preserved_on_nested_control(rng):
+    src = """
+    int classify(int a[32], int n) {
+      int pos = 0;
+      int neg = 0;
+      for (int i = 0; i < n; i++) {
+        if (a[i] > 0) { pos++; }
+        else { if (a[i] < 0) { neg++; } }
+      }
+      return pos * 100 + neg;
+    }
+    """
+    module = _lower(src)
+    data = rng.integers(-10, 10, 32).astype(np.int32)
+
+    def run(m):
+        mem = MemoryImage(1 << 16, base=0x1000)
+        addr = mem.alloc_array(data)
+        return Interpreter(m, mem).run("classify", [addr, 32]).return_value
+
+    before = run(module)
+    Mem2Reg().run(module.get_function("classify"))
+    verify_module(module)
+    assert run(module) == before

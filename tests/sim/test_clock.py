@@ -1,0 +1,62 @@
+"""Clock domains and cycle-aligned scheduling."""
+
+import pytest
+
+from repro.sim.clock import ClockDomain, ClockedObject, frequency_to_period
+from repro.sim.eventq import EventQueue
+
+
+def test_period_from_frequency():
+    assert frequency_to_period(1e9) == 1000          # 1 GHz -> 1000 ps
+    assert frequency_to_period(100e6) == 10000       # 100 MHz -> 10 ns
+    assert frequency_to_period(2e9) == 500
+
+
+def test_bad_frequency_rejected():
+    with pytest.raises(ValueError):
+        frequency_to_period(0)
+    with pytest.raises(ValueError):
+        ClockDomain("x", -5)
+
+
+def test_cycles_ticks_roundtrip():
+    clk = ClockDomain("clk", 100e6)
+    assert clk.cycles_to_ticks(3) == 30000
+    assert clk.ticks_to_cycles(30000) == 3
+    assert clk.ticks_to_cycles(30999) == 3
+
+
+def test_clock_edge_alignment():
+    eq = EventQueue()
+    clk = ClockDomain("clk", 1e9)  # period 1000
+    obj = ClockedObject(eq, clk)
+    # At tick 0 (an edge), edge(0) is now.
+    assert obj.clock_edge(0) == 0
+    assert obj.clock_edge(2) == 2000
+    # Advance off-edge and check rounding up.
+    eq.schedule_callback(lambda: None, 1500)
+    eq.run()
+    assert eq.cur_tick == 1500
+    assert obj.clock_edge(0) == 2000
+    assert obj.clock_edge(1) == 3000
+
+
+def test_schedule_in_cycles_fires_on_edges():
+    eq = EventQueue()
+    clk = ClockDomain("clk", 100e6)
+    obj = ClockedObject(eq, clk)
+    ticks = []
+    obj.schedule_callback_in_cycles(lambda: ticks.append(eq.cur_tick), 3)
+    eq.run()
+    assert ticks == [30000]
+
+
+def test_different_domains_coexist():
+    eq = EventQueue()
+    fast = ClockedObject(eq, ClockDomain("fast", 1e9))
+    slow = ClockedObject(eq, ClockDomain("slow", 100e6))
+    order = []
+    fast.schedule_callback_in_cycles(lambda: order.append("fast"), 5)   # 5000
+    slow.schedule_callback_in_cycles(lambda: order.append("slow"), 1)   # 10000
+    eq.run()
+    assert order == ["fast", "slow"]

@@ -1,0 +1,138 @@
+"""Event queue semantics: ordering, priorities, cancellation."""
+
+import pytest
+
+from repro.sim.eventq import Event, EventQueue, SimulationError
+
+
+def test_events_fire_in_tick_order():
+    eq = EventQueue()
+    fired = []
+    eq.schedule_callback(lambda: fired.append("late"), 100)
+    eq.schedule_callback(lambda: fired.append("early"), 10)
+    eq.schedule_callback(lambda: fired.append("middle"), 50)
+    assert eq.run() == "empty"
+    assert fired == ["early", "middle", "late"]
+
+
+def test_same_tick_priority_order():
+    eq = EventQueue()
+    fired = []
+    eq.schedule_callback(lambda: fired.append("low"), 5, priority=Event.STAT_PRI)
+    eq.schedule_callback(lambda: fired.append("high"), 5, priority=Event.MINIMUM_PRI)
+    eq.run()
+    assert fired == ["high", "low"]
+
+
+def test_same_tick_same_priority_fifo():
+    eq = EventQueue()
+    fired = []
+    for i in range(10):
+        eq.schedule_callback(lambda i=i: fired.append(i), 7)
+    eq.run()
+    assert fired == list(range(10))
+
+
+def test_cannot_schedule_in_past():
+    eq = EventQueue()
+    eq.schedule_callback(lambda: None, 100)
+    eq.run()
+    assert eq.cur_tick == 100
+    with pytest.raises(SimulationError):
+        eq.schedule_callback(lambda: None, 50)
+
+
+def test_double_schedule_rejected():
+    eq = EventQueue()
+    event = Event(lambda: None)
+    eq.schedule(event, 10)
+    with pytest.raises(SimulationError):
+        eq.schedule(event, 20)
+
+
+def test_deschedule_cancels():
+    eq = EventQueue()
+    fired = []
+    event = Event(lambda: fired.append(1))
+    eq.schedule(event, 10)
+    eq.deschedule(event)
+    eq.run()
+    assert fired == []
+    assert not event.scheduled()
+
+
+def test_deschedule_unscheduled_raises():
+    eq = EventQueue()
+    with pytest.raises(SimulationError):
+        eq.deschedule(Event(lambda: None))
+
+
+def test_reschedule_moves_event():
+    eq = EventQueue()
+    fired = []
+    event = Event(lambda: fired.append(eq.cur_tick))
+    eq.schedule(event, 10)
+    eq.reschedule(event, 30)
+    eq.run()
+    assert fired == [30]
+
+
+def test_event_can_be_reused_after_firing():
+    eq = EventQueue()
+    count = []
+    event = Event(lambda: count.append(1))
+    eq.schedule(event, 1)
+    eq.run()
+    eq.schedule(event, 2)
+    eq.run()
+    assert len(count) == 2
+
+
+def test_events_may_schedule_events():
+    eq = EventQueue()
+    fired = []
+
+    def chain(depth):
+        fired.append(depth)
+        if depth < 5:
+            eq.schedule_callback(lambda: chain(depth + 1), eq.cur_tick + 10)
+
+    eq.schedule_callback(lambda: chain(0), 0)
+    eq.run()
+    assert fired == list(range(6))
+    assert eq.cur_tick == 50
+
+
+def test_max_tick_stops_run():
+    eq = EventQueue()
+    fired = []
+    eq.schedule_callback(lambda: fired.append(1), 10)
+    eq.schedule_callback(lambda: fired.append(2), 1000)
+    assert eq.run(max_tick=100) == "max_tick"
+    assert fired == [1]
+    assert not eq.empty()
+
+
+def test_exit_simulation():
+    eq = EventQueue()
+    fired = []
+    eq.schedule_callback(lambda: eq.exit_simulation("done early"), 5)
+    eq.schedule_callback(lambda: fired.append(1), 10)
+    assert eq.run() == "done early"
+    assert fired == []
+
+
+def test_max_events():
+    eq = EventQueue()
+    for i in range(10):
+        eq.schedule_callback(lambda: None, i)
+    assert eq.run(max_events=3) == "max_events"
+    assert eq.events_fired == 3
+
+
+def test_reset_clears_queue():
+    eq = EventQueue()
+    eq.schedule_callback(lambda: None, 10)
+    eq.reset()
+    assert eq.empty()
+    assert eq.cur_tick == 0

@@ -1,0 +1,68 @@
+"""SimObject/System registry, address ranges, stats reports."""
+
+import pytest
+
+from repro.sim.simobject import AddrRange, SimObject, System
+
+
+def test_addr_range_contains_overlaps():
+    r = AddrRange(0x1000, 0x100)
+    assert r.contains(0x1000)
+    assert r.contains(0x10FF)
+    assert r.contains(0x1000, 0x100)
+    assert not r.contains(0x1000, 0x101)
+    assert not r.contains(0xFFF)
+    assert r.overlaps(AddrRange(0x10F0, 0x100))
+    assert not r.overlaps(AddrRange(0x1100, 0x100))
+    with pytest.raises(ValueError):
+        AddrRange(0, 0)
+
+
+def test_registry_and_duplicate_names(system):
+    obj = SimObject("dev0", system)
+    assert system["dev0"] is obj
+    with pytest.raises(ValueError):
+        SimObject("dev0", system)
+
+
+def test_init_all_called_once(system):
+    calls = []
+
+    class Dev(SimObject):
+        def init(self):
+            calls.append(self.name)
+
+    Dev("a", system)
+    Dev("b", system)
+    system.run()
+    assert sorted(calls) == ["a", "b"]
+    system.run()  # second run must not re-init
+    assert len(calls) == 2
+
+
+def test_stats_merged_across_objects(system):
+    a = SimObject("a", system)
+    b = SimObject("b", system)
+    a.stats.scalar("hits").inc(3)
+    b.stats.scalar("misses").inc(4)
+    dump = system.dump_stats()
+    assert dump["a.hits"] == 3
+    assert dump["b.misses"] == 4
+    report = system.stats_report()
+    assert "a.hits" in report
+
+
+def test_reset_stats(system):
+    a = SimObject("a", system)
+    stat = a.stats.scalar("x")
+    stat.inc(9)
+    system.reset_stats()
+    assert stat.value() == 0
+
+
+def test_cur_cycle_tracks_clock(system):
+    obj = SimObject("a", system)
+    seen = []
+    obj.schedule_callback_in_cycles(lambda: seen.append(obj.cur_cycle), 7)
+    system.run()
+    assert seen == [7]

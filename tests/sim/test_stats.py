@@ -1,0 +1,86 @@
+"""Stats framework."""
+
+import pytest
+
+from repro.sim.stats import FormulaStat, ScalarStat, StatGroup, VectorStat, format_stats
+
+
+def test_scalar_accumulates():
+    stat = ScalarStat("x")
+    stat.inc()
+    stat.inc(4)
+    assert stat.value() == 5
+    stat.set(2)
+    assert stat.value() == 2
+    stat.reset()
+    assert stat.value() == 0
+
+
+def test_scalar_iadd():
+    stat = ScalarStat("x")
+    stat += 3
+    stat += 0.5
+    assert stat.value() == 3.5
+
+
+def test_vector_keys():
+    stat = VectorStat("v")
+    stat.inc("a")
+    stat.inc("a", 2)
+    stat.inc("b")
+    assert stat.get("a") == 3
+    assert stat.get("missing") == 0
+    assert stat.total() == 4
+    assert set(stat.keys()) == {"a", "b"}
+
+
+def test_formula_reflects_current_state():
+    base = ScalarStat("base")
+    formula = FormulaStat("double", lambda: base.value() * 2)
+    base.inc(5)
+    assert formula.value() == 10
+    base.inc(5)
+    assert formula.value() == 20
+
+
+def test_group_registration_and_dump():
+    group = StatGroup("dev")
+    a = group.scalar("a")
+    v = group.vector("v")
+    a.inc(3)
+    v.inc("x")
+    dump = group.dump()
+    assert dump["dev.a"] == 3
+    assert dump["dev.v"] == {"x": 1}
+
+
+def test_group_duplicate_rejected():
+    group = StatGroup("dev")
+    group.scalar("a")
+    with pytest.raises(ValueError):
+        group.scalar("a")
+
+
+def test_nested_groups_walk():
+    parent = StatGroup("sys")
+    child = StatGroup("dev")
+    parent.add_child(child)
+    child.scalar("hits").inc(7)
+    dump = parent.dump()
+    assert dump["sys.dev.hits"] == 7
+
+
+def test_group_reset_recurses():
+    parent = StatGroup("sys")
+    child = parent.add_child(StatGroup("dev"))
+    stat = child.scalar("hits")
+    stat.inc(7)
+    parent.reset()
+    assert stat.value() == 0
+
+
+def test_format_stats_renders():
+    text = format_stats({"a.b": 1.5, "a.v": {"k": 2}}, title="t")
+    assert "t" in text
+    assert "a.b" in text
+    assert "a.v::k" in text

@@ -1,0 +1,84 @@
+"""Inter-accelerator control: one accelerator programs another's MMRs.
+
+Sec. III-D3: "the MMRs of accelerators ... enable direct communication
+and coordination between ... accelerators" — a producer accelerator
+finishes its kernel by storing the START command into the consumer's
+control register, with no host involvement after launch.  Trace-based
+simulators cannot express this at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mmr import ARGS_OFFSET, CTRL_START
+from repro.frontend import compile_c
+from repro.hw.default_profile import default_profile
+from repro.system.soc import build_soc
+
+# The producer doubles the input and then pokes the consumer's MMR:
+# ctrl[0] = 1 is literally a store to the consumer's control register.
+PRODUCER = """
+void producer(double in[16], double out[16], long ctrl[1]) {
+  for (int i = 0; i < 16; i++) { out[i] = in[i] * 2.0; }
+  ctrl[0] = 1;
+}
+"""
+
+CONSUMER = """
+void consumer(double in[16], double out[16]) {
+  for (int i = 0; i < 16; i++) { out[i] = in[i] + 1.0; }
+}
+"""
+
+
+def test_producer_starts_consumer_directly(rng):
+    soc = build_soc(dram_size=1 << 16)
+    cluster = soc.add_cluster("cl", shared_spm_bytes=1 << 12)
+    profile = default_profile()
+    producer = cluster.add_accelerator(
+        "prod", compile_c(PRODUCER, "p"), "producer", profile,
+    )
+    consumer = cluster.add_accelerator(
+        "cons", compile_c(CONSUMER, "c"), "consumer", profile,
+    )
+    for unit in (producer, consumer):
+        cluster.route_to_global(unit, cluster.shared_spm.range)
+    # The producer can reach the consumer's MMRs through the local xbar.
+    cluster.route_to_global(producer, consumer.comm.mmr.range)
+    consumer.comm.connect_irq(soc.irq.line(0))
+    soc.finalize()
+
+    spm = cluster.shared_spm
+    base = spm.range.start
+    data = rng.uniform(-1, 1, 16)
+    spm.image.write_array(base, data)
+    mid, out = base + 256, base + 512
+
+    # Pre-program the consumer's argument registers; the producer will
+    # fire its START bit.
+    consumer.comm.mmr.set_arg(0, mid)
+    consumer.comm.mmr.set_arg(1, out)
+
+    host = soc.host
+
+    def driver(h):
+        mmr = producer.comm.mmr.range.start
+        yield h.write_mmr(mmr + ARGS_OFFSET + 0, base)
+        yield h.write_mmr(mmr + ARGS_OFFSET + 8, mid)
+        yield h.write_mmr(mmr + ARGS_OFFSET + 16, consumer.comm.mmr.range.start)
+        yield h.write_mmr(mmr, CTRL_START)
+        # The host never talks to the consumer: it waits on the
+        # consumer's completion interrupt triggered by the chain.
+        yield h.wait_irq(0)
+
+    host.run_driver(driver(host))
+    cause = soc.run(max_ticks=5_000_000_000)
+    assert host.finished, cause
+    result = spm.image.read_array(out, np.float64, 16)
+    assert np.allclose(result, data * 2.0 + 1.0)
+    assert producer.invocations == 1
+    assert consumer.invocations == 1
+    # The consumer launched mid-chain: after the producer began, via the
+    # producer's own MMR store (its final instruction), not via the host.
+    assert consumer.engine.start_cycle > producer.engine.start_cycle
+    assert host.stat_mmr_writes.value() == 4  # all writes went to the producer

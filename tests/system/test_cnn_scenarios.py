@@ -1,0 +1,48 @@
+"""Fig. 16 scenario machinery (smoke-level: full runs live in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.system.cnn_scenarios import run_private_spm, run_shared_spm, run_stream
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "private": run_private_spm(seed=11),
+        "shared": run_shared_spm(seed=11),
+        "stream": run_stream(seed=11),
+    }
+
+
+def test_all_scenarios_verify(results):
+    for name, result in results.items():
+        assert result.verified, f"{name} produced wrong output"
+
+
+def test_scenarios_agree_functionally(results):
+    # All three computed the same (verified) output from the same seed.
+    assert all(r.verified for r in results.values())
+
+
+def test_private_is_slowest(results):
+    assert results["private"].total_ns >= results["shared"].total_ns
+    assert results["private"].total_ns >= results["stream"].total_ns
+
+
+def test_stream_is_fastest(results):
+    assert results["stream"].total_ns < results["shared"].total_ns
+
+
+def test_batch_stage_cycles_identical_across_a_and_b(results):
+    # Same kernels, same data: only the integration differs.
+    assert results["private"].acc_cycles["conv"] == results["shared"].acc_cycles["conv"]
+
+
+def test_stream_stages_overlap(results):
+    # In the pipelined scenario every stage is busy for roughly the whole
+    # pipeline duration (they overlap), unlike the serialized baselines.
+    cycles = results["stream"].acc_cycles
+    assert max(cycles.values()) < 1.3 * min(cycles.values())
+    serial = results["private"].acc_cycles
+    assert max(serial.values()) > 2 * min(serial.values())

@@ -1,0 +1,116 @@
+"""Workloads: functional correctness (interpreter) and timing-simulation
+correctness for the whole suite."""
+
+import numpy as np
+import pytest
+
+from repro.system.soc import StandaloneAccelerator
+from repro.workloads import all_workload_names, get_workload
+
+FAST_SIM_SET = ["bfs", "fft", "md_knn", "spmv", "spmv_shift", "stencil3d", "nw"]
+
+
+@pytest.mark.parametrize("name", all_workload_names())
+def test_interpreter_matches_golden(name):
+    get_workload(name).run_golden_interp()
+
+
+@pytest.mark.parametrize("name", FAST_SIM_SET)
+def test_simulator_matches_golden(name):
+    w = get_workload(name)
+    data = w.make_data(np.random.default_rng(11))
+    acc = StandaloneAccelerator(w.source, w.func_name, memory="spm", spm_bytes=1 << 16)
+    args, addresses = w.stage(acc, data)
+    acc.run(args)
+    w.verify(acc, addresses, data)
+
+
+def test_simulator_matches_golden_with_cache():
+    w = get_workload("spmv")
+    data = w.make_data(np.random.default_rng(11))
+    acc = StandaloneAccelerator(
+        w.source, w.func_name, memory="cache",
+        cache_kwargs=dict(size=1024, line_size=32, assoc=2),
+    )
+    args, addresses = w.stage(acc, data)
+    acc.run(args)
+    w.verify(acc, addresses, data)
+
+
+def test_different_seeds_give_different_data():
+    w = get_workload("gemm")
+    d1 = w.make_data(np.random.default_rng(1))
+    d2 = w.make_data(np.random.default_rng(2))
+    assert not np.allclose(d1.inputs["m1"], d2.inputs["m1"])
+
+
+def test_same_seed_reproducible():
+    w = get_workload("fft")
+    d1 = w.make_data(np.random.default_rng(5))
+    d2 = w.make_data(np.random.default_rng(5))
+    assert np.array_equal(d1.inputs["real"], d2.inputs["real"])
+    assert np.array_equal(d1.golden["real"], d2.golden["real"])
+
+
+def test_registry_lookup():
+    assert get_workload("gemm").name == "gemm"
+    with pytest.raises(KeyError):
+        get_workload("quantum_chromodynamics")
+    names = all_workload_names()
+    assert "fft" in names and "bfs" in names
+    assert names == sorted(names)
+
+
+def test_spmv_shift_trigger_data_really_triggers():
+    from repro.workloads.spmv import TRIGGER_HI, TRIGGER_LO, make_data_shift
+
+    with_trigger = make_data_shift(True)(np.random.default_rng(3))
+    without = make_data_shift(False)(np.random.default_rng(3))
+    vals_with = with_trigger.inputs["val"]
+    vals_without = without.inputs["val"]
+    assert ((vals_with > TRIGGER_LO) & (vals_with < TRIGGER_HI)).any()
+    assert not ((vals_without > TRIGGER_LO) & (vals_without < TRIGGER_HI)).any()
+    assert with_trigger.golden["flags"].any()
+    assert not without.golden["flags"].any()
+
+
+def test_bfs_levels_shape():
+    w = get_workload("bfs")
+    data = w.make_data(np.random.default_rng(9))
+    levels = data.golden["level"]
+    assert levels[0] == 0  # start node
+    reached = levels[levels != 127]
+    assert (reached >= 0).all()
+
+
+def test_cnn_golden_pipeline():
+    from repro.workloads.cnn import CONV, IN, POOL, golden_layer
+
+    rng = np.random.default_rng(2)
+    image = rng.uniform(-1, 1, (IN, IN))
+    kernel = rng.uniform(-1, 1, 9)
+    conv, relu, pool = golden_layer(image, kernel)
+    assert conv.shape == (CONV, CONV)
+    assert (relu >= 0).all()
+    assert pool.shape == (POOL, POOL)
+    assert pool.max() <= relu.max()
+
+
+def test_workload_stage_rejects_missing_arg():
+    w = get_workload("gemm")
+    data = w.make_data(np.random.default_rng(1))
+    del data.inputs["m2"]
+    acc = StandaloneAccelerator(w.source, w.func_name, spm_bytes=1 << 14)
+    with pytest.raises(KeyError):
+        w.stage(acc, data)
+
+
+def test_verify_reports_mismatch():
+    w = get_workload("gemm")
+    data = w.make_data(np.random.default_rng(1))
+    acc = StandaloneAccelerator(w.source, w.func_name, spm_bytes=1 << 14)
+    args, addresses = w.stage(acc, data)
+    acc.run(args)
+    data.golden["prod"] = data.golden["prod"] + 1.0
+    with pytest.raises(AssertionError):
+        w.verify(acc, addresses, data)
