@@ -10,15 +10,19 @@ FUs) appear off the frontier; the cache configuration sits up and to
 the right of the SPM one.
 """
 
+import os
+
 import numpy as np
 
 from conftest import SEED, save_and_print
 from repro.core.config import DeviceConfig
-from repro.dse import format_table, pareto_front, sweep, to_csv
+from repro.dse import format_table, pareto_front, to_csv
+from repro.exec import ParallelSweep
 from repro.workloads import get_workload
 
 FU_LIMITS = [2, 8, 32]
 PORTS = [1, 4, 16]
+WORKERS = min(4, os.cpu_count() or 1)
 
 
 def _configure(params):
@@ -46,7 +50,7 @@ def test_fig13(benchmark):
     workload = get_workload("gemm_dse")
 
     def run():
-        return sweep(
+        return ParallelSweep(workers=WORKERS).run(
             workload,
             {"memory": ["ideal", "spm", "cache"], "fus": FU_LIMITS, "ports": PORTS},
             configure=_configure,

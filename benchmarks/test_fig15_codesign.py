@@ -16,7 +16,7 @@ import numpy as np
 from conftest import SEED, save_and_print
 from repro.core.config import DeviceConfig
 from repro.dse import format_table
-from repro.system.soc import StandaloneAccelerator
+from repro.exec import SimContext
 from repro.workloads import get_workload
 
 PORTS = [4, 8, 16, 32, 64]
@@ -30,25 +30,21 @@ def _run(ports):
         write_ports=ports,
         fu_limits={"fp_add": FP_ADDERS},
     )
-    acc = StandaloneAccelerator(
-        workload.source, workload.func_name, config=config, unroll_factor=8,
+    context = SimContext(
+        workload, seed=SEED, config=config, unroll_factor=8,
         memory="spm", spm_bytes=1 << 15, spm_read_ports=ports, spm_write_ports=ports,
     )
-    data = workload.make_data(np.random.default_rng(SEED))
-    args, addresses = workload.stage(acc, data)
-    result = acc.run(args)
-    workload.verify(acc, addresses, data)
-    return result, acc
+    return context.run()
 
 
 def test_fig15(benchmark):
     def run():
         rows = []
         for ports in PORTS:
-            result, acc = _run(ports)
+            result = _run(ports)
             occ = result.occupancy
             mix = occ.issue_mix()
-            fmul_units = acc.unit.iface.cdfg.fu_counts.get("fp_mul", 1)
+            fmul_units = result.fu_counts.get("fp_mul", 1)
             rows.append(
                 {
                     "ports": ports,

@@ -1,15 +1,21 @@
 #!/usr/bin/env python
 """Design-space exploration of a GEMM accelerator (the Sec. IV-D flow).
 
-Sweeps functional-unit limits x memory ports x memory type, prints the
-sweep as a table with the Pareto-optimal points marked, and shows the
-stall/occupancy introspection the paper uses for co-design (Figs 13-15).
+Sweeps functional-unit limits x memory ports x memory type through the
+execution layer (`repro.exec`): the grid fans out over worker
+processes, results land in a content-addressed run cache (so re-running
+the sweep is near-free), and the table marks the Pareto-optimal points
+with the stall/occupancy introspection the paper uses for co-design
+(Figs 13-15).
 
 Run:  python examples/design_space_exploration.py
 """
 
+import os
+
 from repro.core.config import DeviceConfig
-from repro.dse import format_table, pareto_front, sweep, to_csv
+from repro.dse import format_table, pareto_front, to_csv
+from repro.exec import ParallelSweep, RunCache
 from repro.workloads import get_workload
 
 
@@ -33,7 +39,11 @@ def configure(params: dict) -> dict:
 
 def main() -> None:
     gemm = get_workload("gemm")
-    points = sweep(
+    executor = ParallelSweep(
+        workers=min(4, os.cpu_count() or 1),
+        cache=RunCache(),  # pass RunCache("path/") to persist across runs
+    )
+    points = executor.run(
         gemm,
         {"memory": ["spm", "cache"], "fus": [2, 8, 32], "ports": [2, 8]},
         configure=configure,
@@ -58,6 +68,15 @@ def main() -> None:
     print(f"  issue mix    : {occ.issue_mix()}")
 
     print("\nCSV export:\n" + to_csv(rows))
+
+    # A second pass over the same grid never touches the simulator: every
+    # point is served from the content-addressed run cache.
+    executor.run(
+        gemm,
+        {"memory": ["spm", "cache"], "fus": [2, 8, 32], "ports": [2, 8]},
+        configure=configure,
+    )
+    print(f"\nrun cache: {executor.cache.hits} hits / {executor.cache.misses} misses")
 
 
 if __name__ == "__main__":

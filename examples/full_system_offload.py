@@ -61,7 +61,8 @@ def main() -> None:
         yield h.dma_copy(cluster.dma, sout, dout, 1024)
 
     host.run_driver(driver(host))
-    cause = soc.run(max_ticks=1_000_000_000)
+    sim = soc.simulation()  # execution layer: event-loop run + stats
+    cause = sim.run(max_tick=1_000_000_000)
     assert host.finished, f"driver did not finish: {cause}"
 
     out = soc.dram.image.read_array(dout, np.float64, 128)

@@ -57,6 +57,22 @@ def main() -> None:
     for category, share in result.power.breakdown_percent().items():
         print(f"  {category:28s} {share:6.2f}%")
 
+    # The same lifecycle, packaged: `repro.exec.SimContext` owns the
+    # build -> stage -> run -> collect phases (and run_standalone is a
+    # one-call shim over it) — that's the API the sweeps, the CLI, and
+    # the benchmarks go through.
+    from repro.exec import SimContext
+
+    def stage(acc):
+        return [acc.alloc_array(x), acc.alloc_array(y), acc.alloc_array(alpha)]
+
+    ctx = SimContext.from_source(
+        KERNEL, "saxpy", stage, config=config, memory="spm",
+        spm_bytes=1 << 13, spm_read_ports=4, spm_write_ports=2,
+    )
+    assert ctx.run().cycles == result.cycles
+    print("\nexecution-layer SimContext reproduces the run exactly")
+
 
 if __name__ == "__main__":
     main()

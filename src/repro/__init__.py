@@ -31,6 +31,7 @@ from repro.core.compute_unit import ComputeUnit
 from repro.core.cluster import AcceleratorCluster
 from repro.frontend import compile_c
 from repro.hw.default_profile import default_profile
+from repro.exec import ParallelSweep, RunCache, SimContext, Simulation
 from repro.system.soc import (
     RunResult,
     SoC,
@@ -50,6 +51,10 @@ __all__ = [
     "default_profile",
     "StandaloneAccelerator",
     "RunResult",
+    "SimContext",
+    "Simulation",
+    "ParallelSweep",
+    "RunCache",
     "SoC",
     "build_soc",
     "run_standalone",

@@ -8,12 +8,16 @@ Mirrors the day-to-day gem5-SALAM workflow from a shell:
 * ``workloads`` — list the bundled MachSuite-style benchmarks
 * ``sweep``     — small port/FU design-space sweep with a Pareto summary
 
+``run`` and ``sweep`` go through the `repro.exec` execution layer:
+``--workers N`` fans sweep points out across processes and
+``--cache-dir`` makes repeated configuration points near-free.
+
 Examples::
 
     python -m repro compile kernel.c --unroll 4
     python -m repro elaborate kernel.c --func saxpy --fu-limit fp_mul=2
     python -m repro run gemm --ports 8 --memory spm
-    python -m repro sweep gemm_dse --unroll 8
+    python -m repro sweep gemm_dse --unroll 8 --workers 4 --cache-dir .runcache
 """
 
 from __future__ import annotations
@@ -21,8 +25,6 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-
-import numpy as np
 
 
 def _parse_fu_limits(entries: list[str]) -> dict[str, int]:
@@ -96,7 +98,7 @@ def cmd_workloads(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.core.config import DeviceConfig
-    from repro.system.soc import StandaloneAccelerator
+    from repro.exec import RunCache, SimContext
     from repro.workloads import get_workload
 
     workload = get_workload(args.workload)
@@ -109,13 +111,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     kwargs = dict(config=config, memory=args.memory, unroll_factor=args.unroll)
     if args.memory in ("spm", "ideal"):
         kwargs.update(spm_bytes=1 << 16, spm_read_ports=args.ports)
-    acc = StandaloneAccelerator(workload.source, workload.func_name, **kwargs)
-    data = workload.make_data(np.random.default_rng(args.seed))
-    run_args, addresses = workload.stage(acc, data)
-    result = acc.run(run_args)
-    workload.verify(acc, addresses, data)
+    cache = RunCache(args.cache_dir) if args.cache_dir else None
+    context = SimContext(workload, seed=args.seed, cache=cache, **kwargs)
+    result = context.run()
     print(f"workload        : {workload.name} ({workload.description})")
-    print("verified        : output matches the golden model")
+    if cache is not None and cache.hits:
+        print("verified        : cached result (verified when first computed)")
+    else:
+        print("verified        : output matches the golden model")
     print(f"cycles          : {result.cycles}")
     print(f"runtime         : {result.runtime_ns / 1e3:.2f} us @ {args.clock_mhz} MHz")
     print(f"total power     : {result.power.total_mw:.3f} mW")
@@ -128,6 +131,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.config import DeviceConfig
     from repro.dse import format_table, pareto_front, sweep
+    from repro.exec import RunCache
     from repro.workloads import get_workload
 
     workload = get_workload(args.workload)
@@ -140,7 +144,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             unroll_factor=args.unroll,
         )
 
-    points = sweep(workload, {"ports": args.ports}, configure, seed=args.seed)
+    cache = RunCache(args.cache_dir) if args.cache_dir else None
+    points = sweep(workload, {"ports": args.ports}, configure, seed=args.seed,
+                   workers=args.workers, cache=cache)
     front = pareto_front(points, objectives=lambda p: (p.runtime_us, p.power_mw))
     rows = []
     for point in points:
@@ -148,6 +154,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         row["pareto"] = "*" if point in front else ""
         rows.append(row)
     print(format_table(rows, title=f"{workload.name} port sweep"))
+    if cache is not None:
+        print(f"run cache       : {cache.hits} hit(s), {cache.misses} miss(es)")
     return 0
 
 
@@ -184,6 +192,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--clock-mhz", type=float, default=100.0)
     p_run.add_argument("--seed", type=int, default=7)
     p_run.add_argument("--fu-limit", action="append", metavar="CLASS=N")
+    p_run.add_argument("--cache-dir", metavar="DIR",
+                       help="content-addressed run cache (reruns are near-free)")
     p_run.set_defaults(handler=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="port sweep with Pareto summary")
@@ -191,6 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--ports", type=int, nargs="+", default=[1, 2, 4, 8])
     p_sweep.add_argument("--unroll", type=int, default=1)
     p_sweep.add_argument("--seed", type=int, default=7)
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="fan the sweep out over N processes")
+    p_sweep.add_argument("--cache-dir", metavar="DIR",
+                         help="content-addressed run cache (reruns are near-free)")
     p_sweep.set_defaults(handler=cmd_sweep)
 
     return parser

@@ -8,7 +8,7 @@ overrides, memory issue widths (read/write ports), and queue sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 
@@ -52,3 +52,12 @@ class DeviceConfig:
     @property
     def cycle_time_ns(self) -> float:
         return 1e9 / self.clock_freq_hz
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe representation (also the run-cache key material)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeviceConfig":
+        return cls(**data)

@@ -117,3 +117,36 @@ class OccupancyTracker:
         """Fraction of issue cycles that scheduled each kind of work."""
         total = max(1, self.issue_cycles)
         return {kind: count / total for kind, count in self.issue_kind_cycles.items()}
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe representation; frozenset histogram keys become
+        sorted '+'-joined strings (empty set -> '')."""
+        return {
+            "cycles": self.cycles,
+            "issue_cycles": self.issue_cycles,
+            "stall_cycles": self.stall_cycles,
+            "idle_cycles": self.idle_cycles,
+            "issued_ops": self.issued_ops,
+            "issued_by_class": dict(self.issued_by_class),
+            "stall_sources": {
+                "+".join(sorted(kinds)): count
+                for kinds, count in sorted(
+                    self.stall_sources.items(), key=lambda item: sorted(item[0])
+                )
+            },
+            "fu_busy_cycles": dict(self.fu_busy_cycles),
+            "issue_kind_cycles": dict(self.issue_kind_cycles),
+            "blocked_op_cycles": self.blocked_op_cycles,
+            "blocked_by_kind": dict(self.blocked_by_kind),
+            "issued_op_total": self.issued_op_total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OccupancyTracker":
+        data = dict(data)
+        data["stall_sources"] = {
+            frozenset(key.split("+")) if key else frozenset(): count
+            for key, count in data.get("stall_sources", {}).items()
+        }
+        return cls(**data)

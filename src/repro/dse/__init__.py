@@ -1,7 +1,17 @@
 """Design-space exploration harness (Sec. IV-D)."""
 
-from repro.dse.sweep import SweepPoint, sweep
+from repro.dse.sweep import ParallelSweep, SweepPoint, grid_points, sweep
 from repro.dse.pareto import pareto_front
 from repro.dse.reports import format_table, to_csv
+from repro.exec.cache import RunCache
 
-__all__ = ["SweepPoint", "sweep", "pareto_front", "format_table", "to_csv"]
+__all__ = [
+    "SweepPoint",
+    "sweep",
+    "grid_points",
+    "ParallelSweep",
+    "RunCache",
+    "pareto_front",
+    "format_table",
+    "to_csv",
+]

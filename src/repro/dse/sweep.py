@@ -1,52 +1,24 @@
 """Parameter sweeps over accelerator configurations.
 
 The paper's DSE flow (Fig. 13-15) is a bash loop over device configs;
-here `sweep` is the equivalent harness: it builds a fresh standalone
+`sweep` is the equivalent harness: it builds a fresh standalone
 accelerator per parameter point, runs the same staged workload, and
 collects (config, cycles, power, occupancy) records.
+
+The heavy lifting lives in `repro.exec.parallel.ParallelSweep`; the
+``sweep()`` signature below is the stable, deprecation-shim entry point
+(now with optional ``workers``/``cache`` pass-throughs).
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
-import numpy as np
-
-from repro.core.config import DeviceConfig
-from repro.system.soc import RunResult, StandaloneAccelerator
+from repro.exec.cache import RunCache
+from repro.exec.parallel import ParallelSweep, SweepPoint, grid_points
 from repro.workloads.base import Workload
 
-
-@dataclass
-class SweepPoint:
-    params: dict
-    result: RunResult
-
-    @property
-    def cycles(self) -> int:
-        return self.result.cycles
-
-    @property
-    def runtime_us(self) -> float:
-        return self.result.runtime_ns / 1e3
-
-    @property
-    def power_mw(self) -> float:
-        return self.result.power.total_mw
-
-    def record(self) -> dict:
-        """Flat dict for CSV export."""
-        row = dict(self.params)
-        row.update(
-            cycles=self.cycles,
-            runtime_us=self.runtime_us,
-            power_mw=self.power_mw,
-            stall_fraction=self.result.occupancy.stall_fraction(),
-            issue_fraction=self.result.occupancy.issue_fraction(),
-        )
-        return row
+__all__ = ["SweepPoint", "sweep", "grid_points", "ParallelSweep"]
 
 
 def sweep(
@@ -56,6 +28,8 @@ def sweep(
     seed: int = 7,
     verify: bool = True,
     unroll_factor: int = 1,
+    workers: int = 1,
+    cache: Optional[RunCache] = None,
 ) -> list[SweepPoint]:
     """Run ``workload`` across the cartesian product of ``param_grid``.
 
@@ -63,18 +37,11 @@ def sweep(
     arguments of `StandaloneAccelerator` (it may include a 'config'
     DeviceConfig).  Every point runs the same dataset (same seed), so
     differences are purely architectural.
+
+    ``workers=N`` fans the grid out across processes; ``cache`` reuses
+    results for already-seen configuration points.  Both default to the
+    historical serial, uncached behaviour.
     """
-    keys = list(param_grid)
-    points: list[SweepPoint] = []
-    for values in itertools.product(*(param_grid[k] for k in keys)):
-        params = dict(zip(keys, values))
-        kwargs = configure(params)
-        kwargs.setdefault("unroll_factor", unroll_factor)
-        acc = StandaloneAccelerator(workload.source, workload.func_name, **kwargs)
-        data = workload.make_data(np.random.default_rng(seed))
-        args, addresses = workload.stage(acc, data)
-        result = acc.run(args)
-        if verify:
-            workload.verify(acc, addresses, data)
-        points.append(SweepPoint(params=params, result=result))
-    return points
+    executor = ParallelSweep(workers=workers, cache=cache, verify=verify)
+    return executor.run(workload, param_grid, configure, seed=seed,
+                        unroll_factor=unroll_factor)

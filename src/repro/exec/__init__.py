@@ -1,0 +1,25 @@
+"""Unified execution layer: simulation lifecycle, caching, parallel sweeps.
+
+The one place that knows how to take a kernel + configuration to a
+`RunResult`: `SimContext` (build → stage → run → collect), `Simulation`
+(event-loop execution over a built `System`), `RunCache`
+(content-addressed results), and `ParallelSweep` (process-parallel DSE
+grids).  `repro.dse`, `repro.system`, the CLI, and the benchmarks all
+launch simulations through this layer.
+"""
+
+from repro.exec.cache import RunCache, run_cache_key
+from repro.exec.context import SimContext, Simulation
+from repro.exec.parallel import ParallelSweep, SweepPoint, grid_points
+from repro.system.soc import RunResult
+
+__all__ = [
+    "RunCache",
+    "run_cache_key",
+    "SimContext",
+    "Simulation",
+    "ParallelSweep",
+    "SweepPoint",
+    "grid_points",
+    "RunResult",
+]

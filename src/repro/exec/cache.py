@@ -1,0 +1,130 @@
+"""Content-addressed cache of simulation runs.
+
+A run is fully determined by its inputs: the kernel source, the entry
+function, the device configuration, the compile-time unroll factor, the
+dataset seed, and the memory-system keyword arguments.  `run_cache_key`
+hashes a canonical JSON encoding of exactly that tuple, so two sweep
+points that describe the same configuration map to the same key no
+matter which process (or which run of the program) produced them.
+
+`RunCache` stores `RunResult` payloads by key — always in memory,
+optionally mirrored to a directory of ``<key>.json`` files so repeated
+sweeps across program invocations are near-free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.system.soc import RunResult
+
+
+def _canonical(value):
+    """Reduce ``value`` to JSON-encodable, deterministically-ordered data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {"__type__": type(value).__name__,
+                **_canonical(dataclasses.asdict(value))}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"cannot build a run-cache key from {type(value).__name__!r}; "
+        "pass JSON-like values (or dataclasses of them)"
+    )
+
+
+def run_cache_key(source, func_name: str, *, seed: int = 7, **acc_kwargs) -> str:
+    """Content hash of one simulation configuration.
+
+    ``source`` is the kernel (mini-C text, or an IR `Module`, which is
+    hashed via its printed text — note value names carry a process-wide
+    gensym counter, so prefer source text for keys that must be stable
+    across separate compiles); ``acc_kwargs`` are the
+    `StandaloneAccelerator` keyword arguments (config, memory,
+    unroll_factor, SPM/cache/DRAM geometry, ...).
+    """
+    from repro.ir.module import Module
+
+    if isinstance(source, Module):
+        from repro.ir.printer import print_module
+
+        source = print_module(source)
+    payload = {
+        "source": source,
+        "func_name": func_name,
+        "seed": seed,
+        "kwargs": _canonical(acc_kwargs),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class RunCache:
+    """Key -> `RunResult` store with hit/miss accounting.
+
+    Results are held as their `to_dict` payloads and rehydrated on every
+    `get`, so callers can never mutate a cached entry in place.  With a
+    ``path`` the payloads are also written as ``<key>.json`` files and
+    found again by later processes.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _load(self, key: str) -> Optional[dict]:
+        payload = self._memory.get(key)
+        if payload is None and self.path is not None:
+            entry = self.path / f"{key}.json"
+            if entry.exists():
+                payload = json.loads(entry.read_text())
+                self._memory[key] = payload
+        return payload
+
+    def get(self, key: str) -> Optional[RunResult]:
+        payload = self._load(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunResult.from_dict(payload)
+
+    def put(self, key: str, result: RunResult) -> None:
+        payload = result.to_dict()
+        self._memory[key] = payload
+        if self.path is not None:
+            (self.path / f"{key}.json").write_text(json.dumps(payload, sort_keys=True))
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return self._load(key) is not None
+
+    def __len__(self) -> int:
+        if self.path is not None:
+            on_disk = {entry.stem for entry in self.path.glob("*.json")}
+            return len(on_disk | set(self._memory))
+        return len(self._memory)
+
+    def clear(self) -> None:
+        self._memory.clear()
+        if self.path is not None:
+            for entry in self.path.glob("*.json"):
+                entry.unlink()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = f" at {self.path}" if self.path else ""
+        return f"<RunCache {len(self)} entries{where} hits={self.hits} misses={self.misses}>"

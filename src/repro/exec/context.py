@@ -1,0 +1,222 @@
+"""The simulation lifecycle as an explicit, reusable object.
+
+Every consumer of the simulator used to hand-roll the same four phases:
+build the `System` (compile the kernel, elaborate the datapath, wire the
+memory system), stage the workload's dataset, drain the event loop, and
+collect statistics.  This module names those phases:
+
+* :class:`Simulation` wraps an already-built `System` — init-once
+  event-loop runs, stats collection, and reset/teardown.
+* :class:`SimContext` owns the full build → stage → run → collect
+  pipeline for one kernel on one `StandaloneAccelerator`
+  configuration, with optional result caching and golden-model
+  verification.  Contexts are reusable (`reset()` then `run()` again)
+  and picklable (live simulator state is dropped, the spec survives),
+  which is what lets `ParallelSweep` ship them across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.exec.cache import RunCache, run_cache_key
+from repro.ir.module import Module
+from repro.sim.simobject import System
+from repro.sim.stats import format_stats
+from repro.system.soc import RunResult, StandaloneAccelerator
+from repro.workloads.base import Workload
+
+
+class Simulation:
+    """Owns a built `System`: event-loop execution, stats, reset.
+
+    The thin waist between "a wired platform" and "a finished run" —
+    used directly by the SoC-level scenarios, and indirectly (via
+    `StandaloneAccelerator`) by :class:`SimContext`.
+    """
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self.exit_cause: Optional[str] = None
+
+    @property
+    def cur_tick(self) -> int:
+        return self.system.cur_tick
+
+    def run(self, max_tick: Optional[int] = None,
+            max_events: Optional[int] = None) -> str:
+        """Initialise (once) and drain the event queue; returns the exit cause."""
+        self.exit_cause = self.system.run(max_tick=max_tick, max_events=max_events)
+        return self.exit_cause
+
+    def stats(self) -> dict:
+        return self.system.dump_stats()
+
+    def report(self) -> str:
+        return format_stats(self.stats(), title=self.system.name)
+
+    def reset(self) -> None:
+        """Tear down run state so the same system can simulate again."""
+        self.system.reset()
+        self.exit_cause = None
+
+
+class SimContext:
+    """One kernel's build → stage → run → collect lifecycle.
+
+    Workload mode (cacheable)::
+
+        ctx = SimContext(get_workload("gemm"), config=DeviceConfig(...),
+                         memory="spm", spm_bytes=1 << 15, seed=7)
+        result = ctx.run()          # RunResult, verified against the golden model
+        ctx.reset()                 # reusable: tears down, next run() rebuilds
+
+    Source mode (arbitrary staging, not cacheable)::
+
+        ctx = SimContext.from_source(KERNEL, "saxpy", args_builder, memory="spm")
+    """
+
+    def __init__(
+        self,
+        workload: Optional[Workload] = None,
+        *,
+        seed: int = 7,
+        verify: bool = True,
+        cache: Optional[RunCache] = None,
+        max_ticks: Optional[int] = None,
+        max_events: Optional[int] = None,
+        source: Union[str, Module, None] = None,
+        func_name: Optional[str] = None,
+        args_builder: Optional[Callable[[StandaloneAccelerator], list]] = None,
+        **acc_kwargs,
+    ) -> None:
+        if (workload is None) == (source is None):
+            raise ValueError("pass exactly one of 'workload' or 'source'")
+        if source is not None and func_name is None:
+            raise ValueError("source mode needs 'func_name'")
+        if cache is not None and workload is None:
+            raise ValueError(
+                "caching needs workload mode: an args_builder callable "
+                "cannot be part of a content-addressed key"
+            )
+        self.workload = workload
+        self.source = workload.source if workload is not None else source
+        self.func_name = workload.func_name if workload is not None else func_name
+        self.args_builder = args_builder
+        self.seed = seed
+        self.verify = verify
+        self.cache = cache
+        self.max_ticks = max_ticks
+        self.max_events = max_events
+        self.acc_kwargs = dict(acc_kwargs)
+        # Live per-run state (rebuilt after reset; never pickled).
+        self._module: Optional[Module] = None
+        self._acc: Optional[StandaloneAccelerator] = None
+        self._data = None
+        self._addresses: Optional[dict[str, int]] = None
+        self._args: Optional[list] = None
+        self._ran = False
+        self.last_result: Optional[RunResult] = None
+
+    @classmethod
+    def from_source(
+        cls,
+        source: Union[str, Module],
+        func_name: str,
+        args_builder: Callable[[StandaloneAccelerator], list],
+        **kwargs,
+    ) -> "SimContext":
+        """Context around raw kernel source and a staging callable."""
+        return cls(source=source, func_name=func_name, args_builder=args_builder,
+                   **kwargs)
+
+    # -- lifecycle phases -------------------------------------------------
+    @property
+    def accelerator(self) -> Optional[StandaloneAccelerator]:
+        """The built `StandaloneAccelerator` (None before `build`/after `reset`)."""
+        return self._acc
+
+    def cache_key(self) -> str:
+        """Content hash of this context's configuration (workload mode)."""
+        if self.workload is None:
+            raise ValueError("cache keys are only defined in workload mode")
+        return run_cache_key(self.source, self.func_name, seed=self.seed,
+                             **self.acc_kwargs)
+
+    def build(self) -> StandaloneAccelerator:
+        """Phase 1: compile (once) and wire the accelerator system."""
+        if self._acc is None:
+            source = self._module if self._module is not None else self.source
+            self._acc = StandaloneAccelerator(source, self.func_name, **self.acc_kwargs)
+            self._module = self._acc.module  # reuse the compile across resets
+        return self._acc
+
+    def stage(self) -> list:
+        """Phase 2: place the dataset in accelerator memory, build the arg list."""
+        acc = self.build()
+        if self.workload is not None:
+            self._data = self.workload.make_data(np.random.default_rng(self.seed))
+            self._args, self._addresses = self.workload.stage(acc, self._data)
+        else:
+            self._args = self.args_builder(acc)
+        return self._args
+
+    def run(self) -> RunResult:
+        """Phases 1-4: build, stage, drain the event loop, collect stats.
+
+        Consults the cache first (workload mode); a hit skips simulation
+        entirely.  A context that already ran is reset transparently, so
+        ``ctx.run()`` is always a fresh, deterministic run.
+        """
+        key: Optional[str] = None
+        if self.cache is not None:
+            key = self.cache_key()
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.last_result = cached
+                return cached
+        if self._ran:
+            self.reset()
+        acc = self.build()
+        args = self._args if self._args is not None else self.stage()
+        result = acc.run(args, max_ticks=self.max_ticks, max_events=self.max_events)
+        self._ran = True
+        if self.verify and self.workload is not None:
+            self.workload.verify(acc, self._addresses, self._data)
+        if key is not None:
+            self.cache.put(key, result)
+        self.last_result = result
+        return result
+
+    def reset(self) -> None:
+        """Tear down the built system so the context can run again.
+
+        Resets the live system (event queue, object state, stats, memory
+        allocator) and drops it; the next `run()` rebuilds from the
+        cached compile, producing an identical result.
+        """
+        if self._acc is not None:
+            self._acc.reset()
+        self._acc = None
+        self._data = None
+        self._addresses = None
+        self._args = None
+        self._ran = False
+
+    # -- pickling (ProcessPoolExecutor ships contexts, not systems) -------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Live simulator state is full of closures and cyclic wiring;
+        # only the spec crosses process boundaries.
+        for live in ("_module", "_acc", "_data", "_addresses", "_args", "last_result"):
+            state[live] = None
+        state["_ran"] = False
+        state["cache"] = None  # caches are owned by the parent process
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        what = self.workload.name if self.workload is not None else self.func_name
+        state = "built" if self._acc is not None else "unbuilt"
+        return f"<SimContext {what} ({state})>"

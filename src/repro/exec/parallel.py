@@ -1,0 +1,165 @@
+"""Process-parallel design-space sweeps.
+
+The paper's DSE figures (13-15) are embarrassingly parallel: every
+parameter point is an independent simulation over the same seeded
+dataset.  `ParallelSweep` fans the points out over a
+`ProcessPoolExecutor` and reassembles the results in grid order, so the
+output is independent of scheduling.  Determinism is guaranteed by
+construction:
+
+* each worker builds its own `SimContext` from a pickled spec (no
+  shared simulator state), and
+* *every* result — serial or parallel — crosses a lossless
+  `RunResult.to_dict()`/`from_dict()` round trip, so ``workers=N``
+  produces byte-identical `SweepPoint.record()` rows to ``workers=1``.
+
+With a `RunCache` attached, already-known points skip simulation
+entirely; only the misses are submitted to the pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.exec.cache import RunCache, run_cache_key
+from repro.exec.context import SimContext
+from repro.system.soc import RunResult
+from repro.workloads.base import Workload
+
+
+@dataclass
+class SweepPoint:
+    params: dict
+    result: RunResult
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def runtime_us(self) -> float:
+        return self.result.runtime_ns / 1e3
+
+    @property
+    def power_mw(self) -> float:
+        return self.result.power.total_mw
+
+    def record(self) -> dict:
+        """Flat dict for CSV export."""
+        row = dict(self.params)
+        row.update(
+            cycles=self.cycles,
+            runtime_us=self.runtime_us,
+            power_mw=self.power_mw,
+            stall_fraction=self.result.occupancy.stall_fraction(),
+            issue_fraction=self.result.occupancy.issue_fraction(),
+        )
+        return row
+
+
+def grid_points(param_grid: dict[str, Iterable]) -> list[dict]:
+    """Cartesian product of a parameter grid, in key-major order."""
+    keys = list(param_grid)
+    return [
+        dict(zip(keys, values))
+        for values in itertools.product(*(param_grid[k] for k in keys))
+    ]
+
+
+def _execute_point(workload: Workload, acc_kwargs: dict, seed: int,
+                   verify: bool, max_ticks: Optional[int]) -> dict:
+    """Worker body: one full SimContext lifecycle, returned as a payload dict.
+
+    Runs in a pool process (or inline for the serial path — the same
+    code either way, which is what makes the two paths byte-identical).
+    """
+    ctx = SimContext(workload, seed=seed, verify=verify, max_ticks=max_ticks,
+                     **acc_kwargs)
+    return ctx.run().to_dict()
+
+
+@dataclass
+class ParallelSweep:
+    """Sweep executor: ``workers=1`` is the deterministic serial path,
+    ``workers=N`` fans pending points out across processes."""
+
+    workers: int = 1
+    cache: Optional[RunCache] = None
+    verify: bool = True
+    max_ticks: Optional[int] = None
+
+    def run(
+        self,
+        workload: Workload,
+        param_grid: dict[str, Iterable],
+        configure: Callable[[dict], dict],
+        seed: int = 7,
+        unroll_factor: int = 1,
+    ) -> list[SweepPoint]:
+        """Run ``workload`` across the cartesian product of ``param_grid``.
+
+        ``configure(params)`` maps one parameter point to the keyword
+        arguments of `StandaloneAccelerator` (it may include a 'config'
+        DeviceConfig).  Every point runs the same dataset (same seed), so
+        differences are purely architectural.
+        """
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        entries: list[tuple[dict, dict]] = []
+        for params in grid_points(param_grid):
+            kwargs = configure(params)
+            kwargs.setdefault("unroll_factor", unroll_factor)
+            entries.append((params, kwargs))
+
+        results: list[Optional[RunResult]] = [None] * len(entries)
+        pending: list[tuple[int, Optional[str], dict]] = []
+        for index, (params, kwargs) in enumerate(entries):
+            key: Optional[str] = None
+            if self.cache is not None:
+                key = run_cache_key(workload.source, workload.func_name,
+                                    seed=seed, **kwargs)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            pending.append((index, key, kwargs))
+
+        payloads = self._execute(workload, pending, seed)
+        for (index, key, __), payload in zip(pending, payloads):
+            result = RunResult.from_dict(payload)
+            results[index] = result
+            if key is not None:
+                self.cache.put(key, result)
+        return [
+            SweepPoint(params=params, result=result)
+            for (params, __), result in zip(entries, results)
+        ]
+
+    # ------------------------------------------------------------------
+    def _execute(self, workload: Workload,
+                 pending: list[tuple[int, Optional[str], dict]],
+                 seed: int) -> list[dict]:
+        """Run the pending points, preserving submission order."""
+        serial = lambda: [
+            _execute_point(workload, kwargs, seed, self.verify, self.max_ticks)
+            for __, __, kwargs in pending
+        ]
+        if self.workers == 1 or len(pending) <= 1:
+            return serial()
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(_execute_point, workload, kwargs, seed,
+                                self.verify, self.max_ticks)
+                    for __, __, kwargs in pending
+                ]
+                return [future.result() for future in futures]
+        except (BrokenProcessPool, PermissionError, OSError):
+            # No process support in this environment (e.g. a sandbox
+            # that forbids fork/semaphores): degrade to the serial path,
+            # which produces identical results.
+            return serial()

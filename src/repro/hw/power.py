@@ -9,7 +9,7 @@ stacked-percentage breakdown can be reproduced directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass
@@ -31,6 +31,13 @@ class AreaReport:
     @property
     def total_mm2(self) -> float:
         return self.total_um2 / 1e6
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AreaReport":
+        return cls(**data)
 
 
 @dataclass
@@ -106,6 +113,13 @@ class PowerReport:
         if total <= 0:
             return {key: 0.0 for key in self.breakdown()}
         return {key: 100.0 * value / total for key, value in self.breakdown().items()}
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PowerReport":
+        return cls(**data)
 
     def merged(self, other: "PowerReport") -> "PowerReport":
         """Combine two reports (e.g. several accelerators in a cluster)."""

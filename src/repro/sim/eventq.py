@@ -20,9 +20,9 @@ class SimulationError(RuntimeError):
 class Event:
     """A schedulable callback.
 
-    Events are one-shot: once fired (or cancelled) they may be scheduled
-    again.  ``priority`` breaks ties at the same tick; lower runs first
-    (gem5 convention).
+    Events are one-shot: firing (or cancelling) leaves them unscheduled,
+    after which they may be scheduled again.  ``priority`` breaks ties at
+    the same tick; lower runs first (gem5 convention).
     """
 
     # Priority bands, mirroring gem5's defaults.
@@ -180,4 +180,5 @@ class EventQueue:
         self._cur_tick = 0
         self._seq = 0
         self._exit_requested = False
+        self._exit_message = ""
         self._events_fired = 0

@@ -53,6 +53,14 @@ class SimObject(ClockedObject):
     def init(self) -> None:
         """Called once after the full system is wired, before simulation."""
 
+    def reset(self) -> None:
+        """Tear down run state so the object can simulate again.
+
+        The base implementation clears statistics; objects with internal
+        queues or in-flight transactions override and chain up.
+        """
+        self.reset_stats()
+
     def reset_stats(self) -> None:
         self.stats.reset()
 
@@ -83,11 +91,11 @@ class System:
             obj.init()
         self._initialized = True
 
-    def run(self, max_tick: Optional[int] = None) -> str:
+    def run(self, max_tick: Optional[int] = None, max_events: Optional[int] = None) -> str:
         """Initialise (once) and drain the event queue."""
         if not self._initialized:
             self.init_all()
-        return self.eventq.run(max_tick=max_tick)
+        return self.eventq.run(max_tick=max_tick, max_events=max_events)
 
     @property
     def cur_tick(self) -> int:
@@ -105,3 +113,15 @@ class System:
     def reset_stats(self) -> None:
         for obj in self.objects.values():
             obj.reset_stats()
+
+    def reset(self) -> None:
+        """Tear down run state so the system can be reused.
+
+        Clears the event queue (pending events, current tick, any stale
+        exit cause), resets every registered object, and re-arms
+        :meth:`init_all` for the next :meth:`run`.
+        """
+        self.eventq.reset()
+        for obj in self.objects.values():
+            obj.reset()
+        self._initialized = False

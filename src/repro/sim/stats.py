@@ -156,7 +156,7 @@ def format_stats(stats: dict, title: str = "stats") -> str:
         if isinstance(value, dict):
             for subkey in sorted(value):
                 lines.append(f"{key}::{subkey:<30} {value[subkey]}")
-        elif isinstance(value, float):
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
             lines.append(f"{key:<55} {value:.6g}")
         else:
             lines.append(f"{key:<55} {value}")

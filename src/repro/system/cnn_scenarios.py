@@ -97,7 +97,8 @@ def _build_platform(rng):
 
 
 def _finish(soc, name, units, d_out, golden) -> ScenarioResult:
-    cause = soc.run(max_ticks=10_000_000_000)
+    sim = soc.simulation()
+    cause = sim.run(max_tick=10_000_000_000)
     if not soc.host.finished:
         raise RuntimeError(f"scenario '{name}' did not finish ({cause})")
     out = soc.dram.image.read_array(d_out, np.float64, POOL * POOL)

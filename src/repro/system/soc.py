@@ -46,6 +46,33 @@ class RunResult:
     fu_counts: dict[str, int]
     stats: dict = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """Lossless JSON-safe representation (see `repro.exec.cache`)."""
+        return {
+            "cycles": self.cycles,
+            "runtime_ns": self.runtime_ns,
+            "power": self.power.to_dict(),
+            "area": self.area.to_dict(),
+            "occupancy": self.occupancy.to_dict(),
+            "fu_counts": dict(self.fu_counts),
+            "stats": {
+                key: dict(value) if isinstance(value, dict) else value
+                for key, value in self.stats.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        return cls(
+            cycles=data["cycles"],
+            runtime_ns=data["runtime_ns"],
+            power=PowerReport.from_dict(data["power"]),
+            area=AreaReport.from_dict(data["area"]),
+            occupancy=OccupancyTracker.from_dict(data["occupancy"]),
+            fu_counts=dict(data["fu_counts"]),
+            stats=dict(data.get("stats", {})),
+        )
+
 
 class StandaloneAccelerator:
     """One accelerator + one memory configuration, run to completion."""
@@ -139,11 +166,20 @@ class StandaloneAccelerator:
     def read_array(self, addr: int, dtype, count: int) -> np.ndarray:
         return self.data_mem.read_array(addr, dtype, count)
 
+    # -- lifecycle ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Tear down run state: event queue, per-object state, stats,
+        and the data-memory allocator.  After a reset the accelerator can
+        stage and run again from a clean slate."""
+        self.system.reset()
+        self.data_mem.reset_allocator()
+
     # -- execution ------------------------------------------------------------------
-    def run(self, args: list, max_ticks: Optional[int] = None) -> RunResult:
+    def run(self, args: list, max_ticks: Optional[int] = None,
+            max_events: Optional[int] = None) -> RunResult:
         done = {"flag": False}
         self.unit.launch(args, on_done=lambda: done.update(flag=True))
-        self.system.run(max_tick=max_ticks)
+        self.system.run(max_tick=max_ticks, max_events=max_events)
         if not done["flag"]:
             raise RuntimeError(
                 f"{self.func_name}: simulation ended before kernel completion"
@@ -196,8 +232,15 @@ class SoC:
         for cluster in self.clusters:
             cluster.connect_global(self.global_xbar, self.dram.range)
 
-    def run(self, max_ticks: Optional[int] = None) -> str:
-        return self.system.run(max_tick=max_ticks)
+    def simulation(self) -> "Simulation":
+        """An execution-layer `Simulation` owning this platform's system."""
+        from repro.exec.context import Simulation
+
+        return Simulation(self.system)
+
+    def run(self, max_ticks: Optional[int] = None,
+            max_events: Optional[int] = None) -> str:
+        return self.simulation().run(max_tick=max_ticks, max_events=max_events)
 
 
 def build_soc(
@@ -236,7 +279,10 @@ def run_standalone(
 
     ``args_builder(acc)`` receives the `StandaloneAccelerator`, stages
     input arrays, and returns the kernel argument list.
+
+    Thin shim over :class:`repro.exec.SimContext`, kept for
+    backwards compatibility.
     """
-    acc = StandaloneAccelerator(source, func_name, **kwargs)
-    args = args_builder(acc)
-    return acc.run(args)
+    from repro.exec.context import SimContext
+
+    return SimContext.from_source(source, func_name, args_builder, **kwargs).run()

@@ -1,0 +1,84 @@
+"""ParallelSweep: grid expansion, parallel-vs-serial equivalence, caching.
+
+The acceptance bar: a GEMM unroll x memory sweep through
+``ParallelSweep(workers=4)`` produces byte-identical
+``SweepPoint.record()`` rows to the serial path, and a second run of the
+same grid is served entirely from the run cache.
+"""
+
+import json
+
+from repro.core.config import DeviceConfig
+from repro.dse import sweep
+from repro.exec import ParallelSweep, RunCache, grid_points
+from repro.workloads import get_workload
+
+GRID = {"memory": ["spm", "ideal"], "unroll": [1, 2]}
+
+
+def _configure(params):
+    return dict(
+        config=DeviceConfig(read_ports=2, write_ports=2),
+        memory=params["memory"],
+        spm_bytes=1 << 15,
+        unroll_factor=params["unroll"],
+    )
+
+
+def _rows(points):
+    return [json.dumps(p.record(), sort_keys=True) for p in points]
+
+
+def test_grid_points_cartesian_order():
+    assert grid_points({"a": [1, 2], "b": ["x"]}) == [
+        {"a": 1, "b": "x"},
+        {"a": 2, "b": "x"},
+    ]
+    assert grid_points({}) == [{}]
+
+
+def test_parallel_matches_serial_byte_identical():
+    workload = get_workload("gemm_dse")
+    serial = ParallelSweep(workers=1).run(workload, GRID, _configure, seed=7)
+    parallel = ParallelSweep(workers=4).run(workload, GRID, _configure, seed=7)
+    assert len(serial) == len(grid_points(GRID))
+    assert _rows(parallel) == _rows(serial)
+    # Grid order is preserved regardless of completion order.
+    assert [p.params for p in parallel] == grid_points(GRID)
+
+
+def test_second_sweep_hits_cache_for_every_point():
+    workload = get_workload("gemm_dse")
+    cache = RunCache()
+    executor = ParallelSweep(workers=4, cache=cache)
+    first = executor.run(workload, GRID, _configure, seed=7)
+    points = len(first)
+    assert cache.misses == points and cache.hits == 0
+    second = executor.run(workload, GRID, _configure, seed=7)
+    assert cache.hits == points, "second run must be served from the cache"
+    assert cache.misses == points
+    assert _rows(second) == _rows(first)
+
+
+def test_cache_is_config_sensitive():
+    workload = get_workload("gemm_dse")
+    cache = RunCache()
+    executor = ParallelSweep(workers=1, cache=cache)
+    executor.run(workload, {"memory": ["spm"], "unroll": [1]}, _configure, seed=7)
+    executor.run(workload, {"memory": ["spm"], "unroll": [2]}, _configure, seed=7)
+    assert cache.hits == 0 and cache.misses == 2
+    # Different seed -> different dataset -> different key.
+    executor.run(workload, {"memory": ["spm"], "unroll": [1]}, _configure, seed=8)
+    assert cache.hits == 0 and cache.misses == 3
+
+
+def test_sweep_shim_signature_still_works():
+    workload = get_workload("gemm_dse")
+    cache = RunCache()
+    via_shim = sweep(workload, GRID, _configure, seed=7, workers=2, cache=cache)
+    direct = ParallelSweep(workers=1).run(workload, GRID, _configure, seed=7)
+    assert _rows(via_shim) == _rows(direct)
+    record = via_shim[0].record()
+    for key in ("memory", "unroll", "cycles", "runtime_us", "power_mw",
+                "stall_fraction", "issue_fraction"):
+        assert key in record

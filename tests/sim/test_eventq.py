@@ -136,3 +136,73 @@ def test_reset_clears_queue():
     eq.reset()
     assert eq.empty()
     assert eq.cur_tick == 0
+
+
+def test_reset_clears_stale_exit_message():
+    eq = EventQueue()
+    eq.schedule_callback(lambda: eq.exit_simulation("first cause"), 5)
+    assert eq.run() == "first cause"
+    eq.reset()
+    # A reused queue must not report the previous run's exit cause.
+    assert eq._exit_message == ""
+    eq.schedule_callback(lambda: None, 1)
+    assert eq.run() == "empty"
+
+
+def test_reset_queue_reports_fresh_exit_cause():
+    eq = EventQueue()
+    eq.schedule_callback(lambda: eq.exit_simulation("old"), 5)
+    eq.run()
+    eq.reset()
+    eq.schedule_callback(lambda: eq.exit_simulation("new"), 3)
+    assert eq.run() == "new"
+
+
+def test_deschedule_then_empty_squashes_lazily():
+    eq = EventQueue()
+    event = Event(lambda: None)
+    eq.schedule(event, 10)
+    assert not eq.empty()
+    eq.deschedule(event)
+    # The heap entry is squashed lazily; empty() must drop it.
+    assert eq.empty()
+    assert eq.next_tick() is None
+
+
+def test_reschedule_squashed_entry_not_fired_twice():
+    eq = EventQueue()
+    fired = []
+    event = Event(lambda: fired.append(eq.cur_tick))
+    eq.schedule(event, 10)
+    eq.reschedule(event, 50)
+    eq.reschedule(event, 20)
+    eq.run()
+    assert fired == [20]
+    assert eq.events_fired == 1
+
+
+def test_deschedule_after_fire_raises():
+    eq = EventQueue()
+    event = Event(lambda: None)
+    eq.schedule(event, 1)
+    eq.run()
+    with pytest.raises(SimulationError):
+        eq.deschedule(event)
+
+
+def test_reschedule_unscheduled_event_schedules_it():
+    eq = EventQueue()
+    fired = []
+    event = Event(lambda: fired.append(1))
+    eq.reschedule(event, 7)
+    eq.run()
+    assert fired == [1]
+
+
+def test_next_tick_skips_squashed_head():
+    eq = EventQueue()
+    early = Event(lambda: None)
+    eq.schedule(early, 5)
+    eq.schedule_callback(lambda: None, 9)
+    eq.deschedule(early)
+    assert eq.next_tick() == 9

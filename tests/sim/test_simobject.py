@@ -66,3 +66,53 @@ def test_cur_cycle_tracks_clock(system):
     obj.schedule_callback_in_cycles(lambda: seen.append(obj.cur_cycle), 7)
     system.run()
     assert seen == [7]
+
+
+def test_system_run_forwards_max_events(system):
+    for tick in (1, 2, 3, 4):
+        system.eventq.schedule_callback(lambda: None, tick)
+    assert system.run(max_events=2) == "max_events"
+    assert system.eventq.events_fired == 2
+    assert system.run() == "empty"
+
+
+def test_system_reset_rewinds_and_reinitializes(system):
+    inits = []
+
+    class Dev(SimObject):
+        def init(self):
+            inits.append(self.name)
+
+    dev = Dev("dev0", system)
+    dev.stats.scalar("count").inc(5)
+    system.eventq.schedule_callback(lambda: None, 100)
+    system.run()
+    assert system.cur_tick == 100
+    assert inits == ["dev0"]
+
+    system.reset()
+    assert system.cur_tick == 0
+    assert system.eventq.empty()
+    assert system.dump_stats()["dev0.count"] == 0
+    # init runs again on the next run: the system is genuinely reusable.
+    system.eventq.schedule_callback(lambda: None, 7)
+    system.run()
+    assert inits == ["dev0", "dev0"]
+    assert system.cur_tick == 7
+
+
+def test_simobject_reset_hook_overridable(system):
+    class Dev(SimObject):
+        def __init__(self, name, system):
+            super().__init__(name, system)
+            self.queue = [1, 2, 3]
+
+        def reset(self):
+            super().reset()
+            self.queue.clear()
+
+    dev = Dev("dev0", system)
+    dev.stats.scalar("count").inc(2)
+    system.reset()
+    assert dev.queue == []
+    assert dev.stats["count"].value() == 0

@@ -84,3 +84,24 @@ def test_format_stats_renders():
     assert "t" in text
     assert "a.b" in text
     assert "a.v::k" in text
+
+
+def test_format_stats_ints_align_like_floats():
+    text = format_stats({"grp.int_stat": 42, "grp.float_stat": 42.0}, title="t")
+    int_line = next(l for l in text.splitlines() if "int_stat" in l)
+    float_line = next(l for l in text.splitlines() if "float_stat" in l)
+    # Same alignment and precision rules: both render as '42' in column 56.
+    assert int_line.split() == ["grp.int_stat", "42"]
+    assert float_line.split() == ["grp.float_stat", "42"]
+    assert int_line.index("42") == float_line.index("42")
+
+
+def test_format_stats_large_ints_use_float_precision():
+    text = format_stats({"g.big": 123_456_789}, title="t")
+    assert "1.23457e+08" in text
+
+
+def test_format_stats_non_numeric_falls_through():
+    text = format_stats({"g.flag": True, "g.label": "spm"}, title="t")
+    assert "True" in text
+    assert "spm" in text
