@@ -39,6 +39,7 @@ from repro.system.soc import (
     build_soc,
     run_standalone,
 )
+from repro.trace import TraceConfig, TraceHub
 from repro.workloads import all_workload_names, get_workload
 
 __version__ = "1.0.0"
@@ -58,6 +59,8 @@ __all__ = [
     "SoC",
     "build_soc",
     "run_standalone",
+    "TraceConfig",
+    "TraceHub",
     "get_workload",
     "all_workload_names",
     "__version__",

@@ -112,7 +112,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.memory in ("spm", "ideal"):
         kwargs.update(spm_bytes=1 << 16, spm_read_ports=args.ports)
     cache = RunCache(args.cache_dir) if args.cache_dir else None
-    context = SimContext(workload, seed=args.seed, cache=cache, **kwargs)
+    trace_cfg = None
+    if args.trace or args.trace_out:
+        from repro.trace import TraceConfig
+
+        fmt = "text" if (args.trace_out or "").endswith((".txt", ".log")) else "chrome"
+        trace_cfg = TraceConfig(channels=args.trace or "all",
+                                out=args.trace_out, format=fmt)
+    context = SimContext(workload, seed=args.seed, cache=cache,
+                         trace=trace_cfg, **kwargs)
     result = context.run()
     print(f"workload        : {workload.name} ({workload.description})")
     if cache is not None and cache.hits:
@@ -125,6 +133,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"datapath area   : {result.area.datapath_um2 / 1e3:.1f} kum^2")
     print(f"functional units: {dict(sorted(result.fu_counts.items()))}")
     print(f"stalled entries : {result.occupancy.entry_stall_fraction():.1%}")
+    if trace_cfg is not None:
+        if context.trace_hub is None:
+            print("trace           : skipped (cache hit -- no simulation ran; "
+                  "rerun without --cache-dir to capture a trace)")
+        else:
+            hub = context.trace_hub
+            print(f"trace           : {hub.total_emitted} events on "
+                  f"{','.join(trace_cfg.channels)} "
+                  f"({hub.total_dropped} dropped)")
+            if trace_cfg.out:
+                from repro.trace import write_trace
+
+                write_trace(hub, trace_cfg.out, trace_cfg.format)
+                print(f"trace written   : {trace_cfg.out} ({trace_cfg.format})")
     return 0
 
 
@@ -194,6 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--fu-limit", action="append", metavar="CLASS=N")
     p_run.add_argument("--cache-dir", metavar="DIR",
                        help="content-addressed run cache (reruns are near-free)")
+    p_run.add_argument("--trace", metavar="CHANNELS",
+                       help="capture a trace of the listed channels "
+                            "(comma-separated, or 'all'): compute,mem,dma,"
+                            "irq,host,sched")
+    p_run.add_argument("--trace-out", metavar="FILE",
+                       help="write the trace to FILE (Chrome trace-event "
+                            "JSON, loadable in Perfetto; .txt/.log for "
+                            "plain text)")
     p_run.set_defaults(handler=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="port sweep with Pareto summary")

@@ -2,10 +2,20 @@
 
 The paper: "During the dynamic runtime simulation gem5-SALAM logs which
 instructions are scheduled or in-flight for each cycle."  When a
-:class:`PipelineTrace` is attached to a `RuntimeEngine`, every issue and
-commit is recorded with its cycle; the trace renders either as an event
-log or as a compact waterfall (one row per dynamic instruction, one
-column per cycle) for small kernels.
+:class:`PipelineTrace` is attached to a `RuntimeEngine` (via
+:func:`attach_trace`), every issue and commit is recorded with its
+cycle; the trace renders either as an event log or as a compact
+waterfall (one row per dynamic instruction, one column per cycle) for
+small kernels.
+
+`PipelineTrace` is the compute-datapath view; the cross-layer
+`repro.trace.TraceHub` covers memory, DMA, interrupts, and the host.
+The runtime engine feeds both from the same issue/commit sites, so this
+class stays a thin adapter over the engine's native recording.
+
+Events are indexed per cycle and per dynamic-instruction sequence
+number at record time, so :meth:`issues_at`, :meth:`commits_at`, and
+:meth:`lifetime` are O(result) rather than O(total events).
 """
 
 from __future__ import annotations
@@ -28,26 +38,35 @@ class PipelineTrace:
     max_events: int = 100_000
     events: list[TraceEvent] = field(default_factory=list)
     truncated: bool = False
+    dropped: int = 0
+    _by_cycle: dict = field(default_factory=dict, repr=False)  # (kind, cycle) -> [events]
+    _by_seq: dict = field(default_factory=dict, repr=False)    # seq -> [events]
 
     def record(self, cycle: int, kind: str, seq: int, opcode: str, detail: str = "") -> None:
         if len(self.events) >= self.max_events:
             self.truncated = True
+            self.dropped += 1
             return
-        self.events.append(TraceEvent(cycle, kind, seq, opcode, detail))
+        event = TraceEvent(cycle, kind, seq, opcode, detail)
+        self.events.append(event)
+        self._by_cycle.setdefault((kind, cycle), []).append(event)
+        self._by_seq.setdefault(seq, []).append(event)
 
     # ------------------------------------------------------------------
     def issues_at(self, cycle: int) -> list[TraceEvent]:
-        return [e for e in self.events if e.kind == "issue" and e.cycle == cycle]
+        return list(self._by_cycle.get(("issue", cycle), ()))
+
+    def commits_at(self, cycle: int) -> list[TraceEvent]:
+        return list(self._by_cycle.get(("commit", cycle), ()))
 
     def lifetime(self, seq: int) -> tuple[Optional[int], Optional[int]]:
         """(issue_cycle, commit_cycle) of one dynamic instruction."""
         issue = commit = None
-        for event in self.events:
-            if event.seq == seq:
-                if event.kind == "issue":
-                    issue = event.cycle
-                elif event.kind == "commit":
-                    commit = event.cycle
+        for event in self._by_seq.get(seq, ()):
+            if event.kind == "issue":
+                issue = event.cycle
+            elif event.kind == "commit":
+                commit = event.cycle
         return issue, commit
 
     def log_text(self, limit: int = 200) -> str:
@@ -58,7 +77,10 @@ class PipelineTrace:
         if len(self.events) > limit:
             lines.append(f"... {len(self.events) - limit} more events")
         if self.truncated:
-            lines.append("(trace truncated at max_events)")
+            lines.append(
+                f"(trace truncated at max_events={self.max_events}: "
+                f"{self.dropped} events dropped)"
+            )
         return "\n".join(lines)
 
     def waterfall(self, max_rows: int = 64, max_cols: int = 120) -> str:
@@ -91,28 +113,7 @@ class PipelineTrace:
 
 
 def attach_trace(engine, max_events: int = 100_000) -> PipelineTrace:
-    """Wrap an engine's issue/commit paths with trace recording."""
+    """Attach a fresh `PipelineTrace` to an engine's issue/commit paths."""
     trace = PipelineTrace(max_events=max_events)
-    original_try_issue = engine._try_issue
-    original_commit = engine._commit
-
-    def traced_try_issue(dyn, cycle, issued_classes, issued_kinds):
-        done = original_try_issue(dyn, cycle, issued_classes, issued_kinds)
-        if done:
-            detail = ""
-            if dyn.addr is not None:
-                detail = f"addr={dyn.addr:#x}"
-            trace.record(cycle, "issue", dyn.seq, dyn.node.inst.opcode, detail)
-        return done
-
-    def traced_commit(dyn, result):
-        trace.record(
-            engine.cur_cycle, "commit", dyn.seq, dyn.node.inst.opcode,
-            "" if result is None else f"-> {result!r}"[:40],
-        )
-        original_commit(dyn, result)
-
-    engine._try_issue = traced_try_issue
-    engine._commit = traced_commit
     engine.pipeline_trace = trace
     return trace

@@ -192,6 +192,10 @@ class RuntimeEngine(SimObject):
         self.memctrl = memctrl
         self.trace = trace
         self.occupancy = OccupancyTracker()
+        # Optional per-cycle instruction log (attach via
+        # repro.core.debug.attach_trace); None costs one compare per
+        # issue/commit.
+        self.pipeline_trace = None
 
         self._seq = 0
         self._args: dict[Argument, object] = {}
@@ -411,6 +415,16 @@ class RuntimeEngine(SimObject):
             blocked_kinds=blocked_kinds,
             issued_total=issued_total,
         )
+        hub = self._thub
+        if hub is not None:
+            # Sec. III-C2's per-cycle scheduling log: what issued, what
+            # stalled (and why), what is still in flight.
+            hub.emit(
+                "sched", self.name, "cycle", self.clock.cycles_to_ticks(cycle),
+                dur=self.clock.period,
+                args={"issued": issued_total, "blocked": dict(blocked_kinds),
+                      "outstanding": sorted(outstanding)},
+            )
 
         if self._finished():
             self._complete()
@@ -456,6 +470,8 @@ class RuntimeEngine(SimObject):
         dyn.state = ISSUED
         dyn.issue_cycle = cycle
         self._window -= 1
+        if self.pipeline_trace is not None:
+            self._trace_issue(dyn)
 
         if node.is_compute:
             spec = self.iface.profile.spec_for(node.fu_class)
@@ -496,6 +512,8 @@ class RuntimeEngine(SimObject):
         dyn.state = COMMITTED
         dyn.result = result
         dyn.commit_cycle = self.cur_cycle
+        if self.pipeline_trace is not None or self._thub is not None:
+            self._trace_commit(dyn, result)
         if dyn.node.result_bits:
             self.register_energy_pj += (
                 dyn.node.result_bits * self.iface.profile.register.write_energy_pj_per_bit
@@ -512,6 +530,35 @@ class RuntimeEngine(SimObject):
                 dependent.state = READY
                 self._wake.append(dependent)
         dyn.dependents.clear()
+
+    # ------------------------------------------------------------------
+    # Tracing (pipeline log + hub; both optional, both cycle-neutral)
+    # ------------------------------------------------------------------
+    def _trace_issue(self, dyn: DynInst) -> None:
+        detail = f"addr={dyn.addr:#x}" if dyn.addr is not None else ""
+        self.pipeline_trace.record(
+            dyn.issue_cycle, "issue", dyn.seq, dyn.node.inst.opcode, detail
+        )
+
+    def _trace_commit(self, dyn: DynInst, result) -> None:
+        if self.pipeline_trace is not None:
+            self.pipeline_trace.record(
+                dyn.commit_cycle, "commit", dyn.seq, dyn.node.inst.opcode,
+                "" if result is None else f"-> {result!r}"[:40],
+            )
+        hub = self._thub
+        if hub is not None:
+            # One span per dynamic instruction, issue edge -> commit edge.
+            period = self.clock.period
+            args = {"seq": dyn.seq}
+            if dyn.addr is not None:
+                args["addr"] = dyn.addr
+            hub.emit(
+                "compute", self.name, dyn.node.inst.opcode,
+                dyn.issue_cycle * period,
+                dur=(dyn.commit_cycle - dyn.issue_cycle) * period,
+                args=args,
+            )
 
     def _register_read_energy(self, inst: Instruction) -> None:
         bits = 0
@@ -613,6 +660,8 @@ class RuntimeEngine(SimObject):
         dyn.state = ISSUED
         dyn.issue_cycle = self.cur_cycle
         self._window -= 1
+        if self.pipeline_trace is not None:
+            self._trace_issue(dyn)
         self._outstanding_reads += 1
         self.stat_loads.inc()
         issued_kinds.add("load")
@@ -640,6 +689,8 @@ class RuntimeEngine(SimObject):
         dyn.state = ISSUED
         dyn.issue_cycle = self.cur_cycle
         self._window -= 1
+        if self.pipeline_trace is not None:
+            self._trace_issue(dyn)
         self._outstanding_writes += 1
         self.stat_stores.inc()
         issued_kinds.add("store")

@@ -2,7 +2,7 @@
 
 from repro.dse.sweep import ParallelSweep, SweepPoint, grid_points, sweep
 from repro.dse.pareto import pareto_front
-from repro.dse.reports import format_table, to_csv
+from repro.dse.reports import format_table, to_csv, to_json
 from repro.exec.cache import RunCache
 
 __all__ = [
@@ -14,4 +14,5 @@ __all__ = [
     "pareto_front",
     "format_table",
     "to_csv",
+    "to_json",
 ]

@@ -1,9 +1,11 @@
-"""Tabular report helpers: aligned ASCII tables and CSV export."""
+"""Tabular report helpers: ASCII tables, CSV, and JSON export."""
 
 from __future__ import annotations
 
 import io
 from typing import Optional, Sequence
+
+from repro.sim.stats import stats_to_json
 
 
 def format_table(
@@ -47,3 +49,9 @@ def to_csv(rows: Sequence[dict], columns: Optional[list[str]] = None) -> str:
     for row in rows:
         buffer.write(",".join(str(row.get(col, "")) for col in columns) + "\n")
     return buffer.getvalue()
+
+
+def to_json(rows: Sequence[dict], indent: Optional[int] = 2) -> str:
+    """Serialize dict-rows through the shared stats JSON path
+    (`repro.sim.stats.stats_to_json`), same as trace summaries."""
+    return stats_to_json(list(rows), indent=indent)

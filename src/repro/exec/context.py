@@ -26,6 +26,7 @@ from repro.ir.module import Module
 from repro.sim.simobject import System
 from repro.sim.stats import format_stats
 from repro.system.soc import RunResult, StandaloneAccelerator
+from repro.trace import TraceConfig, TraceHub
 from repro.workloads.base import Workload
 
 
@@ -37,9 +38,14 @@ class Simulation:
     `StandaloneAccelerator`) by :class:`SimContext`.
     """
 
-    def __init__(self, system: System) -> None:
+    def __init__(self, system: System, trace=None) -> None:
         self.system = system
         self.exit_cause: Optional[str] = None
+        self.trace = TraceConfig.coerce(trace)
+        self.trace_hub: Optional[TraceHub] = None
+        if self.trace is not None:
+            self.trace_hub = self.trace.make_hub()
+            system.attach_trace_hub(self.trace_hub)
 
     @property
     def cur_tick(self) -> int:
@@ -90,6 +96,7 @@ class SimContext:
         source: Union[str, Module, None] = None,
         func_name: Optional[str] = None,
         args_builder: Optional[Callable[[StandaloneAccelerator], list]] = None,
+        trace=None,
         **acc_kwargs,
     ) -> None:
         if (workload is None) == (source is None):
@@ -110,8 +117,11 @@ class SimContext:
         self.cache = cache
         self.max_ticks = max_ticks
         self.max_events = max_events
+        # Tracing is observability only: deliberately NOT in cache_key().
+        self.trace = TraceConfig.coerce(trace)
         self.acc_kwargs = dict(acc_kwargs)
         # Live per-run state (rebuilt after reset; never pickled).
+        self.trace_hub: Optional[TraceHub] = None
         self._module: Optional[Module] = None
         self._acc: Optional[StandaloneAccelerator] = None
         self._data = None
@@ -151,6 +161,9 @@ class SimContext:
             source = self._module if self._module is not None else self.source
             self._acc = StandaloneAccelerator(source, self.func_name, **self.acc_kwargs)
             self._module = self._acc.module  # reuse the compile across resets
+            if self.trace is not None:
+                self.trace_hub = self.trace.make_hub()
+                self._acc.system.attach_trace_hub(self.trace_hub)
         return self._acc
 
     def stage(self) -> list:
@@ -183,6 +196,8 @@ class SimContext:
         args = self._args if self._args is not None else self.stage()
         result = acc.run(args, max_ticks=self.max_ticks, max_events=self.max_events)
         self._ran = True
+        if self.trace_hub is not None:
+            result.trace_summary = self.trace_hub.summary()
         if self.verify and self.workload is not None:
             self.workload.verify(acc, self._addresses, self._data)
         if key is not None:
@@ -198,8 +213,11 @@ class SimContext:
         cached compile, producing an identical result.
         """
         if self._acc is not None:
+            if self.trace_hub is not None:
+                self._acc.system.detach_trace_hub()
             self._acc.reset()
         self._acc = None
+        self.trace_hub = None
         self._data = None
         self._addresses = None
         self._args = None
@@ -210,7 +228,8 @@ class SimContext:
         state = self.__dict__.copy()
         # Live simulator state is full of closures and cyclic wiring;
         # only the spec crosses process boundaries.
-        for live in ("_module", "_acc", "_data", "_addresses", "_args", "last_result"):
+        for live in ("_module", "_acc", "_data", "_addresses", "_args",
+                     "last_result", "trace_hub"):
             state[live] = None
         state["_ran"] = False
         state["cache"] = None  # caches are owned by the parent process

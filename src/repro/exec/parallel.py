@@ -28,6 +28,7 @@ from typing import Callable, Iterable, Optional
 from repro.exec.cache import RunCache, run_cache_key
 from repro.exec.context import SimContext
 from repro.system.soc import RunResult
+from repro.trace import TraceConfig
 from repro.workloads.base import Workload
 
 
@@ -71,14 +72,15 @@ def grid_points(param_grid: dict[str, Iterable]) -> list[dict]:
 
 
 def _execute_point(workload: Workload, acc_kwargs: dict, seed: int,
-                   verify: bool, max_ticks: Optional[int]) -> dict:
+                   verify: bool, max_ticks: Optional[int],
+                   trace: Optional[TraceConfig] = None) -> dict:
     """Worker body: one full SimContext lifecycle, returned as a payload dict.
 
     Runs in a pool process (or inline for the serial path — the same
     code either way, which is what makes the two paths byte-identical).
     """
     ctx = SimContext(workload, seed=seed, verify=verify, max_ticks=max_ticks,
-                     **acc_kwargs)
+                     trace=trace, **acc_kwargs)
     return ctx.run().to_dict()
 
 
@@ -91,6 +93,10 @@ class ParallelSweep:
     cache: Optional[RunCache] = None
     verify: bool = True
     max_ticks: Optional[int] = None
+    #: Optional tracing for every point (TraceConfig or channel spec).
+    #: Observability only — never part of the run-cache key, so a traced
+    #: sweep and an untraced one share cached results.
+    trace: object = None
 
     def run(
         self,
@@ -144,8 +150,10 @@ class ParallelSweep:
                  pending: list[tuple[int, Optional[str], dict]],
                  seed: int) -> list[dict]:
         """Run the pending points, preserving submission order."""
+        trace = TraceConfig.coerce(self.trace)
         serial = lambda: [
-            _execute_point(workload, kwargs, seed, self.verify, self.max_ticks)
+            _execute_point(workload, kwargs, seed, self.verify, self.max_ticks,
+                           trace)
             for __, __, kwargs in pending
         ]
         if self.workers == 1 or len(pending) <= 1:
@@ -154,7 +162,7 @@ class ParallelSweep:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
                 futures = [
                     pool.submit(_execute_point, workload, kwargs, seed,
-                                self.verify, self.max_ticks)
+                                self.verify, self.max_ticks, trace)
                     for __, __, kwargs in pending
                 ]
                 return [future.result() for future in futures]

@@ -120,6 +120,8 @@ class Cache(SimObject):
         set_index, line = self._lookup(pkt.addr)
         if line is not None:
             self.stat_hits.inc()
+            if self._thub is not None:
+                self.trace_emit("mem", "hit", args={"addr": pkt.addr, "size": pkt.size})
             pkt.hit_level = self.name
             self._touch(line)
             if pkt.is_write:
@@ -146,6 +148,8 @@ class Cache(SimObject):
             self._mshrs[line_addr].waiting.append(pkt)
             return True
         self.stat_misses.inc()
+        if self._thub is not None:
+            self.trace_emit("mem", "miss", args={"addr": pkt.addr, "size": pkt.size})
         if len(self._mshrs) >= self.max_mshrs:
             return False  # backpressure: requester must retry
         mshr = _MSHR(line_addr)
@@ -186,6 +190,8 @@ class Cache(SimObject):
         victim = min(self._sets[set_index], key=lambda l: (l.valid, l.lru))
         if victim.valid and victim.dirty:
             self.stat_writebacks.inc()
+            if self._thub is not None:
+                self.trace_emit("mem", "writeback", args={"line": line_addr})
             victim_addr = (
                 victim.tag * self.num_sets + set_index
             ) * self.line_size

@@ -47,6 +47,8 @@ class BlockDMA(SimObject):
         self._inflight = 0
         self._remaining_writes = 0
         self._on_done: Optional[Callable[[], None]] = None
+        self._xfer_start_tick = -1
+        self._xfer_args: Optional[dict] = None
         self.stat_transfers = self.stats.scalar("transfers")
         self.stat_bytes = self.stats.scalar("bytes")
 
@@ -77,6 +79,10 @@ class BlockDMA(SimObject):
             offset += chunk
         self.stat_transfers.inc()
         self.stat_bytes.inc(size)
+        self._xfer_start_tick = self.cur_tick
+        self._xfer_args = {"src": src, "dst": dst, "size": size}
+        if self._thub is not None:
+            self.trace_emit("dma", "start", args=self._xfer_args)
         self.schedule_callback_in_cycles(self._pump, 1, name=f"{self.name}.pump")
 
     def _pump(self) -> None:
@@ -107,6 +113,12 @@ class BlockDMA(SimObject):
                 self._pump()
             if self._remaining_writes == 0 and not self._read_queue:
                 self._busy = False
+                hub = self._thub
+                if hub is not None:
+                    # The whole copy as one span, programmed -> last write.
+                    hub.emit("dma", self.name, "transfer", self._xfer_start_tick,
+                             dur=self.cur_tick - self._xfer_start_tick,
+                             args=self._xfer_args)
                 if self._on_done is not None:
                     done, self._on_done = self._on_done, None
                     done()
@@ -155,6 +167,8 @@ class StreamDMA(SimObject):
         self._remaining = 0
         self._waiting_mem = False
         self._on_done: Optional[Callable[[], None]] = None
+        self._xfer_start_tick = -1
+        self._xfer_args: Optional[dict] = None
         self.stat_tokens = self.stats.scalar("tokens")
 
     @property
@@ -168,6 +182,11 @@ class StreamDMA(SimObject):
         self._addr = addr
         self._remaining = tokens
         self._on_done = on_done
+        self._xfer_start_tick = self.cur_tick
+        self._xfer_args = {"addr": addr, "tokens": tokens,
+                           "direction": self.direction}
+        if self._thub is not None:
+            self.trace_emit("dma", "start", args=self._xfer_args)
         self.schedule_callback_in_cycles(self._step, 1, name=f"{self.name}.step")
 
     def _finish_if_done(self) -> bool:
@@ -175,6 +194,11 @@ class StreamDMA(SimObject):
             return False
         if self._remaining == 0 and not self._waiting_mem:
             self._busy = False
+            hub = self._thub
+            if hub is not None:
+                hub.emit("dma", self.name, "stream", self._xfer_start_tick,
+                         dur=self.cur_tick - self._xfer_start_tick,
+                         args=self._xfer_args)
             if self._on_done is not None:
                 done, self._on_done = self._on_done, None
                 done()

@@ -180,5 +180,14 @@ class AcceleratorMemController(SimObject):
 
     def _finish(self, request: MemRequest) -> None:
         request.complete_tick = self.cur_tick
+        hub = self._thub
+        if hub is not None:
+            # One span per accelerator memory op, issue -> completion.
+            hub.emit(
+                "mem", self.name, "read" if request.is_read else "write",
+                request.issue_tick,
+                dur=request.complete_tick - request.issue_tick,
+                args={"addr": request.addr, "size": request.size},
+            )
         if request.on_complete is not None:
             request.on_complete(request)

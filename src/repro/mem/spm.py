@@ -139,6 +139,15 @@ class Scratchpad(SimObject):
             self.image.write(pkt.addr, pkt.data)
             resp = pkt.make_response()
         resp.resp_tick = self.cur_tick
+        hub = self._thub
+        if hub is not None:
+            hub.emit(
+                "mem", self.name,
+                "read" if pkt.cmd is MemCmd.READ else "write",
+                pkt.req_tick, dur=self.cur_tick - pkt.req_tick,
+                args={"addr": pkt.addr, "size": pkt.size,
+                      "bank": self.bank_of(pkt.addr)},
+            )
         port.send_timing_resp(resp)
 
     # -- energy accounting -----------------------------------------------------

@@ -61,6 +61,8 @@ class StreamBuffer(SimObject):
             )
         if self.full:
             self.stat_push_stalls.inc()
+            if self._thub is not None:
+                self.trace_emit("mem", "push_stall", args={"occupancy": len(self._fifo)})
             return False
         self._fifo.append(bytes(token))
         self.stat_pushes.inc()
@@ -73,6 +75,8 @@ class StreamBuffer(SimObject):
         """Consumer handshake: returns None (and records a stall) if empty."""
         if self.empty:
             self.stat_pop_stalls.inc()
+            if self._thub is not None:
+                self.trace_emit("mem", "pop_stall", args={"occupancy": 0})
             return None
         token = self._fifo.popleft()
         self.stat_pops.inc()

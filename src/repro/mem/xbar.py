@@ -79,6 +79,11 @@ class Crossbar(SimObject):
     def _recv_timing_req(self, pkt: Packet, source: SlavePort) -> bool:
         index, out_port = self._route(pkt.addr, pkt.size)
         self.stat_requests.inc()
+        if self._thub is not None:
+            self.trace_emit(
+                "mem", "route",
+                args={"addr": pkt.addr, "size": pkt.size, "out": index},
+            )
         self._route_back[pkt.pkt_id] = source
         transfer_cycles = max(1, -(-pkt.size // self.width_bytes))
         earliest = self.clock_edge(self.latency_cycles)

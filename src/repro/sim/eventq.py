@@ -71,6 +71,10 @@ class EventQueue:
         self._exit_requested = False
         self._exit_message = ""
         self._events_fired = 0
+        # Optional observer called as hook(event, tick) just before each
+        # event fires (wired by System.attach_trace_hub).  One attribute
+        # compare per event when unset.
+        self.trace_hook: Optional[Callable[[Event, int], None]] = None
 
     # ------------------------------------------------------------------
     # Scheduling API
@@ -166,6 +170,8 @@ class EventQueue:
             self._cur_tick = when
             event._scheduled = False
             event._when = -1
+            if self.trace_hook is not None:
+                self.trace_hook(event, when)
             event.callback()
             self._events_fired += 1
             fired += 1

@@ -8,11 +8,14 @@ and the address map used to route packets.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.sim.clock import ClockDomain, ClockedObject
 from repro.sim.eventq import EventQueue
 from repro.sim.stats import StatGroup, format_stats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.trace.hub import TraceHub
 
 
 class AddrRange:
@@ -48,10 +51,21 @@ class SimObject(ClockedObject):
         self.name = name
         self.system = system
         self.stats = StatGroup(name)
+        # Trace hub, or None when untraced.  Hot paths guard on this one
+        # attribute, so a detached simulation pays a single pointer
+        # compare per instrumentation site.
+        self._thub: Optional["TraceHub"] = None
         system.register(self)
 
     def init(self) -> None:
         """Called once after the full system is wired, before simulation."""
+
+    def trace_emit(self, channel: str, kind: str, dur: int = 0,
+                   args: Optional[dict] = None) -> None:
+        """Emit a trace event at the current tick; no-op when untraced."""
+        hub = self._thub
+        if hub is not None:
+            hub.emit(channel, self.name, kind, self.eventq.cur_tick, dur, args)
 
     def reset(self) -> None:
         """Tear down run state so the object can simulate again.
@@ -76,12 +90,39 @@ class System:
         self.eventq = EventQueue(name)
         self.clock = ClockDomain(f"{name}.clk", clock_freq_hz)
         self.objects: dict[str, SimObject] = {}
+        self.trace_hub: Optional["TraceHub"] = None
         self._initialized = False
 
     def register(self, obj: SimObject) -> None:
         if obj.name in self.objects:
             raise ValueError(f"duplicate SimObject name '{obj.name}'")
         self.objects[obj.name] = obj
+        # Late registrations on a traced system pick the hub up here.
+        obj._thub = self.trace_hub
+
+    # -- tracing ------------------------------------------------------------
+    def attach_trace_hub(self, hub: "TraceHub") -> "TraceHub":
+        """Route every registered object's trace events into ``hub``.
+
+        Also hooks the event queue so fired kernel events appear on the
+        ``sched`` channel.  Objects registered after attachment inherit
+        the hub; :meth:`detach_trace_hub` restores the no-op state.
+        """
+        self.trace_hub = hub
+        for obj in self.objects.values():
+            obj._thub = hub
+        if hub.enabled("sched"):
+            queue_name = self.eventq.name
+            self.eventq.trace_hook = (
+                lambda event, tick: hub.emit("sched", queue_name, event.name, tick)
+            )
+        return hub
+
+    def detach_trace_hub(self) -> None:
+        self.trace_hub = None
+        for obj in self.objects.values():
+            obj._thub = None
+        self.eventq.trace_hook = None
 
     def __getitem__(self, name: str) -> SimObject:
         return self.objects[name]

@@ -9,6 +9,7 @@ the current counters.
 
 from __future__ import annotations
 
+import json
 from typing import Callable, Iterator, Optional, Union
 
 
@@ -141,11 +142,39 @@ class StatGroup:
         """Flatten to ``full.path.name -> value``."""
         return {path: stat.value() for path, stat in self.walk()}
 
+    def to_dict(self) -> dict:
+        """Nested JSON-safe representation (children keyed by name)."""
+        data: dict = {name: stat.value() for name, stat in self._stats.items()}
+        for name, child in self._children.items():
+            data[name] = child.to_dict()
+        return data
+
     def reset(self) -> None:
         for stat in self._stats.values():
             stat.reset()
         for child in self._children.values():
             child.reset()
+
+
+def _json_default(value):
+    """Serialize the stats types json doesn't know natively."""
+    if isinstance(value, StatGroup):
+        return value.to_dict()
+    if isinstance(value, Stat):
+        return value.value()
+    raise TypeError(f"not JSON-serializable: {value!r} ({type(value).__name__})")
+
+
+def stats_to_json(obj, indent: Optional[int] = None) -> str:
+    """The shared JSON serialization path for simulator telemetry.
+
+    Accepts a `StatGroup`, a stat dump dict, sweep-report rows, or a
+    trace summary; keys are sorted so the output is deterministic (the
+    property the sweep/cache round-trip tests rely on).
+    """
+    if isinstance(obj, StatGroup):
+        obj = obj.to_dict()
+    return json.dumps(obj, indent=indent, sort_keys=True, default=_json_default)
 
 
 def format_stats(stats: dict, title: str = "stats") -> str:

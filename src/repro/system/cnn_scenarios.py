@@ -116,10 +116,12 @@ def _acc_config():
 
 
 # ---------------------------------------------------------------------------
-def run_private_spm(seed: int = 7) -> ScenarioResult:
+def run_private_spm(seed: int = 7, trace_hub=None) -> ScenarioResult:
     """Fig. 16a: private SPMs, DMA between stages, host-synchronized."""
     rng = np.random.default_rng(seed)
     soc, image, kernel, golden, d_image, d_kernel, d_out = _build_platform(rng)
+    if trace_hub is not None:
+        soc.system.attach_trace_hub(trace_hub)
     cluster = soc.add_cluster("cl")
     profile = default_profile()
     conv = cluster.add_accelerator(
@@ -172,10 +174,12 @@ def run_private_spm(seed: int = 7) -> ScenarioResult:
 
 
 # ---------------------------------------------------------------------------
-def run_shared_spm(seed: int = 7) -> ScenarioResult:
+def run_shared_spm(seed: int = 7, trace_hub=None) -> ScenarioResult:
     """Fig. 16b: shared scratchpad, central-controller synchronization."""
     rng = np.random.default_rng(seed)
     soc, image, kernel, golden, d_image, d_kernel, d_out = _build_platform(rng)
+    if trace_hub is not None:
+        soc.system.attach_trace_hub(trace_hub)
     cluster = soc.add_cluster("cl", shared_spm_bytes=1 << 14)
     profile = default_profile()
     units = []
@@ -223,10 +227,12 @@ def run_shared_spm(seed: int = 7) -> ScenarioResult:
 
 
 # ---------------------------------------------------------------------------
-def run_stream(seed: int = 7) -> ScenarioResult:
+def run_stream(seed: int = 7, trace_hub=None) -> ScenarioResult:
     """Fig. 16c: direct accelerator-to-accelerator streaming."""
     rng = np.random.default_rng(seed)
     soc, image, kernel, golden, d_image, d_kernel, d_out = _build_platform(rng)
+    if trace_hub is not None:
+        soc.system.attach_trace_hub(trace_hub)
     cluster = soc.add_cluster("cl")
     profile = default_profile()
 

@@ -148,6 +148,8 @@ class HostAgent(SimObject):
 
     def _execute(self, op: tuple) -> None:
         kind = op[0]
+        if self._thub is not None:
+            self.trace_emit("host", kind, args=self._op_trace_args(op))
         if kind == "write_mmr":
             __, addr, value = op
             self.stat_mmr_writes.inc()
@@ -183,6 +185,23 @@ class HostAgent(SimObject):
             self._memcpy_step()
         else:
             raise ValueError(f"{self.name}: unknown driver op '{kind}'")
+
+    @staticmethod
+    def _op_trace_args(op: tuple) -> dict:
+        kind = op[0]
+        if kind in ("write_mmr", "read_mmr"):
+            return {"addr": op[1]}
+        if kind == "wait_irq":
+            return {"irq": op[1]}
+        if kind == "dma_copy":
+            return {"dma": op[1].name, "size": op[4]}
+        if kind in ("start_stream", "wait_stream"):
+            return {"dma": op[1].name}
+        if kind == "delay":
+            return {"cycles": op[1]}
+        if kind == "memcpy":
+            return {"dst": op[1], "src": op[2], "size": op[3]}
+        return {}
 
     def _send_with_retry(self, pkt: Packet) -> None:
         if not self.port.send_timing_req(pkt):

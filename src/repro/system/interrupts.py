@@ -27,6 +27,10 @@ class InterruptController(SimObject):
     def raise_irq(self, irq: int) -> None:
         self.stat_raised.inc(str(irq))
         waiters = self._waiters.pop(irq, [])
+        if self._thub is not None:
+            self.trace_emit(
+                "irq", "raise", args={"irq": irq, "waiters": len(waiters)}
+            )
         if not waiters:
             self._pending.add(irq)
             return

@@ -45,6 +45,8 @@ class RunResult:
     occupancy: OccupancyTracker
     fu_counts: dict[str, int]
     stats: dict = field(default_factory=dict)
+    #: `TraceHub.summary()` of the run's trace, when tracing was enabled.
+    trace_summary: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """Lossless JSON-safe representation (see `repro.exec.cache`)."""
@@ -59,6 +61,7 @@ class RunResult:
                 key: dict(value) if isinstance(value, dict) else value
                 for key, value in self.stats.items()
             },
+            "trace_summary": self.trace_summary,
         }
 
     @classmethod
@@ -71,6 +74,7 @@ class RunResult:
             occupancy=OccupancyTracker.from_dict(data["occupancy"]),
             fu_counts=dict(data["fu_counts"]),
             stats=dict(data.get("stats", {})),
+            trace_summary=data.get("trace_summary"),
         )
 
 

@@ -1,0 +1,137 @@
+"""Trace exporters: Chrome trace-event JSON, text log, cycle timeline.
+
+Three views over one `TraceHub`:
+
+* :func:`to_chrome_json` — the Chrome trace-event format (the JSON
+  flavour Perfetto and ``chrome://tracing`` load directly).  One track
+  (``tid``) per SimObject, one category per channel; events with a
+  duration render as spans (``ph='X'``), instantaneous ones as instants
+  (``ph='i'``).  Timestamps are microseconds, converted from ticks
+  (1 tick = 1 ps).
+* :func:`to_text` — a plain, grep-friendly log.
+* :func:`occupancy_timeline` — the per-cycle issue/stall-attribution
+  rows reconstructed from the runtime engine's ``sched`` channel
+  (Sec. III-C2's per-cycle scheduling log).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.trace.hub import TraceHub
+
+#: Ticks (picoseconds) per Chrome-trace microsecond.
+_TICKS_PER_US = 1_000_000
+
+
+def _ts_us(tick: int) -> float:
+    """Ticks -> microseconds, kept exact for integer-microsecond ticks."""
+    us, rem = divmod(tick, _TICKS_PER_US)
+    return us if rem == 0 else tick / _TICKS_PER_US
+
+
+def chrome_trace(hub: TraceHub, pid: int = 1) -> dict:
+    """The hub's contents as a Chrome trace-event dict (pre-JSON)."""
+    trace_events: list[dict] = []
+    tids: dict[str, int] = {}
+    for source in hub.sources():
+        tid = tids[source] = len(tids) + 1
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+            "args": {"name": source},
+        })
+    for event in hub.events():
+        record = {
+            "name": event.kind,
+            "cat": event.channel,
+            "ph": "X" if event.dur > 0 else "i",
+            "ts": _ts_us(event.tick),
+            "pid": pid,
+            "tid": tids[event.source],
+            "args": dict(event.args) if event.args else {},
+        }
+        if event.dur > 0:
+            record["dur"] = _ts_us(event.dur)
+        else:
+            record["s"] = "t"  # instant scope: thread
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"generator": "repro.trace", "summary": hub.summary()},
+    }
+
+
+def to_chrome_json(hub: TraceHub, indent: Optional[int] = None) -> str:
+    return json.dumps(chrome_trace(hub), sort_keys=True, indent=indent)
+
+
+def to_text(hub: TraceHub, limit: Optional[int] = None) -> str:
+    """Plain text log, one line per buffered event."""
+    events = hub.events()
+    shown = events if limit is None else events[:limit]
+    lines = [
+        f"{event.tick:>12d}  {event.channel:<7s} {event.source:<28s} "
+        f"{event.kind:<14s}"
+        + (f" dur={event.dur}" if event.dur else "")
+        + (f" {event.args}" if event.args else "")
+        for event in shown
+    ]
+    if len(events) > len(shown):
+        lines.append(f"... {len(events) - len(shown)} more events")
+    if hub.total_dropped:
+        lines.append(f"({hub.total_dropped} events dropped at capacity "
+                     f"{hub.capacity})")
+    return "\n".join(lines)
+
+
+def occupancy_timeline(hub: TraceHub, source: Optional[str] = None) -> list[dict]:
+    """Per-cycle issue/stall rows from the ``sched`` channel.
+
+    Every runtime engine emits one ``cycle`` event per active cycle with
+    its issue count, blocked-kind attribution, and outstanding kinds.
+    Rows come back in time order; ``source`` restricts to one engine.
+    """
+    rows = []
+    for event in hub.events("sched"):
+        if event.kind != "cycle" or not event.args:
+            continue
+        if source is not None and event.source != source:
+            continue
+        row = {"tick": event.tick, "source": event.source}
+        row.update(event.args)
+        rows.append(row)
+    rows.sort(key=lambda row: (row["tick"], row["source"]))
+    return rows
+
+
+def format_timeline(rows: list[dict], limit: int = 50) -> str:
+    """Render occupancy rows as an aligned per-cycle stall report."""
+    if not rows:
+        return "(no sched events; trace the 'sched' channel)"
+    lines = [f"{'tick':>12s}  {'source':<24s} {'issued':>6s}  blocked / outstanding"]
+    for row in rows[:limit]:
+        blocked = row.get("blocked") or {}
+        blocked_text = ",".join(f"{kind}={count}" for kind, count in sorted(blocked.items())) or "-"
+        outstanding = ",".join(row.get("outstanding") or []) or "-"
+        lines.append(
+            f"{row['tick']:>12d}  {row['source']:<24s} {row.get('issued', 0):>6d}"
+            f"  {blocked_text} / {outstanding}"
+        )
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more cycles")
+    return "\n".join(lines)
+
+
+def write_trace(hub: TraceHub, path: Union[str, Path], format: str = "chrome") -> Path:
+    """Write the hub to ``path`` in the requested format; returns the path."""
+    path = Path(path)
+    if format == "chrome":
+        path.write_text(to_chrome_json(hub))
+    elif format == "text":
+        path.write_text(to_text(hub) + "\n")
+    else:
+        raise ValueError(f"unknown trace format '{format}'")
+    return path

@@ -69,3 +69,30 @@ def test_trace_truncation():
     assert len(trace.events) == 2
     assert trace.truncated
     assert "truncated" in trace.log_text()
+
+
+def test_truncation_counts_dropped_events():
+    trace = PipelineTrace(max_events=3)
+    for i in range(10):
+        trace.record(i, "issue", i, "add")
+    assert trace.dropped == 7
+    assert "7 events dropped" in trace.log_text()
+
+
+def test_per_cycle_index_matches_linear_scan(rng):
+    trace, __ = _traced_run(rng)
+    cycles = {e.cycle for e in trace.events}
+    for cycle in list(sorted(cycles))[:50]:
+        expected_issues = [e for e in trace.events
+                           if e.kind == "issue" and e.cycle == cycle]
+        expected_commits = [e for e in trace.events
+                            if e.kind == "commit" and e.cycle == cycle]
+        assert trace.issues_at(cycle) == expected_issues
+        assert trace.commits_at(cycle) == expected_commits
+
+
+def test_issues_and_commits_at_empty_cycle():
+    trace = PipelineTrace()
+    trace.record(5, "issue", 0, "add")
+    assert trace.issues_at(5) and not trace.issues_at(6)
+    assert trace.commits_at(5) == []

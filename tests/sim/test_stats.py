@@ -1,8 +1,17 @@
 """Stats framework."""
 
+import json
+
 import pytest
 
-from repro.sim.stats import FormulaStat, ScalarStat, StatGroup, VectorStat, format_stats
+from repro.sim.stats import (
+    FormulaStat,
+    ScalarStat,
+    StatGroup,
+    VectorStat,
+    format_stats,
+    stats_to_json,
+)
 
 
 def test_scalar_accumulates():
@@ -105,3 +114,41 @@ def test_format_stats_non_numeric_falls_through():
     text = format_stats({"g.flag": True, "g.label": "spm"}, title="t")
     assert "True" in text
     assert "spm" in text
+
+
+def test_group_to_dict_nests_children():
+    parent = StatGroup("sys")
+    parent.scalar("ticks").inc(9)
+    child = parent.add_child(StatGroup("dev"))
+    child.scalar("hits").inc(7)
+    child.vector("kinds").inc("read", 2)
+    assert parent.to_dict() == {
+        "ticks": 9,
+        "dev": {"hits": 7, "kinds": {"read": 2}},
+    }
+
+
+def test_stats_to_json_accepts_group_directly():
+    group = StatGroup("dev")
+    group.scalar("hits").inc(3)
+    group.formula("double", lambda: 6)
+    doc = json.loads(stats_to_json(group))
+    assert doc == {"hits": 3, "double": 6}
+
+
+def test_stats_to_json_is_deterministic():
+    a = stats_to_json({"b": 1, "a": {"z": 2, "y": 3}})
+    b = stats_to_json({"a": {"y": 3, "z": 2}, "b": 1})
+    assert a == b  # sorted keys -> byte-identical output
+
+
+def test_stats_to_json_serializes_embedded_stats():
+    stat = ScalarStat("hits")
+    stat.inc(4)
+    doc = json.loads(stats_to_json({"nested": stat}))
+    assert doc == {"nested": 4}
+
+
+def test_stats_to_json_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        stats_to_json({"bad": object()})

@@ -1,0 +1,107 @@
+"""Trace exporters: Chrome JSON schema, text log, occupancy timeline."""
+
+import json
+
+from repro.trace import (
+    TraceHub,
+    chrome_trace,
+    format_timeline,
+    occupancy_timeline,
+    to_chrome_json,
+    to_text,
+    write_trace,
+)
+
+
+def _sample_hub():
+    hub = TraceHub()
+    hub.emit("compute", "acc.engine", "fadd", 10_000, dur=5_000,
+             args={"seq": 1})
+    hub.emit("mem", "spm", "read", 12_000, dur=2_000,
+             args={"addr": 0x2000_0000, "size": 8})
+    hub.emit("irq", "gic", "raise", 20_000, args={"irq": 0})
+    hub.emit("sched", "acc.engine", "cycle", 10_000, dur=10_000,
+             args={"issued": 2, "blocked": {"mem": 1}, "outstanding": ["load"]})
+    return hub
+
+
+def test_chrome_json_parses_with_required_keys():
+    doc = json.loads(to_chrome_json(_sample_hub()))
+    events = doc["traceEvents"]
+    assert events
+    for event in events:
+        assert "ph" in event and "ts" in event and "pid" in event
+
+
+def test_chrome_spans_and_instants():
+    doc = chrome_trace(_sample_hub())
+    by_name = {e["name"]: e for e in doc["traceEvents"]}
+    # Durations become complete spans ('X'), microsecond units.
+    assert by_name["fadd"]["ph"] == "X"
+    assert by_name["fadd"]["ts"] == 0.01 and by_name["fadd"]["dur"] == 0.005
+    # Zero-duration events become thread-scoped instants.
+    assert by_name["raise"]["ph"] == "i" and by_name["raise"]["s"] == "t"
+    assert by_name["raise"]["cat"] == "irq"
+
+
+def test_chrome_one_track_per_source():
+    doc = chrome_trace(_sample_hub())
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    names = {e["args"]["name"]: e["tid"] for e in meta}
+    assert set(names) == {"acc.engine", "spm", "gic"}
+    assert len(set(names.values())) == 3  # distinct tids
+    fadd = next(e for e in doc["traceEvents"] if e["name"] == "fadd")
+    assert fadd["tid"] == names["acc.engine"]
+
+
+def test_chrome_exact_microsecond_timestamps_are_ints():
+    hub = TraceHub()
+    hub.emit("compute", "acc", "add", 3_000_000, dur=1_000_000)
+    event = next(e for e in chrome_trace(hub)["traceEvents"] if e["ph"] == "X")
+    assert event["ts"] == 3 and isinstance(event["ts"], int)
+    assert event["dur"] == 1 and isinstance(event["dur"], int)
+
+
+def test_chrome_summary_rides_in_other_data():
+    doc = chrome_trace(_sample_hub())
+    assert doc["otherData"]["generator"] == "repro.trace"
+    assert doc["otherData"]["summary"]["total_emitted"] == 4
+
+
+def test_text_log_lists_events_and_drops():
+    hub = TraceHub(capacity=2)
+    for i in range(5):
+        hub.emit("compute", "acc", "add", i)
+    text = to_text(hub)
+    assert "compute" in text and "acc" in text
+    assert "3 events dropped" in text
+
+
+def test_text_log_limit():
+    text = to_text(_sample_hub(), limit=2)
+    assert "... 2 more events" in text
+
+
+def test_occupancy_timeline_from_sched_channel():
+    rows = occupancy_timeline(_sample_hub())
+    assert rows == [{
+        "tick": 10_000, "source": "acc.engine", "issued": 2,
+        "blocked": {"mem": 1}, "outstanding": ["load"],
+    }]
+    rendered = format_timeline(rows)
+    assert "acc.engine" in rendered and "mem=1" in rendered
+
+
+def test_occupancy_timeline_source_filter():
+    hub = _sample_hub()
+    assert occupancy_timeline(hub, source="other") == []
+    assert format_timeline([]) .startswith("(no sched events")
+
+
+def test_write_trace_chrome_and_text(tmp_path):
+    hub = _sample_hub()
+    chrome_path = write_trace(hub, tmp_path / "t.json")
+    doc = json.loads(chrome_path.read_text())
+    assert doc["traceEvents"]
+    text_path = write_trace(hub, tmp_path / "t.txt", format="text")
+    assert "compute" in text_path.read_text()

@@ -1,0 +1,167 @@
+"""TraceHub core: ring overflow, channel filtering, config, subscribers."""
+
+import pickle
+
+import pytest
+
+from repro.trace import (
+    CHANNELS,
+    DEFAULT_CAPACITY,
+    TraceConfig,
+    TraceError,
+    TraceHub,
+    parse_channels,
+)
+
+
+def _fill(hub, n, channel="compute", source="acc", kind="add"):
+    for i in range(n):
+        hub.emit(channel, source, kind, tick=i * 1000)
+
+
+# -- parse_channels ---------------------------------------------------------
+def test_parse_channels_defaults_and_all():
+    assert parse_channels(None) == CHANNELS
+    assert parse_channels("all") == CHANNELS
+    assert parse_channels("") == CHANNELS
+
+
+def test_parse_channels_comma_string_canonical_order():
+    # Order is canonicalized, duplicates dropped.
+    assert parse_channels("mem, compute, mem") == ("compute", "mem")
+    assert parse_channels(["sched", "dma"]) == ("dma", "sched")
+
+
+def test_parse_channels_rejects_unknown():
+    with pytest.raises(TraceError, match="unknown trace channel"):
+        parse_channels("compute,bogus")
+
+
+# -- ring buffer ------------------------------------------------------------
+def test_ring_overflow_evicts_oldest_and_counts_drops():
+    hub = TraceHub(capacity=8)
+    _fill(hub, 20)
+    assert len(hub) == 8
+    # Oldest evicted: the buffer holds the 8 most recent events.
+    assert [e.tick for e in hub.events()] == [t * 1000 for t in range(12, 20)]
+    assert hub.emitted["compute"] == 20
+    assert hub.dropped["compute"] == 12
+    assert hub.total_dropped == 12
+
+
+def test_drop_accounting_is_per_evicted_channel():
+    hub = TraceHub(channels=("compute", "mem"), capacity=4)
+    _fill(hub, 4, channel="compute")
+    _fill(hub, 3, channel="mem")
+    # The three mem emits evicted three compute events.
+    assert hub.dropped == {"compute": 3, "mem": 0}
+    assert hub.emitted == {"compute": 4, "mem": 3}
+
+
+def test_no_drops_below_capacity():
+    hub = TraceHub(capacity=DEFAULT_CAPACITY)
+    _fill(hub, 100)
+    assert hub.total_dropped == 0
+    assert len(hub) == 100
+
+
+def test_clear_zeroes_counters_keeps_config():
+    hub = TraceHub(channels="compute", capacity=4)
+    _fill(hub, 10)
+    hub.clear()
+    assert len(hub) == 0
+    assert hub.total_emitted == 0 and hub.total_dropped == 0
+    assert hub.channels == ("compute",)
+    assert hub.capacity == 4
+
+
+# -- channel filtering ------------------------------------------------------
+def test_inactive_channels_discarded_at_source():
+    hub = TraceHub(channels="compute")
+    hub.emit("compute", "acc", "add", 0)
+    hub.emit("mem", "spm", "read", 0)     # filtered out
+    hub.emit("dma", "dma0", "start", 0)   # filtered out
+    assert hub.total_emitted == 1
+    assert hub.events() and hub.events()[0].channel == "compute"
+    assert hub.enabled("compute") and not hub.enabled("mem")
+
+
+def test_events_view_filters_by_channel():
+    hub = TraceHub()
+    hub.emit("compute", "acc", "add", 0)
+    hub.emit("mem", "spm", "read", 10)
+    assert [e.channel for e in hub.events("mem")] == ["mem"]
+    assert len(hub.events()) == 2
+    assert hub.sources() == ["acc", "spm"]
+
+
+# -- subscribers ------------------------------------------------------------
+def test_subscriber_sees_full_stream_past_capacity():
+    hub = TraceHub(capacity=4)
+    seen = []
+    hub.subscribe(seen.append)
+    _fill(hub, 10)
+    assert len(seen) == 10          # listener outlives ring eviction
+    assert len(hub) == 4
+
+
+def test_subscriber_channel_subset():
+    hub = TraceHub()
+    mem_only = []
+    hub.subscribe(mem_only.append, channels="mem")
+    hub.emit("compute", "acc", "add", 0)
+    hub.emit("mem", "spm", "read", 10)
+    assert [e.channel for e in mem_only] == ["mem"]
+
+
+# -- summary ----------------------------------------------------------------
+def test_summary_shape_and_span():
+    hub = TraceHub(channels="compute,mem", capacity=16)
+    hub.emit("compute", "acc", "add", 5000, dur=2000)
+    hub.emit("mem", "spm", "read", 1000)
+    summary = hub.summary()
+    assert summary["channels"] == ["compute", "mem"]
+    assert summary["capacity"] == 16
+    assert summary["total_emitted"] == 2 and summary["buffered"] == 2
+    assert summary["first_tick"] == 1000 and summary["last_tick"] == 5000
+
+
+def test_summary_json_via_shared_stats_path():
+    import json
+
+    hub = TraceHub(channels="compute")
+    hub.emit("compute", "acc", "add", 0)
+    doc = json.loads(hub.summary_json())
+    assert doc["total_emitted"] == 1
+
+
+# -- TraceConfig ------------------------------------------------------------
+def test_config_coerce_shorthands():
+    assert TraceConfig.coerce(None) is None
+    assert TraceConfig.coerce(False) is None
+    assert TraceConfig.coerce(True).channels == CHANNELS
+    assert TraceConfig.coerce("mem,dma").channels == ("mem", "dma")
+    cfg = TraceConfig(channels="compute", capacity=64)
+    assert TraceConfig.coerce(cfg) is cfg
+
+
+def test_config_validates():
+    with pytest.raises(TraceError):
+        TraceConfig(capacity=0)
+    with pytest.raises(TraceError):
+        TraceConfig(format="xml")
+    with pytest.raises(TraceError):
+        TraceConfig(channels="nope")
+
+
+def test_config_pickles():
+    cfg = TraceConfig(channels="compute,mem", capacity=128, out="t.json")
+    clone = pickle.loads(pickle.dumps(cfg))
+    assert clone == cfg
+    hub = clone.make_hub()
+    assert hub.channels == ("compute", "mem") and hub.capacity == 128
+
+
+def test_hub_rejects_bad_capacity():
+    with pytest.raises(TraceError):
+        TraceHub(capacity=-1)
