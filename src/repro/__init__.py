@@ -31,7 +31,15 @@ from repro.core.compute_unit import ComputeUnit
 from repro.core.cluster import AcceleratorCluster
 from repro.frontend import compile_c
 from repro.hw.default_profile import default_profile
-from repro.exec import ParallelSweep, RunCache, SimContext, Simulation
+from repro.exec import (
+    FailureRecord,
+    ParallelSweep,
+    RunCache,
+    SimContext,
+    Simulation,
+    SweepPointError,
+)
+from repro.faults import FaultPlan, SimWatchdog, SimulationHang
 from repro.system.soc import (
     RunResult,
     SoC,
@@ -56,6 +64,11 @@ __all__ = [
     "Simulation",
     "ParallelSweep",
     "RunCache",
+    "FailureRecord",
+    "SweepPointError",
+    "FaultPlan",
+    "SimWatchdog",
+    "SimulationHang",
     "SoC",
     "build_soc",
     "run_standalone",

@@ -96,9 +96,22 @@ def cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_injected(context) -> None:
+    """List the fault events that actually fired during a run."""
+    injector = getattr(context, "fault_injector", None)
+    if injector is None or not injector.injected:
+        return
+    for record in injector.injected:
+        detail = {k: v for k, v in record.items()
+                  if k not in ("tick", "kind", "target")}
+        print(f"  fault @ tick {record['tick']:>8}: {record['kind']} "
+              f"on {record['target']} {detail}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.core.config import DeviceConfig
-    from repro.exec import RunCache, SimContext
+    from repro.exec import FailureRecord, RunCache, SimContext
+    from repro.faults import FaultConfigError, FaultPlan
     from repro.workloads import get_workload
 
     workload = get_workload(args.workload)
@@ -119,10 +132,29 @@ def cmd_run(args: argparse.Namespace) -> int:
         fmt = "text" if (args.trace_out or "").endswith((".txt", ".log")) else "chrome"
         trace_cfg = TraceConfig(channels=args.trace or "all",
                                 out=args.trace_out, format=fmt)
+    try:
+        plan = FaultPlan.parse(args.inject or [], seed=args.seed)
+    except FaultConfigError as err:
+        raise SystemExit(f"bad --inject spec: {err}")
     context = SimContext(workload, seed=args.seed, cache=cache,
-                         trace=trace_cfg, **kwargs)
-    result = context.run()
+                         trace=trace_cfg, faults=plan,
+                         timeout_s=args.point_timeout, **kwargs)
+    hardened = bool(plan) or args.point_timeout is not None
+    try:
+        result = context.run()
+    except Exception as exc:  # noqa: BLE001 - reported as a FailureRecord
+        if not hardened:
+            raise
+        failure = FailureRecord.from_exception(exc)
+        print(f"workload        : {workload.name} ({workload.description})")
+        print(f"FAILED          : {failure.summary()} [{failure.reason}]")
+        _print_injected(context)
+        return 1
     print(f"workload        : {workload.name} ({workload.description})")
+    if plan:
+        print(f"faults injected : {len(plan.events)} event(s) armed "
+              "(results bypass the run cache)")
+        _print_injected(context)
     if cache is not None and cache.hits:
         print("verified        : cached result (verified when first computed)")
     else:
@@ -168,17 +200,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     cache = RunCache(args.cache_dir) if args.cache_dir else None
     points = sweep(workload, {"ports": args.ports}, configure, seed=args.seed,
-                   workers=args.workers, cache=cache)
-    front = pareto_front(points, objectives=lambda p: (p.runtime_us, p.power_mw))
+                   workers=args.workers, cache=cache,
+                   point_timeout=args.point_timeout, retries=args.retries,
+                   strict=args.strict)
+    healthy = [point for point in points if point.ok]
+    front = pareto_front(healthy, objectives=lambda p: (p.runtime_us, p.power_mw))
     rows = []
     for point in points:
         row = point.record()
         row["pareto"] = "*" if point in front else ""
         rows.append(row)
     print(format_table(rows, title=f"{workload.name} port sweep"))
+    failed = [point for point in points if not point.ok]
+    for point in failed:
+        print(f"failed point    : {point.params} -> {point.failure.summary()}")
     if cache is not None:
         print(f"run cache       : {cache.hits} hit(s), {cache.misses} miss(es)")
-    return 0
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -219,11 +257,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trace", metavar="CHANNELS",
                        help="capture a trace of the listed channels "
                             "(comma-separated, or 'all'): compute,mem,dma,"
-                            "irq,host,sched")
+                            "irq,host,sched,faults")
     p_run.add_argument("--trace-out", metavar="FILE",
                        help="write the trace to FILE (Chrome trace-event "
                             "JSON, loadable in Perfetto; .txt/.log for "
                             "plain text)")
+    p_run.add_argument("--inject", action="append", metavar="FAULTSPEC",
+                       help="inject a deterministic fault, e.g. "
+                            "'bit_flip@spm:access=1,addr=0x20000007,bit=6' "
+                            "or 'port_stall@memctrl:tick=5000,cycles=200' "
+                            "(kinds: bit_flip,mmr_corrupt,dma_drop,dma_delay,"
+                            "port_stall,mem_drop; repeatable)")
+    p_run.add_argument("--point-timeout", type=float, metavar="SECONDS",
+                       help="abort the run after this much wall-clock time "
+                            "and report the hang instead of spinning")
     p_run.set_defaults(handler=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="port sweep with Pareto summary")
@@ -235,6 +282,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fan the sweep out over N processes")
     p_sweep.add_argument("--cache-dir", metavar="DIR",
                          help="content-addressed run cache (reruns are near-free)")
+    p_sweep.add_argument("--point-timeout", type=float, metavar="SECONDS",
+                         help="per-point wall-clock budget; a point that "
+                              "exceeds it becomes a failed row, not a hang")
+    p_sweep.add_argument("--retries", type=int, default=0,
+                         help="resubmit points lost to crashed workers up "
+                              "to N times before running them serially")
+    p_sweep.add_argument("--strict", action="store_true",
+                         help="fail fast on the first failed point instead "
+                              "of degrading gracefully")
     p_sweep.set_defaults(handler=cmd_sweep)
 
     return parser

@@ -95,6 +95,8 @@ class MMRFile(SimObject):
         return pkt.make_response()
 
     def _recv_timing_req(self, pkt: Packet) -> bool:
+        if self._finj is not None:
+            self._finj.on_access(self)
         offset = self._offset(pkt.addr, pkt.size)
         if pkt.cmd is MemCmd.READ:
             self.stat_reads.inc()

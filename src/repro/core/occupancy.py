@@ -73,17 +73,22 @@ class OccupancyTracker:
             self.idle_cycles += 1
 
     # -- derived metrics ---------------------------------------------------
+    # Fractions are explicitly 0.0 for zero-active-cycle trackers (a run
+    # that never started, was fault-killed, or timed out) so failed sweep
+    # points still serialize valid rows instead of dividing by zero.
     def stall_fraction(self) -> float:
-        active = max(1, self.cycles - self.idle_cycles)
-        return self.stall_cycles / active
+        active = self.cycles - self.idle_cycles
+        return self.stall_cycles / active if active > 0 else 0.0
 
     def issue_fraction(self) -> float:
-        active = max(1, self.cycles - self.idle_cycles)
-        return self.issue_cycles / active
+        active = self.cycles - self.idle_cycles
+        return self.issue_cycles / active if active > 0 else 0.0
 
     def fu_occupancy(self, fu_class: str, unit_count: int) -> float:
         """Average fraction of ``fu_class`` units busy per active cycle."""
-        active = max(1, self.cycles - self.idle_cycles)
+        active = self.cycles - self.idle_cycles
+        if active <= 0:
+            return 0.0
         busy = self.fu_busy_cycles.get(fu_class, 0)
         return busy / (active * max(1, unit_count))
 

@@ -71,8 +71,13 @@ ISSUED = 2
 COMMITTED = 3
 
 
-class RuntimeError_(RuntimeError):
-    pass
+class EngineError(RuntimeError):
+    """Fatal condition inside the runtime engine (bad operand, unsupported
+    instruction, launch protocol violation)."""
+
+
+#: Deprecated alias, kept for callers that imported the old name.
+RuntimeError_ = EngineError
 
 
 class DynInst:
@@ -217,6 +222,9 @@ class RuntimeEngine(SimObject):
         self._on_done: Optional[Callable[[], None]] = None
         self.start_cycle = -1
         self.end_cycle = -1
+        # Monotonic commit counter; watchdogs read it to detect livelock
+        # (engines are rebuilt per run, so it never needs resetting).
+        self.committed = 0
 
         # Dynamic energy accounting (pJ).
         self.fu_energy_pj = 0.0
@@ -234,10 +242,10 @@ class RuntimeEngine(SimObject):
     def start(self, arg_values: list, on_done: Optional[Callable[[], None]] = None) -> None:
         """Begin execution of the accelerated function."""
         if self._running:
-            raise RuntimeError_(f"{self.name}: already running")
+            raise EngineError(f"{self.name}: already running")
         func = self.iface.func
         if len(arg_values) != len(func.args):
-            raise RuntimeError_(
+            raise EngineError(
                 f"{self.name}: expected {len(func.args)} arguments, got {len(arg_values)}"
             )
         self._args = dict(zip(func.args, arg_values))
@@ -261,6 +269,53 @@ class RuntimeEngine(SimObject):
 
     def runtime_ns(self) -> float:
         return self.total_cycles * self.config.cycle_time_ns
+
+    # ------------------------------------------------------------------
+    # Hang diagnosis (consumed by repro.faults.watchdog.SimWatchdog)
+    # ------------------------------------------------------------------
+    def inflight_summary(self) -> str:
+        """One-line progress snapshot of the engine's in-flight state."""
+        return (
+            f"{self.name}: window={self._window} "
+            f"reads={self._outstanding_reads} writes={self._outstanding_writes} "
+            f"compute={self._inflight_compute} committed={self.committed} "
+            f"cycle={self.cur_cycle}"
+        )
+
+    def inflight_dump(self, limit: int = 32) -> list[str]:
+        """Human-readable lines for every not-yet-committed instruction.
+
+        Covers the ready heap, the fetch/wake staging lists, and the
+        memory window — the queues a hang report needs to explain *what*
+        the engine was waiting on.  If a `PipelineTrace` is attached its
+        most recent records are appended for scheduling history.
+        """
+        state_names = {WAITING: "waiting", READY: "ready", ISSUED: "issued"}
+        lines: list[str] = []
+        seen: set[int] = set()
+        for label, group in (("ready", self._ready), ("staged", self._staged),
+                             ("wake", self._wake), ("mem", self._mem_window)):
+            for dyn in group:
+                if dyn.seq in seen or dyn.state == COMMITTED:
+                    continue
+                seen.add(dyn.seq)
+                where = f" addr={dyn.addr:#x}" if dyn.addr is not None else ""
+                state = state_names.get(dyn.state, f"s{dyn.state}")
+                lines.append(
+                    f"#{dyn.seq} {dyn.node.inst.opcode} "
+                    f"[{state}/{label}] pending={dyn.pending}{where}"
+                )
+                if len(lines) >= limit:
+                    lines.append("... (dump truncated)")
+                    return lines
+        if self.pipeline_trace is not None and self.pipeline_trace.events:
+            lines.append("recent pipeline events:")
+            for event in self.pipeline_trace.events[-8:]:
+                lines.append(
+                    f"cycle {event.cycle} {event.kind} #{event.seq} "
+                    f"{event.opcode} {event.detail}".rstrip()
+                )
+        return lines
 
     def _schedule_tick(self) -> None:
         if self._tick_event is not None and self._tick_event.scheduled():
@@ -314,7 +369,7 @@ class RuntimeEngine(SimObject):
     def _operands_for(inst: Instruction, pred: Optional[BasicBlock]) -> list[Value]:
         if isinstance(inst, Phi):
             if pred is None:
-                raise RuntimeError_(f"phi {inst.ref} in entry block")
+                raise EngineError(f"phi {inst.ref} in entry block")
             return [inst.incoming_for(pred)]
         if isinstance(inst, Branch) and inst.is_conditional:
             return [inst.condition]
@@ -341,7 +396,7 @@ class RuntimeEngine(SimObject):
                 producer.dependents.append((dyn, index))
                 return
         else:
-            raise RuntimeError_(f"cannot bind operand {operand!r}")
+            raise EngineError(f"cannot bind operand {operand!r}")
         self._maybe_resolve_addr(dyn, index)
 
     @staticmethod
@@ -512,6 +567,7 @@ class RuntimeEngine(SimObject):
         dyn.state = COMMITTED
         dyn.result = result
         dyn.commit_cycle = self.cur_cycle
+        self.committed += 1
         if self.pipeline_trace is not None or self._thub is not None:
             self._trace_commit(dyn, result)
         if dyn.node.result_bits:
@@ -593,7 +649,7 @@ class RuntimeEngine(SimObject):
             return vals[0]
         if isinstance(inst, Call):
             if not inst.is_intrinsic:
-                raise RuntimeError_(
+                raise EngineError(
                     f"{self.name}: call to '@{inst.callee}' survived inlining; "
                     "accelerator functions must be fully inlined"
                 )
@@ -602,11 +658,11 @@ class RuntimeEngine(SimObject):
         if isinstance(inst, (Branch, Ret)):
             return None
         if isinstance(inst, Alloca):
-            raise RuntimeError_(
+            raise EngineError(
                 f"{self.name}: alloca reached the datapath; arrays must live in "
                 "SPM/DRAM and scalars should have been promoted by mem2reg"
             )
-        raise RuntimeError_(f"{self.name}: cannot execute '{inst.opcode}'")
+        raise EngineError(f"{self.name}: cannot execute '{inst.opcode}'")
 
     def _branch_target(self, dyn: DynInst) -> BasicBlock:
         inst = dyn.node.inst

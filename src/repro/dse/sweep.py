@@ -30,6 +30,11 @@ def sweep(
     unroll_factor: int = 1,
     workers: int = 1,
     cache: Optional[RunCache] = None,
+    point_timeout: Optional[float] = None,
+    retries: int = 0,
+    strict: bool = False,
+    faults=None,
+    watchdog=None,
 ) -> list[SweepPoint]:
     """Run ``workload`` across the cartesian product of ``param_grid``.
 
@@ -40,8 +45,12 @@ def sweep(
 
     ``workers=N`` fans the grid out across processes; ``cache`` reuses
     results for already-seen configuration points.  Both default to the
-    historical serial, uncached behaviour.
+    historical serial, uncached behaviour.  The robustness knobs
+    (``point_timeout``, ``retries``, ``strict``, ``faults``,
+    ``watchdog``) forward to `ParallelSweep` unchanged.
     """
-    executor = ParallelSweep(workers=workers, cache=cache, verify=verify)
+    executor = ParallelSweep(workers=workers, cache=cache, verify=verify,
+                             point_timeout=point_timeout, retries=retries,
+                             strict=strict, faults=faults, watchdog=watchdog)
     return executor.run(workload, param_grid, configure, seed=seed,
                         unroll_factor=unroll_factor)

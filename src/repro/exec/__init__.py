@@ -10,6 +10,7 @@ launch simulations through this layer.
 
 from repro.exec.cache import RunCache, run_cache_key
 from repro.exec.context import SimContext, Simulation
+from repro.exec.failures import FailureRecord, SweepPointError
 from repro.exec.parallel import ParallelSweep, SweepPoint, grid_points
 from repro.system.soc import RunResult
 
@@ -18,6 +19,8 @@ __all__ = [
     "run_cache_key",
     "SimContext",
     "Simulation",
+    "FailureRecord",
+    "SweepPointError",
     "ParallelSweep",
     "SweepPoint",
     "grid_points",

@@ -14,9 +14,11 @@ sweeps across program invocations are near-free.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Optional, Union
 
@@ -73,6 +75,12 @@ class RunCache:
     `get`, so callers can never mutate a cached entry in place.  With a
     ``path`` the payloads are also written as ``<key>.json`` files and
     found again by later processes.
+
+    The on-disk mirror is crash-safe: `put` writes to a temp file and
+    atomically renames it into place (a killed process never leaves a
+    half-written entry under a live key), and `_load` treats anything
+    unreadable as a miss — the corrupt file is renamed to
+    ``<key>.json.corrupt`` for post-mortem instead of poisoning reruns.
     """
 
     def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
@@ -82,16 +90,34 @@ class RunCache:
         self._memory: dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def _load(self, key: str) -> Optional[dict]:
         payload = self._memory.get(key)
         if payload is None and self.path is not None:
             entry = self.path / f"{key}.json"
-            if entry.exists():
-                payload = json.loads(entry.read_text())
-                self._memory[key] = payload
+            try:
+                text = entry.read_text()
+            except OSError:
+                return None  # absent (or unreadable): plain miss
+            try:
+                payload = json.loads(text)
+            except ValueError:
+                self._quarantine(entry)
+                return None
+            if not isinstance(payload, dict):
+                self._quarantine(entry)
+                return None
+            self._memory[key] = payload
         return payload
+
+    def _quarantine(self, entry: Path) -> None:
+        """Move a corrupt entry aside (``*.json.corrupt`` escapes the
+        ``*.json`` glob, so it is invisible to lookups and __len__)."""
+        self.quarantined += 1
+        with contextlib.suppress(OSError):
+            os.replace(entry, entry.parent / (entry.name + ".corrupt"))
 
     def get(self, key: str) -> Optional[RunResult]:
         payload = self._load(key)
@@ -105,7 +131,11 @@ class RunCache:
         payload = result.to_dict()
         self._memory[key] = payload
         if self.path is not None:
-            (self.path / f"{key}.json").write_text(json.dumps(payload, sort_keys=True))
+            # Atomic publish: readers either see the old entry, no
+            # entry, or the complete new one — never a partial write.
+            tmp = self.path / f"{key}.json.tmp{os.getpid()}"
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, self.path / f"{key}.json")
 
     # ------------------------------------------------------------------
     def __contains__(self, key: str) -> bool:
@@ -120,10 +150,12 @@ class RunCache:
     def clear(self) -> None:
         self._memory.clear()
         if self.path is not None:
-            for entry in self.path.glob("*.json"):
-                entry.unlink()
+            for pattern in ("*.json", "*.json.corrupt", "*.json.tmp*"):
+                for entry in self.path.glob(pattern):
+                    entry.unlink()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         where = f" at {self.path}" if self.path else ""

@@ -22,6 +22,7 @@ from typing import Callable, Optional, Union
 import numpy as np
 
 from repro.exec.cache import RunCache, run_cache_key
+from repro.faults import FaultInjector, FaultPlan, SimWatchdog, coerce_watchdog
 from repro.ir.module import Module
 from repro.sim.simobject import System
 from repro.sim.stats import format_stats
@@ -52,9 +53,12 @@ class Simulation:
         return self.system.cur_tick
 
     def run(self, max_tick: Optional[int] = None,
-            max_events: Optional[int] = None) -> str:
+            max_events: Optional[int] = None, watchdog=None) -> str:
         """Initialise (once) and drain the event queue; returns the exit cause."""
-        self.exit_cause = self.system.run(max_tick=max_tick, max_events=max_events)
+        self.exit_cause = self.system.run(
+            max_tick=max_tick, max_events=max_events,
+            watchdog=coerce_watchdog(watchdog, self.system),
+        )
         return self.exit_cause
 
     def stats(self) -> dict:
@@ -97,6 +101,9 @@ class SimContext:
         func_name: Optional[str] = None,
         args_builder: Optional[Callable[[StandaloneAccelerator], list]] = None,
         trace=None,
+        faults=None,
+        watchdog=None,
+        timeout_s: Optional[float] = None,
         **acc_kwargs,
     ) -> None:
         if (workload is None) == (source is None):
@@ -119,8 +126,14 @@ class SimContext:
         self.max_events = max_events
         # Tracing is observability only: deliberately NOT in cache_key().
         self.trace = TraceConfig.coerce(trace)
+        # Robustness knobs: fault plans poison results, so faulty runs
+        # bypass the cache entirely; watchdog/timeout are observability.
+        self.faults = FaultPlan.coerce(faults)
+        self.watchdog = watchdog
+        self.timeout_s = timeout_s
         self.acc_kwargs = dict(acc_kwargs)
         # Live per-run state (rebuilt after reset; never pickled).
+        self.fault_injector: Optional[FaultInjector] = None
         self.trace_hub: Optional[TraceHub] = None
         self._module: Optional[Module] = None
         self._acc: Optional[StandaloneAccelerator] = None
@@ -164,6 +177,9 @@ class SimContext:
             if self.trace is not None:
                 self.trace_hub = self.trace.make_hub()
                 self._acc.system.attach_trace_hub(self.trace_hub)
+            if self.faults:
+                self.fault_injector = FaultInjector(self.faults)
+                self.fault_injector.attach(self._acc.system)
         return self._acc
 
     def stage(self) -> list:
@@ -184,7 +200,9 @@ class SimContext:
         ``ctx.run()`` is always a fresh, deterministic run.
         """
         key: Optional[str] = None
-        if self.cache is not None:
+        if self.cache is not None and not self.faults:
+            # Faulty runs never touch the cache: an injected corruption
+            # must not be served back as a clean result (or vice versa).
             key = self.cache_key()
             cached = self.cache.get(key)
             if cached is not None:
@@ -194,7 +212,8 @@ class SimContext:
             self.reset()
         acc = self.build()
         args = self._args if self._args is not None else self.stage()
-        result = acc.run(args, max_ticks=self.max_ticks, max_events=self.max_events)
+        result = acc.run(args, max_ticks=self.max_ticks, max_events=self.max_events,
+                         watchdog=self._make_watchdog(acc.system))
         self._ran = True
         if self.trace_hub is not None:
             result.trace_summary = self.trace_hub.summary()
@@ -204,6 +223,21 @@ class SimContext:
             self.cache.put(key, result)
         self.last_result = result
         return result
+
+    def _make_watchdog(self, system: System) -> Optional[SimWatchdog]:
+        """Resolve the watchdog spec against the built system.
+
+        ``timeout_s`` alone gets a wall-clock-only watchdog (no livelock
+        budget); combined with an explicit watchdog it sets/overrides
+        the wall-clock deadline on it.
+        """
+        watchdog = coerce_watchdog(self.watchdog, system)
+        if self.timeout_s is not None:
+            if watchdog is None:
+                watchdog = SimWatchdog(livelock_cycles=None)
+                watchdog.bind_system(system)
+            watchdog.wall_clock_s = self.timeout_s
+        return watchdog
 
     def reset(self) -> None:
         """Tear down the built system so the context can run again.
@@ -215,8 +249,11 @@ class SimContext:
         if self._acc is not None:
             if self.trace_hub is not None:
                 self._acc.system.detach_trace_hub()
+            if self.fault_injector is not None:
+                self.fault_injector.detach()
             self._acc.reset()
         self._acc = None
+        self.fault_injector = None
         self.trace_hub = None
         self._data = None
         self._addresses = None
@@ -229,10 +266,15 @@ class SimContext:
         # Live simulator state is full of closures and cyclic wiring;
         # only the spec crosses process boundaries.
         for live in ("_module", "_acc", "_data", "_addresses", "_args",
-                     "last_result", "trace_hub"):
+                     "last_result", "trace_hub", "fault_injector"):
             state[live] = None
         state["_ran"] = False
         state["cache"] = None  # caches are owned by the parent process
+        # A bound watchdog instance holds engine references; ship the
+        # picklable spec instead and re-bind in the worker.
+        from repro.faults import watchdog_spec
+
+        state["watchdog"] = watchdog_spec(self.watchdog)
         return state
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -15,11 +15,18 @@ construction:
 
 With a `RunCache` attached, already-known points skip simulation
 entirely; only the misses are submitted to the pool.
+
+Sweeps are *hardened*: a point that crashes, hangs (watchdog), or
+exceeds ``point_timeout`` yields a `SweepPoint` carrying a
+`FailureRecord` while every other point completes normally.  Crashed
+workers are retried up to ``retries`` times with backoff;
+``strict=True`` restores fail-fast semantics.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -27,6 +34,8 @@ from typing import Callable, Iterable, Optional
 
 from repro.exec.cache import RunCache, run_cache_key
 from repro.exec.context import SimContext
+from repro.exec.failures import FailureRecord, SweepPointError
+from repro.faults import FaultPlan, watchdog_spec
 from repro.system.soc import RunResult
 from repro.trace import TraceConfig
 from repro.workloads.base import Workload
@@ -35,29 +44,37 @@ from repro.workloads.base import Workload
 @dataclass
 class SweepPoint:
     params: dict
-    result: RunResult
+    result: Optional[RunResult] = None
+    failure: Optional[FailureRecord] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None and self.result is not None
 
     @property
     def cycles(self) -> int:
-        return self.result.cycles
+        return self.result.cycles if self.result is not None else 0
 
     @property
     def runtime_us(self) -> float:
-        return self.result.runtime_ns / 1e3
+        return self.result.runtime_ns / 1e3 if self.result is not None else 0.0
 
     @property
     def power_mw(self) -> float:
-        return self.result.power.total_mw
+        return self.result.power.total_mw if self.result is not None else 0.0
 
     def record(self) -> dict:
-        """Flat dict for CSV export."""
+        """Flat dict for CSV export; failed points serialize zeroed metrics."""
         row = dict(self.params)
+        occupancy = self.result.occupancy if self.result is not None else None
         row.update(
             cycles=self.cycles,
             runtime_us=self.runtime_us,
             power_mw=self.power_mw,
-            stall_fraction=self.result.occupancy.stall_fraction(),
-            issue_fraction=self.result.occupancy.issue_fraction(),
+            stall_fraction=occupancy.stall_fraction() if occupancy else 0.0,
+            issue_fraction=occupancy.issue_fraction() if occupancy else 0.0,
+            status="ok" if self.ok else "failed",
+            error="" if self.failure is None else self.failure.summary(),
         )
         return row
 
@@ -73,15 +90,25 @@ def grid_points(param_grid: dict[str, Iterable]) -> list[dict]:
 
 def _execute_point(workload: Workload, acc_kwargs: dict, seed: int,
                    verify: bool, max_ticks: Optional[int],
-                   trace: Optional[TraceConfig] = None) -> dict:
+                   trace: Optional[TraceConfig] = None,
+                   faults=None, watchdog=None,
+                   timeout_s: Optional[float] = None) -> dict:
     """Worker body: one full SimContext lifecycle, returned as a payload dict.
 
     Runs in a pool process (or inline for the serial path — the same
     code either way, which is what makes the two paths byte-identical).
+    Failures come back as ``{"__failure__": ...}`` payloads rather than
+    raised exceptions, so the parent never depends on exception
+    pickling; the per-point timeout is enforced *in the worker* by a
+    wall-clock watchdog, which works identically for both paths.
     """
-    ctx = SimContext(workload, seed=seed, verify=verify, max_ticks=max_ticks,
-                     trace=trace, **acc_kwargs)
-    return ctx.run().to_dict()
+    try:
+        ctx = SimContext(workload, seed=seed, verify=verify, max_ticks=max_ticks,
+                         trace=trace, faults=faults, watchdog=watchdog,
+                         timeout_s=timeout_s, **acc_kwargs)
+        return ctx.run().to_dict()
+    except Exception as exc:  # noqa: BLE001 - folded into a FailureRecord
+        return {"__failure__": FailureRecord.from_exception(exc).to_dict()}
 
 
 @dataclass
@@ -97,6 +124,21 @@ class ParallelSweep:
     #: Observability only — never part of the run-cache key, so a traced
     #: sweep and an untraced one share cached results.
     trace: object = None
+    #: Per-point wall-clock budget in seconds (None = unlimited).
+    point_timeout: Optional[float] = None
+    #: How many times to resubmit points lost to a crashed worker
+    #: process before falling back to in-process serial execution.
+    retries: int = 0
+    retry_backoff_s: float = 0.1
+    #: Fail-fast: re-raise the first point failure as `SweepPointError`
+    #: instead of degrading gracefully.
+    strict: bool = False
+    #: Fault injection: a `FaultPlan`/spec applied to every point, or a
+    #: callable ``params -> plan|spec|None`` for point-selective faults.
+    faults: object = None
+    #: Hang detection for every point: `SimWatchdog` spec (True, cycle
+    #: budget, kwargs dict, or instance — reduced to a picklable spec).
+    watchdog: object = None
 
     def run(
         self,
@@ -115,59 +157,118 @@ class ParallelSweep:
         """
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
-        entries: list[tuple[dict, dict]] = []
+        entries: list[tuple[dict, dict, Optional[FaultPlan]]] = []
         for params in grid_points(param_grid):
             kwargs = configure(params)
             kwargs.setdefault("unroll_factor", unroll_factor)
-            entries.append((params, kwargs))
+            entries.append((params, kwargs, self._plan_for(params)))
 
         results: list[Optional[RunResult]] = [None] * len(entries)
-        pending: list[tuple[int, Optional[str], dict]] = []
-        for index, (params, kwargs) in enumerate(entries):
+        failures: list[Optional[FailureRecord]] = [None] * len(entries)
+        pending: list[tuple[int, Optional[str], dict, Optional[FaultPlan]]] = []
+        for index, (params, kwargs, plan) in enumerate(entries):
             key: Optional[str] = None
-            if self.cache is not None:
+            # Faulty points bypass the cache in both directions: a
+            # corrupted result must never be cached, and a clean cached
+            # result must never stand in for an injected run.
+            if self.cache is not None and not plan:
                 key = run_cache_key(workload.source, workload.func_name,
                                     seed=seed, **kwargs)
                 cached = self.cache.get(key)
                 if cached is not None:
                     results[index] = cached
                     continue
-            pending.append((index, key, kwargs))
+            pending.append((index, key, kwargs, plan))
 
         payloads = self._execute(workload, pending, seed)
-        for (index, key, __), payload in zip(pending, payloads):
+        for (index, key, __, ___), payload in zip(pending, payloads):
+            failure_dict = payload.get("__failure__")
+            if failure_dict is not None:
+                failure = FailureRecord.from_dict(failure_dict)
+                if self.strict:
+                    raise SweepPointError(entries[index][0], failure)
+                failures[index] = failure
+                continue
             result = RunResult.from_dict(payload)
             results[index] = result
             if key is not None:
                 self.cache.put(key, result)
         return [
-            SweepPoint(params=params, result=result)
-            for (params, __), result in zip(entries, results)
+            SweepPoint(params=params, result=results[index],
+                       failure=failures[index])
+            for index, (params, __, ___) in enumerate(entries)
         ]
 
     # ------------------------------------------------------------------
+    def _plan_for(self, params: dict) -> Optional[FaultPlan]:
+        """Resolve the sweep-level fault setting for one point."""
+        faults = self.faults
+        if callable(faults) and not isinstance(faults, FaultPlan):
+            faults = faults(params)
+        plan = FaultPlan.coerce(faults)
+        return plan if plan else None
+
     def _execute(self, workload: Workload,
-                 pending: list[tuple[int, Optional[str], dict]],
+                 pending: list[tuple[int, Optional[str], dict,
+                                     Optional[FaultPlan]]],
                  seed: int) -> list[dict]:
-        """Run the pending points, preserving submission order."""
+        """Run the pending points, preserving submission order.
+
+        Pool crashes (a worker segfaults or is OOM-killed) don't discard
+        the sweep: completed futures are harvested, only genuinely
+        unfinished points are resubmitted (up to ``retries`` times, with
+        backoff), and whatever still remains runs serially in-process.
+        """
         trace = TraceConfig.coerce(self.trace)
-        serial = lambda: [
-            _execute_point(workload, kwargs, seed, self.verify, self.max_ticks,
-                           trace)
-            for __, __, kwargs in pending
-        ]
+        wd_spec = watchdog_spec(self.watchdog)
+
+        def run_inline(slot: int) -> dict:
+            __, __, kwargs, plan = pending[slot]
+            return _execute_point(workload, kwargs, seed, self.verify,
+                                  self.max_ticks, trace, plan, wd_spec,
+                                  self.point_timeout)
+
         if self.workers == 1 or len(pending) <= 1:
-            return serial()
-        try:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = [
-                    pool.submit(_execute_point, workload, kwargs, seed,
-                                self.verify, self.max_ticks, trace)
-                    for __, __, kwargs in pending
-                ]
-                return [future.result() for future in futures]
-        except (BrokenProcessPool, PermissionError, OSError):
-            # No process support in this environment (e.g. a sandbox
-            # that forbids fork/semaphores): degrade to the serial path,
-            # which produces identical results.
-            return serial()
+            return [run_inline(slot) for slot in range(len(pending))]
+
+        payloads: dict[int, dict] = {}
+        remaining = list(range(len(pending)))
+        attempts = 0
+        pool_ok = True
+        while remaining and pool_ok and attempts <= self.retries:
+            if attempts > 0:
+                time.sleep(self.retry_backoff_s * attempts)
+            futures: dict = {}
+            try:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    futures = {
+                        slot: pool.submit(
+                            _execute_point, workload, pending[slot][2], seed,
+                            self.verify, self.max_ticks, trace,
+                            pending[slot][3], wd_spec, self.point_timeout,
+                        )
+                        for slot in remaining
+                    }
+                    for slot, future in futures.items():
+                        payloads[slot] = future.result()
+                    remaining = []
+            except (BrokenProcessPool, PermissionError, OSError):
+                # A worker died mid-flight (or this environment forbids
+                # fork/semaphores entirely).  Keep every result that did
+                # complete; only rerun what is genuinely unfinished.
+                for slot, future in futures.items():
+                    if (slot not in payloads and future.done()
+                            and not future.cancelled()
+                            and future.exception() is None):
+                        payloads[slot] = future.result()
+                remaining = [slot for slot in remaining if slot not in payloads]
+                if not payloads:
+                    # Nothing ever completed: process support is likely
+                    # absent — stop burning retries on a dead pool.
+                    pool_ok = False
+                attempts += 1
+        # Leftovers (retry budget exhausted, or no process support at
+        # all) degrade to the serial path, which is result-identical.
+        for slot in remaining:
+            payloads[slot] = run_inline(slot)
+        return [payloads[slot] for slot in range(len(pending))]

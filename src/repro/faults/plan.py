@@ -1,0 +1,202 @@
+"""Declarative, seed-deterministic fault plans.
+
+A :class:`FaultPlan` is data, not behaviour: a list of
+:class:`FaultEvent` records plus a seed.  Each event names a *kind*
+(what goes wrong), a *target* (which SimObject it happens to), and a
+*trigger* (an absolute tick, or the Nth access to the target).  Any
+field the user leaves unspecified — the flipped address, the flipped
+bit, the corruption mask — is resolved from ``random.Random(seed)``
+when the plan is armed, so the same plan + seed always injects the
+same faults, while ``seed`` sweeps explore the fault space.
+
+Plans are plain picklable dataclasses: `ParallelSweep` ships them to
+worker processes, and `run_cache_key` never sees them (faulty runs
+bypass the cache entirely).
+
+The CLI grammar (``--inject``) is ``kind@target[:key=val,...]``::
+
+    bit_flip@spm:access=1,addr=0x20000007,bit=6
+    port_stall@memctrl:tick=5000,cycles=200
+    dma_drop@dma0:access=2
+    mmr_corrupt@mmr:tick=100,reg=1,mask=0xff
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Union
+
+#: The supported fault kinds.
+#:
+#: * ``bit_flip``     — flip one bit of one byte in a memory (SPM, DRAM,
+#:   cache line via functional RMW, or an MMR file).
+#: * ``mmr_corrupt``  — XOR a mask into one 64-bit MMR register.
+#: * ``dma_drop``     — a DMA transfer completes without moving data
+#:   (silent data loss; the device still signals done).
+#: * ``dma_delay``    — a DMA transfer starts ``cycles`` late.
+#: * ``port_stall``   — a memory controller issues nothing for
+#:   ``cycles`` cycles (or forever when ``cycles`` is unset).
+#: * ``mem_drop``     — a queued memory request vanishes: its completion
+#:   callback never fires (the classic lost-transaction hang).
+FAULT_KINDS = ("bit_flip", "mmr_corrupt", "dma_drop", "dma_delay",
+               "port_stall", "mem_drop")
+
+
+class FaultConfigError(ValueError):
+    """Raised for malformed fault events / specs / targets."""
+
+
+@dataclass
+class FaultEvent:
+    """One declarative fault.
+
+    Exactly one trigger must be set: ``at_tick`` (absolute simulation
+    tick) or ``after_accesses`` (fire on the Nth access to the target,
+    1-based; for DMA targets an "access" is a programmed transfer).
+    ``count`` repeats the fault on subsequent triggers (access-triggered
+    events re-fire on each following access until exhausted).
+    """
+
+    kind: str
+    target: str
+    at_tick: Optional[int] = None
+    after_accesses: Optional[int] = None
+    addr: Optional[int] = None      # bit_flip: absolute byte address
+    bit: Optional[int] = None       # bit_flip: bit index 0-7
+    mask: Optional[int] = None      # mmr_corrupt: XOR mask
+    reg: Optional[int] = None       # mmr_corrupt: argument register index
+    cycles: Optional[int] = None    # port_stall / dma_delay duration
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultConfigError(
+                f"unknown fault kind '{self.kind}' "
+                f"(expected one of {', '.join(FAULT_KINDS)})"
+            )
+        if not self.target:
+            raise FaultConfigError("fault event needs a target object name")
+        if (self.at_tick is None) == (self.after_accesses is None):
+            raise FaultConfigError(
+                f"{self.kind}@{self.target}: specify exactly one trigger "
+                "(at_tick or after_accesses)"
+            )
+        if self.at_tick is not None and self.at_tick < 0:
+            raise FaultConfigError(f"{self.kind}@{self.target}: at_tick must be >= 0")
+        if self.after_accesses is not None and self.after_accesses < 1:
+            raise FaultConfigError(
+                f"{self.kind}@{self.target}: after_accesses is 1-based (>= 1)"
+            )
+        if self.bit is not None and not 0 <= self.bit <= 7:
+            raise FaultConfigError(f"{self.kind}@{self.target}: bit must be 0-7")
+        if self.cycles is not None and self.cycles < 1:
+            raise FaultConfigError(f"{self.kind}@{self.target}: cycles must be >= 1")
+        if self.count < 1:
+            raise FaultConfigError(f"{self.kind}@{self.target}: count must be >= 1")
+
+    def describe(self) -> str:
+        trigger = (f"tick={self.at_tick}" if self.at_tick is not None
+                   else f"access={self.after_accesses}")
+        extras = []
+        for name in ("addr", "bit", "mask", "reg", "cycles"):
+            value = getattr(self, name)
+            if value is not None:
+                extras.append(f"{name}={value:#x}" if name in ("addr", "mask")
+                              else f"{name}={value}")
+        if self.count != 1:
+            extras.append(f"count={self.count}")
+        detail = ("," + ",".join(extras)) if extras else ""
+        return f"{self.kind}@{self.target}:{trigger}{detail}"
+
+
+@dataclass
+class FaultPlan:
+    """A seedable list of fault events — the unit `FaultInjector` arms."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+    seed: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @classmethod
+    def coerce(cls, value: Union["FaultPlan", FaultEvent, str,
+                                 Sequence, None]) -> Optional["FaultPlan"]:
+        """Normalize the accepted plan forms.
+
+        ``None`` stays ``None``; a plan passes through; a single
+        `FaultEvent` or faultspec string becomes a one-event plan; a
+        sequence of events/specs becomes a plan with seed 0.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, FaultEvent):
+            return cls(events=[value])
+        if isinstance(value, str):
+            return cls(events=[parse_faultspec(value)])
+        if isinstance(value, (list, tuple)):
+            events = [event if isinstance(event, FaultEvent) else parse_faultspec(event)
+                      for event in value]
+            return cls(events=events)
+        raise FaultConfigError(
+            f"cannot build a FaultPlan from {type(value).__name__!r}"
+        )
+
+    @classmethod
+    def parse(cls, specs: Iterable[str], seed: int = 0) -> "FaultPlan":
+        """Build a plan from CLI ``--inject`` faultspec strings."""
+        return cls(events=[parse_faultspec(spec) for spec in specs], seed=seed)
+
+    def describe(self) -> list[str]:
+        return [event.describe() for event in self.events]
+
+
+#: CLI key aliases -> FaultEvent field names.
+_SPEC_KEYS = {
+    "tick": "at_tick",
+    "at_tick": "at_tick",
+    "access": "after_accesses",
+    "after_accesses": "after_accesses",
+    "addr": "addr",
+    "bit": "bit",
+    "mask": "mask",
+    "reg": "reg",
+    "cycles": "cycles",
+    "count": "count",
+}
+
+
+def parse_faultspec(spec: str) -> FaultEvent:
+    """Parse one ``kind@target[:key=val,...]`` faultspec string.
+
+    Values are integers in any Python base notation (``0x...`` hex is
+    the natural form for addresses and masks).
+    """
+    head, __, tail = spec.partition(":")
+    kind, sep, target = head.partition("@")
+    if not sep or not kind or not target:
+        raise FaultConfigError(
+            f"bad faultspec '{spec}' (expected kind@target[:key=val,...])"
+        )
+    kwargs: dict[str, int] = {}
+    if tail:
+        for part in tail.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, eq, value = part.partition("=")
+            if not eq:
+                raise FaultConfigError(f"bad faultspec field '{part}' in '{spec}'")
+            field_name = _SPEC_KEYS.get(key.strip())
+            if field_name is None:
+                raise FaultConfigError(
+                    f"unknown faultspec key '{key.strip()}' in '{spec}' "
+                    f"(known: {', '.join(sorted(set(_SPEC_KEYS)))})"
+                )
+            try:
+                kwargs[field_name] = int(value.strip(), 0)
+            except ValueError:
+                raise FaultConfigError(
+                    f"bad integer '{value.strip()}' for '{key.strip()}' in '{spec}'"
+                ) from None
+    return FaultEvent(kind=kind.strip(), target=target.strip(), **kwargs)

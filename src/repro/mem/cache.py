@@ -113,6 +113,8 @@ class Cache(SimObject):
     # -- request path --------------------------------------------------------
     def _recv_timing_req(self, pkt: Packet) -> bool:
         pkt.req_tick = self.cur_tick
+        if self._finj is not None:
+            self._finj.on_access(self)
         if pkt.size > self.line_size:
             raise ValueError(
                 f"{self.name}: access of {pkt.size}B exceeds line size; split upstream"

@@ -83,7 +83,30 @@ class BlockDMA(SimObject):
         self._xfer_args = {"src": src, "dst": dst, "size": size}
         if self._thub is not None:
             self.trace_emit("dma", "start", args=self._xfer_args)
-        self.schedule_callback_in_cycles(self._pump, 1, name=f"{self.name}.pump")
+        delay = 0
+        if self._finj is not None:
+            action = self._finj.dma_action(self)
+            if action is not None:
+                kind, cycles = action
+                if kind == "drop":
+                    # Injected silent data loss: the transfer "completes"
+                    # without moving a byte.
+                    self._read_queue.clear()
+                    self._remaining_writes = 0
+                    self.schedule_callback_in_cycles(
+                        self._complete_dropped, 1, name=f"{self.name}.dropped"
+                    )
+                    return
+                delay = cycles
+        self.schedule_callback_in_cycles(self._pump, 1 + delay, name=f"{self.name}.pump")
+
+    def _complete_dropped(self) -> None:
+        self._busy = False
+        if self._thub is not None:
+            self.trace_emit("dma", "dropped", args=self._xfer_args)
+        if self._on_done is not None:
+            done, self._on_done = self._on_done, None
+            done()
 
     def _pump(self) -> None:
         while self._read_queue and self._inflight < self.max_outstanding:

@@ -63,6 +63,8 @@ class DRAM(SimObject):
     # -- timing --------------------------------------------------------------
     def _recv_timing_req(self, pkt: Packet) -> bool:
         pkt.req_tick = self.cur_tick
+        if self._finj is not None:
+            self._finj.on_access(self)
         row = pkt.addr // self.row_size
         if row == self._open_row:
             latency = self.row_hit_latency_cycles

@@ -95,6 +95,8 @@ class AcceleratorMemController(SimObject):
     def enqueue_read(
         self, addr: int, size: int, on_complete: Callable[[MemRequest], None]
     ) -> MemRequest:
+        if self._finj is not None:
+            self._finj.on_access(self)
         request = MemRequest(True, addr, size, on_complete=on_complete)
         self.read_queue.append(request)
         return request
@@ -102,6 +104,8 @@ class AcceleratorMemController(SimObject):
     def enqueue_write(
         self, addr: int, data: bytes, on_complete: Callable[[MemRequest], None]
     ) -> MemRequest:
+        if self._finj is not None:
+            self._finj.on_access(self)
         request = MemRequest(False, addr, len(data), data=bytes(data), on_complete=on_complete)
         self.write_queue.append(request)
         return request
@@ -120,6 +124,12 @@ class AcceleratorMemController(SimObject):
         if cycle != self._cycle_stamp:
             self._cycle_stamp = cycle
             self._issued_this_cycle = [0, 0]
+        if self._finj is not None and self._finj.stalled(self):
+            # Injected port stall: nothing issues this cycle.  The
+            # compute unit re-pumps every cycle, so a finite stall
+            # resumes on its own; an unbounded one is a livelock for
+            # the watchdog to diagnose.
+            return
         self._issue(self.read_queue, 0, self.read_ports, self.stat_read_stalls)
         self._issue(self.write_queue, 1, self.write_ports, self.stat_write_stalls)
 
@@ -129,6 +139,10 @@ class AcceleratorMemController(SimObject):
                 stall_stat.inc(len(queue))
                 return
             request = queue.popleft()
+            if self._finj is not None and self._finj.drop_request(self, request):
+                # Injected lost transaction: the request vanishes and its
+                # completion callback never fires.
+                continue
             request.issued = True
             request.issue_tick = self.cur_tick
             self._issued_this_cycle[slot] += 1

@@ -99,6 +99,8 @@ class Scratchpad(SimObject):
     # -- timing --------------------------------------------------------------
     def _recv_timing_req(self, pkt: Packet, source_port: SlavePort) -> bool:
         pkt.req_tick = self.cur_tick
+        if self._finj is not None:
+            self._finj.on_access(self)
         self._prune_counter += 1
         if self._prune_counter % 4096 == 0:
             now = self.cur_cycle

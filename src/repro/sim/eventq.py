@@ -17,6 +17,32 @@ class SimulationError(RuntimeError):
     """Raised for fatal conditions inside the simulation kernel."""
 
 
+class SimulationHang(SimulationError):
+    """A watchdog tripped: the simulation stopped making forward progress.
+
+    ``reason`` is ``'deadlock'`` (the event queue drained while an engine
+    still reports in-flight work), ``'livelock'`` (events keep firing but
+    no instruction has committed for the configured budget), or
+    ``'wallclock'`` (the run exceeded its wall-clock allowance).
+    ``inflight`` carries the in-flight instruction dump captured at the
+    moment the watchdog fired, so a hang is diagnosable post-mortem.
+    """
+
+    def __init__(self, reason: str, tick: int,
+                 inflight: Optional[list] = None, details: str = "") -> None:
+        self.reason = reason
+        self.tick = tick
+        self.inflight = list(inflight or [])
+        self.details = details
+        lines = [f"simulation hang ({reason}) at tick {tick}"]
+        if details:
+            lines.append(details)
+        if self.inflight:
+            lines.append("in-flight work:")
+            lines.extend(f"  {entry}" for entry in self.inflight)
+        super().__init__("\n".join(lines))
+
+
 class Event:
     """A schedulable callback.
 
@@ -150,17 +176,31 @@ class EventQueue:
         self._exit_requested = True
         self._exit_message = message
 
-    def run(self, max_tick: Optional[int] = None, max_events: Optional[int] = None) -> str:
+    def run(self, max_tick: Optional[int] = None, max_events: Optional[int] = None,
+            watchdog=None) -> str:
         """Drain the queue.
 
         Returns a human-readable exit cause: ``"empty"``, ``"max_tick"``,
         ``"max_events"`` or the message passed to :meth:`exit_simulation`.
+
+        ``watchdog`` is any object implementing ``begin(queue)``,
+        ``check(queue)`` and ``on_drain(queue)`` (duck-typed so the kernel
+        needs no imports — see `repro.faults.watchdog.SimWatchdog`).
+        ``check`` runs every ``watchdog.interval`` fired events and may
+        raise :class:`SimulationHang`; ``on_drain`` runs when the queue
+        empties and may do the same for drain-while-running deadlocks.
         """
         self._exit_requested = False
         fired = 0
+        check_every = 0
+        if watchdog is not None:
+            watchdog.begin(self)
+            check_every = max(1, int(getattr(watchdog, "interval", 256)))
         while True:
             self._drop_squashed()
             if not self._heap:
+                if watchdog is not None:
+                    watchdog.on_drain(self)
                 return "empty"
             when = self._heap[0][0]
             if max_tick is not None and when > max_tick:
@@ -175,6 +215,8 @@ class EventQueue:
             event.callback()
             self._events_fired += 1
             fired += 1
+            if watchdog is not None and fired % check_every == 0:
+                watchdog.check(self)
             if self._exit_requested:
                 return self._exit_message or "exit"
             if max_events is not None and fired >= max_events:

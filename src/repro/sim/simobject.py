@@ -55,6 +55,10 @@ class SimObject(ClockedObject):
         # attribute, so a detached simulation pays a single pointer
         # compare per instrumentation site.
         self._thub: Optional["TraceHub"] = None
+        # Fault injector, or None when no faults target this object.
+        # Same contract as _thub: a fault-free simulation pays a single
+        # pointer compare per hook site and stays cycle-identical.
+        self._finj = None
         system.register(self)
 
     def init(self) -> None:
@@ -132,11 +136,17 @@ class System:
             obj.init()
         self._initialized = True
 
-    def run(self, max_tick: Optional[int] = None, max_events: Optional[int] = None) -> str:
-        """Initialise (once) and drain the event queue."""
+    def run(self, max_tick: Optional[int] = None, max_events: Optional[int] = None,
+            watchdog=None) -> str:
+        """Initialise (once) and drain the event queue.
+
+        ``watchdog`` (optional) monitors the run for deadlock/livelock/
+        wall-clock overruns; see :meth:`EventQueue.run`.
+        """
         if not self._initialized:
             self.init_all()
-        return self.eventq.run(max_tick=max_tick, max_events=max_events)
+        return self.eventq.run(max_tick=max_tick, max_events=max_events,
+                               watchdog=watchdog)
 
     @property
     def cur_tick(self) -> int:

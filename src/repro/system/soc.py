@@ -180,10 +180,11 @@ class StandaloneAccelerator:
 
     # -- execution ------------------------------------------------------------------
     def run(self, args: list, max_ticks: Optional[int] = None,
-            max_events: Optional[int] = None) -> RunResult:
+            max_events: Optional[int] = None, watchdog=None) -> RunResult:
         done = {"flag": False}
         self.unit.launch(args, on_done=lambda: done.update(flag=True))
-        self.system.run(max_tick=max_ticks, max_events=max_events)
+        self.system.run(max_tick=max_ticks, max_events=max_events,
+                        watchdog=watchdog)
         if not done["flag"]:
             raise RuntimeError(
                 f"{self.func_name}: simulation ended before kernel completion"
@@ -243,8 +244,9 @@ class SoC:
         return Simulation(self.system)
 
     def run(self, max_ticks: Optional[int] = None,
-            max_events: Optional[int] = None) -> str:
-        return self.simulation().run(max_tick=max_ticks, max_events=max_events)
+            max_events: Optional[int] = None, watchdog=None) -> str:
+        return self.simulation().run(max_tick=max_ticks, max_events=max_events,
+                                     watchdog=watchdog)
 
 
 def build_soc(

@@ -4,9 +4,9 @@ The paper's dynamic runtime engine "logs which instructions are
 scheduled or in-flight for each cycle" (Sec. III-C2).  `TraceHub`
 generalizes that log to the whole platform: every instrumented
 `SimObject` emits :class:`TraceEvent` records onto a named channel
-(``compute``, ``mem``, ``dma``, ``irq``, ``host``, ``sched``), and the
-hub stores them in one bounded ring buffer with per-channel emit/drop
-accounting.
+(``compute``, ``mem``, ``dma``, ``irq``, ``host``, ``sched``,
+``faults``), and the hub stores them in one bounded ring buffer with
+per-channel emit/drop accounting.
 
 Design constraints, in order:
 
@@ -30,8 +30,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence, Union
 
-#: The six first-class channels, one per platform layer.
-CHANNELS = ("compute", "mem", "dma", "irq", "host", "sched")
+#: The first-class channels: one per platform layer, plus ``faults``
+#: for `repro.faults` injections (so injected events line up with the
+#: compute/memory activity they perturb in a Chrome trace).
+CHANNELS = ("compute", "mem", "dma", "irq", "host", "sched", "faults")
 
 #: Default ring capacity (events).  Big enough for every workload in
 #: the repo to trace un-dropped; small enough to stay far from OOM.

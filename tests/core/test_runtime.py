@@ -158,19 +158,26 @@ def test_engine_restart_rejected_while_running(rng):
     a = rng.uniform(-1, 1, 64)
     pa, pb, pc = acc.alloc_array(a), acc.alloc_array(a), acc.alloc(512)
     acc.unit.launch([pa, pb, pc])
-    from repro.core.runtime import RuntimeError_
+    from repro.core.runtime import EngineError
 
-    with pytest.raises(RuntimeError_):
+    with pytest.raises(EngineError):
         acc.unit.engine.start([pa, pb, pc])
     acc.system.run()
 
 
 def test_wrong_arity_rejected():
     acc = StandaloneAccelerator(VECADD, "vecadd", spm_bytes=1 << 13)
-    from repro.core.runtime import RuntimeError_
+    from repro.core.runtime import EngineError
 
-    with pytest.raises(RuntimeError_):
+    with pytest.raises(EngineError):
         acc.unit.engine.start([1, 2])
+
+
+def test_deprecated_error_alias_still_works():
+    from repro.core.runtime import EngineError, RuntimeError_
+
+    assert RuntimeError_ is EngineError
+    assert issubclass(EngineError, RuntimeError)
 
 
 def test_ideal_memory_not_slower_than_spm(rng):

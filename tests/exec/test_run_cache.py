@@ -94,6 +94,68 @@ def test_cache_disk_persistence(tmp_path):
     assert not (tmp_path / "runs" / "deadbeef.json").exists()
 
 
+# -- corruption / crash safety ----------------------------------------------
+def test_truncated_entry_is_a_miss_and_quarantined(tmp_path):
+    result = _one_result()
+    writer = RunCache(tmp_path / "runs")
+    writer.put("deadbeef", result)
+    entry = tmp_path / "runs" / "deadbeef.json"
+    entry.write_text(entry.read_text()[:40])  # simulate a crash mid-write
+
+    reader = RunCache(tmp_path / "runs")
+    assert reader.get("deadbeef") is None
+    assert reader.misses == 1
+    assert reader.quarantined == 1
+    # The corrupt file was moved aside for post-mortem, not deleted...
+    assert not entry.exists()
+    corrupt = tmp_path / "runs" / "deadbeef.json.corrupt"
+    assert corrupt.exists()
+    # ...and it is invisible to lookups and __len__.
+    assert len(reader) == 0
+    assert "deadbeef" not in reader
+
+
+def test_non_dict_payload_is_quarantined(tmp_path):
+    cache = RunCache(tmp_path / "runs")
+    (tmp_path / "runs" / "feedf00d.json").write_text("[1, 2, 3]")
+    assert cache.get("feedf00d") is None
+    assert cache.quarantined == 1
+
+
+def test_put_after_quarantine_recovers_the_key(tmp_path):
+    result = _one_result()
+    cache = RunCache(tmp_path / "runs")
+    (tmp_path / "runs" / "deadbeef.json").write_text("{ nope")
+    assert cache.get("deadbeef") is None
+    cache.put("deadbeef", result)
+    revived = RunCache(tmp_path / "runs")  # fresh instance: disk only
+    assert revived.get("deadbeef").cycles == result.cycles
+
+
+def test_put_is_atomic_and_leaves_no_temp_files(tmp_path):
+    result = _one_result()
+    cache = RunCache(tmp_path / "runs")
+    cache.put("cafebabe", result)
+    names = sorted(p.name for p in (tmp_path / "runs").iterdir())
+    assert names == ["cafebabe.json"]
+    # Overwrites are also atomic replacements, not truncate-then-write.
+    cache.put("cafebabe", result)
+    names = sorted(p.name for p in (tmp_path / "runs").iterdir())
+    assert names == ["cafebabe.json"]
+
+
+def test_clear_removes_quarantined_entries(tmp_path):
+    result = _one_result()
+    cache = RunCache(tmp_path / "runs")
+    cache.put("deadbeef", result)
+    (tmp_path / "runs" / "badc0de.json").write_text("{ nope")
+    assert cache.get("badc0de") is None
+    assert (tmp_path / "runs" / "badc0de.json.corrupt").exists()
+    cache.clear()
+    assert list((tmp_path / "runs").iterdir()) == []
+    assert cache.quarantined == 0
+
+
 # -- RunResult round trip ----------------------------------------------------
 def test_runresult_json_round_trip_is_lossless():
     result = _one_result()

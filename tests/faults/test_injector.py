@@ -1,0 +1,190 @@
+"""FaultInjector: arming, target resolution, each fault kind, determinism,
+and the zero-overhead detached contract."""
+
+import json
+
+import pytest
+
+from repro.exec import SimContext
+from repro.faults import FaultConfigError, FaultInjector, FaultPlan
+from repro.mem.dma import BlockDMA
+from repro.mem.dram import DRAM
+from repro.mem.spm import Scratchpad
+from repro.mem.xbar import Crossbar
+from repro.workloads import get_workload
+
+GEMM_KW = dict(memory="spm", spm_bytes=1 << 16)
+
+# A flip inside gemm_dse's staged input data: detected by verify().
+FLIP_SPEC = "bit_flip@spm:access=1,addr=0x20000007,bit=6"
+
+
+def _ctx(**kwargs):
+    return SimContext(get_workload("gemm_dse"), **GEMM_KW, **kwargs)
+
+
+# -- end-to-end kinds --------------------------------------------------------
+def test_bit_flip_breaks_verification():
+    ctx = _ctx(faults=FLIP_SPEC)
+    with pytest.raises(AssertionError, match="mismatch"):
+        ctx.run()
+    assert ctx.fault_injector.injected, "fault never fired"
+    record = ctx.fault_injector.injected[0]
+    assert record["kind"] == "bit_flip"
+    assert record["target"].endswith(".spm")
+    assert record["addr"] == 0x20000007
+    assert record["bit"] == 6
+
+
+def test_finite_port_stall_slows_but_completes():
+    baseline = _ctx().run()
+    stalled = _ctx(faults="port_stall@memctrl:tick=50000,cycles=300").run()
+    # The stall costs cycles but nothing is lost: data still verifies
+    # (verify runs inside ctx.run) and the run terminates on its own.
+    assert stalled.cycles > baseline.cycles
+
+
+def test_mmr_corrupt_records_before_value():
+    # Corrupting an argument register after the device latched its
+    # pointers is harmless to this workload's dataflow — the point here
+    # is the deterministic record of what was corrupted.
+    ctx = _ctx(faults="mmr_corrupt@mmr:tick=90000,reg=1,mask=0x1")
+    ctx.run()
+    record = ctx.fault_injector.injected[0]
+    assert record["kind"] == "mmr_corrupt"
+    assert record["reg"] == 1
+    assert record["mask"] == 0x1
+    assert "before" in record
+
+
+def test_faulty_runs_never_touch_the_cache(tmp_path):
+    from repro.exec import RunCache
+
+    cache = RunCache(tmp_path / "runs")
+    clean = SimContext(get_workload("gemm_dse"), cache=cache, **GEMM_KW)
+    clean.run()
+    assert len(cache) == 1
+    faulty = SimContext(get_workload("gemm_dse"), cache=cache,
+                        faults="port_stall@memctrl:tick=50000,cycles=300",
+                        **GEMM_KW)
+    result = faulty.run()
+    # Neither served from cache (different cycle count proves a real
+    # simulation ran) nor written back to it.
+    assert result.cycles > clean.last_result.cycles
+    assert len(cache) == 1
+
+
+# -- determinism -------------------------------------------------------------
+def test_fault_free_run_is_byte_identical():
+    baseline = _ctx().run()
+    # faults=None, watchdog attached: neither may perturb the simulation.
+    hardened = _ctx(faults=None, watchdog=True, timeout_s=60.0).run()
+    assert json.dumps(baseline.to_dict(), sort_keys=True) == json.dumps(
+        hardened.to_dict(), sort_keys=True
+    )
+
+
+def test_seed_resolved_fields_are_deterministic():
+    # addr/bit left unspecified: resolved from the plan seed at attach.
+    plan = FaultPlan.coerce("bit_flip@spm:access=1")
+    plan.seed = 123
+    records = []
+    for __ in range(2):
+        ctx = _ctx(faults=plan)
+        try:
+            ctx.run()
+        except AssertionError:
+            pass  # the flip may or may not land on checked data
+        records.append(ctx.fault_injector.injected)
+        ctx.reset()
+    assert records[0] == records[1]
+    assert records[0][0]["kind"] == "bit_flip"
+
+
+# -- unit-level: DMA faults --------------------------------------------------
+def _dma_fabric(system):
+    xbar = Crossbar("xbar", system)
+    dram = DRAM("dram", system, base=0x8000_0000, size=1 << 16)
+    spm = Scratchpad("spm", system, base=0x1000, size=4096)
+    xbar.attach_slave(dram.port, dram.range, label="dram")
+    xbar.attach_slave(spm.make_port(), spm.range, label="spm")
+    dma = BlockDMA("dma", system, burst_bytes=64)
+    dma.port.bind(xbar.slave_port("dma"))
+    return dram, spm, dma
+
+
+def test_dma_drop_completes_without_copying(system):
+    dram, spm, dma = _dma_fabric(system)
+    injector = FaultInjector("dma_drop@dma:access=1").attach(system)
+    payload = bytes(range(256))
+    dram.image.write(0x8000_0000, payload)
+    done = []
+    dma.start(0x8000_0000, 0x1000, 256, on_done=lambda: done.append(True))
+    system.run()
+    # Silent data loss: completion fired, destination untouched.
+    assert done
+    assert not dma.busy
+    assert spm.image.read(0x1000, 256) == bytes(256)
+    assert injector.injected[0]["kind"] == "dma_drop"
+
+
+def test_dma_delay_postpones_but_still_copies(system):
+    dram, spm, dma = _dma_fabric(system)
+    FaultInjector("dma_delay@dma:access=1,cycles=500").attach(system)
+    payload = bytes(range(64))
+    dram.image.write(0x8000_0000, payload)
+    dma.start(0x8000_0000, 0x1000, 64)
+    system.run()
+    assert spm.image.read(0x1000, 64) == payload
+    # The second transfer (fault consumed) is undisturbed.
+    dram.image.write(0x8000_0000, payload[::-1])
+    dma.start(0x8000_0000, 0x2000 - 64, 64)
+    system.run()
+    assert spm.image.read(0x2000 - 64, 64) == payload[::-1]
+
+
+def test_dma_delay_costs_the_configured_cycles(system):
+    import repro.sim.simobject as so
+
+    times = {}
+    for label, spec in (("clean", None), ("delayed",
+                                          "dma_delay@dma:access=1,cycles=400")):
+        sys2 = so.System(f"s_{label}")
+        dram, spm, dma = _dma_fabric(sys2)
+        if spec is not None:
+            FaultInjector(spec).attach(sys2)
+        dram.image.write(0x8000_0000, bytes(64))
+        dma.start(0x8000_0000, 0x1000, 64)
+        sys2.run()
+        times[label] = sys2.cur_tick
+    assert times["delayed"] > times["clean"]
+
+
+# -- attach / resolution errors ---------------------------------------------
+def test_unknown_target_raises(system):
+    Scratchpad("spm", system, base=0x1000, size=64)
+    with pytest.raises(FaultConfigError, match="no SimObject matches"):
+        FaultInjector("bit_flip@nope:tick=0").attach(system)
+
+
+def test_mmr_corrupt_rejects_non_mmr_target(system):
+    Scratchpad("spm", system, base=0x1000, size=64)
+    with pytest.raises(FaultConfigError, match="not an MMRFile"):
+        FaultInjector("mmr_corrupt@spm:tick=0").attach(system)
+
+
+def test_double_attach_rejected(system):
+    Scratchpad("spm", system, base=0x1000, size=64)
+    injector = FaultInjector("bit_flip@spm:tick=0,addr=0x1000,bit=0")
+    injector.attach(system)
+    with pytest.raises(FaultConfigError, match="already attached"):
+        injector.attach(system)
+
+
+def test_detach_clears_every_hook(system):
+    spm = Scratchpad("spm", system, base=0x1000, size=64)
+    injector = FaultInjector("bit_flip@spm:access=1,addr=0x1000,bit=0")
+    injector.attach(system)
+    assert spm._finj is injector
+    injector.detach()
+    assert spm._finj is None

@@ -1,0 +1,96 @@
+"""FaultPlan / FaultEvent / faultspec parsing."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultConfigError,
+    FaultEvent,
+    FaultPlan,
+    parse_faultspec,
+)
+
+
+# -- events ------------------------------------------------------------------
+def test_event_requires_exactly_one_trigger():
+    with pytest.raises(FaultConfigError):
+        FaultEvent("bit_flip", "spm")  # no trigger
+    with pytest.raises(FaultConfigError):
+        FaultEvent("bit_flip", "spm", at_tick=5, after_accesses=2)  # both
+    FaultEvent("bit_flip", "spm", at_tick=5)
+    FaultEvent("bit_flip", "spm", after_accesses=2)
+
+
+def test_event_validation():
+    with pytest.raises(FaultConfigError):
+        FaultEvent("melt", "spm", at_tick=0)
+    with pytest.raises(FaultConfigError):
+        FaultEvent("bit_flip", "", at_tick=0)
+    with pytest.raises(FaultConfigError):
+        FaultEvent("bit_flip", "spm", at_tick=-1)
+    with pytest.raises(FaultConfigError):
+        FaultEvent("bit_flip", "spm", after_accesses=0)
+    with pytest.raises(FaultConfigError):
+        FaultEvent("bit_flip", "spm", at_tick=0, bit=8)
+    with pytest.raises(FaultConfigError):
+        FaultEvent("port_stall", "memctrl", at_tick=0, cycles=0)
+    with pytest.raises(FaultConfigError):
+        FaultEvent("bit_flip", "spm", at_tick=0, count=0)
+
+
+def test_every_kind_is_constructible():
+    for kind in FAULT_KINDS:
+        event = FaultEvent(kind, "x", at_tick=1)
+        assert event.kind == kind
+
+
+# -- faultspec grammar -------------------------------------------------------
+def test_parse_faultspec_full():
+    event = parse_faultspec("bit_flip@spm:access=1,addr=0x20000007,bit=6")
+    assert event.kind == "bit_flip"
+    assert event.target == "spm"
+    assert event.after_accesses == 1
+    assert event.addr == 0x20000007
+    assert event.bit == 6
+    assert event.at_tick is None
+
+
+def test_parse_faultspec_tick_alias_and_hex():
+    event = parse_faultspec("port_stall@memctrl:tick=0x100,cycles=200")
+    assert event.at_tick == 0x100
+    assert event.cycles == 200
+
+
+def test_parse_faultspec_rejects_garbage():
+    for bad in ("bit_flip", "bit_flip@", "@spm:tick=1",
+                "bit_flip@spm:tick", "bit_flip@spm:wat=1",
+                "bit_flip@spm:tick=banana"):
+        with pytest.raises(FaultConfigError):
+            parse_faultspec(bad)
+
+
+def test_describe_round_trips_through_parse():
+    event = parse_faultspec("mmr_corrupt@mmr:tick=100,reg=1,mask=0xff")
+    assert parse_faultspec(event.describe()) == event
+
+
+# -- plans -------------------------------------------------------------------
+def test_plan_coerce_forms():
+    assert FaultPlan.coerce(None) is None
+    plan = FaultPlan(events=[FaultEvent("mem_drop", "memctrl", at_tick=0)], seed=3)
+    assert FaultPlan.coerce(plan) is plan
+    event = FaultEvent("mem_drop", "memctrl", at_tick=0)
+    assert FaultPlan.coerce(event).events == [event]
+    assert FaultPlan.coerce("mem_drop@memctrl:tick=0").events[0].kind == "mem_drop"
+    mixed = FaultPlan.coerce([event, "bit_flip@spm:access=1"])
+    assert len(mixed.events) == 2
+    with pytest.raises(FaultConfigError):
+        FaultPlan.coerce(42)
+
+
+def test_plan_truthiness_and_parse():
+    assert not FaultPlan()
+    plan = FaultPlan.parse(["mem_drop@memctrl:tick=0"], seed=11)
+    assert plan
+    assert plan.seed == 11
+    assert plan.describe() == ["mem_drop@memctrl:tick=0"]

@@ -1,0 +1,112 @@
+"""SimWatchdog: deadlock on drain, livelock on commit starvation,
+wall-clock timeouts, and spec coercion."""
+
+import pytest
+
+from repro.exec import SimContext
+from repro.faults import SimulationHang, SimWatchdog, coerce_watchdog, watchdog_spec
+from repro.sim.eventq import EventQueue
+from repro.sim.simobject import System
+from repro.workloads import get_workload
+
+GEMM_KW = dict(memory="spm", spm_bytes=1 << 16)
+
+
+class _StubEngine:
+    """Minimal duck-typed engine for queue-level watchdog tests."""
+
+    def __init__(self, running=True):
+        self.running = running
+        self.committed = 0
+
+    def inflight_summary(self):
+        return "stub: 1 load in flight"
+
+    def inflight_dump(self, limit=32):
+        return ["  #0 load [issued/mem]"]
+
+
+# -- deadlock ----------------------------------------------------------------
+def test_drain_with_inflight_work_is_a_deadlock():
+    queue = EventQueue()
+    queue.schedule_callback(lambda: None, 10, name="only")
+    watchdog = SimWatchdog(engines=[_StubEngine(running=True)])
+    with pytest.raises(SimulationHang) as excinfo:
+        queue.run(watchdog=watchdog)
+    assert excinfo.value.reason == "deadlock"
+    assert "stub: 1 load in flight" in str(excinfo.value)
+
+
+def test_clean_drain_passes_the_watchdog():
+    queue = EventQueue()
+    queue.schedule_callback(lambda: None, 10, name="only")
+    watchdog = SimWatchdog(engines=[_StubEngine(running=False)])
+    assert queue.run(watchdog=watchdog) == "empty"
+
+
+# -- livelock ----------------------------------------------------------------
+def test_port_stall_forever_is_a_livelock():
+    ctx = SimContext(get_workload("gemm_dse"),
+                     faults="port_stall@memctrl:tick=50000",
+                     watchdog={"livelock_cycles": 2000}, **GEMM_KW)
+    with pytest.raises(SimulationHang) as excinfo:
+        ctx.run()
+    hang = excinfo.value
+    assert hang.reason == "livelock"
+    # The dump names the starved engine and its stuck instructions.
+    assert hang.inflight
+    assert any("load" in line for line in hang.inflight)
+
+
+def test_lost_completion_is_caught():
+    ctx = SimContext(get_workload("gemm_dse"),
+                     faults="mem_drop@memctrl:access=5",
+                     watchdog={"livelock_cycles": 2000}, **GEMM_KW)
+    with pytest.raises(SimulationHang):
+        ctx.run()
+
+
+# -- wall clock --------------------------------------------------------------
+def test_timeout_s_becomes_a_wallclock_hang():
+    ctx = SimContext(get_workload("gemm_dse"),
+                     faults="port_stall@memctrl:tick=50000",
+                     timeout_s=0.3, **GEMM_KW)
+    with pytest.raises(SimulationHang) as excinfo:
+        ctx.run()
+    assert excinfo.value.reason == "wallclock"
+
+
+# -- coercion / specs --------------------------------------------------------
+def test_coerce_forms():
+    assert coerce_watchdog(None) is None
+    assert coerce_watchdog(False) is None
+    assert coerce_watchdog(True).livelock_cycles == SimWatchdog.DEFAULT_LIVELOCK_CYCLES
+    assert coerce_watchdog(1234).livelock_cycles == 1234
+    watchdog = coerce_watchdog({"livelock_cycles": 99, "wall_clock_s": 1.5})
+    assert watchdog.livelock_cycles == 99
+    assert watchdog.wall_clock_s == 1.5
+    assert coerce_watchdog(watchdog) is watchdog
+    with pytest.raises(TypeError):
+        coerce_watchdog("soon")
+
+
+def test_coerce_binds_engines_from_system():
+    system = System("s")
+    watchdog = coerce_watchdog(True, system)
+    assert watchdog.engines == []  # no engines registered, still bound
+
+
+def test_watchdog_spec_is_picklable_and_lossless():
+    import pickle
+
+    watchdog = SimWatchdog(engines=[_StubEngine()], livelock_cycles=7,
+                           wall_clock_s=2.0, interval=64)
+    spec = watchdog_spec(watchdog)
+    assert spec == {"livelock_cycles": 7, "wall_clock_s": 2.0, "interval": 64}
+    pickle.dumps(spec)
+    revived = coerce_watchdog(spec)
+    assert revived.livelock_cycles == 7
+    assert revived.interval == 64
+    # Non-instances pass through untouched.
+    assert watchdog_spec(True) is True
+    assert watchdog_spec(None) is None
