@@ -26,6 +26,15 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-experiment index.
 """
 
+from repro.build import (
+    Artifact,
+    ArtifactStore,
+    BuildPipeline,
+    ElaboratedDesign,
+    PipelineSpec,
+    build_design,
+    build_module,
+)
 from repro.core.config import DeviceConfig
 from repro.core.compute_unit import ComputeUnit
 from repro.core.cluster import AcceleratorCluster
@@ -53,6 +62,13 @@ from repro.workloads import all_workload_names, get_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "BuildPipeline",
+    "ElaboratedDesign",
+    "PipelineSpec",
+    "build_design",
+    "build_module",
     "DeviceConfig",
     "ComputeUnit",
     "AcceleratorCluster",

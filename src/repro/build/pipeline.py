@@ -1,0 +1,248 @@
+"""The staged build pipeline: ``parse → lower → optimize → elaborate``.
+
+This is the front half of the paper's Fig. 2 flow, reified: each stage
+is an explicit method that consumes and produces `Artifact`s, with
+per-stage wall-clock timing recorded on the pipeline (and, when a
+`TraceHub` is attached, emitted on the ``build`` trace channel).  The
+stages:
+
+* ``parse``     — mini-C source -> AST (`TranslationUnit`)
+* ``lower``     — AST -> raw SSA `Module` (naive alloca codegen)
+* ``optimize``  — raw `Module` -> optimized `Module`, driven by a
+  declarative `PipelineSpec` ("mem2reg,unroll:4,constfold,dce")
+* ``elaborate`` — optimized `Module` -> `ElaboratedDesign`
+  (`LLVMInterface`: CDFG, FU mapping, static power/area)
+
+`build_module` is the shared compile entry point every consumer routes
+through (CLI, `StandaloneAccelerator`, `SimContext`, `Workload.build`,
+`ParallelSweep`); with an `ArtifactStore` attached, a kernel that was
+already compiled with the same (source, name, pipeline) is a cache hit
+and skips the frontend entirely.  Module-level `STAGE_COUNTERS` count
+stage invocations process-wide — the compile-once regression tests
+assert on them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields
+from typing import Optional, Union
+
+from repro.build.artifact import (
+    Artifact,
+    ElaboratedDesign,
+    artifact_key,
+    module_fingerprint,
+)
+from repro.build.store import ArtifactStore
+from repro.core.config import DeviceConfig
+from repro.hw.profile import HardwareProfile
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.passes.pipeline import PipelineSpec
+
+
+@dataclass
+class StageCounters:
+    """Process-wide tally of stage invocations (compile-once guards)."""
+
+    parse: int = 0
+    lower: int = 0
+    optimize: int = 0
+    elaborate: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def compiles(self) -> int:
+        """Frontend invocations (parse/lower run in lockstep)."""
+        return self.parse
+
+
+#: Every `BuildPipeline` in this process bumps these.
+STAGE_COUNTERS = StageCounters()
+
+
+class BuildPipeline:
+    """One configured pipeline: a pass spec plus optional store/tracing.
+
+    Stage methods can be called individually (each returns an
+    `Artifact`), or via :meth:`build_module` /:meth:`build_design`,
+    which chain them and consult the `ArtifactStore` first.
+    """
+
+    def __init__(
+        self,
+        pipeline: Union[str, PipelineSpec, None] = None,
+        store: Optional[ArtifactStore] = None,
+        trace_hub=None,
+    ) -> None:
+        self.spec = PipelineSpec.parse(pipeline)
+        self.store = store
+        self.trace_hub = trace_hub
+        #: Stage -> seconds for the most recent build_module() call.
+        self.timings: dict[str, float] = {}
+
+    # -- stage plumbing ----------------------------------------------------
+    def _record(self, stage: str, seconds: float, **detail) -> None:
+        setattr(STAGE_COUNTERS, stage, getattr(STAGE_COUNTERS, stage) + 1)
+        self.timings[stage] = self.timings.get(stage, 0.0) + seconds
+        hub = self.trace_hub
+        if hub is not None and hub.enabled("build"):
+            hub.emit("build", "build.pipeline", stage, tick=0,
+                     args=dict(detail, seconds=round(seconds, 6)))
+
+    # -- stages ------------------------------------------------------------
+    def parse(self, source: str) -> Artifact:
+        """Stage 1: mini-C source -> AST."""
+        from repro.frontend.parser import parse_c
+
+        start = time.perf_counter()
+        unit = parse_c(source)
+        self._record("parse", time.perf_counter() - start)
+        return Artifact("ast", unit)
+
+    def lower(self, ast: Artifact, name: str = "module") -> Artifact:
+        """Stage 2: AST -> raw (unoptimized) SSA module."""
+        from repro.frontend.codegen import lower_to_ir
+
+        start = time.perf_counter()
+        module = lower_to_ir(ast.payload, name)
+        self._record("lower", time.perf_counter() - start, name=name)
+        return Artifact("ir", module, meta=dict(ast.meta))
+
+    def optimize(self, ir: Artifact) -> Artifact:
+        """Stage 3: run the pass pipeline (in place), verify, fingerprint."""
+        module = ir.payload if isinstance(ir, Artifact) else ir
+        start = time.perf_counter()
+        if self.spec:
+            self.spec.to_pass_manager(module=module).run(module)
+            verify_module(module)
+        self._record("optimize", time.perf_counter() - start,
+                     pipeline=self.spec.canonical())
+        meta = dict(ir.meta if isinstance(ir, Artifact) else {})
+        meta.update(pipeline=self.spec.canonical(),
+                    fingerprint=module_fingerprint(module))
+        return Artifact("opt-ir", module, meta=meta)
+
+    def elaborate(
+        self,
+        opt_ir: Union[Artifact, Module],
+        func_name: str,
+        profile: Optional[HardwareProfile] = None,
+        config: Optional[DeviceConfig] = None,
+    ) -> Artifact:
+        """Stage 4: optimized module -> statically elaborated design."""
+        module = opt_ir.module if isinstance(opt_ir, Artifact) else opt_ir
+        start = time.perf_counter()
+        design = ElaboratedDesign.elaborate(module, func_name,
+                                            profile=profile, config=config)
+        self._record("elaborate", time.perf_counter() - start,
+                     func_name=func_name)
+        meta = dict(opt_ir.meta) if isinstance(opt_ir, Artifact) else {}
+        meta["func_name"] = func_name
+        return Artifact("design", design, meta=meta)
+
+    # -- chained entry points ----------------------------------------------
+    def build_module(self, source: Union[str, Module, Artifact],
+                     name: str = "module") -> Artifact:
+        """parse+lower+optimize, store-aware: the shared compile path.
+
+        A `Module` or ``opt-ir`` `Artifact` input is passed through
+        untouched (already compiled elsewhere — e.g. shipped to a sweep
+        worker by the parent process).
+        """
+        if isinstance(source, Artifact):
+            return source if source.kind == "opt-ir" else self.optimize(source)
+        if isinstance(source, Module):
+            return Artifact("opt-ir", source,
+                            meta={"prebuilt": True,
+                                  "pipeline": self.spec.canonical()})
+        key = artifact_key(source, name, self.spec)
+        if self.store is not None:
+            cached = self.store.get(key)
+            if cached is not None:
+                return cached
+        self.timings.clear()
+        artifact = self.optimize(self.lower(self.parse(source), name))
+        artifact.key = key
+        artifact.meta.update(name=name, timings=dict(self.timings),
+                             cached=False)
+        if self.store is not None:
+            self.store.put(key, artifact)
+        return artifact
+
+    def build_design(
+        self,
+        source: Union[str, Module, Artifact],
+        func_name: str,
+        profile: Optional[HardwareProfile] = None,
+        config: Optional[DeviceConfig] = None,
+    ) -> ElaboratedDesign:
+        """The full front half: compile (store-aware) then elaborate."""
+        artifact = self.build_module(source, func_name)
+        return self.elaborate(artifact, func_name,
+                              profile=profile, config=config).payload
+
+
+def resolve_spec(
+    pipeline: Union[str, PipelineSpec, None] = None,
+    *,
+    optimize: bool = True,
+    opt_level: int = 1,
+    unroll_factor: int = 1,
+) -> PipelineSpec:
+    """Reduce the historical compile knobs to one declarative spec.
+
+    An explicit ``pipeline`` wins; otherwise ``optimize``/``opt_level``/
+    ``unroll_factor`` select the matching standard preset — so legacy
+    call sites and ``--passes`` users land on the same cache keys.
+    """
+    if pipeline is not None:
+        return PipelineSpec.parse(pipeline)
+    if not optimize:
+        return PipelineSpec()
+    return PipelineSpec.standard(opt_level=opt_level, unroll_factor=unroll_factor)
+
+
+def build_module(
+    source: Union[str, Module, Artifact],
+    name: str = "module",
+    *,
+    pipeline: Union[str, PipelineSpec, None] = None,
+    optimize: bool = True,
+    opt_level: int = 1,
+    unroll_factor: int = 1,
+    store: Optional[ArtifactStore] = None,
+    trace_hub=None,
+) -> Artifact:
+    """One-call compile through the staged pipeline (see `BuildPipeline`)."""
+    spec = resolve_spec(pipeline, optimize=optimize, opt_level=opt_level,
+                        unroll_factor=unroll_factor)
+    return BuildPipeline(spec, store=store,
+                         trace_hub=trace_hub).build_module(source, name)
+
+
+def build_design(
+    source: Union[str, Module, Artifact],
+    func_name: str,
+    *,
+    pipeline: Union[str, PipelineSpec, None] = None,
+    optimize: bool = True,
+    opt_level: int = 1,
+    unroll_factor: int = 1,
+    profile: Optional[HardwareProfile] = None,
+    config: Optional[DeviceConfig] = None,
+    store: Optional[ArtifactStore] = None,
+    trace_hub=None,
+) -> ElaboratedDesign:
+    """One-call compile + static elaboration."""
+    spec = resolve_spec(pipeline, optimize=optimize, opt_level=opt_level,
+                        unroll_factor=unroll_factor)
+    return BuildPipeline(spec, store=store, trace_hub=trace_hub).build_design(
+        source, func_name, profile=profile, config=config
+    )

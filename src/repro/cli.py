@@ -15,9 +15,11 @@ Mirrors the day-to-day gem5-SALAM workflow from a shell:
 Examples::
 
     python -m repro compile kernel.c --unroll 4
+    python -m repro compile kernel.c --passes mem2reg,unroll:4,constfold,dce
     python -m repro elaborate kernel.c --func saxpy --fu-limit fp_mul=2
     python -m repro run gemm --ports 8 --memory spm
     python -m repro sweep gemm_dse --unroll 8 --workers 4 --cache-dir .runcache
+    python -m repro sweep gemm_dse --workers 4 --artifact-dir .artifacts
 """
 
 from __future__ import annotations
@@ -44,39 +46,68 @@ def _read_source(path: str) -> str:
     return source_path.read_text()
 
 
+def _artifact_store(args):
+    """The --artifact-dir store (shared by every subcommand), or None."""
+    path = getattr(args, "artifact_dir", None)
+    if not path:
+        return None
+    from repro.build import ArtifactStore
+
+    return ArtifactStore(path)
+
+
+def _build_kernel(args, store=None):
+    """The one compile path behind compile/elaborate: mini-C -> Artifact."""
+    from repro.build import PipelineSpecError, build_module
+
+    try:
+        return build_module(
+            _read_source(args.source),
+            "module",
+            pipeline=getattr(args, "passes", None),
+            optimize=not getattr(args, "no_opt", False),
+            opt_level=args.opt_level,
+            unroll_factor=args.unroll,
+            store=store,
+        )
+    except PipelineSpecError as err:
+        raise SystemExit(f"bad --passes spec: {err}")
+
+
+def _print_artifact(artifact, store) -> None:
+    if store is None:
+        return
+    status = "store hit" if artifact.meta.get("cached") else "compiled"
+    print(f"artifact        : {artifact.key[:12]} ({status})")
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
-    from repro.frontend import compile_c
     from repro.ir.printer import print_module
 
-    module = compile_c(
-        _read_source(args.source),
-        optimize=not args.no_opt,
-        unroll_factor=args.unroll,
-        opt_level=args.opt_level,
-    )
-    text = print_module(module)
+    store = _artifact_store(args)
+    artifact = _build_kernel(args, store)
+    text = print_module(artifact.module)
     if args.output:
         Path(args.output).write_text(text)
         print(f"wrote {args.output}")
+        _print_artifact(artifact, store)
     else:
         print(text)
     return 0
 
 
 def cmd_elaborate(args: argparse.Namespace) -> int:
+    from repro.build import BuildPipeline
     from repro.core.config import DeviceConfig
-    from repro.core.llvm_interface import LLVMInterface
-    from repro.frontend import compile_c
-    from repro.hw.default_profile import default_profile
 
-    module = compile_c(
-        _read_source(args.source), unroll_factor=args.unroll,
-        opt_level=args.opt_level,
-    )
-    func_name = args.func or next(iter(module.functions))
+    store = _artifact_store(args)
+    artifact = _build_kernel(args, store)
+    func_name = args.func or next(iter(artifact.module.functions))
     config = DeviceConfig(fu_limits=_parse_fu_limits(args.fu_limit))
-    iface = LLVMInterface(module, func_name, default_profile(), config)
+    design = BuildPipeline().elaborate(artifact, func_name, config=config).payload
+    iface = design.iface
     print(f"function        : {func_name}")
+    _print_artifact(artifact, store)
     print(f"instructions    : {iface.cdfg.total_instructions()}")
     print(f"basic blocks    : {len(iface.cdfg.blocks)}")
     print(f"register bits   : {iface.cdfg.register_bits}")
@@ -125,6 +156,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.memory in ("spm", "ideal"):
         kwargs.update(spm_bytes=1 << 16, spm_read_ports=args.ports)
     cache = RunCache(args.cache_dir) if args.cache_dir else None
+    store = _artifact_store(args)
     trace_cfg = None
     if args.trace or args.trace_out:
         from repro.trace import TraceConfig
@@ -138,7 +170,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit(f"bad --inject spec: {err}")
     context = SimContext(workload, seed=args.seed, cache=cache,
                          trace=trace_cfg, faults=plan,
-                         timeout_s=args.point_timeout, **kwargs)
+                         timeout_s=args.point_timeout,
+                         artifact_store=store, **kwargs)
     hardened = bool(plan) or args.point_timeout is not None
     try:
         result = context.run()
@@ -199,10 +232,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
 
     cache = RunCache(args.cache_dir) if args.cache_dir else None
+    store = _artifact_store(args)
     points = sweep(workload, {"ports": args.ports}, configure, seed=args.seed,
                    workers=args.workers, cache=cache,
                    point_timeout=args.point_timeout, retries=args.retries,
-                   strict=args.strict)
+                   strict=args.strict, artifact_store=store)
     healthy = [point for point in points if point.ok]
     front = pareto_front(healthy, objectives=lambda p: (p.runtime_us, p.power_mw))
     rows = []
@@ -216,6 +250,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"failed point    : {point.params} -> {point.failure.summary()}")
     if cache is not None:
         print(f"run cache       : {cache.hits} hit(s), {cache.misses} miss(es)")
+    if store is not None:
+        print(f"artifact cache  : {store.hits} hit(s), "
+              f"{store.misses} miss(es)")
     return 1 if failed else 0
 
 
@@ -231,6 +268,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--unroll", type=int, default=1)
     p_compile.add_argument("--opt-level", type=int, default=1, choices=[1, 2])
     p_compile.add_argument("--no-opt", action="store_true")
+    p_compile.add_argument("--passes", metavar="SPEC",
+                           help="explicit pass pipeline, e.g. "
+                                "'mem2reg,unroll:4,constfold,dce' or a "
+                                "preset 'o1'/'o2' (overrides --opt-level/"
+                                "--unroll/--no-opt)")
+    p_compile.add_argument("--artifact-dir", metavar="DIR",
+                           help="content-addressed build-artifact store "
+                                "(recompiles of the same kernel are free)")
     p_compile.set_defaults(handler=cmd_compile)
 
     p_elab = sub.add_parser("elaborate", help="static datapath report")
@@ -239,6 +284,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_elab.add_argument("--unroll", type=int, default=1)
     p_elab.add_argument("--opt-level", type=int, default=1, choices=[1, 2])
     p_elab.add_argument("--fu-limit", action="append", metavar="CLASS=N")
+    p_elab.add_argument("--passes", metavar="SPEC",
+                        help="explicit pass pipeline (see 'compile --passes')")
+    p_elab.add_argument("--artifact-dir", metavar="DIR",
+                        help="content-addressed build-artifact store")
     p_elab.set_defaults(handler=cmd_elaborate)
 
     p_list = sub.add_parser("workloads", help="list bundled benchmarks")
@@ -271,6 +320,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--point-timeout", type=float, metavar="SECONDS",
                        help="abort the run after this much wall-clock time "
                             "and report the hang instead of spinning")
+    p_run.add_argument("--artifact-dir", metavar="DIR",
+                       help="content-addressed build-artifact store "
+                            "(kernel compiles are cached across runs)")
     p_run.set_defaults(handler=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="port sweep with Pareto summary")
@@ -291,6 +343,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--strict", action="store_true",
                          help="fail fast on the first failed point instead "
                               "of degrading gracefully")
+    p_sweep.add_argument("--artifact-dir", metavar="DIR",
+                         help="content-addressed build-artifact store; the "
+                              "kernel is compiled once per sweep and hits "
+                              "on reruns")
     p_sweep.set_defaults(handler=cmd_sweep)
 
     return parser

@@ -35,6 +35,8 @@ def sweep(
     strict: bool = False,
     faults=None,
     watchdog=None,
+    artifact_store=None,
+    pipeline=None,
 ) -> list[SweepPoint]:
     """Run ``workload`` across the cartesian product of ``param_grid``.
 
@@ -47,10 +49,13 @@ def sweep(
     results for already-seen configuration points.  Both default to the
     historical serial, uncached behaviour.  The robustness knobs
     (``point_timeout``, ``retries``, ``strict``, ``faults``,
-    ``watchdog``) forward to `ParallelSweep` unchanged.
+    ``watchdog``) and the build knobs (``artifact_store``,
+    ``pipeline`` — see `repro.build`) forward to `ParallelSweep`
+    unchanged.
     """
     executor = ParallelSweep(workers=workers, cache=cache, verify=verify,
                              point_timeout=point_timeout, retries=retries,
-                             strict=strict, faults=faults, watchdog=watchdog)
+                             strict=strict, faults=faults, watchdog=watchdog,
+                             artifact_store=artifact_store, pipeline=pipeline)
     return executor.run(workload, param_grid, configure, seed=seed,
                         unroll_factor=unroll_factor)

@@ -42,15 +42,18 @@ def _canonical(value):
     )
 
 
-def run_cache_key(source, func_name: str, *, seed: int = 7, **acc_kwargs) -> str:
+def run_cache_key(source, func_name: str, *, seed: int = 7, pipeline=None,
+                  **acc_kwargs) -> str:
     """Content hash of one simulation configuration.
 
     ``source`` is the kernel (mini-C text, or an IR `Module`, which is
-    hashed via its printed text — note value names carry a process-wide
-    gensym counter, so prefer source text for keys that must be stable
-    across separate compiles); ``acc_kwargs`` are the
+    hashed via its printed text); ``acc_kwargs`` are the
     `StandaloneAccelerator` keyword arguments (config, memory,
-    unroll_factor, SPM/cache/DRAM geometry, ...).
+    unroll_factor, SPM/cache/DRAM geometry, ...).  A non-default
+    ``pipeline`` (pass spec, see `repro.passes.pipeline`) changes which
+    optimizations shaped the datapath, so it joins the key; the default
+    (None — the standard ``unroll_factor``-driven preset) is omitted to
+    keep keys stable with caches written before pipelines existed.
     """
     from repro.ir.module import Module
 
@@ -64,6 +67,10 @@ def run_cache_key(source, func_name: str, *, seed: int = 7, **acc_kwargs) -> str
         "seed": seed,
         "kwargs": _canonical(acc_kwargs),
     }
+    if pipeline is not None:
+        from repro.passes.pipeline import PipelineSpec
+
+        payload["pipeline"] = PipelineSpec.parse(pipeline).canonical()
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

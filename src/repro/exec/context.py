@@ -21,9 +21,12 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
+from repro.build.artifact import Artifact
+from repro.build.store import ArtifactStore
 from repro.exec.cache import RunCache, run_cache_key
 from repro.faults import FaultInjector, FaultPlan, SimWatchdog, coerce_watchdog
 from repro.ir.module import Module
+from repro.passes.pipeline import PipelineSpec
 from repro.sim.simobject import System
 from repro.sim.stats import format_stats
 from repro.system.soc import RunResult, StandaloneAccelerator
@@ -104,6 +107,9 @@ class SimContext:
         faults=None,
         watchdog=None,
         timeout_s: Optional[float] = None,
+        module: Union[Module, Artifact, None] = None,
+        pipeline: Union[str, PipelineSpec, None] = None,
+        artifact_store: Optional[ArtifactStore] = None,
         **acc_kwargs,
     ) -> None:
         if (workload is None) == (source is None):
@@ -131,6 +137,14 @@ class SimContext:
         self.faults = FaultPlan.coerce(faults)
         self.watchdog = watchdog
         self.timeout_s = timeout_s
+        # Build-pipeline plumbing: a prebuilt module (compiled once by
+        # e.g. the sweep parent and shipped across the pool) skips the
+        # frontend entirely; an explicit pipeline spec changes which
+        # passes run (and is part of the run-cache key); the artifact
+        # store makes repeated compiles of the same kernel near-free.
+        self.module_input = module
+        self.pipeline = PipelineSpec.parse(pipeline) if pipeline is not None else None
+        self.artifact_store = artifact_store
         self.acc_kwargs = dict(acc_kwargs)
         # Live per-run state (rebuilt after reset; never pickled).
         self.fault_injector: Optional[FaultInjector] = None
@@ -166,21 +180,41 @@ class SimContext:
         if self.workload is None:
             raise ValueError("cache keys are only defined in workload mode")
         return run_cache_key(self.source, self.func_name, seed=self.seed,
-                             **self.acc_kwargs)
+                             pipeline=self.pipeline, **self.acc_kwargs)
 
     def build(self) -> StandaloneAccelerator:
-        """Phase 1: compile (once) and wire the accelerator system."""
+        """Phase 1: compile (once, store-aware) and wire the system."""
         if self._acc is None:
-            source = self._module if self._module is not None else self.source
-            self._acc = StandaloneAccelerator(source, self.func_name, **self.acc_kwargs)
-            self._module = self._acc.module  # reuse the compile across resets
-            if self.trace is not None:
+            # The hub exists before the compile so build-stage timings
+            # land on the ``build`` trace channel.
+            if self.trace is not None and self.trace_hub is None:
                 self.trace_hub = self.trace.make_hub()
+            if self._module is None:
+                self._module = self._resolve_module()
+            self._acc = StandaloneAccelerator(self._module, self.func_name,
+                                              **self.acc_kwargs)
+            if self.trace_hub is not None:
                 self._acc.system.attach_trace_hub(self.trace_hub)
             if self.faults:
                 self.fault_injector = FaultInjector(self.faults)
                 self.fault_injector.attach(self._acc.system)
         return self._acc
+
+    def _resolve_module(self) -> Module:
+        """The kernel IR: prebuilt if provided, else one staged compile."""
+        if self.module_input is not None:
+            if isinstance(self.module_input, Artifact):
+                return self.module_input.module
+            return self.module_input
+        if isinstance(self.source, Module):
+            return self.source
+        from repro.build.pipeline import build_module
+
+        return build_module(
+            self.source, self.func_name, pipeline=self.pipeline,
+            unroll_factor=self.acc_kwargs.get("unroll_factor", 1),
+            store=self.artifact_store, trace_hub=self.trace_hub,
+        ).module
 
     def stage(self) -> list:
         """Phase 2: place the dataset in accelerator memory, build the arg list."""
@@ -269,7 +303,12 @@ class SimContext:
                      "last_result", "trace_hub", "fault_injector"):
             state[live] = None
         state["_ran"] = False
-        state["cache"] = None  # caches are owned by the parent process
+        # Caches/stores are owned by the parent process.  A prebuilt
+        # module_input, however, *does* cross: `Module` pickles
+        # losslessly, and shipping it is exactly how compile-once
+        # sweeps avoid re-running the frontend in every worker.
+        state["cache"] = None
+        state["artifact_store"] = None
         # A bound watchdog instance holds engine references; ship the
         # picklable spec instead and re-bind in the worker.
         from repro.faults import watchdog_spec

@@ -14,7 +14,10 @@ construction:
   produces byte-identical `SweepPoint.record()` rows to ``workers=1``.
 
 With a `RunCache` attached, already-known points skip simulation
-entirely; only the misses are submitted to the pool.
+entirely; only the misses are submitted to the pool.  The kernel is
+compiled *once per distinct (source, func, pipeline)* in the parent —
+see `repro.build` — and shipped to workers as a prebuilt `Module`, so
+adding sweep points never adds frontend work.
 
 Sweeps are *hardened*: a point that crashes, hangs (watchdog), or
 exceeds ``point_timeout`` yields a `SweepPoint` carrying a
@@ -92,20 +95,24 @@ def _execute_point(workload: Workload, acc_kwargs: dict, seed: int,
                    verify: bool, max_ticks: Optional[int],
                    trace: Optional[TraceConfig] = None,
                    faults=None, watchdog=None,
-                   timeout_s: Optional[float] = None) -> dict:
+                   timeout_s: Optional[float] = None,
+                   module=None) -> dict:
     """Worker body: one full SimContext lifecycle, returned as a payload dict.
 
     Runs in a pool process (or inline for the serial path — the same
     code either way, which is what makes the two paths byte-identical).
-    Failures come back as ``{"__failure__": ...}`` payloads rather than
-    raised exceptions, so the parent never depends on exception
-    pickling; the per-point timeout is enforced *in the worker* by a
-    wall-clock watchdog, which works identically for both paths.
+    ``module`` is the kernel IR prebuilt by the parent (compiled once
+    per distinct kernel and shipped across the pool), so workers never
+    run the frontend.  Failures come back as ``{"__failure__": ...}``
+    payloads rather than raised exceptions, so the parent never depends
+    on exception pickling; the per-point timeout is enforced *in the
+    worker* by a wall-clock watchdog, which works identically for both
+    paths.
     """
     try:
         ctx = SimContext(workload, seed=seed, verify=verify, max_ticks=max_ticks,
                          trace=trace, faults=faults, watchdog=watchdog,
-                         timeout_s=timeout_s, **acc_kwargs)
+                         timeout_s=timeout_s, module=module, **acc_kwargs)
         return ctx.run().to_dict()
     except Exception as exc:  # noqa: BLE001 - folded into a FailureRecord
         return {"__failure__": FailureRecord.from_exception(exc).to_dict()}
@@ -139,6 +146,14 @@ class ParallelSweep:
     #: Hang detection for every point: `SimWatchdog` spec (True, cycle
     #: budget, kwargs dict, or instance — reduced to a picklable spec).
     watchdog: object = None
+    #: Content-addressed compile cache (`repro.build.ArtifactStore`):
+    #: kernels already built by an earlier sweep/process are store hits.
+    artifact_store: object = None
+    #: Pass-pipeline spec applied to every point's compile (string or
+    #: `PipelineSpec`).  None = the standard preset driven by each
+    #: point's ``unroll_factor``; a non-default spec joins the run-cache
+    #: key so differently-optimized runs never collide.
+    pipeline: object = None
 
     def run(
         self,
@@ -173,14 +188,16 @@ class ParallelSweep:
             # result must never stand in for an injected run.
             if self.cache is not None and not plan:
                 key = run_cache_key(workload.source, workload.func_name,
-                                    seed=seed, **kwargs)
+                                    seed=seed, pipeline=self.pipeline,
+                                    **kwargs)
                 cached = self.cache.get(key)
                 if cached is not None:
                     results[index] = cached
                     continue
             pending.append((index, key, kwargs, plan))
 
-        payloads = self._execute(workload, pending, seed)
+        modules = self._prebuild(workload, pending)
+        payloads = self._execute(workload, pending, seed, modules)
         for (index, key, __, ___), payload in zip(pending, payloads):
             failure_dict = payload.get("__failure__")
             if failure_dict is not None:
@@ -200,6 +217,33 @@ class ParallelSweep:
         ]
 
     # ------------------------------------------------------------------
+    def _prebuild(self, workload: Workload, pending: list) -> list:
+        """Compile each *distinct* kernel once; map every point to its IR.
+
+        Points differ in memory/datapath knobs far more often than in
+        compile-relevant ones, so a sweep usually holds one distinct
+        (source, func, pipeline) triple — compiled here, in the parent,
+        exactly once, and shipped to workers as a prebuilt `Module`.
+        This is what turns the sweep hot path from O(points × compile)
+        into O(distinct kernels).
+        """
+        from repro.build.artifact import artifact_key
+        from repro.build.pipeline import build_module, resolve_spec
+
+        by_key: dict[str, object] = {}
+        modules = []
+        for __, __, kwargs, __ in pending:
+            spec = resolve_spec(self.pipeline,
+                                unroll_factor=kwargs.get("unroll_factor", 1))
+            akey = artifact_key(workload.source, workload.func_name, spec)
+            if akey not in by_key:
+                by_key[akey] = build_module(
+                    workload.source, workload.func_name, pipeline=spec,
+                    store=self.artifact_store,
+                ).module
+            modules.append(by_key[akey])
+        return modules
+
     def _plan_for(self, params: dict) -> Optional[FaultPlan]:
         """Resolve the sweep-level fault setting for one point."""
         faults = self.faults
@@ -211,7 +255,7 @@ class ParallelSweep:
     def _execute(self, workload: Workload,
                  pending: list[tuple[int, Optional[str], dict,
                                      Optional[FaultPlan]]],
-                 seed: int) -> list[dict]:
+                 seed: int, modules: list) -> list[dict]:
         """Run the pending points, preserving submission order.
 
         Pool crashes (a worker segfaults or is OOM-killed) don't discard
@@ -226,7 +270,7 @@ class ParallelSweep:
             __, __, kwargs, plan = pending[slot]
             return _execute_point(workload, kwargs, seed, self.verify,
                                   self.max_ticks, trace, plan, wd_spec,
-                                  self.point_timeout)
+                                  self.point_timeout, modules[slot])
 
         if self.workers == 1 or len(pending) <= 1:
             return [run_inline(slot) for slot in range(len(pending))]
@@ -246,6 +290,7 @@ class ParallelSweep:
                             _execute_point, workload, pending[slot][2], seed,
                             self.verify, self.max_ticks, trace,
                             pending[slot][3], wd_spec, self.point_timeout,
+                            modules[slot],
                         )
                         for slot in remaining
                     }

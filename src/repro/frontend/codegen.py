@@ -42,7 +42,6 @@ from repro.ir.types import (
 )
 from repro.ir.values import Constant, Value
 from repro.ir.verifier import verify_module
-from repro.passes.pass_manager import standard_pipeline
 
 
 class CodegenError(ValueError):
@@ -595,16 +594,30 @@ def compile_c(
     optimize: bool = True,
     unroll_factor: int = 1,
     opt_level: int = 1,
+    passes=None,
 ) -> Module:
     """Compile mini-C source to optimized IR (the full "clang" flow).
 
     ``opt_level=2`` additionally runs LICM and CSE (see
-    `repro.passes.standard_pipeline`).
+    `repro.passes.standard_pipeline`).  An explicit ``passes`` spec
+    (a string like ``"mem2reg,unroll:4,constfold,dce"`` or a
+    `PipelineSpec`) overrides the ``optimize``/``opt_level``/
+    ``unroll_factor`` knobs entirely.
+
+    This is the low-level, uncached compile; `repro.build.build_module`
+    is the staged, artifact-cached entry point consumers should prefer.
     """
+    from repro.passes.pipeline import PipelineSpec
+
     module = lower_to_ir(parse_c(source), module_name)
-    if optimize:
-        standard_pipeline(
-            unroll_factor=unroll_factor, module=module, opt_level=opt_level
-        ).run(module)
+    if passes is not None:
+        spec = PipelineSpec.parse(passes)
+    elif optimize:
+        spec = PipelineSpec.standard(opt_level=opt_level,
+                                     unroll_factor=unroll_factor)
+    else:
+        spec = PipelineSpec()
+    if spec:
+        spec.to_pass_manager(module=module).run(module)
         verify_module(module)
     return module

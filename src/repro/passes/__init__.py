@@ -7,6 +7,7 @@ folding, and CFG simplification, coordinated by a :class:`PassManager`.
 """
 
 from repro.passes.pass_manager import FunctionPass, PassManager, standard_pipeline
+from repro.passes.pipeline import PassStep, PipelineSpec, PipelineSpecError
 from repro.passes.mem2reg import Mem2Reg
 from repro.passes.dce import DeadCodeElimination
 from repro.passes.constfold import ConstantFold
@@ -21,6 +22,9 @@ __all__ = [
     "FunctionPass",
     "PassManager",
     "standard_pipeline",
+    "PassStep",
+    "PipelineSpec",
+    "PipelineSpecError",
     "Mem2Reg",
     "DeadCodeElimination",
     "ConstantFold",

@@ -27,6 +27,10 @@ class Mem2Reg(FunctionPass):
     name = "mem2reg"
 
     def run(self, func: Function) -> bool:
+        # Program-ordered list, not a set: phi placement below iterates
+        # it, and iteration order decides phi order in each block — an
+        # id()-ordered set would make the printed IR (and hence the
+        # module fingerprint) vary between compiles of the same source.
         allocas = self._promotable_allocas(func)
         if not allocas:
             return False
@@ -45,9 +49,9 @@ class Mem2Reg(FunctionPass):
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _promotable_allocas(func: Function) -> set[Alloca]:
+    def _promotable_allocas(func: Function) -> list[Alloca]:
         allocas = [i for i in func.instructions() if isinstance(i, Alloca)]
-        promotable: set[Alloca] = set()
+        promotable: list[Alloca] = []
         for alloca in allocas:
             if not alloca.allocated_type.is_scalar:
                 continue
@@ -63,11 +67,11 @@ class Mem2Reg(FunctionPass):
                     if not (is_load or is_store_ptr):
                         ok = False
             if ok:
-                promotable.add(alloca)
+                promotable.append(alloca)
         return promotable
 
     @staticmethod
-    def _is_promoted_access(inst: Instruction, allocas: set[Alloca]) -> bool:
+    def _is_promoted_access(inst: Instruction, allocas) -> bool:
         if isinstance(inst, Alloca) and inst in allocas:
             return True
         if isinstance(inst, Load) and inst.pointer in allocas:
@@ -78,6 +82,9 @@ class Mem2Reg(FunctionPass):
 
     # ------------------------------------------------------------------
     def _place_phis(self, func, allocas, dt, frontier) -> dict[Phi, Alloca]:
+        # Work through blocks in function order (the frontier values are
+        # sets) so phi placement is deterministic — see run().
+        block_order = {block: i for i, block in enumerate(func.blocks)}
         phi_for_alloca: dict[Phi, Alloca] = {}
         for alloca in allocas:
             def_blocks = {
@@ -86,10 +93,12 @@ class Mem2Reg(FunctionPass):
                 if isinstance(inst, Store) and inst.pointer is alloca
             }
             placed: set[BasicBlock] = set()
-            work = [b for b in def_blocks if dt.is_reachable(b)]
+            work = [b for b in func.blocks
+                    if b in def_blocks and dt.is_reachable(b)]
             while work:
                 block = work.pop()
-                for df_block in frontier.get(block, ()):
+                for df_block in sorted(frontier.get(block, ()),
+                                       key=block_order.__getitem__):
                     if df_block in placed:
                         continue
                     placed.add(df_block)

@@ -66,33 +66,12 @@ def standard_pipeline(
     Level 2 adds loop-invariant code motion and common-subexpression
     elimination — datapath-shrinking optimizations whose effect the
     pass-ablation benchmark quantifies.
-    """
-    from repro.passes.constfold import ConstantFold
-    from repro.passes.cse import CommonSubexpressionElimination
-    from repro.passes.dce import DeadCodeElimination
-    from repro.passes.inline import InlineFunctions
-    from repro.passes.licm import LoopInvariantCodeMotion
-    from repro.passes.mem2reg import Mem2Reg
-    from repro.passes.simplify_cfg import SimplifyCFG
-    from repro.passes.unroll import LoopUnroll
 
-    passes: list[FunctionPass] = []
-    if module is not None:
-        passes.append(InlineFunctions(module, require_complete=False))
-    passes += [
-        Mem2Reg(),
-        ConstantFold(),
-        DeadCodeElimination(),
-    ]
-    if opt_level >= 2:
-        passes += [LoopInvariantCodeMotion(), CommonSubexpressionElimination(),
-                   DeadCodeElimination()]
-    passes += [
-        LoopUnroll(default_factor=unroll_factor),
-        ConstantFold(),
-        SimplifyCFG(),
-        DeadCodeElimination(),
-    ]
-    if opt_level >= 2:
-        passes += [CommonSubexpressionElimination(), DeadCodeElimination()]
-    return PassManager(passes, verify=verify)
+    Thin shim over `repro.passes.pipeline.PipelineSpec.standard` — the
+    declarative spec is the source of truth for the pass order.
+    """
+    from repro.passes.pipeline import PipelineSpec
+
+    return PipelineSpec.standard(
+        opt_level=opt_level, unroll_factor=unroll_factor
+    ).to_pass_manager(module=module, verify=verify)

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.core.config import DeviceConfig
 from repro.core.mmr import ARGS_OFFSET, CTRL_IRQ_EN, CTRL_START
-from repro.frontend import compile_c
+from repro.build.pipeline import build_module
 from repro.hw.default_profile import default_profile
 from repro.mem.stream_port import StreamPort
 from repro.sim.simobject import AddrRange
@@ -115,6 +115,21 @@ def _acc_config():
     return DeviceConfig(clock_freq_hz=_ACC_CLOCK_HZ, read_ports=4, write_ports=2)
 
 
+#: Per-process artifact store: the three scenarios share conv/relu/pool
+#: kernels, so after the first platform build every compile is a hit.
+_KERNEL_STORE = None
+
+
+def _compile(source: str, name: str):
+    """Compile one CNN stage kernel through the shared build pipeline."""
+    global _KERNEL_STORE
+    if _KERNEL_STORE is None:
+        from repro.build.store import ArtifactStore
+
+        _KERNEL_STORE = ArtifactStore()
+    return build_module(source, name, store=_KERNEL_STORE).module
+
+
 # ---------------------------------------------------------------------------
 def run_private_spm(seed: int = 7, trace_hub=None) -> ScenarioResult:
     """Fig. 16a: private SPMs, DMA between stages, host-synchronized."""
@@ -125,17 +140,17 @@ def run_private_spm(seed: int = 7, trace_hub=None) -> ScenarioResult:
     cluster = soc.add_cluster("cl")
     profile = default_profile()
     conv = cluster.add_accelerator(
-        "conv", compile_c(CONV_SOURCE, "conv", unroll_factor=1), "conv2d", profile,
+        "conv", _compile(CONV_SOURCE, "conv"), "conv2d", profile,
         config=_acc_config(), private_spm_bytes=1 << 13,
         spm_read_ports=4,
     )
     relu = cluster.add_accelerator(
-        "relu", compile_c(RELU_SOURCE, "relu"), "relu", profile,
+        "relu", _compile(RELU_SOURCE, "relu"), "relu", profile,
         config=_acc_config(), private_spm_bytes=1 << 13,
         spm_read_ports=4,
     )
     pool = cluster.add_accelerator(
-        "pool", compile_c(POOL_SOURCE, "pool"), "maxpool", profile,
+        "pool", _compile(POOL_SOURCE, "pool"), "maxpool", profile,
         config=_acc_config(), private_spm_bytes=1 << 13,
         spm_read_ports=4,
     )
@@ -190,7 +205,7 @@ def run_shared_spm(seed: int = 7, trace_hub=None) -> ScenarioResult:
     ]
     for i, (name, source, func) in enumerate(sources):
         unit = cluster.add_accelerator(
-            name, compile_c(source, name), func, profile, config=_acc_config()
+            name, _compile(source, name), func, profile, config=_acc_config()
         )
         # No private SPM: all operands live in the shared scratchpad.
         cluster.route_to_global(unit, cluster.shared_spm.range)
@@ -242,15 +257,15 @@ def run_stream(seed: int = 7, trace_hub=None) -> ScenarioResult:
     buf_out = cluster.add_stream_buffer("buf_out", capacity_tokens=32)
 
     conv = cluster.add_accelerator(
-        "conv", compile_c(CONV_STREAM_SOURCE, "conv"), "conv2d_stream", profile,
+        "conv", _compile(CONV_STREAM_SOURCE, "conv"), "conv2d_stream", profile,
         config=_acc_config(), private_spm_bytes=1 << 12,
     )
     relu = cluster.add_accelerator(
-        "relu", compile_c(RELU_STREAM_SOURCE, "relu"), "relu_stream", profile,
+        "relu", _compile(RELU_STREAM_SOURCE, "relu"), "relu_stream", profile,
         config=_acc_config(),
     )
     pool = cluster.add_accelerator(
-        "pool", compile_c(POOL_STREAM_SOURCE, "pool"), "maxpool_stream", profile,
+        "pool", _compile(POOL_STREAM_SOURCE, "pool"), "maxpool_stream", profile,
         config=_acc_config(), private_spm_bytes=1 << 12,
     )
     for i, unit in enumerate((conv, relu, pool)):

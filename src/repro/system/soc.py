@@ -17,11 +17,11 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.build.artifact import Artifact
 from repro.core.cluster import AcceleratorCluster
 from repro.core.compute_unit import ComputeUnit
 from repro.core.config import DeviceConfig
 from repro.core.occupancy import OccupancyTracker
-from repro.frontend import compile_c
 from repro.hw.default_profile import default_profile
 from repro.hw.power import AreaReport, PowerReport
 from repro.hw.profile import HardwareProfile
@@ -86,7 +86,7 @@ class StandaloneAccelerator:
 
     def __init__(
         self,
-        source: Union[str, Module],
+        source: Union[str, Module, Artifact],
         func_name: str,
         config: Optional[DeviceConfig] = None,
         profile: Optional[HardwareProfile] = None,
@@ -98,6 +98,8 @@ class StandaloneAccelerator:
         spm_banks: int = 1,
         cache_kwargs: Optional[dict] = None,
         dram_kwargs: Optional[dict] = None,
+        artifact_store=None,
+        pipeline=None,
     ) -> None:
         if memory not in ("spm", "cache", "ideal"):
             raise ValueError(f"unknown memory configuration '{memory}'")
@@ -106,10 +108,18 @@ class StandaloneAccelerator:
         if memory == "ideal":
             self.config.ideal_memory = True
         self.profile = profile or default_profile(self.config.cycle_time_ns)
-        if isinstance(source, Module):
-            self.module = source
+        if isinstance(source, (Module, Artifact)):
+            # Prebuilt upstream (e.g. compiled once by the sweep parent
+            # and shipped here); unroll_factor/pipeline were already
+            # baked in by whoever built it.
+            self.module = source.module if isinstance(source, Artifact) else source
         else:
-            self.module = compile_c(source, func_name, unroll_factor=unroll_factor)
+            from repro.build.pipeline import build_module
+
+            self.module = build_module(
+                source, func_name, pipeline=pipeline,
+                unroll_factor=unroll_factor, store=artifact_store,
+            ).module
         self.func_name = func_name
 
         self.system = System(f"{func_name}.sys", clock_freq_hz=self.config.clock_freq_hz)

@@ -32,8 +32,10 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 #: The first-class channels: one per platform layer, plus ``faults``
 #: for `repro.faults` injections (so injected events line up with the
-#: compute/memory activity they perturb in a Chrome trace).
-CHANNELS = ("compute", "mem", "dma", "irq", "host", "sched", "faults")
+#: compute/memory activity they perturb in a Chrome trace) and
+#: ``build`` for per-stage compile timings from `repro.build`.
+CHANNELS = ("compute", "mem", "dma", "irq", "host", "sched", "faults",
+            "build")
 
 #: Default ring capacity (events).  Big enough for every workload in
 #: the repo to trace un-dropped; small enough to stay far from OOM.

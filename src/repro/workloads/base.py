@@ -65,19 +65,40 @@ class Workload:
                     f"got {actual[bad]!r}, expected {expected.ravel()[bad]!r}"
                 )
 
+    def build(self, *, pipeline=None, unroll_factor: Optional[int] = None,
+              store=None, trace_hub=None):
+        """Compile this workload's kernel through the staged pipeline.
+
+        Returns a `repro.build.Artifact` (``.module`` holds the IR).
+        Honours ``default_unroll`` unless an explicit ``unroll_factor``
+        (or full ``pipeline`` spec) overrides it, so the module built
+        here matches what the simulator elaborates — callers that used
+        to hand-roll ``compile_c(self.source, self.name)`` were silently
+        dropping both the function name and the unroll default.
+        """
+        from repro.build.pipeline import build_module
+
+        factor = self.default_unroll if unroll_factor is None else unroll_factor
+        return build_module(self.source, self.func_name, pipeline=pipeline,
+                            unroll_factor=factor, store=store,
+                            trace_hub=trace_hub)
+
+    def module(self, **build_kwargs):
+        """The compiled kernel `Module` (shorthand for ``build().module``)."""
+        return self.build(**build_kwargs).module
+
     def run_golden_interp(self, rng: Optional[np.random.Generator] = None):
         """Convenience: run functionally via the interpreter and verify.
 
         Used by tests to check that the compiled kernel computes what the
         golden model says, independent of any timing model.
         """
-        from repro.frontend import compile_c
         from repro.ir.interpreter import Interpreter
         from repro.ir.memory import MemoryImage
 
         rng = rng or np.random.default_rng(7)
         data = self.make_data(rng)
-        module = compile_c(self.source, self.name)
+        module = self.module()
         mem = MemoryImage(1 << 22, base=0x10000)
         addresses = {}
         args = []

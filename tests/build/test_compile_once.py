@@ -1,0 +1,164 @@
+"""Compile-once sweeps: the tentpole regression guard.
+
+Pre-refactor, every sweep point recompiled the kernel from source —
+O(points x compile).  Now the parent process builds each *distinct*
+(source, function, pipeline) combination exactly once and ships the
+compiled module to the workers, so the frontend cost is O(distinct
+kernels).  These tests pin that down with the process-wide
+`STAGE_COUNTERS` and check the results stayed byte-identical.
+"""
+
+import json
+
+import pytest
+
+from repro.build import ArtifactStore
+from repro.build.pipeline import STAGE_COUNTERS
+from repro.core.config import DeviceConfig
+from repro.exec import ParallelSweep, SimContext
+from repro.exec.cache import run_cache_key
+from repro.workloads import get_workload
+
+
+@pytest.fixture(autouse=True)
+def fresh_counters():
+    STAGE_COUNTERS.reset()
+    yield
+    STAGE_COUNTERS.reset()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("gemm_dse")
+
+
+def _configure_ports(params):
+    return dict(
+        config=DeviceConfig(read_ports=params["ports"],
+                            write_ports=max(1, params["ports"] // 2)),
+        memory="spm", spm_bytes=1 << 15, spm_read_ports=params["ports"],
+    )
+
+
+def _configure_unroll(params):
+    return dict(config=DeviceConfig(read_ports=2, write_ports=2),
+                memory="spm", spm_bytes=1 << 15,
+                unroll_factor=params["unroll"])
+
+
+def _rows(points):
+    return [json.dumps(p.record(), sort_keys=True) for p in points]
+
+
+# -- the acceptance criterion ----------------------------------------------
+def test_four_point_sweep_compiles_exactly_once(workload):
+    # Four configuration points, one kernel: parse/lower/optimize must
+    # each run exactly once, not four times.
+    points = ParallelSweep(workers=1).run(
+        workload, {"ports": [1, 2, 4, 8]}, _configure_ports, seed=7)
+    assert len(points) == 4 and all(p.ok for p in points)
+    assert STAGE_COUNTERS.parse == 1
+    assert STAGE_COUNTERS.lower == 1
+    assert STAGE_COUNTERS.optimize == 1
+
+
+def test_parallel_workers_reuse_parent_compile(workload):
+    # With real worker processes the parent still compiles exactly once
+    # (workers receive the prebuilt module, so they never re-parse).
+    points = ParallelSweep(workers=2).run(
+        workload, {"ports": [1, 2, 4, 8]}, _configure_ports, seed=7)
+    assert len(points) == 4 and all(p.ok for p in points)
+    assert STAGE_COUNTERS.compiles() == 1
+
+
+def test_distinct_kernels_compile_distinctly(workload):
+    # Frontend cost is O(distinct kernels): two unroll factors are two
+    # different pass pipelines, hence exactly two compiles for 4 points.
+    def configure(params):
+        return dict(
+            config=DeviceConfig(read_ports=params["ports"], write_ports=2),
+            memory="spm", spm_bytes=1 << 15, spm_read_ports=params["ports"],
+            unroll_factor=params["unroll"],
+        )
+
+    points = ParallelSweep(workers=1).run(
+        workload, {"unroll": [1, 2], "ports": [2, 4]}, configure, seed=7)
+    assert len(points) == 4 and all(p.ok for p in points)
+    assert STAGE_COUNTERS.parse == 2
+    assert STAGE_COUNTERS.optimize == 2
+
+
+def test_sweep_rows_match_pointwise_simulation(workload):
+    # Byte-identical to the pre-refactor behaviour: each sweep row
+    # reports exactly what a standalone SimContext computes for the
+    # same configuration (which is how the serial path used to run).
+    points = ParallelSweep(workers=2).run(
+        workload, {"ports": [2, 8]}, _configure_ports, seed=7)
+    for point in points:
+        solo = SimContext(workload, seed=7,
+                          **_configure_ports(point.params)).run()
+        assert point.result.cycles == solo.cycles
+        assert point.result.runtime_ns == solo.runtime_ns
+        assert point.result.power.total_mw == solo.power.total_mw
+
+
+def test_parallel_and_serial_rows_byte_identical(workload):
+    grid = {"ports": [1, 2, 4, 8]}
+    serial = ParallelSweep(workers=1).run(workload, grid, _configure_ports,
+                                          seed=7)
+    parallel = ParallelSweep(workers=4).run(workload, grid, _configure_ports,
+                                            seed=7)
+    assert _rows(parallel) == _rows(serial)
+
+
+# -- artifact store in sweeps ----------------------------------------------
+def test_second_sweep_is_all_artifact_hits(workload, tmp_path):
+    grid = {"ports": [1, 2, 4, 8]}
+    first_store = ArtifactStore(tmp_path)
+    ParallelSweep(workers=1, artifact_store=first_store).run(
+        workload, grid, _configure_ports, seed=7)
+    assert first_store.misses == 1 and first_store.hits == 0
+    # A later invocation (fresh store object, same directory) never
+    # touches the frontend.
+    STAGE_COUNTERS.reset()
+    second_store = ArtifactStore(tmp_path)
+    points = ParallelSweep(workers=1, artifact_store=second_store).run(
+        workload, grid, _configure_ports, seed=7)
+    assert all(p.ok for p in points)
+    assert second_store.hits == 1 and second_store.misses == 0
+    assert STAGE_COUNTERS.parse == 0
+
+
+def test_store_does_not_change_results(workload):
+    grid = {"unroll": [1, 2]}
+    plain = ParallelSweep(workers=1).run(workload, grid, _configure_unroll,
+                                         seed=7)
+    stored = ParallelSweep(workers=1, artifact_store=ArtifactStore()).run(
+        workload, grid, _configure_unroll, seed=7)
+    assert _rows(stored) == _rows(plain)
+
+
+# -- explicit pipelines in sweeps ------------------------------------------
+def test_sweep_pipeline_joins_run_cache_key(workload):
+    base = run_cache_key(workload.source, workload.func_name, seed=7)
+    # Back-compat: pipeline=None must not perturb pre-existing keys.
+    assert run_cache_key(workload.source, workload.func_name, seed=7,
+                         pipeline=None) == base
+    assert run_cache_key(workload.source, workload.func_name, seed=7,
+                         pipeline="o1") != base
+    # Equivalent spellings share a key.
+    assert (run_cache_key(workload.source, workload.func_name, seed=7,
+                          pipeline="o1:2")
+            == run_cache_key(workload.source, workload.func_name, seed=7,
+                             pipeline="inline,mem2reg,constfold,dce,"
+                                      "unroll:2,constfold,simplifycfg,dce"))
+
+
+def test_sweep_with_explicit_pipeline(workload):
+    points = ParallelSweep(workers=1, pipeline="o1:2").run(
+        workload, {"ports": [2]}, _configure_ports, seed=7)
+    (point,) = points
+    assert point.ok
+    baseline = SimContext(workload, seed=7, unroll_factor=2,
+                          **_configure_ports({"ports": 2})).run()
+    assert point.result.cycles == baseline.cycles

@@ -1,0 +1,127 @@
+"""Declarative pass-pipeline specs: parsing, canonical form, realization."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.ir.printer import print_module
+from repro.passes import PassStep, PipelineSpec, PipelineSpecError
+
+SRC = """
+void scale(double a[32], double b[32]) {
+  for (int i = 0; i < 32; i++) { b[i] = a[i] * 3.0; }
+}
+"""
+
+
+# -- parsing ----------------------------------------------------------------
+def test_parse_simple_spec():
+    spec = PipelineSpec.parse("mem2reg,unroll:4,constfold,dce")
+    assert spec.steps == (
+        PassStep("mem2reg"), PassStep("unroll", 4),
+        PassStep("constfold"), PassStep("dce"),
+    )
+
+
+def test_canonical_round_trips():
+    for text in ("mem2reg,unroll:4,constfold,dce", "o1", "o2", "o1:8",
+                 "inline,mem2reg,dce", "none", "unroll:2,dce"):
+        spec = PipelineSpec.parse(text)
+        assert PipelineSpec.parse(spec.canonical()) == spec
+
+
+def test_whitespace_and_case_normalized():
+    messy = PipelineSpec.parse("  MEM2REG , Unroll:4,DCE ")
+    assert messy == PipelineSpec.parse("mem2reg,unroll:4,dce")
+
+
+def test_parse_is_idempotent_on_specs():
+    spec = PipelineSpec.parse("mem2reg,dce")
+    assert PipelineSpec.parse(spec) is spec
+
+
+def test_empty_spellings_mean_no_passes():
+    for text in (None, "", "  ", "none", "NONE"):
+        spec = PipelineSpec.parse(text)
+        assert spec.steps == ()
+        assert not spec
+        assert spec.canonical() == "none"
+
+
+def test_unroll_by_one_collapses():
+    assert (PipelineSpec.parse("unroll:1").canonical()
+            == PipelineSpec.parse("unroll").canonical() == "unroll")
+
+
+# -- presets ----------------------------------------------------------------
+def test_presets_match_standard_pipeline():
+    assert PipelineSpec.parse("o1") == PipelineSpec.standard(1, 1)
+    assert PipelineSpec.parse("o2") == PipelineSpec.standard(2, 1)
+    assert PipelineSpec.parse("o1:4") == PipelineSpec.standard(1, 4)
+    assert PipelineSpec.parse("o2:8") == PipelineSpec.standard(2, 8)
+
+
+def test_preset_expands_in_canonical_form():
+    canonical = PipelineSpec.parse("o1:4").canonical()
+    assert "o1" not in canonical
+    assert "unroll:4" in canonical
+
+
+def test_o2_is_a_superset_of_o1():
+    o1, o2 = PipelineSpec.parse("o1"), PipelineSpec.parse("o2")
+    names1 = {step.name for step in o1.steps}
+    names2 = {step.name for step in o2.steps}
+    assert names1 < names2
+    assert {"licm", "cse"} <= names2 - names1
+
+
+# -- errors -----------------------------------------------------------------
+@pytest.mark.parametrize("bad", [
+    "bogus", "mem2reg,bogus,dce",      # unknown pass
+    "unroll:0", "unroll:-2", "unroll:x", "unroll:",  # bad unroll arg
+    "dce:2", "mem2reg:4",              # argument on an argless pass
+    "mem2reg,,dce", ",dce",            # empty pass name
+])
+def test_bad_specs_rejected(bad):
+    with pytest.raises(PipelineSpecError):
+        PipelineSpec.parse(bad)
+
+
+def test_non_string_spec_rejected():
+    with pytest.raises(PipelineSpecError):
+        PipelineSpec.parse(42)
+
+
+def test_bad_opt_level_rejected():
+    with pytest.raises(PipelineSpecError):
+        PipelineSpec.standard(opt_level=3)
+
+
+# -- realization ------------------------------------------------------------
+def test_spec_reproduces_legacy_compile():
+    # compile_c's optimize path and the equivalent explicit spec must
+    # produce byte-identical IR (they share one cache key downstream).
+    legacy = compile_c(SRC, optimize=True, unroll_factor=4, opt_level=1)
+    spec = PipelineSpec.standard(1, 4)
+    explicit = compile_c(SRC, passes=spec.canonical())
+    assert print_module(explicit) == print_module(legacy)
+
+
+def test_explicit_passes_actually_run():
+    raw = compile_c(SRC, passes="none")
+    opt = compile_c(SRC, passes="mem2reg,constfold,dce")
+    # mem2reg promotes the allocas away.
+    assert "alloca" in print_module(raw)
+    assert "alloca" not in print_module(opt)
+
+
+def test_inline_skipped_without_module():
+    pm = PipelineSpec.parse("inline,mem2reg").to_pass_manager(module=None)
+    names = [type(p).__name__ for p in pm.passes]
+    assert "InlineFunctions" not in names
+    assert "Mem2Reg" in names
+
+
+def test_unroll_step_carries_factor():
+    pm = PipelineSpec.parse("unroll:4").to_pass_manager()
+    (unroll,) = pm.passes
+    assert unroll.default_factor == 4
