@@ -26,6 +26,15 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-experiment index.
 """
 
+from repro.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    PassDivergenceError,
+    Severity,
+    dependence_report,
+    lint_module,
+    lint_system,
+)
 from repro.build import (
     Artifact,
     ArtifactStore,
@@ -62,6 +71,13 @@ from repro.workloads import all_workload_names, get_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "PassDivergenceError",
+    "Severity",
+    "dependence_report",
+    "lint_module",
+    "lint_system",
     "Artifact",
     "ArtifactStore",
     "BuildPipeline",

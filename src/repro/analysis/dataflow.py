@@ -1,0 +1,246 @@
+"""Generic worklist dataflow framework.
+
+The classic iterative scheme: facts are sets (any hashable elements),
+propagated forward or backward over the CFG until a fixed point, with
+the meet over predecessors (successors, when backward) taken as union
+(may analyses) or intersection (must analyses).
+
+Analyses subclass :class:`DataflowAnalysis` and provide a per-block
+transfer function; :meth:`DataflowAnalysis.run` returns per-block
+IN/OUT sets plus an instruction-level replay helper, which is what the
+lint rules build on.  `LivenessAnalysis` and `ReachingDefinitions` are
+the two canonical instances.
+
+Must-analyses over a universe that is expensive to enumerate use the
+:data:`TOP` sentinel: a fact set containing `TOP` means "everything"
+and intersects as identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.ir.instructions import BlockRef, Phi
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Constant, Instruction, Value
+
+#: Lattice top for must-analyses: stands for the universal set so
+#: intersection with an uncomputed block is a no-op.
+TOP = "<top>"
+
+
+def meet_union(fact_sets: Iterable[frozenset]) -> frozenset:
+    result: set = set()
+    for facts in fact_sets:
+        result |= facts
+    return frozenset(result)
+
+
+def meet_intersection(fact_sets: Iterable[frozenset]) -> frozenset:
+    """Intersection treating any set containing `TOP` as the universe."""
+    result: Optional[frozenset] = None
+    for facts in fact_sets:
+        if TOP in facts:
+            continue
+        result = facts if result is None else result & facts
+    return frozenset([TOP]) if result is None else result
+
+
+@dataclass
+class DataflowResult:
+    """Per-block IN/OUT fact sets of one converged analysis."""
+
+    analysis: "DataflowAnalysis"
+    block_in: dict[BasicBlock, frozenset]
+    block_out: dict[BasicBlock, frozenset]
+    iterations: int
+
+    def in_of(self, block: BasicBlock) -> frozenset:
+        return self.block_in[block]
+
+    def out_of(self, block: BasicBlock) -> frozenset:
+        return self.block_out[block]
+
+    def at_instruction(self, block: BasicBlock) -> list[tuple[Instruction, frozenset]]:
+        """Replay the transfer inside ``block``: (inst, facts-before-inst)
+        for a forward analysis, (inst, facts-after-inst) for a backward
+        one — i.e. the facts on the side the block boundary entered from.
+        """
+        return self.analysis.replay(block, self.block_in[block]
+                                    if self.analysis.forward
+                                    else self.block_out[block])
+
+
+class DataflowAnalysis:
+    """Base class: subclasses define direction, boundary, and transfer."""
+
+    #: True for forward analyses (facts flow entry -> exit).
+    forward = True
+    #: "union" (may) or "intersection" (must).
+    meet = "union"
+    name = "dataflow"
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self._preds = func.predecessor_map()
+
+    # -- to override -------------------------------------------------------
+    def boundary(self) -> frozenset:
+        """Facts at the entry block (forward) / exit blocks (backward)."""
+        return frozenset()
+
+    def initial(self) -> frozenset:
+        """Initial facts for non-boundary blocks (TOP for must-analyses)."""
+        return frozenset([TOP]) if self.meet == "intersection" else frozenset()
+
+    def transfer_instruction(self, inst: Instruction, facts: set) -> None:
+        """Mutate ``facts`` across one instruction (in analysis direction)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # -- fixed machinery ---------------------------------------------------
+    def transfer_block(self, block: BasicBlock, facts: frozenset) -> frozenset:
+        working = set(facts)
+        insts = block.instructions if self.forward else reversed(block.instructions)
+        for inst in insts:
+            self.transfer_instruction(inst, working)
+        return frozenset(working)
+
+    def replay(self, block: BasicBlock, entry_facts: frozenset) -> list[tuple[Instruction, frozenset]]:
+        """Instruction-level facts: the set in force *before* each
+        instruction is applied, in analysis direction."""
+        out: list[tuple[Instruction, frozenset]] = []
+        working = set(entry_facts)
+        insts = block.instructions if self.forward else list(reversed(block.instructions))
+        for inst in insts:
+            out.append((inst, frozenset(working)))
+            self.transfer_instruction(inst, working)
+        return out
+
+    def _meet(self, fact_sets: list[frozenset]) -> frozenset:
+        if not fact_sets:
+            return self.boundary()
+        if self.meet == "union":
+            return meet_union(fact_sets)
+        return meet_intersection(fact_sets)
+
+    def run(self, max_iterations: int = 10_000) -> DataflowResult:
+        blocks = self.func.blocks
+        succs = {b: b.successors() for b in blocks}
+        preds = self._preds
+        entry = self.func.entry
+        exits = [b for b in blocks if not succs[b]]
+
+        block_in: dict[BasicBlock, frozenset] = {}
+        block_out: dict[BasicBlock, frozenset] = {}
+        for block in blocks:
+            block_in[block] = self.initial()
+            block_out[block] = self.initial()
+        if self.forward:
+            block_in[entry] = self.boundary()
+        else:
+            for block in exits:
+                block_out[block] = self.boundary()
+
+        worklist = list(blocks if self.forward else reversed(blocks))
+        pending = set(worklist)
+        iterations = 0
+        while worklist:
+            iterations += 1
+            if iterations > max_iterations:  # pragma: no cover - safety net
+                raise RuntimeError(
+                    f"{self.name}: no fixed point after {max_iterations} iterations"
+                )
+            block = worklist.pop(0)
+            pending.discard(block)
+            if self.forward:
+                if preds[block]:
+                    block_in[block] = self._meet([block_out[p] for p in preds[block]])
+                new_out = self.transfer_block(block, block_in[block])
+                if new_out != block_out[block]:
+                    block_out[block] = new_out
+                    for succ in succs[block]:
+                        if succ not in pending:
+                            pending.add(succ)
+                            worklist.append(succ)
+            else:
+                if succs[block]:
+                    block_out[block] = self._meet([block_in[s] for s in succs[block]])
+                new_in = self.transfer_block(block, block_out[block])
+                if new_in != block_in[block]:
+                    block_in[block] = new_in
+                    for pred in preds[block]:
+                        if pred not in pending:
+                            pending.add(pred)
+                            worklist.append(pred)
+        return DataflowResult(self, block_in, block_out, iterations)
+
+
+# ----------------------------------------------------------------------
+# Canonical instances
+# ----------------------------------------------------------------------
+def instruction_uses(inst: Instruction) -> list[Value]:
+    """The SSA values an instruction reads (phi incoming included)."""
+    if isinstance(inst, Phi):
+        return [v for v, __ in inst.incoming]
+    return [op for op in inst.operands if not isinstance(op, (Constant, BlockRef))]
+
+
+class LivenessAnalysis(DataflowAnalysis):
+    """Backward may-analysis: which SSA values are live at each point.
+
+    Facts are `Value` objects (instructions and arguments).  ``use``
+    before ``def`` in the backward walk, so an instruction that both
+    uses and defines keeps its operands live above it.
+
+    Phi uses are attributed to the phi's own block for simplicity —
+    precise-enough for register-pressure estimation, the consumer this
+    instance exists for (datapath register sizing).
+    """
+
+    forward = False
+    meet = "union"
+    name = "liveness"
+
+    def transfer_instruction(self, inst: Instruction, facts: set) -> None:
+        if inst.produces_value:
+            facts.discard(inst)
+        for value in instruction_uses(inst):
+            if isinstance(value, Instruction) or not isinstance(value, Constant):
+                facts.add(value)
+
+    def live_out(self, result: DataflowResult, block: BasicBlock) -> frozenset:
+        return result.block_out[block]
+
+    def max_live(self, result: DataflowResult) -> int:
+        """Peak number of simultaneously live values (pressure proxy)."""
+        peak = 0
+        for block in self.func.blocks:
+            for __, facts in result.at_instruction(block):
+                peak = max(peak, len(facts))
+        return peak
+
+
+class ReachingDefinitions(DataflowAnalysis):
+    """Forward may-analysis: which definitions reach each block.
+
+    Facts are value-producing `Instruction` objects plus the function's
+    `Argument`s (defined at entry).  In SSA a definition is never
+    killed, so the transfer is pure gen — what makes the instance
+    interesting is the meet at joins, which the uninitialized-read lint
+    leans on through the same framework.
+    """
+
+    forward = True
+    meet = "union"
+    name = "reaching-defs"
+
+    def boundary(self) -> frozenset:
+        return frozenset(self.func.args)
+
+    def transfer_instruction(self, inst: Instruction, facts: set) -> None:
+        if inst.produces_value:
+            facts.add(inst)
+
+    def reaches(self, result: DataflowResult, value: Value, block: BasicBlock) -> bool:
+        return value in result.block_in[block] or value in result.block_out[block]

@@ -96,6 +96,18 @@ class BuildPipeline:
             hub.emit("build", "build.pipeline", stage, tick=0,
                      args=dict(detail, seconds=round(seconds, 6)))
 
+    def _emit_pass_timings(self, manager) -> None:
+        """Per-pass timings -> self.timings and the build trace channel."""
+        hub = self.trace_hub
+        emit = hub is not None and hub.enabled("build")
+        for func_name, pass_name, seconds in manager.pass_timings:
+            key = f"pass:{pass_name}"
+            self.timings[key] = self.timings.get(key, 0.0) + seconds
+            if emit:
+                hub.emit("build", "build.pipeline", key, tick=0,
+                         args={"func": func_name,
+                               "seconds": round(seconds, 6)})
+
     # -- stages ------------------------------------------------------------
     def parse(self, source: str) -> Artifact:
         """Stage 1: mini-C source -> AST."""
@@ -116,12 +128,22 @@ class BuildPipeline:
         return Artifact("ir", module, meta=dict(ast.meta))
 
     def optimize(self, ir: Artifact) -> Artifact:
-        """Stage 3: run the pass pipeline (in place), verify, fingerprint."""
+        """Stage 3: run the pass pipeline (in place), verify, fingerprint.
+
+        With ``spec.verify_each`` the pass manager is a
+        `VerifiedPassManager`: every pass is followed by a structural
+        verify plus a golden-interpreter differential check, and the
+        first divergence raises `PassDivergenceError` naming the pass.
+        Per-pass wall-clock timings are mirrored onto the ``build``
+        trace channel as ``pass:<name>`` events either way.
+        """
         module = ir.payload if isinstance(ir, Artifact) else ir
         start = time.perf_counter()
         if self.spec:
-            self.spec.to_pass_manager(module=module).run(module)
+            manager = self.spec.to_pass_manager(module=module)
+            manager.run(module)
             verify_module(module)
+            self._emit_pass_timings(manager)
         self._record("optimize", time.perf_counter() - start,
                      pipeline=self.spec.canonical())
         meta = dict(ir.meta if isinstance(ir, Artifact) else {})
@@ -195,18 +217,26 @@ def resolve_spec(
     optimize: bool = True,
     opt_level: int = 1,
     unroll_factor: int = 1,
+    verify_each: bool = False,
 ) -> PipelineSpec:
     """Reduce the historical compile knobs to one declarative spec.
 
     An explicit ``pipeline`` wins; otherwise ``optimize``/``opt_level``/
     ``unroll_factor`` select the matching standard preset — so legacy
     call sites and ``--passes`` users land on the same cache keys.
+    ``verify_each`` toggles the verified pipeline mode on the result
+    (it does not participate in cache keys).
     """
     if pipeline is not None:
-        return PipelineSpec.parse(pipeline)
-    if not optimize:
-        return PipelineSpec()
-    return PipelineSpec.standard(opt_level=opt_level, unroll_factor=unroll_factor)
+        spec = PipelineSpec.parse(pipeline)
+    elif not optimize:
+        spec = PipelineSpec()
+    else:
+        spec = PipelineSpec.standard(opt_level=opt_level,
+                                     unroll_factor=unroll_factor)
+    if verify_each and not spec.verify_each:
+        spec = spec.with_verify_each()
+    return spec
 
 
 def build_module(
@@ -217,12 +247,13 @@ def build_module(
     optimize: bool = True,
     opt_level: int = 1,
     unroll_factor: int = 1,
+    verify_each: bool = False,
     store: Optional[ArtifactStore] = None,
     trace_hub=None,
 ) -> Artifact:
     """One-call compile through the staged pipeline (see `BuildPipeline`)."""
     spec = resolve_spec(pipeline, optimize=optimize, opt_level=opt_level,
-                        unroll_factor=unroll_factor)
+                        unroll_factor=unroll_factor, verify_each=verify_each)
     return BuildPipeline(spec, store=store,
                          trace_hub=trace_hub).build_module(source, name)
 
@@ -235,6 +266,7 @@ def build_design(
     optimize: bool = True,
     opt_level: int = 1,
     unroll_factor: int = 1,
+    verify_each: bool = False,
     profile: Optional[HardwareProfile] = None,
     config: Optional[DeviceConfig] = None,
     store: Optional[ArtifactStore] = None,
@@ -242,7 +274,7 @@ def build_design(
 ) -> ElaboratedDesign:
     """One-call compile + static elaboration."""
     spec = resolve_spec(pipeline, optimize=optimize, opt_level=opt_level,
-                        unroll_factor=unroll_factor)
+                        unroll_factor=unroll_factor, verify_each=verify_each)
     return BuildPipeline(spec, store=store, trace_hub=trace_hub).build_design(
         source, func_name, profile=profile, config=config
     )

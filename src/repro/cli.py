@@ -4,6 +4,9 @@ Mirrors the day-to-day gem5-SALAM workflow from a shell:
 
 * ``compile``   — mini-C -> textual IR (clang stand-in), with -O / unroll knobs
 * ``elaborate`` — static datapath report: CDFG, FU counts, static power/area
+* ``analyze``   — static analysis: IR lints, memory-dependence report,
+  footprint-vs-SPM checks; ``--format json`` + nonzero exit on errors
+  make it a CI gate
 * ``run``       — simulate a kernel on a workload from the registry
 * ``workloads`` — list the bundled MachSuite-style benchmarks
 * ``sweep``     — small port/FU design-space sweep with a Pareto summary
@@ -17,6 +20,9 @@ Examples::
     python -m repro compile kernel.c --unroll 4
     python -m repro compile kernel.c --passes mem2reg,unroll:4,constfold,dce
     python -m repro elaborate kernel.c --func saxpy --fu-limit fp_mul=2
+    python -m repro analyze --all --format json -o report.json
+    python -m repro analyze kernel.c --unroll 4 --spm-bytes 65536
+    python -m repro analyze gemm --verify-each
     python -m repro run gemm --ports 8 --memory spm
     python -m repro sweep gemm_dse --unroll 8 --workers 4 --cache-dir .runcache
     python -m repro sweep gemm_dse --workers 4 --artifact-dir .artifacts
@@ -58,6 +64,7 @@ def _artifact_store(args):
 
 def _build_kernel(args, store=None):
     """The one compile path behind compile/elaborate: mini-C -> Artifact."""
+    from repro.analysis import PassDivergenceError
     from repro.build import PipelineSpecError, build_module
 
     try:
@@ -68,10 +75,13 @@ def _build_kernel(args, store=None):
             optimize=not getattr(args, "no_opt", False),
             opt_level=args.opt_level,
             unroll_factor=args.unroll,
+            verify_each=getattr(args, "verify_each", False),
             store=store,
         )
     except PipelineSpecError as err:
         raise SystemExit(f"bad --passes spec: {err}")
+    except PassDivergenceError as err:
+        raise SystemExit(f"verified pipeline: {err}")
 
 
 def _print_artifact(artifact, store) -> None:
@@ -117,6 +127,171 @@ def cmd_elaborate(args: argparse.Namespace) -> int:
     print(f"static leakage  : {iface.static.fu_leakage_mw + iface.static.register_leakage_mw:.4f} mW")
     print(f"datapath area   : {(iface.static.fu_area_um2 + iface.static.register_area_um2) / 1e3:.1f} kum^2")
     return 0
+
+
+def _extract_embedded_kernels(path: Path) -> list[tuple[str, str]]:
+    """Mini-C kernel strings embedded in a Python file (``KERNEL = ...``).
+
+    Walks the module AST for string constants that look like kernel
+    source (a function definition with a body).  Returns
+    ``[(label, source), ...]``; silently empty when nothing matches.
+    """
+    import ast as python_ast
+
+    try:
+        tree = python_ast.parse(path.read_text())
+    except SyntaxError:
+        return []
+    found: list[tuple[str, str]] = []
+    for node in python_ast.walk(tree):
+        if not isinstance(node, python_ast.Assign):
+            continue
+        value = node.value
+        if not (isinstance(value, python_ast.Constant)
+                and isinstance(value.value, str)):
+            continue
+        text = value.value
+        if "{" not in text or "(" not in text or ")" not in text:
+            continue
+        names = [t.id for t in node.targets
+                 if isinstance(t, python_ast.Name)]
+        label = names[0] if names else f"line{node.lineno}"
+        found.append((f"{path.name}:{label}", text))
+    return found
+
+
+def _analyze_modules(target: str, args, store):
+    """Resolve one ``analyze`` target to ``[(label, Module), ...]``.
+
+    Accepts a bundled workload name, a ``.c`` / ``.ll`` file, or a
+    Python file with embedded kernel strings (the ``examples/``).
+    A `PassDivergenceError` from ``--verify-each`` propagates so the
+    caller can report the offending pass as a diagnostic.
+    """
+    from repro.build import PipelineSpecError, build_module
+    from repro.workloads import all_workload_names, get_workload
+
+    build_kwargs = dict(
+        pipeline=args.passes,
+        optimize=not args.no_opt,
+        opt_level=args.opt_level,
+        verify_each=args.verify_each,
+        store=store,
+    )
+    path = Path(target)
+    try:
+        if target in all_workload_names():
+            workload = get_workload(target)
+            unroll = (workload.default_unroll if args.unroll is None
+                      else args.unroll)
+            artifact = build_module(workload.source, workload.func_name,
+                                    unroll_factor=unroll, **build_kwargs)
+            return [(target, artifact.module)]
+        if not path.exists():
+            raise SystemExit(
+                f"analyze: '{target}' is neither a bundled workload nor a file"
+            )
+        unroll = 1 if args.unroll is None else args.unroll
+        if path.suffix == ".py":
+            modules = []
+            for label, source in _extract_embedded_kernels(path):
+                try:
+                    artifact = build_module(source, path.stem,
+                                            unroll_factor=unroll,
+                                            **build_kwargs)
+                except Exception:  # noqa: BLE001 - not every string is a kernel
+                    continue
+                modules.append((label, artifact.module))
+            return modules
+        source = path.read_text()
+        if path.suffix == ".ll":
+            from repro.ir.parser import parse_module
+
+            return [(target, parse_module(source))]
+        artifact = build_module(source, path.stem, unroll_factor=unroll,
+                                **build_kwargs)
+        return [(target, artifact.module)]
+    except PipelineSpecError as err:
+        raise SystemExit(f"bad --passes spec: {err}")
+
+
+def _analyze_one(label: str, module, args):
+    """Full static-analysis report for one compiled module."""
+    from repro.analysis import AnalysisReport, lint_function
+    from repro.analysis.memdep import memdep_diagnostics
+    from repro.analysis.syslint import (
+        MemRegion,
+        SystemDescription,
+        footprints_from_module,
+        lint_system,
+    )
+
+    report = AnalysisReport(subject=label)
+    func_names = [f.name for f in module
+                  if f.blocks and (not args.func or f.name == args.func)]
+    for func_name in func_names:
+        func = module.functions[func_name]
+        lint_function(func, module, report=report)
+        report.extend(memdep_diagnostics(func))
+    if args.spm_bytes:
+        desc = SystemDescription(
+            regions=[MemRegion("spm", "spm", 0x2000_0000, args.spm_bytes)]
+        )
+        for func_name in func_names:
+            desc.kernels.extend(
+                footprints_from_module(module, func_name, region="spm"))
+        report.extend(lint_system(desc))
+    return report
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        AnalysisReport,
+        Location,
+        PassDivergenceError,
+        Severity,
+    )
+    from repro.workloads import all_workload_names
+
+    targets = list(args.targets)
+    if args.all:
+        targets.extend(n for n in all_workload_names() if n not in targets)
+    if not targets:
+        raise SystemExit("analyze: no targets (pass files/workloads or --all)")
+    store = _artifact_store(args)
+    reports = []
+    for target in targets:
+        try:
+            resolved = _analyze_modules(target, args, store)
+        except PassDivergenceError as err:
+            report = AnalysisReport(subject=target)
+            report.add(
+                "VRF401", Severity.ERROR,
+                Location(function=err.func_name),
+                f"pass '{err.pass_name}' changed observable behaviour: "
+                f"{err.detail}",
+                hint="rerun without --verify-each to reproduce the "
+                     "miscompile; the named pass is the first divergent one",
+            )
+            reports.append(report)
+            continue
+        if not resolved:
+            print(f"analyze: no kernels found in '{target}'", file=sys.stderr)
+            continue
+        for label, module in resolved:
+            reports.append(_analyze_one(label, module, args))
+    merged = AnalysisReport.merged(reports, subject=",".join(targets))
+    if args.format == "json":
+        text = merged.render_json()
+    else:
+        text = merged.render_text(show_timings=args.timings)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+        print(merged.summary_line())
+    else:
+        print(text)
+    return merged.exit_code()
 
 
 def cmd_workloads(args: argparse.Namespace) -> int:
@@ -276,6 +451,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--artifact-dir", metavar="DIR",
                            help="content-addressed build-artifact store "
                                 "(recompiles of the same kernel are free)")
+    p_compile.add_argument("--verify-each", action="store_true",
+                           help="differentially verify every pass against "
+                                "the golden interpreter; a miscompiling "
+                                "pass fails the build by name")
     p_compile.set_defaults(handler=cmd_compile)
 
     p_elab = sub.add_parser("elaborate", help="static datapath report")
@@ -288,7 +467,43 @@ def build_parser() -> argparse.ArgumentParser:
                         help="explicit pass pipeline (see 'compile --passes')")
     p_elab.add_argument("--artifact-dir", metavar="DIR",
                         help="content-addressed build-artifact store")
+    p_elab.add_argument("--verify-each", action="store_true",
+                        help="differentially verify every pass against the "
+                             "golden interpreter (see 'compile --verify-each')")
     p_elab.set_defaults(handler=cmd_elaborate)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="static analysis: IR lints + dependence report (CI gate)")
+    p_an.add_argument("targets", nargs="*",
+                      help="workload names, .c kernels, .ll IR files, or "
+                           "Python files with embedded kernel strings")
+    p_an.add_argument("--all", action="store_true",
+                      help="also analyze every bundled workload")
+    p_an.add_argument("--func", help="restrict to one function")
+    p_an.add_argument("--unroll", type=int, default=None,
+                      help="unroll factor (default: the workload's own "
+                           "default, or 1 for files)")
+    p_an.add_argument("--opt-level", type=int, default=1, choices=[1, 2])
+    p_an.add_argument("--no-opt", action="store_true",
+                      help="lint the raw (unoptimized) IR")
+    p_an.add_argument("--passes", metavar="SPEC",
+                      help="explicit pass pipeline (see 'compile --passes')")
+    p_an.add_argument("--verify-each", action="store_true",
+                      help="differentially verify every pass while "
+                           "compiling; a divergent pass becomes a VRF401 "
+                           "error naming the pass")
+    p_an.add_argument("--spm-bytes", type=int, metavar="N",
+                      help="check each kernel's static footprint against "
+                           "an N-byte scratchpad (SYS302)")
+    p_an.add_argument("--format", choices=["text", "json"], default="text")
+    p_an.add_argument("--output", "-o", metavar="FILE",
+                      help="write the report to FILE instead of stdout")
+    p_an.add_argument("--timings", action="store_true",
+                      help="include per-rule wall-clock timings (text format)")
+    p_an.add_argument("--artifact-dir", metavar="DIR",
+                      help="content-addressed build-artifact store")
+    p_an.set_defaults(handler=cmd_analyze)
 
     p_list = sub.add_parser("workloads", help="list bundled benchmarks")
     p_list.set_defaults(handler=cmd_workloads)

@@ -2,8 +2,11 @@
 
 A hand-written tokenizer plus recursive descent.  Forward references to
 basic blocks are resolved by pre-creating all labelled blocks; forward
-references to SSA values (legal only through phi nodes) are resolved by
-a post-pass fixup.
+references to SSA values are resolved by a post-pass fixup.  The latter
+are legal in two shapes: phi incomings (loop-carried values) and plain
+operands whose defining block is printed later but still dominates the
+use — the printer emits blocks in insertion order, not a topological
+order, so loop exits regularly read values defined further down.
 """
 
 from __future__ import annotations
@@ -139,6 +142,15 @@ def _parse_type(cur: _Cursor) -> Type:
     return base
 
 
+class _ForwardRef(Value):
+    """Placeholder for a use of a value defined later in the text."""
+
+    def __init__(self, type_: Type, token: str, line_no: int) -> None:
+        super().__init__(type_)
+        self.token = token
+        self.line_no = line_no
+
+
 class _FunctionParser:
     """Parses the body of one ``define``."""
 
@@ -147,6 +159,8 @@ class _FunctionParser:
         self.values: dict[str, Value] = {f"%{a.name}": a for a in func.args}
         self.blocks: dict[str, BasicBlock] = {}
         self.phi_fixups: list[tuple[Phi, list[tuple[str, str]]]] = []
+        self.forward_refs: list[_ForwardRef] = []
+        self.label_order: list[BasicBlock] = []
         self.start_line = line_no
 
     def block(self, name: str) -> BasicBlock:
@@ -164,7 +178,9 @@ class _FunctionParser:
     def operand(self, type_: Type, token: str, cur: _Cursor) -> Value:
         if token.startswith("%"):
             if token not in self.values:
-                raise IRParseError(f"use of undefined value {token}", cur.line_no)
+                ref = _ForwardRef(type_, token, cur.line_no)
+                self.forward_refs.append(ref)
+                return ref
             value = self.values[token]
             if value.type != type_:
                 raise IRParseError(
@@ -193,7 +209,9 @@ class _FunctionParser:
         tokens = _tokenize(line, line_no)
         # Block label?
         if len(tokens) == 2 and tokens[1] == ":":
-            return self.block(tokens[0])
+            block = self.block(tokens[0])
+            self.label_order.append(block)
+            return block
         if current is None:
             raise IRParseError("instruction before first block label", line_no)
         cur = _Cursor(tokens, line_no)
@@ -313,6 +331,28 @@ class _FunctionParser:
         raise IRParseError(f"unknown instruction '{op}'", cur.line_no)
 
     def finish(self) -> None:
+        # Branch targets pre-create blocks at first *reference*; restore
+        # textual label order so a parse -> print cycle is the identity.
+        labelled = set(map(id, self.label_order))
+        self.func.blocks[:] = self.label_order + [
+            b for b in self.func.blocks if id(b) not in labelled
+        ]
+        if self.forward_refs:
+            resolved: dict[_ForwardRef, Value] = {}
+            for ref in self.forward_refs:
+                if ref.token not in self.values:
+                    raise IRParseError(
+                        f"use of undefined value {ref.token}", ref.line_no)
+                value = self.values[ref.token]
+                if value.type != ref.type:
+                    raise IRParseError(
+                        f"operand {ref.token} has type {value.type}, "
+                        f"expected {ref.type}", ref.line_no)
+                resolved[ref] = value
+            for inst in self.func.instructions():
+                for i, op in enumerate(inst.operands):
+                    if isinstance(op, _ForwardRef):
+                        inst.operands[i] = resolved[op]
         for phi, pairs in self.phi_fixups:
             for value_token, block_name in pairs:
                 if block_name not in self.blocks:

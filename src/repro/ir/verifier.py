@@ -23,7 +23,7 @@ def verify_module(module: Module) -> None:
         verify_function(func, module)
 
 
-def verify_function(func: Function, module: Module = None) -> None:
+def verify_function(func: Function, module: Module | None = None) -> None:
     if not func.blocks:
         raise VerifierError(f"{func.name}: function has no blocks")
     _check_blocks(func)
@@ -56,6 +56,14 @@ def _check_blocks(func: Function) -> None:
                 )
         term = block.terminator
         if isinstance(term, Branch):
+            cond = term.condition
+            if cond is not None and not (
+                cond.type.is_int and cond.type.bits == 1
+            ):
+                raise VerifierError(
+                    f"{func.name}.{block.name}: branch condition must be i1, "
+                    f"got {cond.type}"
+                )
             for target in term.targets():
                 if target not in func.blocks:
                     raise VerifierError(
@@ -92,6 +100,11 @@ def _check_phis(func: Function) -> None:
         seen_non_phi = False
         for inst in block.instructions:
             if isinstance(inst, Phi):
+                if block is func.entry:
+                    raise VerifierError(
+                        f"{func.name}.{block.name}: phi {inst.ref} in entry "
+                        f"block (the entry has no predecessors)"
+                    )
                 if seen_non_phi:
                     raise VerifierError(
                         f"{func.name}.{block.name}: phi after non-phi instruction"
@@ -170,4 +183,16 @@ def _check_calls(func: Function, module: Module) -> None:
             if len(callee.args) != len(inst.operands):
                 raise VerifierError(
                     f"{func.name}: call to @{inst.callee} with wrong arity"
+                )
+            for i, (param, actual) in enumerate(zip(callee.args, inst.operands)):
+                if actual.type != param.type:
+                    raise VerifierError(
+                        f"{func.name}: call to @{inst.callee} argument {i} "
+                        f"('{param.name}') expects {param.type}, "
+                        f"got {actual.type}"
+                    )
+            if inst.type != callee.return_type:
+                raise VerifierError(
+                    f"{func.name}: call to @{inst.callee} typed {inst.type} "
+                    f"but callee returns {callee.return_type}"
                 )

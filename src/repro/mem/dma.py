@@ -49,6 +49,9 @@ class BlockDMA(SimObject):
         self._on_done: Optional[Callable[[], None]] = None
         self._xfer_start_tick = -1
         self._xfer_args: Optional[dict] = None
+        #: Every programmed transfer as (src, dst, size) — consumed by
+        #: the system lints (`repro.analysis.syslint.describe_soc`).
+        self.transfer_log: list[tuple[int, int, int]] = []
         self.stat_transfers = self.stats.scalar("transfers")
         self.stat_bytes = self.stats.scalar("bytes")
 
@@ -77,6 +80,7 @@ class BlockDMA(SimObject):
             self._read_queue.append((src + offset, dst + offset, chunk))
             self._remaining_writes += 1
             offset += chunk
+        self.transfer_log.append((src, dst, size))
         self.stat_transfers.inc()
         self.stat_bytes.inc(size)
         self._xfer_start_tick = self.cur_tick
@@ -192,6 +196,9 @@ class StreamDMA(SimObject):
         self._on_done: Optional[Callable[[], None]] = None
         self._xfer_start_tick = -1
         self._xfer_args: Optional[dict] = None
+        #: (src, dst, size) per transfer; a stream DMA only touches one
+        #: memory address, so src == dst == the programmed base.
+        self.transfer_log: list[tuple[int, int, int]] = []
         self.stat_tokens = self.stats.scalar("tokens")
 
     @property
@@ -205,6 +212,8 @@ class StreamDMA(SimObject):
         self._addr = addr
         self._remaining = tokens
         self._on_done = on_done
+        self.transfer_log.append(
+            (addr, addr, tokens * self.buffer.token_bytes))
         self._xfer_start_tick = self.cur_tick
         self._xfer_args = {"addr": addr, "tokens": tokens,
                            "direction": self.direction}

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.ir.module import Function, Module
@@ -27,6 +28,9 @@ class PassManager:
         self.passes = list(passes)
         self.verify = verify
         self.history: list[tuple[str, str, bool]] = []
+        #: (func name, pass name, wall-clock seconds) per pass execution;
+        #: the build pipeline mirrors these onto the `build` trace channel.
+        self.pass_timings: list[tuple[str, str, float]] = []
 
     def add(self, pass_: FunctionPass) -> "PassManager":
         self.passes.append(pass_)
@@ -35,7 +39,10 @@ class PassManager:
     def run_function(self, func: Function) -> bool:
         changed_any = False
         for pass_ in self.passes:
+            start = time.perf_counter()
             changed = pass_.run(func)
+            self.pass_timings.append(
+                (func.name, pass_.name, time.perf_counter() - start))
             self.history.append((func.name, pass_.name, changed))
             changed_any |= changed
             if self.verify and changed:

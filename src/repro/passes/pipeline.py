@@ -18,7 +18,7 @@ produce the same canonical string (and hence the same artifact key).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
 from repro.ir.module import Module
@@ -80,9 +80,17 @@ def _standard_steps(opt_level: int, unroll_factor: int) -> tuple[PassStep, ...]:
 
 @dataclass(frozen=True)
 class PipelineSpec:
-    """An ordered, hashable description of which passes to run."""
+    """An ordered, hashable description of which passes to run.
+
+    ``verify_each`` opts into the verified pipeline mode: every pass is
+    followed by a structural verify plus a golden-interpreter
+    differential check (see `repro.analysis.verified`).  It is a *mode*,
+    not part of the pipeline's identity — it is excluded from equality
+    and from `canonical()`, so artifact cache keys are unaffected.
+    """
 
     steps: tuple[PassStep, ...] = ()
+    verify_each: bool = field(default=False, compare=False)
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -91,6 +99,10 @@ class PipelineSpec:
         if opt_level not in (1, 2):
             raise PipelineSpecError(f"unknown opt level {opt_level} (use 1 or 2)")
         return cls(_standard_steps(opt_level, unroll_factor))
+
+    def with_verify_each(self, enabled: bool = True) -> "PipelineSpec":
+        """A copy of this spec with the verified mode toggled."""
+        return replace(self, verify_each=enabled)
 
     @classmethod
     def parse(cls, spec: Union[str, "PipelineSpec", None]) -> "PipelineSpec":
@@ -161,6 +173,11 @@ class PipelineSpec:
         ``inline`` needs the enclosing module for callee lookup; without
         one it is skipped (matching the historical `standard_pipeline`
         behaviour for bare-function pipelines).
+
+        With ``verify_each`` set this returns a
+        `repro.analysis.verified.VerifiedPassManager` that differentially
+        checks the function against the golden interpreter after every
+        pass.
         """
         from repro.passes.inline import InlineFunctions
         from repro.passes.unroll import LoopUnroll
@@ -175,4 +192,9 @@ class PipelineSpec:
                 passes.append(LoopUnroll(default_factor=step.arg or 1))
             else:
                 passes.append(factories[step.name]())
+        if self.verify_each:
+            # Deferred import: `repro.analysis.verified` imports this module.
+            from repro.analysis.verified import VerifiedPassManager
+
+            return VerifiedPassManager(passes, verify=verify, module=module)
         return PassManager(passes, verify=verify)

@@ -180,6 +180,24 @@ class StandaloneAccelerator:
     def read_array(self, addr: int, dtype, count: int) -> np.ndarray:
         return self.data_mem.read_array(addr, dtype, count)
 
+    # -- static checks --------------------------------------------------------------
+    def lint(self):
+        """System lints over this harness: address-map overlaps, the
+        kernel's static footprint vs. the SPM, and any DMA transfers.
+        Returns an `repro.analysis.AnalysisReport`."""
+        from repro.analysis.syslint import (
+            describe_soc,
+            footprints_from_module,
+            lint_system,
+        )
+
+        desc = describe_soc(self)
+        if self.spm is not None:
+            desc.kernels.extend(
+                footprints_from_module(self.module, self.func_name,
+                                       region=self.spm.name))
+        return lint_system(desc)
+
     # -- lifecycle ------------------------------------------------------------------
     def reset(self) -> None:
         """Tear down run state: event queue, per-object state, stats,
@@ -246,6 +264,23 @@ class SoC:
         """Wire every cluster below the global crossbar."""
         for cluster in self.clusters:
             cluster.connect_global(self.global_xbar, self.dram.range)
+
+    def address_map(self) -> list:
+        """Every mapped region (MMR/SPM/DRAM/...) as `MemRegion` records."""
+        from repro.analysis.syslint import describe_soc
+
+        return describe_soc(self).regions
+
+    def lint(self):
+        """System lints (SYS301/302/303) over the assembled platform.
+
+        Returns an `repro.analysis.AnalysisReport`; run after
+        :meth:`finalize` (and after a simulation, to also validate the
+        DMA transfers the run actually programmed).
+        """
+        from repro.analysis.syslint import describe_soc, lint_system
+
+        return lint_system(describe_soc(self))
 
     def simulation(self) -> "Simulation":
         """An execution-layer `Simulation` owning this platform's system."""

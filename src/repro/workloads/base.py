@@ -66,7 +66,7 @@ class Workload:
                 )
 
     def build(self, *, pipeline=None, unroll_factor: Optional[int] = None,
-              store=None, trace_hub=None):
+              store=None, trace_hub=None, verify_each: bool = False):
         """Compile this workload's kernel through the staged pipeline.
 
         Returns a `repro.build.Artifact` (``.module`` holds the IR).
@@ -81,7 +81,7 @@ class Workload:
         factor = self.default_unroll if unroll_factor is None else unroll_factor
         return build_module(self.source, self.func_name, pipeline=pipeline,
                             unroll_factor=factor, store=store,
-                            trace_hub=trace_hub)
+                            trace_hub=trace_hub, verify_each=verify_each)
 
     def module(self, **build_kwargs):
         """The compiled kernel `Module` (shorthand for ``build().module``)."""

@@ -1,0 +1,130 @@
+"""The `repro analyze` command: formats, exit codes, and the CI gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """
+void scale(double x[16], double y[16]) {
+  for (int i = 0; i < 16; i++) { y[i] = x[i] * 2.0; }
+}
+"""
+
+#: Reads a[0..3] into acc but a[4] was never written: the raw IR loads
+#: an uninitialized stack slot only when unoptimized, so instead seed a
+#: defect the optimizer cannot remove: an out-of-bounds constant index.
+OOB = """
+void bad(double out[4]) {
+  double tmp[4];
+  for (int i = 0; i < 4; i++) { tmp[i] = i * 1.0; }
+  out[0] = tmp[6];
+}
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def oob_file(tmp_path):
+    path = tmp_path / "oob.c"
+    path.write_text(OOB)
+    return str(path)
+
+
+def test_analyze_clean_kernel_exits_zero(clean_file, capsys):
+    assert main(["analyze", clean_file]) == 0
+    out = capsys.readouterr().out
+    assert "DEP201" in out
+    assert "error" not in out.splitlines()[-1]
+
+
+def test_analyze_seeded_defect_exits_nonzero(oob_file, capsys):
+    assert main(["analyze", oob_file, "--no-opt"]) == 1
+    out = capsys.readouterr().out
+    assert "IR106" in out
+
+
+def test_analyze_json_format(clean_file, capsys):
+    assert main(["analyze", clean_file, "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["counts"]["error"] == 0
+    assert any(d["code"] == "DEP201" for d in data["diagnostics"])
+    assert "meta" in data
+
+
+def test_analyze_output_file(clean_file, tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    assert main(["analyze", clean_file, "--format", "json",
+                 "-o", str(report_path)]) == 0
+    data = json.loads(report_path.read_text())
+    assert data["counts"]["error"] == 0
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_analyze_workload_by_name(capsys):
+    assert main(["analyze", "gemm"]) == 0
+    assert "@gemm" in capsys.readouterr().out
+
+
+def test_analyze_all_workloads_clean(capsys):
+    """Acceptance gate: every shipped workload is error-free."""
+    assert main(["analyze", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "error" not in out.splitlines()[-1]
+
+
+def test_analyze_unknown_target_fails():
+    with pytest.raises(SystemExit):
+        main(["analyze", "no_such_workload"])
+
+
+def test_analyze_no_targets_fails():
+    with pytest.raises(SystemExit):
+        main(["analyze"])
+
+
+def test_analyze_spm_bytes_gate(clean_file, capsys):
+    # 16 + 16 doubles = 256 B needed (exact once unrolled); 128 B SPM.
+    assert main(["analyze", clean_file, "--unroll", "16",
+                 "--spm-bytes", "128"]) == 1
+    assert "SYS302" in capsys.readouterr().out
+    assert main(["analyze", clean_file, "--unroll", "16",
+                 "--spm-bytes", "65536"]) == 0
+
+
+def test_analyze_python_file_extraction(tmp_path, capsys):
+    path = tmp_path / "example.py"
+    path.write_text(f'KERNEL = """{CLEAN}"""\nprint("hi")\n')
+    assert main(["analyze", str(path)]) == 0
+    assert "@scale" in capsys.readouterr().out
+
+
+def test_analyze_ll_file(clean_file, tmp_path, capsys):
+    ll_path = tmp_path / "kernel.ll"
+    assert main(["compile", clean_file, "-o", str(ll_path)]) == 0
+    capsys.readouterr()
+    assert main(["analyze", str(ll_path)]) == 0
+    assert "@scale" in capsys.readouterr().out
+
+
+def test_analyze_timings_flag(clean_file, capsys):
+    assert main(["analyze", clean_file, "--timings"]) == 0
+    out = capsys.readouterr().out
+    assert "timings:" in out
+    assert "memdep" in out
+
+
+def test_analyze_verify_each_clean(clean_file, capsys):
+    assert main(["analyze", clean_file, "--verify-each"]) == 0
+
+
+def test_compile_verify_each_flag(clean_file, capsys):
+    assert main(["compile", clean_file, "--verify-each"]) == 0
+    assert "define void @scale" in capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""System/config lints: SYS301 overlaps, SYS302 footprints, SYS303 DMA."""
+
+import numpy as np
+
+from repro.analysis.syslint import (
+    DmaTransfer,
+    KernelFootprint,
+    MemRegion,
+    SystemDescription,
+    describe_soc,
+    footprints_from_module,
+    lint_system,
+)
+from repro.system.soc import StandaloneAccelerator, build_soc
+
+
+def _desc(**kw):
+    return SystemDescription(**kw)
+
+
+# ----------------------------------------------------------------------
+# SYS301: overlapping regions
+# ----------------------------------------------------------------------
+def test_overlapping_regions_flagged():
+    desc = _desc(regions=[
+        MemRegion("spm0", "spm", 0x1000, 0x1000),
+        MemRegion("spm1", "spm", 0x1800, 0x1000),  # overlaps spm0
+        MemRegion("dram", "dram", 0x10000, 0x1000),
+    ])
+    report = lint_system(desc)
+    hits = [d for d in report if d.code == "SYS301"]
+    assert len(hits) == 1
+    assert "spm0" in hits[0].message and "spm1" in hits[0].message
+
+
+def test_disjoint_regions_clean():
+    desc = _desc(regions=[
+        MemRegion("mmr", "mmr", 0x1000, 0x100),
+        MemRegion("spm", "spm", 0x2000, 0x1000),
+        MemRegion("dram", "dram", 0x8000, 0x4000),
+    ])
+    assert not lint_system(desc).has_errors
+
+
+def test_adjacent_regions_do_not_overlap():
+    desc = _desc(regions=[
+        MemRegion("a", "spm", 0x1000, 0x1000),
+        MemRegion("b", "spm", 0x2000, 0x1000),  # starts exactly at a.end
+    ])
+    assert not [d for d in lint_system(desc) if d.code == "SYS301"]
+
+
+# ----------------------------------------------------------------------
+# SYS302: kernel footprint vs scratchpad
+# ----------------------------------------------------------------------
+def test_footprint_exceeding_spm_flagged():
+    desc = _desc(
+        regions=[MemRegion("spm", "spm", 0x2000, 1024)],
+        kernels=[KernelFootprint("gemm", 4096, region="spm")],
+    )
+    report = lint_system(desc)
+    hits = [d for d in report if d.code == "SYS302"]
+    assert len(hits) == 1
+    assert "4096" in hits[0].message
+
+
+def test_footprint_fitting_spm_clean():
+    desc = _desc(
+        regions=[MemRegion("spm", "spm", 0x2000, 8192)],
+        kernels=[KernelFootprint("gemm", 4096, region="spm")],
+    )
+    assert not lint_system(desc).has_errors
+
+
+def test_unnamed_region_uses_largest_spm():
+    desc = _desc(
+        regions=[MemRegion("small", "spm", 0x1000, 256),
+                 MemRegion("big", "spm", 0x2000, 1 << 20)],
+        kernels=[KernelFootprint("k", 4096)],  # no region named
+    )
+    assert not lint_system(desc).has_errors
+
+
+# ----------------------------------------------------------------------
+# SYS303: DMA into unmapped ranges
+# ----------------------------------------------------------------------
+def test_dma_outside_map_flagged():
+    desc = _desc(
+        regions=[MemRegion("dram", "dram", 0x8000, 0x1000)],
+        transfers=[DmaTransfer("dma0", src=0x8000, dst=0x5000, size=64)],
+    )
+    report = lint_system(desc)
+    hits = [d for d in report if d.code == "SYS303"]
+    assert len(hits) == 1
+    assert "destination" in hits[0].message
+
+
+def test_dma_straddling_region_end_flagged():
+    desc = _desc(
+        regions=[MemRegion("dram", "dram", 0x8000, 0x1000)],
+        transfers=[DmaTransfer("dma0", src=0x8FC0, dst=0x8000, size=128)],
+    )
+    assert [d for d in lint_system(desc) if d.code == "SYS303"]
+
+
+def test_dma_inside_map_clean():
+    desc = _desc(
+        regions=[MemRegion("dram", "dram", 0x8000, 0x1000),
+                 MemRegion("spm", "spm", 0x2000, 0x1000)],
+        transfers=[DmaTransfer("dma0", src=0x8000, dst=0x2000, size=256)],
+    )
+    assert not lint_system(desc).has_errors
+
+
+# ----------------------------------------------------------------------
+# Live-platform integration
+# ----------------------------------------------------------------------
+SRC = """
+void vecadd(double a[32], double b[32], double c[32]) {
+  for (int i = 0; i < 32; i++) { c[i] = a[i] + b[i]; }
+}
+"""
+
+
+def test_describe_standalone_accelerator():
+    acc = StandaloneAccelerator(SRC, "vecadd", memory="spm",
+                                spm_bytes=1 << 14)
+    desc = describe_soc(acc)
+    spms = [r for r in desc.regions if r.kind == "spm"]
+    assert len(spms) == 1
+    assert spms[0].size == 1 << 14
+
+
+def test_standalone_lint_clean_and_footprint():
+    # Full unrolling folds every access to a constant offset, making
+    # the static footprint exact (3 arrays x 32 doubles = 768 B).
+    acc = StandaloneAccelerator(SRC, "vecadd", memory="spm",
+                                spm_bytes=1 << 14, unroll_factor=32)
+    report = acc.lint()
+    assert not report.has_errors
+    # Shrink the scratchpad below the kernel's demand.
+    tiny = StandaloneAccelerator(SRC, "vecadd", memory="spm",
+                                 spm_bytes=512, unroll_factor=32)
+    report = tiny.lint()
+    assert any(d.code == "SYS302" for d in report.errors)
+
+
+def test_footprints_from_module():
+    acc = StandaloneAccelerator(SRC, "vecadd", memory="spm",
+                                spm_bytes=1 << 14, unroll_factor=32)
+    kernels = footprints_from_module(acc.module, "vecadd", region="x")
+    assert len(kernels) == 1
+    assert kernels[0].bytes_needed == 3 * 32 * 8
+    assert kernels[0].exact
+    assert kernels[0].region == "x"
+
+
+def test_rolled_loop_footprint_is_lower_bound():
+    acc = StandaloneAccelerator(SRC, "vecadd", memory="spm",
+                                spm_bytes=1 << 14)  # loop stays rolled
+    kernels = footprints_from_module(acc.module, "vecadd")
+    assert not kernels[0].exact  # dynamic offsets: bound, not exact
+
+
+def test_soc_address_map_and_lint():
+    soc = build_soc()
+    soc.add_cluster("cl0", shared_spm_bytes=1 << 12)
+    soc.finalize()
+    regions = soc.address_map()
+    assert any(r.kind == "dram" for r in regions)
+    report = soc.lint()
+    assert not report.has_errors
+    assert "system" in report.meta
+
+
+def test_dma_transfer_log_feeds_lint():
+    """A simulated DMA copy shows up in describe_soc and lints clean."""
+    from repro.mem.dma import BlockDMA
+    from repro.mem.dram import DRAM
+    from repro.sim.simobject import System
+
+    system = System("s", clock_freq_hz=1e9)
+    dram = DRAM("s.dram", system, base=0x8000_0000, size=1 << 16)
+    dma = BlockDMA("s.dma", system)
+    dma.port.bind(dram.port)
+    src = dram.image.alloc_array(np.arange(16.0))
+    dst = dram.image.alloc(128)
+    done = {"flag": False}
+    dma.start(src, dst, 128, on_done=lambda: done.update(flag=True))
+    system.run()
+    assert done["flag"]
+    desc = describe_soc(system)
+    assert desc.transfers == [DmaTransfer("s.dma", src, dst, 128)]
+    assert not lint_system(desc).has_errors
+    # The same transfer against a map without DRAM is a SYS303 error.
+    desc.regions = [r for r in desc.regions if r.kind != "dram"]
+    assert any(d.code == "SYS303" for d in lint_system(desc).errors)

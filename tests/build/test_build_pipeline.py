@@ -50,7 +50,10 @@ def test_per_stage_timings_recorded():
     bp = BuildPipeline("o1")
     artifact = bp.build_module(SRC, "saxpy")
     timings = artifact.meta["timings"]
-    assert set(timings) == {"parse", "lower", "optimize"}
+    stages = {name for name in timings if not name.startswith("pass:")}
+    assert stages == {"parse", "lower", "optimize"}
+    # Every executed pass contributes its own timing alongside the stages.
+    assert any(name.startswith("pass:") for name in timings)
     assert all(seconds >= 0 for seconds in timings.values())
     assert bp.timings == timings
 
@@ -58,9 +61,11 @@ def test_per_stage_timings_recorded():
 def test_build_events_on_trace_channel():
     hub = TraceConfig(channels="build").make_hub()
     build_module(SRC, "saxpy", pipeline="o1", trace_hub=hub)
-    assert hub.emitted["build"] == 3  # parse, lower, optimize
-    stages = [e.kind for e in hub.events()]
+    kinds = [e.kind for e in hub.events()]
+    stages = [k for k in kinds if not k.startswith("pass:")]
     assert stages == ["parse", "lower", "optimize"]
+    # Per-pass events are mirrored onto the same channel.
+    assert any(k.startswith("pass:") for k in kinds)
 
 
 def test_untraced_channels_stay_silent():

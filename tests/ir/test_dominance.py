@@ -83,6 +83,58 @@ def test_unreachable_blocks_detected():
     assert not dt.is_reachable(dead)
 
 
+def test_single_block_function():
+    f = Function("f")
+    entry = f.add_block("entry")
+    b = IRBuilder(entry)
+    b.ret()
+    dt = DominatorTree(f)
+    assert dt.idom[entry] is None
+    assert dt.dominates(entry, entry)
+    assert not dt.strictly_dominates(entry, entry)
+    assert dt.dominance_frontier()[entry] == set()
+    assert dt.rpo == [entry]
+
+
+def test_self_loop_header():
+    f = Function("f")
+    entry, loop, out = (f.add_block("entry"), f.add_block("loop"),
+                        f.add_block("out"))
+    b = IRBuilder(entry)
+    b.br(loop)
+    b.position_at_end(loop)
+    b.cbr(Constant(I1, 1), loop, out)  # self-loop: loop -> loop
+    b.position_at_end(out)
+    b.ret()
+    dt = DominatorTree(f)
+    assert dt.idom[loop] is entry  # the self edge must not confuse idoms
+    assert dt.idom[out] is loop
+    assert dt.dominates(loop, out)
+    # A self-looping block sits in its own dominance frontier.
+    assert loop in dt.dominance_frontier()[loop]
+
+
+def test_unreachable_self_loop_pair():
+    """Two unreachable blocks that branch to each other."""
+    f = Function("f")
+    entry = f.add_block("entry")
+    b = IRBuilder(entry)
+    b.ret()
+    dead_a, dead_b = f.add_block("dead_a"), f.add_block("dead_b")
+    b.position_at_end(dead_a)
+    b.br(dead_b)
+    b.position_at_end(dead_b)
+    b.br(dead_a)
+    dt = DominatorTree(f)
+    assert not dt.is_reachable(dead_a)
+    assert not dt.is_reachable(dead_b)
+    assert dt.is_reachable(entry)
+    # Unreachable blocks never appear in any frontier.
+    frontier = dt.dominance_frontier()
+    for blocks in frontier.values():
+        assert dead_a not in blocks and dead_b not in blocks
+
+
 def test_idom_strictly_dominates_on_real_kernel():
     module = compile_c(
         """

@@ -187,3 +187,37 @@ out:
     m = parse_module(text)
     verify_module(m)
     assert print_module(m) == text
+
+
+# ----------------------------------------------------------------------
+# Round-trip property over every shipped workload
+# ----------------------------------------------------------------------
+def _workload_params():
+    from repro.workloads import all_workload_names
+
+    return all_workload_names()
+
+
+@pytest.mark.parametrize("name", _workload_params())
+def test_roundtrip_property_all_workloads(name):
+    """print ∘ parse is the identity on every shipped kernel.
+
+    The fingerprint (sha256 of the printed text) must survive a full
+    parse → print → parse cycle: the parser loses nothing the printer
+    emits, and the printer is deterministic over parsed modules.
+    """
+    from repro.build.artifact import module_fingerprint
+    from repro.workloads import get_workload
+
+    module = get_workload(name).module()
+    verify_module(module)
+    fp0 = module_fingerprint(module)
+
+    text = print_module(module)
+    once = parse_module(text)
+    verify_module(once)
+    assert module_fingerprint(once) == fp0
+
+    twice = parse_module(print_module(once))
+    assert module_fingerprint(twice) == fp0
+    assert print_module(twice) == text

@@ -181,3 +181,61 @@ def test_call_arity_checked():
     b.ret()
     with pytest.raises(VerifierError, match="arity"):
         verify_module(m)
+
+
+def _module_with_callee():
+    m = Module("m")
+    callee = Function("g", I32, [(I32, "x")])
+    m.add_function(callee)
+    cb = IRBuilder(callee.add_block("entry"))
+    cb.ret(callee.args[0])
+    return m, callee
+
+
+def test_call_argument_type_checked():
+    m, _ = _module_with_callee()
+    f = Function("f", VOID, [(I1, "c")])
+    m.add_function(f)
+    b = IRBuilder(f.add_block("entry"))
+    b.call("g", I32, [f.args[0]])  # i1 where i32 expected
+    b.ret()
+    with pytest.raises(VerifierError, match="argument 0"):
+        verify_module(m)
+
+
+def test_call_return_type_checked():
+    m, _ = _module_with_callee()
+    f = Function("f", VOID, [(I32, "x")])
+    m.add_function(f)
+    b = IRBuilder(f.add_block("entry"))
+    b.call("g", I1, [f.args[0]])  # callee returns i32, call typed i1
+    b.ret()
+    with pytest.raises(VerifierError, match="returns"):
+        verify_module(m)
+
+
+def test_phi_in_entry_block_rejected():
+    f = Function("f", I32, [(I32, "x")])
+    entry = f.add_block("entry")
+    phi = Phi(I32)
+    phi.name = "p"
+    phi.parent = entry
+    entry.instructions.append(phi)
+    b = IRBuilder(entry)
+    b.ret(f.args[0])
+    with pytest.raises(VerifierError, match="entry"):
+        verify_function(f)
+
+
+def test_non_i1_branch_condition_rejected():
+    f = Function("f", VOID, [(I32, "x")])
+    entry, a, z = f.add_block("entry"), f.add_block("a"), f.add_block("z")
+    b = IRBuilder(entry)
+    br = b.cbr(Constant(I1, 1), a, z)
+    br.operands[0] = f.args[0]  # smuggle an i32 condition past the builder
+    b.position_at_end(a)
+    b.ret()
+    b.position_at_end(z)
+    b.ret()
+    with pytest.raises(VerifierError, match="i1"):
+        verify_function(f)
