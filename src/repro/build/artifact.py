@@ -21,7 +21,7 @@ from repro.hw.profile import HardwareProfile
 from repro.ir.module import Module
 
 #: Stage products, in pipeline order.
-ARTIFACT_KINDS = ("ast", "ir", "opt-ir", "design")
+ARTIFACT_KINDS = ("ast", "ir", "opt-ir", "design", "graph")
 
 
 def module_fingerprint(module: Module) -> str:

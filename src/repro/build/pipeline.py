@@ -50,6 +50,7 @@ class StageCounters:
     lower: int = 0
     optimize: int = 0
     elaborate: int = 0
+    graph: int = 0
 
     def reset(self) -> None:
         for f in fields(self):
@@ -168,6 +169,39 @@ class BuildPipeline:
         meta = dict(opt_ir.meta) if isinstance(opt_ir, Artifact) else {}
         meta["func_name"] = func_name
         return Artifact("design", design, meta=meta)
+
+    def graph(self, design) -> Artifact:
+        """Stage 5 (optional back half): elaborated design -> `SimGraph`.
+
+        The lowering for the graph-compiled execution backend
+        (`repro.engine`).  Store-aware: the key covers the module
+        fingerprint, function, device config, hardware profile, and the
+        graph format version, so a sweep re-running the same design
+        point (`ParallelSweep`, run-cache misses with differing
+        arguments) lowers once and reuses the flat arrays thereafter.
+        """
+        from repro.engine.graph import (
+            GRAPH_FORMAT_VERSION,
+            compile_graph,
+            graph_key,
+        )
+
+        payload = design.payload if isinstance(design, Artifact) else design
+        key = graph_key(payload)
+        if self.store is not None:
+            cached = self.store.get(key)
+            if cached is not None:
+                return cached
+        start = time.perf_counter()
+        sim_graph = compile_graph(payload)
+        self._record("graph", time.perf_counter() - start,
+                     func_name=payload.func_name)
+        meta = dict(design.meta) if isinstance(design, Artifact) else {}
+        meta["graph_version"] = GRAPH_FORMAT_VERSION
+        artifact = Artifact("graph", sim_graph, key=key, meta=meta)
+        if self.store is not None:
+            self.store.put(key, artifact)
+        return artifact
 
     # -- chained entry points ----------------------------------------------
     def build_module(self, source: Union[str, Module, Artifact],

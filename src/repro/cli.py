@@ -346,7 +346,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     context = SimContext(workload, seed=args.seed, cache=cache,
                          trace=trace_cfg, faults=plan,
                          timeout_s=args.point_timeout,
-                         artifact_store=store, **kwargs)
+                         artifact_store=store, engine=args.engine, **kwargs)
     hardened = bool(plan) or args.point_timeout is not None
     try:
         result = context.run()
@@ -359,6 +359,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         _print_injected(context)
         return 1
     print(f"workload        : {workload.name} ({workload.description})")
+    if args.engine != "dynamic":
+        used = context.engine_used or "none (cache hit, no simulation ran)"
+        reason = context.fallback_reason
+        print(f"engine          : {used}"
+              + (f" (fallback: {reason})" if reason else ""))
     if plan:
         print(f"faults injected : {len(plan.events)} event(s) armed "
               "(results bypass the run cache)")
@@ -411,7 +416,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     points = sweep(workload, {"ports": args.ports}, configure, seed=args.seed,
                    workers=args.workers, cache=cache,
                    point_timeout=args.point_timeout, retries=args.retries,
-                   strict=args.strict, artifact_store=store)
+                   strict=args.strict, artifact_store=store,
+                   engine=args.engine)
     healthy = [point for point in points if point.ok]
     front = pareto_front(healthy, objectives=lambda p: (p.runtime_us, p.power_mw))
     rows = []
@@ -429,6 +435,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"artifact cache  : {store.hits} hit(s), "
               f"{store.misses} miss(es)")
     return 1 if failed else 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.engine.bench import check_bench, run_bench, write_bench
+
+    payload = run_bench(workloads=args.workloads, unroll=args.unroll,
+                        seed=args.seed, quick=args.quick,
+                        repeats=args.repeats)
+    path = write_bench(payload, args.out)
+    header = (f"{'workload':12s} {'cycles':>10s} {'dynamic':>10s} "
+              f"{'graph':>10s} {'speedup':>8s}  identical")
+    print(header)
+    print("-" * len(header))
+    for name, row in payload["workloads"].items():
+        print(f"{name:12s} {row['cycles']:>10d} "
+              f"{row['dynamic_wall_s']:>9.3f}s {row['graph_wall_s']:>9.3f}s "
+              f"{row['speedup']:>7.2f}x  "
+              f"{'yes' if row['identical_stats'] else 'NO'}")
+    print(f"wrote {path}")
+    failures = check_bench(payload, min_speedup=args.min_speedup)
+    for failure in failures:
+        print(f"bench FAILED    : {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -538,6 +567,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--artifact-dir", metavar="DIR",
                        help="content-addressed build-artifact store "
                             "(kernel compiles are cached across runs)")
+    p_run.add_argument("--engine", choices=["dynamic", "graph"],
+                       default="dynamic",
+                       help="execution backend: the dynamic event-queue "
+                            "engine, or the graph-compiled fast path "
+                            "(byte-identical stats; falls back to dynamic "
+                            "for features it does not model)")
     p_run.set_defaults(handler=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="port sweep with Pareto summary")
@@ -562,7 +597,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="content-addressed build-artifact store; the "
                               "kernel is compiled once per sweep and hits "
                               "on reruns")
+    p_sweep.add_argument("--engine", choices=["dynamic", "graph"],
+                         default="dynamic",
+                         help="execution backend for every point (see "
+                              "'run --engine')")
     p_sweep.set_defaults(handler=cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the graph engine against the dynamic engine")
+    p_bench.add_argument("--workloads", nargs="+", metavar="NAME",
+                         help="workloads to measure (default: gemm "
+                              "stencil3d fft spmv)")
+    p_bench.add_argument("--unroll", type=int, default=4)
+    p_bench.add_argument("--seed", type=int, default=7)
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smoke mode: only the first workload (CI)")
+    p_bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                         help="timed repetitions per engine; the minimum "
+                              "wall-clock is reported (default: 3)")
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_6.json",
+                         help="where to write the JSON record "
+                              "(default: BENCH_6.json)")
+    p_bench.add_argument("--min-speedup", type=float, default=0.0,
+                         metavar="RATIO",
+                         help="fail unless the graph engine reaches this "
+                              "speedup over dynamic on the first workload "
+                              "(CI uses 1.0)")
+    p_bench.set_defaults(handler=cmd_bench)
 
     return parser
 

@@ -99,6 +99,29 @@ class ComputeUnit(SimObject):
                 on_done()
         self.engine.start(args, on_done=_done)
 
+    def launch_compiled(self, graph, args: list,
+                        on_done: Optional[Callable[[], None]] = None,
+                        max_ticks: Optional[int] = None) -> bool:
+        """Run ``args`` through the graph-compiled backend instead of the
+        dynamic engine (`repro.engine`).  Stats, energy, and the DONE /
+        interrupt protocol land exactly where :meth:`launch` puts them.
+        Returns False when ``max_ticks`` ended the run early (mirroring
+        the event queue's ``max_tick`` exit)."""
+        from repro.engine.scheduler import GraphScheduler
+
+        self.invocations += 1
+        scheduler = GraphScheduler(graph, self)
+        completed = scheduler.run(args, max_ticks=max_ticks)
+        if completed:
+            self.total_busy_cycles += self.engine.total_cycles
+            self.comm.mmr.set_done()
+            self.comm.raise_interrupt()
+            for callback in self._run_callbacks:
+                callback()
+            if on_done is not None:
+                on_done()
+        return completed
+
     # -- reporting --------------------------------------------------------------
     def power_report(self) -> PowerReport:
         runtime_ns = self.engine.runtime_ns()

@@ -117,16 +117,27 @@ class _FUAllocator:
     (non-pipelined).
     """
 
-    def __init__(self, iface: LLVMInterface) -> None:
+    def __init__(self, iface: LLVMInterface, issued_stat=None,
+                 stalled_stat=None) -> None:
         self.iface = iface
         self._dedicated_last_issue: dict[tuple[str, int], int] = {}
         self._dedicated_busy_until: dict[tuple[str, int], int] = {}
         self._pool_issues: dict[str, tuple[int, int]] = {}  # class -> (cycle, count)
         self._pool_inflight: dict[str, int] = {}
         self.inflight_by_class: dict[str, int] = {}
+        # Per-class issue accounting (engine-owned VectorStats).  Every
+        # acquire attempt on a real FU class lands in exactly one of the
+        # two; FU_NONE ops never consume a unit and are not counted.
+        self.issued_stat = issued_stat
+        self.stalled_stat = stalled_stat
 
     def _spec(self, fu_class: str):
         return self.iface.profile.spec_for(fu_class)
+
+    def _stalled(self, fu_class: str) -> bool:
+        if self.stalled_stat is not None:
+            self.stalled_stat.inc(fu_class)
+        return False
 
     def try_acquire(self, node, cycle: int) -> bool:
         fu_class = node.fu_class
@@ -138,11 +149,11 @@ class _FUAllocator:
             key = (fu_class, node.fu_instance)
             if spec.pipelined:
                 if self._dedicated_last_issue.get(key, -1) >= cycle:
-                    return False
+                    return self._stalled(fu_class)
                 self._dedicated_last_issue[key] = cycle
             else:
                 if self._dedicated_busy_until.get(key, -1) >= cycle:
-                    return False
+                    return self._stalled(fu_class)
                 self._dedicated_busy_until[key] = cycle + max(1, latency) - 1
         else:  # pooled
             limit = self.iface.cdfg.fu_counts.get(fu_class, 0)
@@ -151,13 +162,15 @@ class _FUAllocator:
                 if stamp != cycle:
                     count = 0
                 if count >= limit:
-                    return False
+                    return self._stalled(fu_class)
                 self._pool_issues[fu_class] = (cycle, count + 1)
             else:
                 if self._pool_inflight.get(fu_class, 0) >= limit:
-                    return False
+                    return self._stalled(fu_class)
                 self._pool_inflight[fu_class] = self._pool_inflight.get(fu_class, 0) + 1
         self.inflight_by_class[fu_class] = self.inflight_by_class.get(fu_class, 0) + 1
+        if self.issued_stat is not None:
+            self.issued_stat.inc(fu_class)
         return True
 
     def release(self, node) -> None:
@@ -212,7 +225,15 @@ class RuntimeEngine(SimObject):
         self._mem_window: list[DynInst] = []      # outstanding memory ops
         self._fetch_queue: list[tuple[BasicBlock, Optional[BasicBlock]]] = []
         self._fetch_cursor = 0
-        self._fu = _FUAllocator(iface)
+        # Per-cycle FU issue accounting (issued/stalled acquire attempts
+        # per class), surfaced through format_stats as
+        # ``...engine.fu_issued::<class>`` / ``...engine.fu_issue_stalls::<class>``.
+        self.stat_fu_issued = self.stats.vector(
+            "fu_issued", "FU acquisitions per class")
+        self.stat_fu_stalls = self.stats.vector(
+            "fu_issue_stalls", "FU acquire attempts blocked per class")
+        self._fu = _FUAllocator(iface, issued_stat=self.stat_fu_issued,
+                                stalled_stat=self.stat_fu_stalls)
         self._inflight_compute = 0
         self._outstanding_reads = 0
         self._outstanding_writes = 0

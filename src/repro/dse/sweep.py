@@ -37,6 +37,7 @@ def sweep(
     watchdog=None,
     artifact_store=None,
     pipeline=None,
+    engine: str = "dynamic",
 ) -> list[SweepPoint]:
     """Run ``workload`` across the cartesian product of ``param_grid``.
 
@@ -51,11 +52,13 @@ def sweep(
     (``point_timeout``, ``retries``, ``strict``, ``faults``,
     ``watchdog``) and the build knobs (``artifact_store``,
     ``pipeline`` — see `repro.build`) forward to `ParallelSweep`
-    unchanged.
+    unchanged, as does the execution backend choice (``engine`` — see
+    `repro.engine`).
     """
     executor = ParallelSweep(workers=workers, cache=cache, verify=verify,
                              point_timeout=point_timeout, retries=retries,
                              strict=strict, faults=faults, watchdog=watchdog,
-                             artifact_store=artifact_store, pipeline=pipeline)
+                             artifact_store=artifact_store, pipeline=pipeline,
+                             engine=engine)
     return executor.run(workload, param_grid, configure, seed=seed,
                         unroll_factor=unroll_factor)

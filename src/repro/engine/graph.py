@@ -1,0 +1,530 @@
+"""Graph lowering: `compile_graph(ElaboratedDesign) -> SimGraph`.
+
+The frontend half of the graph-compiled execution backend.  Instead of
+re-deriving operand sources, functional-unit bindings, latencies, and
+memory-disambiguation facts per dynamic instruction (what the dynamic
+`RuntimeEngine` does every cycle), this stage walks the statically
+elaborated CDFG **once** and flattens everything the scheduler needs
+into parallel arrays indexed by node id:
+
+* operand-source descriptors — ``(SRC_CONST, value)``,
+  ``(SRC_ARG, arg_index)`` or ``(SRC_NODE, producer_id)`` — replacing
+  per-instance `isinstance` dispatch over `Value` subclasses;
+* per-node evaluation thunks that close over the *same*
+  `repro.ir.semantics` helpers the dynamic engine calls, so values (and
+  therefore every downstream address and branch decision) are exactly
+  identical;
+* FU class / dedicated-vs-pooled binding, pipelining, latency, and
+  energy constants resolved through the hardware profile and the device
+  config's latency overrides;
+* static memory-disambiguation facts reusing `repro.analysis.memdep`
+  (PR 5): each access's root pointer and constant byte offset, letting
+  the scheduler skip the overlap arithmetic for provably disjoint pairs
+  without changing any conflict outcome (see `GraphScheduler._conflicts`
+  for the exactness argument).
+
+`SimGraph` is picklable — the eval thunks are rebuilt lazily after
+unpickling — so compiled graphs can live in the content-addressed
+`ArtifactStore` (kind ``"graph"``) and be reused across runs and sweep
+points that share a module, config, and profile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Optional
+
+from repro.core.llvm_interface import LLVMInterface
+from repro.hw.profile import FU_NONE
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.semantics import (
+    eval_binop,
+    eval_cast,
+    eval_fcmp,
+    eval_icmp,
+    eval_intrinsic,
+    gep_address,
+    round_float,
+    signed_operand,
+)
+from repro.ir.types import ArrayType, FloatType, IntType, PointerType
+from repro.ir.values import Argument, Constant, Instruction
+
+#: Bump when the lowering output changes shape — part of the graph
+#: artifact key, so stale store entries never deserialize into a
+#: scheduler that expects different arrays.
+GRAPH_FORMAT_VERSION = 1
+
+# Operand-source descriptor tags.
+SRC_CONST = 0
+SRC_ARG = 1
+SRC_NODE = 2
+
+# Node kind codes (what the scheduler dispatches on, instead of
+# isinstance chains).
+K_COMPUTE = 0
+K_LOAD = 1
+K_STORE = 2
+K_BRANCH = 3
+K_RET = 4
+K_OTHER = 5  # phi and other zero-latency wiring ops
+
+
+class GraphLoweringError(RuntimeError):
+    """The design cannot be lowered to a simulation graph (e.g. an
+    alloca or a non-inlined call in the datapath).  Callers fall back to
+    the dynamic engine, which reports the same condition at issue time."""
+
+
+def _operand_descriptor(operand, node_ids: dict[int, int]):
+    """Lower one operand `Value` to a flat source descriptor."""
+    if isinstance(operand, Constant):
+        return (SRC_CONST, operand.value)
+    if isinstance(operand, Argument):
+        return (SRC_ARG, operand)
+    if isinstance(operand, Instruction):
+        producer = node_ids.get(id(operand))
+        if producer is None:
+            # Defined in a block never fetched before this use on any
+            # path — the dynamic engine binds such operands to 0.
+            return (SRC_CONST, 0)
+        return (SRC_NODE, producer)
+    raise GraphLoweringError(f"cannot lower operand {operand!r}")
+
+
+_M64 = (1 << 64) - 1
+
+
+def _binop_eval(inst: BinaryOp):
+    """Specialized thunk for one binary op (same math as `eval_binop`)."""
+    op = inst.opcode
+    type_ = inst.type
+    if isinstance(type_, IntType):
+        m = type_.mask
+        if op == "add":
+            return lambda v: (v[0] + v[1]) & m
+        if op == "sub":
+            return lambda v: (v[0] - v[1]) & m
+        if op == "mul":
+            return lambda v: (v[0] * v[1]) & m
+        if op == "and":
+            return lambda v: v[0] & v[1]
+        if op == "or":
+            return lambda v: v[0] | v[1]
+        if op == "xor":
+            return lambda v: v[0] ^ v[1]
+    elif isinstance(type_, FloatType):
+        if type_.bits == 64:
+            # round_float is the identity on binary64.
+            if op == "fadd":
+                return lambda v: v[0] + v[1]
+            if op == "fsub":
+                return lambda v: v[0] - v[1]
+            if op == "fmul":
+                return lambda v: v[0] * v[1]
+        else:
+            if op == "fadd":
+                return lambda v, t=type_: round_float(v[0] + v[1], t)
+            if op == "fsub":
+                return lambda v, t=type_: round_float(v[0] - v[1], t)
+            if op == "fmul":
+                return lambda v, t=type_: round_float(v[0] * v[1], t)
+    return lambda v, op=op, t=type_: eval_binop(op, t, v[0], v[1])
+
+
+def _icmp_eval(inst: ICmp):
+    """Specialized thunk for one icmp (same outcomes as `eval_icmp`)."""
+    pred = inst.pred
+    type_ = inst.operands[0].type
+    # Unsigned predicates (and eq/ne) compare the raw bound values,
+    # exactly as eval_icmp does.
+    if pred == "eq":
+        return lambda v: 1 if v[0] == v[1] else 0
+    if pred == "ne":
+        return lambda v: 1 if v[0] != v[1] else 0
+    if pred == "ult":
+        return lambda v: 1 if v[0] < v[1] else 0
+    if pred == "ule":
+        return lambda v: 1 if v[0] <= v[1] else 0
+    if pred == "ugt":
+        return lambda v: 1 if v[0] > v[1] else 0
+    if pred == "uge":
+        return lambda v: 1 if v[0] >= v[1] else 0
+    if isinstance(type_, IntType) and pred in ("slt", "sle", "sgt", "sge"):
+        m, h, span = type_.mask, type_.max_signed, 1 << type_.bits
+
+        def signed(x, m=m, h=h, span=span):
+            x &= m
+            return x - span if x > h else x
+
+        if pred == "slt":
+            return lambda v: 1 if signed(v[0]) < signed(v[1]) else 0
+        if pred == "sle":
+            return lambda v: 1 if signed(v[0]) <= signed(v[1]) else 0
+        if pred == "sgt":
+            return lambda v: 1 if signed(v[0]) > signed(v[1]) else 0
+        return lambda v: 1 if signed(v[0]) >= signed(v[1]) else 0
+    return lambda v, p=pred, t=type_: eval_icmp(p, t, v[0], v[1])
+
+
+def _cast_eval(inst: Cast):
+    """Specialized thunk for one cast (same math as `eval_cast`)."""
+    op = inst.opcode
+    src_t = inst.src.type
+    dst_t = inst.type
+    if op in ("zext", "trunc") and isinstance(dst_t, IntType):
+        m = dst_t.mask
+        return lambda v: v[0] & m
+    if (op == "sext" and isinstance(src_t, IntType)
+            and isinstance(dst_t, IntType)):
+        fm, fh, span = src_t.mask, src_t.max_signed, 1 << src_t.bits
+        tm = dst_t.mask
+
+        def sext(v, fm=fm, fh=fh, span=span, tm=tm):
+            x = v[0] & fm
+            if x > fh:
+                x -= span
+            return x & tm
+
+        return sext
+    if (op == "sitofp" and isinstance(src_t, IntType)
+            and isinstance(dst_t, FloatType) and dst_t.bits == 64):
+        fm, fh, span = src_t.mask, src_t.max_signed, 1 << src_t.bits
+
+        def sitofp(v, fm=fm, fh=fh, span=span):
+            x = v[0] & fm
+            if x > fh:
+                x -= span
+            return float(x)
+
+        return sitofp
+    return lambda v, op=op, s=src_t, t=dst_t: eval_cast(op, s, t, v[0])
+
+
+def _gep_eval(inst: GetElementPtr):
+    """Specialized thunk for one GEP: strides precomputed at lowering
+    time (the type walk `gep_address` repeats per evaluation)."""
+    idx_types = [index.type for index in inst.indices]
+
+    def generic(v, g=inst, ts=idx_types):
+        return gep_address(
+            g, v[0],
+            [signed_operand(v[i + 1], t) for i, t in enumerate(ts)],
+        )
+
+    current = inst.pointer.type
+    strides: list[int] = []
+    for i in range(len(idx_types)):
+        if i == 0:
+            if not isinstance(current, PointerType):
+                return generic
+            strides.append(current.pointee.size_bytes())
+            current = current.pointee
+        else:
+            if not isinstance(current, ArrayType):
+                return generic
+            strides.append(current.element.size_bytes())
+            current = current.element
+    convs = []
+    for t in idx_types:
+        if isinstance(t, IntType):
+            m, h, span = t.mask, t.max_signed, 1 << t.bits
+            convs.append(lambda x, m=m, h=h, span=span:
+                         (x & m) - span if (x & m) > h else x & m)
+        else:
+            convs.append(None)
+    if len(strides) == 1:
+        s0, c0 = strides[0], convs[0]
+        if c0 is None:
+            return lambda v: (v[0] + s0 * v[1]) & _M64
+        return lambda v: (v[0] + s0 * c0(v[1])) & _M64
+
+    def multi(v, strides=strides, convs=convs):
+        addr = v[0]
+        for i, stride in enumerate(strides):
+            conv = convs[i]
+            idx = v[i + 1]
+            addr += stride * (conv(idx) if conv is not None else idx)
+        return addr & _M64
+
+    return multi
+
+
+class SimGraph:
+    """The compiled simulation graph: flat per-node arrays.
+
+    Node ids are program-order indices over ``func.blocks`` (identical
+    to `StaticNode.index`).  Every array below is indexed by node id.
+    """
+
+    def __init__(self, iface: LLVMInterface) -> None:
+        self.func_name = iface.func.name
+        self.key: Optional[str] = None  # set by BuildPipeline.graph()
+        func = iface.func
+        cdfg = iface.cdfg
+        profile = iface.profile
+
+        insts: list[Instruction] = [i for b in func.blocks for i in b.instructions]
+        n = len(insts)
+        node_ids = {id(inst): nid for nid, inst in enumerate(insts)}
+        self.insts = insts
+        self.n_nodes = n
+        self.arg_count = len(func.args)
+        arg_index = {id(arg): i for i, arg in enumerate(func.args)}
+
+        # -- block tables ------------------------------------------------
+        self.block_ids = {b.name: i for i, b in enumerate(func.blocks)}
+        self.blocks = [[node_ids[id(i)] for i in b.instructions] for b in func.blocks]
+        self.entry_block = self.block_ids[func.entry.name]
+        self.block_of = [0] * n
+        for bid, nids in enumerate(self.blocks):
+            for nid in nids:
+                self.block_of[nid] = bid
+
+        # -- per-node kind / FU / latency / energy -----------------------
+        self.kind = [K_OTHER] * n
+        self.fu_class: list[str] = [FU_NONE] * n
+        self.dedicated = [False] * n
+        self.pipelined = [True] * n
+        self.latency = [0] * n
+        self.pool_limit = [0] * n
+        self.dyn_energy = [0.0] * n
+        self.read_energy = [0.0] * n   # register reads at issue (pJ)
+        self.write_energy = [0.0] * n  # register write at commit (pJ)
+        self.issue_kind: list[Optional[str]] = [None] * n
+        self.produces_value = [False] * n
+
+        # -- operands ----------------------------------------------------
+        #: list of descriptors per node; for phis, a dict keyed by
+        #: predecessor block id holding the single incoming descriptor.
+        self.operands: list = [None] * n
+        self.addr_index = [-1] * n  # operand index carrying the address
+
+        # -- memory ------------------------------------------------------
+        self.mem_size = [0] * n
+        self.mem_type = [None] * n  # value type, for byte conversion
+        # Static disambiguation (repro.analysis.memdep): interned root
+        # pointer id (-1 = unknown) and constant byte offset (None =
+        # symbolic) per access.
+        self.mem_root = [-1] * n
+        self.mem_offset: list[Optional[int]] = [None] * n
+
+        # -- branches ----------------------------------------------------
+        self.br_cond = [False] * n
+        self.br_true = [-1] * n
+        self.br_false = [-1] * n
+
+        for nid, inst in enumerate(insts):
+            node = cdfg.node_for(inst)
+            assert node.index == nid
+            self.produces_value[nid] = inst.produces_value
+            if isinstance(inst, Alloca):
+                raise GraphLoweringError(
+                    f"{self.func_name}: alloca reached the datapath; the "
+                    "dynamic engine rejects it at issue time"
+                )
+            if isinstance(inst, Call) and not inst.is_intrinsic:
+                raise GraphLoweringError(
+                    f"{self.func_name}: call to '@{inst.callee}' survived "
+                    "inlining"
+                )
+
+            # Operand descriptors (same shapes as RuntimeEngine._operands_for).
+            if isinstance(inst, Phi):
+                incoming = {}
+                for value, pred in inst.incoming:
+                    desc = _operand_descriptor(value, node_ids)
+                    if desc[0] == SRC_ARG:
+                        desc = (SRC_ARG, arg_index[id(desc[1])])
+                    # incoming_for returns the first matching edge.
+                    incoming.setdefault(self.block_ids[pred.name], desc)
+                self.operands[nid] = incoming
+            else:
+                if isinstance(inst, Branch):
+                    raw = [inst.condition] if inst.is_conditional else []
+                else:
+                    raw = list(inst.operands)
+                descs = []
+                for operand in raw:
+                    desc = _operand_descriptor(operand, node_ids)
+                    if desc[0] == SRC_ARG:
+                        desc = (SRC_ARG, arg_index[id(desc[1])])
+                    descs.append(desc)
+                self.operands[nid] = descs
+
+            if isinstance(inst, Load):
+                self.kind[nid] = K_LOAD
+                self.addr_index[nid] = 0
+                self.mem_size[nid] = inst.type.size_bytes()
+                self.mem_type[nid] = inst.type
+            elif isinstance(inst, Store):
+                self.kind[nid] = K_STORE
+                self.addr_index[nid] = 1
+                self.mem_size[nid] = inst.value.type.size_bytes()
+                self.mem_type[nid] = inst.value.type
+            elif isinstance(inst, Branch):
+                self.kind[nid] = K_BRANCH
+                self.br_cond[nid] = inst.is_conditional
+                self.br_true[nid] = self.block_ids[inst.true_target.name]
+                if inst.is_conditional:
+                    self.br_false[nid] = self.block_ids[inst.false_target.name]
+            elif isinstance(inst, Ret):
+                self.kind[nid] = K_RET
+            elif node.is_compute:
+                self.kind[nid] = K_COMPUTE
+
+            if node.is_compute:
+                spec = profile.spec_for(node.fu_class)
+                self.fu_class[nid] = node.fu_class
+                self.dedicated[nid] = node.fu_instance is not None
+                self.pipelined[nid] = spec.pipelined
+                self.latency[nid] = iface.latency_for_class(node.fu_class)
+                self.pool_limit[nid] = cdfg.fu_counts.get(node.fu_class, 0)
+                self.dyn_energy[nid] = spec.dynamic_energy_pj
+                self.issue_kind[nid] = (
+                    "fp" if node.fu_class.startswith("fp_") else "int"
+                )
+                bits = 0
+                for operand in inst.operands:
+                    if (isinstance(operand, (Instruction, Argument))
+                            and operand.type.is_scalar):
+                        bits += operand.type.bit_width()
+                self.read_energy[nid] = (
+                    bits * profile.register.read_energy_pj_per_bit
+                )
+            if node.result_bits:
+                self.write_energy[nid] = (
+                    node.result_bits * profile.register.write_energy_pj_per_bit
+                )
+
+        self._lower_memdep(iface)
+        self._evals = None  # built lazily (closures are not picklable)
+
+    # ------------------------------------------------------------------
+    def _lower_memdep(self, iface: LLVMInterface) -> None:
+        """Root/offset facts per access, via `repro.analysis.memdep`."""
+        from repro.analysis.memdep import collect_accesses
+
+        node_ids = {id(inst): nid for nid, inst in enumerate(self.insts)}
+        roots: dict[int, int] = {}
+        for access in collect_accesses(iface.func):
+            nid = node_ids.get(id(access.inst))
+            if nid is None:
+                continue
+            base = access.base
+            if isinstance(base, Argument):
+                root = roots.setdefault(id(base), len(roots))
+                self.mem_root[nid] = root
+                self.mem_offset[nid] = access.offset
+        self.mem_roots_count = len(roots)
+
+    # ------------------------------------------------------------------
+    @property
+    def evals(self) -> list:
+        """Per-node evaluation thunks (``thunk(vals) -> result``)."""
+        if self._evals is None:
+            self._evals = self._build_evals()
+        return self._evals
+
+    def _build_evals(self) -> list:
+        """Per-node thunks, specialized for the hot opcodes.
+
+        Specializations compute *the same function* as the
+        `repro.ir.semantics` helpers (inlined constant masks / signed
+        reinterpretation / precomputed GEP strides), so results remain
+        bit-identical; anything uncommon falls back to the shared
+        helpers.  This is the single hottest code in the graph backend —
+        one thunk call per issued value-producing instruction.
+        """
+        evals: list = [None] * self.n_nodes
+        for nid, inst in enumerate(self.insts):
+            if isinstance(inst, BinaryOp):
+                evals[nid] = _binop_eval(inst)
+            elif isinstance(inst, ICmp):
+                evals[nid] = _icmp_eval(inst)
+            elif isinstance(inst, FCmp):
+                evals[nid] = (lambda v, p=inst.pred: eval_fcmp(p, v[0], v[1]))
+            elif isinstance(inst, Select):
+                evals[nid] = lambda v: v[1] if v[0] else v[2]
+            elif isinstance(inst, Cast):
+                evals[nid] = _cast_eval(inst)
+            elif isinstance(inst, GetElementPtr):
+                evals[nid] = _gep_eval(inst)
+            elif isinstance(inst, Phi):
+                evals[nid] = lambda v: v[0]
+            elif isinstance(inst, Call):
+                evals[nid] = (lambda v, callee=inst.callee, t=inst.type:
+                              eval_intrinsic(callee, t, list(v)))
+            else:
+                evals[nid] = None  # load/store/branch/ret: no value thunk
+        return evals
+
+    # -- pickling ------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_evals"] = None
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<SimGraph {self.func_name} {self.n_nodes} nodes, "
+                f"{len(self.blocks)} blocks>")
+
+
+def graph_key(design) -> str:
+    """Content address for a compiled graph.
+
+    Covers everything lowering reads: the module text (via
+    `module_fingerprint`), the kernel name, the device config (FU
+    limits, latency overrides, queue/window sizes, clock), the hardware
+    profile, and the lowering format version.  Deliberately *not* the
+    engine choice — graphs are engine-internal, and run-cache keys stay
+    engine-agnostic (byte-identical results make the engines
+    interchangeable).
+    """
+    from repro.build.artifact import module_fingerprint
+
+    iface = design.iface if hasattr(design, "iface") else design
+    profile = iface.profile
+    payload = {
+        "version": GRAPH_FORMAT_VERSION,
+        "module": module_fingerprint(iface.module),
+        "func": iface.func.name,
+        "config": iface.config.to_dict(),
+        "profile": {
+            "name": profile.name,
+            "units": {name: asdict(spec) for name, spec in sorted(profile.units.items())},
+            "register": asdict(profile.register),
+            "cycle_time_ns": profile.cycle_time_ns,
+        },
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    ).hexdigest()
+    return f"graph:{digest}"
+
+
+def compile_graph(design) -> SimGraph:
+    """Lower an `ElaboratedDesign` (or bare `LLVMInterface`) to a
+    `SimGraph`.  Raises `GraphLoweringError` for datapaths the graph
+    backend cannot execute (alloca, non-inlined calls); callers fall
+    back to the dynamic engine."""
+    iface = design.iface if hasattr(design, "iface") else design
+    if not isinstance(iface, LLVMInterface):
+        raise TypeError(f"cannot compile {design!r} to a SimGraph")
+    return SimGraph(iface)

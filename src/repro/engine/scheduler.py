@@ -1,0 +1,831 @@
+"""`GraphScheduler`: the backend half of the graph-compiled engine.
+
+Executes a `SimGraph` with a flat per-cycle loop instead of the
+per-instruction `EventQueue` events of the dynamic engine.  Each cycle
+is one iteration: drain this cycle's completion bucket (compute commits
+and memory completions, in scheduling order — exactly the order the
+event queue would fire them, since completions carry DEFAULT_PRI and
+the engine tick CPU_TICK_PRI), then run the tick phases in the dynamic
+engine's order (fetch, wake, issue with retry, memory pump, occupancy).
+
+The contract is **byte-identical stats**: every counter, float energy
+accumulation (same addition order, so no float drift), occupancy
+record, and memory image byte matches `RuntimeEngine` for any run the
+graph backend accepts.  Where the dynamic engine consults live objects
+(profile specs, CDFG nodes, memctrl/SPM ports), this loop reads the
+flat arrays `compile_graph` precomputed, and models the memory system's
+timing inline:
+
+* memory controller: per-cycle read/write port limits, FIFO queues,
+  stall counting (``stat.inc(len(queue))`` per blocked cycle), reads
+  pumped before writes;
+* scratchpad: per-(cycle, bank) port usage with first-free-slot search,
+  bank-conflict counting, completion at ``slot + latency_cycles`` with
+  the image access performed at completion time;
+* ideal memory: functional access at pump, completion one cycle later,
+  no SPM accounting — matching `AcceleratorMemController.ideal`.
+
+Static disambiguation: the only use of `repro.analysis.memdep` facts is
+a *fast path inside* the conflict scan, applied strictly after the
+"unresolved earlier address" conservatism — a pair is skipped without
+overlap arithmetic only when both addresses are resolved AND the
+accesses have distinct root pointer arguments (disjoint staged buffers)
+or the same root with non-overlapping constant offsets (identical to
+the runtime arithmetic by construction).  Conflict outcomes are
+therefore exactly the dynamic engine's.
+
+Dynamic instruction instances (the mirror of `DynInst`) are plain
+lists, the cheapest record to allocate and index in CPython:
+
+    [node, seq, state, pending, dependents, vals, result, addr, data,
+     issue_cycle]
+      0     1     2       3         4         5      6      7     8
+      9
+
+Sequence numbers are unique, so the ready heap stores ``(seq, dyn)``
+tuples and never compares the lists themselves.
+
+At run end the scheduler writes its counters back into the *same* stat
+objects (`RuntimeEngine`, memctrl, SPM) so `System.dump_stats()`,
+`RunResult`, and the power report are indistinguishable from a dynamic
+run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from typing import Optional
+
+from repro.core.runtime import COMMITTED, ISSUED, READY, WAITING, EngineError
+from repro.engine.graph import K_BRANCH, K_COMPUTE, K_LOAD, K_RET, K_STORE, SimGraph
+from repro.ir.semantics import bytes_to_value, value_to_bytes
+from repro.ir.types import FloatType, IntType, PointerType
+
+# Completion-bucket entry tags.
+_EV_COMMIT = 0  # compute commit
+_EV_SPM = 1     # SPM timing completion (image access happens now)
+_EV_IDEAL = 2   # ideal-memory completion (data captured at pump)
+
+_STRUCT_F = struct.Struct("<f")
+_STRUCT_D = struct.Struct("<d")
+
+
+class GraphScheduler:
+    """Executes one kernel invocation over a compiled `SimGraph`."""
+
+    def __init__(self, graph: SimGraph, unit, spm=None) -> None:
+        self.graph = graph
+        self.unit = unit
+        self.engine = unit.engine
+        self.memctrl = unit.comm.memctrl
+        self.spm = spm if spm is not None else unit.private_spm
+        if self.memctrl.strict_ranges:
+            raise EngineError(
+                f"{self.engine.name}: graph engine does not model "
+                "strictly-ordered regions"
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, arg_values: list, max_ticks: Optional[int] = None) -> bool:
+        """Simulate to completion.  Returns False if ``max_ticks`` cut
+        the run short (the caller raises the dynamic engine's error).
+
+        The hot loop allocates tens of thousands of short-lived,
+        acyclic records (dyn lists, operand vectors, bucket entries);
+        generation-0 collections are pure overhead on them, so the
+        collector is paused for the duration and restored on exit.
+        """
+        import gc
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(arg_values, max_ticks)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self, arg_values: list, max_ticks: Optional[int] = None) -> bool:
+        g = self.graph
+        engine = self.engine
+        memctrl = self.memctrl
+        spm = self.spm
+        config = engine.config
+        if len(arg_values) != g.arg_count:
+            raise EngineError(
+                f"{engine.name}: expected {g.arg_count} arguments, "
+                f"got {len(arg_values)}"
+            )
+        args = list(arg_values)
+
+        # -- flat graph arrays, bound to locals for the hot loop --------
+        kind = g.kind
+        operands = g.operands
+        addr_index = g.addr_index
+        produces_value = g.produces_value
+        blocks = g.blocks
+        block_of = g.block_of
+        fu_class = g.fu_class
+        dedicated = g.dedicated
+        pipelined = g.pipelined
+        latency = g.latency
+        pool_limit = g.pool_limit
+        dyn_energy = g.dyn_energy
+        read_energy = g.read_energy
+        write_energy = g.write_energy
+        issue_kind = g.issue_kind
+        mem_size = g.mem_size
+        mem_type = g.mem_type
+        mem_root = g.mem_root
+        mem_offset = g.mem_offset
+        br_cond = g.br_cond
+        br_true = g.br_true
+        br_false = g.br_false
+        evals = g.evals
+        insts = g.insts
+
+        clock = engine.clock
+        period = clock.period
+        resw = config.reservation_window
+        read_q_size = config.read_queue_size
+        write_q_size = config.write_queue_size
+        ideal = memctrl.ideal
+        ideal_lat = memctrl.ideal_latency_cycles
+        mem_read_ports = memctrl.read_ports
+        mem_write_ports = memctrl.write_ports
+        image = spm.image
+        spm_lat = spm.latency_cycles
+        spm_read_ports = spm.read_ports
+        spm_write_ports = spm.write_ports
+        spm_bank_of = spm.bank_of
+        hub = engine._thub
+        occupancy = engine.occupancy
+        trace_mem = hub is not None and hub.enabled("mem")
+        memctrl_name = memctrl.name
+        spm_name = spm.name
+        engine_name = engine.name
+
+        # -- operand templates: args never change during a run, so every
+        # const and argument operand is bound once here; fetch only has
+        # to resolve producer values.  ``init_vals[nid]`` is the operand
+        # value list with ``None`` at producer-fed slots (shared, not
+        # copied, when a node has no producer-fed slots — nothing ever
+        # writes to it then); ``dep_binds[nid]`` lists
+        # ``(index, producer_nid, is_addr)``.
+        init_vals: list = [None] * g.n_nodes
+        dep_binds: list = [None] * g.n_nodes
+        phi_binds: list = [None] * g.n_nodes
+        is_mem = [k in (K_LOAD, K_STORE) for k in kind]
+        for nid in range(g.n_nodes):
+            descs = operands[nid]
+            aidx = addr_index[nid]
+            if type(descs) is dict:  # phi: one incoming per predecessor
+                per_pred = {}
+                for pred_bid, (tag, payload) in descs.items():
+                    if tag == 2:    # SRC_NODE
+                        per_pred[pred_bid] = ([None], [(0, payload, False)])
+                    elif tag == 1:  # SRC_ARG
+                        per_pred[pred_bid] = ([args[payload]], ())
+                    else:           # SRC_CONST
+                        per_pred[pred_bid] = ([payload], ())
+                phi_binds[nid] = per_pred
+            else:
+                vals0: list = [None] * len(descs)
+                deps = []
+                for index, (tag, payload) in enumerate(descs):
+                    if tag == 0:
+                        vals0[index] = payload
+                    elif tag == 1:
+                        vals0[index] = args[payload]
+                    else:
+                        deps.append((index, payload, index == aidx))
+                init_vals[nid] = vals0
+                dep_binds[nid] = deps
+
+        # -- per-node memory codecs: the type dispatch of
+        # `bytes_to_value` / `value_to_bytes` resolved once per node.
+        # Each closure is bit-exact with the generic function (the image
+        # hands back exactly ``mem_size`` bytes, so the defensive slice
+        # is a no-op).
+        decoders: list = [None] * g.n_nodes
+        encoders: list = [None] * g.n_nodes
+        for nid in range(g.n_nodes):
+            if not is_mem[nid]:
+                continue
+            t = mem_type[nid]
+            if isinstance(t, IntType):
+                size = t.size_bytes()
+                mask = t.mask
+                decoders[nid] = (
+                    lambda data, _m=mask:
+                    int.from_bytes(data, "little") & _m)
+                encoders[nid] = (
+                    lambda value, _m=mask, _s=size:
+                    int(value & _m).to_bytes(_s, "little"))
+            elif isinstance(t, FloatType):
+                st = _STRUCT_F if t.bits == 32 else _STRUCT_D
+                decoders[nid] = (lambda data, _u=st.unpack: _u(data)[0])
+                encoders[nid] = st.pack
+            elif isinstance(t, PointerType):
+                decoders[nid] = (
+                    lambda data: int.from_bytes(data[:8], "little"))
+                encoders[nid] = (
+                    lambda value: int(value).to_bytes(8, "little"))
+            else:
+                decoders[nid] = (
+                    lambda data, _t=t: bytes_to_value(data, _t))
+                encoders[nid] = (
+                    lambda value, _t=t: value_to_bytes(value, _t))
+
+        # -- run state ---------------------------------------------------
+        seq = 0
+        last_inst: list = [None] * g.n_nodes  # node id -> last dyn record
+        # Newly-ready work (fetched with no pending deps, or woken by a
+        # commit) is pushed straight onto this heap: nothing observes
+        # the dynamic engine's staged/wake staging lists between their
+        # fill and drain, and pop order is seq-keyed either way.
+        ready: list[tuple[int, list]] = []
+        window = 0
+        mem_window: list = []
+        fetch_queue: list[tuple[int, int]] = [(g.entry_block, -1)]
+        fetch_cursor = 0
+        inflight_compute = 0
+        outstanding_reads = 0
+        outstanding_writes = 0
+        ret_seen = False
+
+        # FU allocator state (mirror of _FUAllocator, satellite stats
+        # included: issued/stalled per class, attempt-for-attempt).
+        # Classes are interned to small ints for the hot counters; the
+        # first-success / first-stall orders are tracked so the written-
+        # back VectorStat keys (and busy_units dict keys) appear in
+        # exactly the order the dynamic allocator would create them.
+        ded_last_issue = [-1] * g.n_nodes   # dedicated units are 1:1 with nodes
+        ded_busy_until = [-1] * g.n_nodes
+        fu_counts = engine.iface.cdfg.fu_counts
+        class_names: list[str] = []
+        _cls_index: dict[str, int] = {}
+        cls_ids = [0] * g.n_nodes
+        for _nid in range(g.n_nodes):
+            _cls = fu_class[_nid]
+            _ci = _cls_index.get(_cls)
+            if _ci is None:
+                _ci = len(class_names)
+                _cls_index[_cls] = _ci
+                class_names.append(_cls)
+            cls_ids[_nid] = _ci
+        n_cls = len(class_names)
+        units_arr = [fu_counts.get(name, 0) for name in class_names]
+        pool_stamp = [-1] * n_cls
+        pool_count = [0] * n_cls
+        pool_inflight = [0] * n_cls
+        inflight_arr = [0] * n_cls
+        fu_issued_arr = [0] * n_cls
+        fu_stalled_arr = [0] * n_cls
+        issue_order: list[int] = []   # class ids, first successful acquire
+        stall_order: list[int] = []   # class ids, first blocked acquire
+
+        # Memory model state.
+        from collections import deque
+        read_queue: deque = deque()
+        write_queue: deque = deque()
+        stall_reads = 0
+        stall_writes = 0
+        m_reads = 0
+        m_writes = 0
+        m_bytes = 0
+        spm_usage: dict[tuple[int, int], list[int]] = {}
+        spm_prune = 0
+        spm_reads = 0
+        spm_writes = 0
+        spm_conflicts = 0
+
+        # Per-cycle completion buckets: cycle -> [(tag, dyn, payload,
+        # pump_cycle)], appended in scheduling order.
+        buckets: dict[int, list] = {}
+        buckets_get = buckets.get
+
+        # Inline occupancy accounting: the same arithmetic (and the
+        # same dict-key insertion order) as OccupancyTracker's
+        # record_cycle, accumulated in locals and merged into the
+        # tracker at write-back.  The 8 possible outstanding-kind
+        # combinations are pre-built frozensets indexed by a bitmask.
+        occ_issue_cycles = 0
+        occ_stall_cycles = 0
+        occ_idle_cycles = 0
+        occ_issued_ops = 0
+        occ_issued_total = 0
+        occ_blocked_ops = 0
+        occ_issued_by_class: dict[str, int] = {}
+        occ_issue_kind_cycles: dict[str, int] = {}
+        occ_blocked_by_kind: dict[str, int] = {}
+        occ_fu_busy: dict[str, int] = {}
+        occ_stall_sources: dict[frozenset, int] = {}
+        outstanding_table = (
+            frozenset(), frozenset(("load",)), frozenset(("store",)),
+            frozenset(("load", "store")), frozenset(("compute",)),
+            frozenset(("load", "compute")), frozenset(("store", "compute")),
+            frozenset(("load", "store", "compute")),
+        )
+
+        # Counters written back into the engine's stats at the end.
+        n_cycles = 0
+        n_dyn_insts = 0
+        n_blocks = 0
+        n_loads = 0
+        n_stores = 0
+        n_committed = 0
+        fu_energy = engine.fu_energy_pj
+        reg_energy = engine.register_energy_pj
+
+        start_cycle = engine.cur_cycle
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        # -- inner helpers ----------------------------------------------
+        def commit(dyn: list, result, cycle: int) -> None:
+            nonlocal n_committed, reg_energy
+            dyn[2] = COMMITTED     # state
+            dyn[6] = result
+            n_committed += 1
+            if hub is not None:
+                cargs = {"seq": dyn[1]}
+                if dyn[7] is not None:
+                    cargs["addr"] = dyn[7]
+                hub.emit(
+                    "compute", engine_name, insts[dyn[0]].opcode,
+                    dyn[9] * period,
+                    dur=(cycle - dyn[9]) * period,
+                    args=cargs,
+                )
+            we = write_energy[dyn[0]]
+            if we:
+                reg_energy += we
+            for entry in dyn[4]:
+                if type(entry) is tuple:
+                    dependent, index, is_addr = entry
+                    dependent[5][index] = result
+                    if is_addr:
+                        dependent[7] = result
+                else:
+                    dependent = entry
+                dependent[3] -= 1
+                if dependent[3] == 0 and dependent[2] == WAITING:
+                    dependent[2] = READY
+                    heappush(ready, (dependent[1], dependent))
+            dyn[4] = []
+
+        def conflicts(dyn: list) -> bool:
+            addr = dyn[7]
+            nid = dyn[0]
+            my_seq = dyn[1]
+            size = mem_size[nid]
+            is_load = kind[nid] == K_LOAD
+            root = mem_root[nid]
+            offset = mem_offset[nid]
+            for other in mem_window:
+                if other[1] >= my_seq:
+                    break
+                onid = other[0]
+                if is_load and kind[onid] == K_LOAD:
+                    continue
+                other_addr = other[7]
+                if other_addr is None:
+                    return True  # unresolved earlier address: conservative
+                # Static fast path (memdep): provably disjoint once both
+                # addresses are resolved — same outcome, no arithmetic.
+                oroot = mem_root[onid]
+                if root >= 0 and oroot >= 0:
+                    if root != oroot:
+                        continue  # distinct restrict args: disjoint buffers
+                    ooffset = mem_offset[onid]
+                    if (offset is not None and ooffset is not None
+                            and (offset + size <= ooffset
+                                 or ooffset + mem_size[onid] <= offset)):
+                        continue
+                other_size = mem_size[onid]
+                if addr < other_addr + other_size and other_addr < addr + size:
+                    return True
+            return False
+
+        def fu_stall(ci: int) -> bool:
+            if fu_stalled_arr[ci] == 0:
+                stall_order.append(ci)
+            fu_stalled_arr[ci] += 1
+            return False
+
+        def fu_acquire(nid: int, cycle: int) -> bool:
+            ci = cls_ids[nid]
+            if dedicated[nid]:
+                if pipelined[nid]:
+                    if ded_last_issue[nid] >= cycle:
+                        return fu_stall(ci)
+                    ded_last_issue[nid] = cycle
+                else:
+                    if ded_busy_until[nid] >= cycle:
+                        return fu_stall(ci)
+                    lat = latency[nid]
+                    ded_busy_until[nid] = cycle + (lat if lat > 1 else 1) - 1
+            else:
+                if pipelined[nid]:
+                    if pool_stamp[ci] != cycle:
+                        pool_stamp[ci] = cycle
+                        pool_count[ci] = 0
+                    if pool_count[ci] >= pool_limit[nid]:
+                        return fu_stall(ci)
+                    pool_count[ci] += 1
+                else:
+                    if pool_inflight[ci] >= pool_limit[nid]:
+                        return fu_stall(ci)
+                    pool_inflight[ci] += 1
+            if fu_issued_arr[ci] == 0:
+                issue_order.append(ci)
+            inflight_arr[ci] += 1
+            fu_issued_arr[ci] += 1
+            return True
+
+        def fu_release(nid: int) -> None:
+            if not dedicated[nid] and not pipelined[nid]:
+                pool_inflight[cls_ids[nid]] -= 1
+            inflight_arr[cls_ids[nid]] -= 1
+
+        def emit_mem_trace(dyn: list, pump_cycle: int, cycle: int,
+                           with_spm: bool) -> None:
+            nid = dyn[0]
+            op = "read" if kind[nid] == K_LOAD else "write"
+            tick = pump_cycle * period
+            dur = (cycle - pump_cycle) * period
+            if with_spm:
+                hub.emit("mem", spm_name, op, tick, dur=dur,
+                         args={"addr": dyn[7], "size": mem_size[nid],
+                               "bank": spm_bank_of(dyn[7])})
+            hub.emit("mem", memctrl_name, op, tick, dur=dur,
+                     args={"addr": dyn[7], "size": mem_size[nid]})
+
+        pump_spec = ((read_queue, True, mem_read_ports),
+                     (write_queue, False, mem_write_ports))
+
+        def pump_memory(cycle: int) -> None:
+            nonlocal stall_reads, stall_writes, m_reads, m_writes, m_bytes
+            nonlocal spm_prune, spm_conflicts
+            for queue, is_read, limit in pump_spec:
+                issued = 0
+                while queue:
+                    if not ideal and issued >= limit:
+                        if is_read:
+                            stall_reads += len(queue)
+                        else:
+                            stall_writes += len(queue)
+                        break
+                    dyn = queue.popleft()
+                    issued += 1
+                    nid = dyn[0]
+                    size = mem_size[nid]
+                    if is_read:
+                        m_reads += 1
+                    else:
+                        m_writes += 1
+                    m_bytes += size
+                    if ideal:
+                        data = image.read(dyn[7], size) if is_read else None
+                        if not is_read:
+                            image.write(dyn[7], dyn[8])
+                        done = cycle + ideal_lat
+                        bucket = buckets_get(done)
+                        entry = (_EV_IDEAL, dyn, data, cycle)
+                        if bucket is None:
+                            buckets[done] = [entry]
+                        else:
+                            bucket.append(entry)
+                        continue
+                    # SPM timing: first cycle with a free bank port.
+                    spm_prune += 1
+                    if spm_prune % 4096 == 0:
+                        for stale in [k for k in spm_usage if k[0] < cycle]:
+                            del spm_usage[stale]
+                    bank = spm_bank_of(dyn[7])
+                    slot = 0 if is_read else 1
+                    slimit = spm_read_ports if is_read else spm_write_ports
+                    at = cycle
+                    delayed = False
+                    while True:
+                        usage = spm_usage.setdefault((at, bank), [0, 0])
+                        if usage[slot] < slimit:
+                            usage[slot] += 1
+                            break
+                        at += 1
+                        delayed = True
+                    if delayed:
+                        spm_conflicts += 1
+                    done = at + spm_lat
+                    bucket = buckets_get(done)
+                    entry = (_EV_SPM, dyn, None, cycle)
+                    if bucket is None:
+                        buckets[done] = [entry]
+                    else:
+                        bucket.append(entry)
+
+        # -- the flat cycle loop ----------------------------------------
+        cycle = start_cycle
+        end_cycle = -1
+        completed = False
+        while True:
+            cycle += 1
+            if max_ticks is not None and cycle * period > max_ticks:
+                break
+            # 1. completions scheduled for this cycle fire before the
+            #    tick (DEFAULT_PRI < CPU_TICK_PRI), in scheduling order.
+            bucket = buckets.pop(cycle, None)
+            if bucket:
+                for tag, dyn, payload, pump_cycle in bucket:
+                    nid = dyn[0]
+                    if tag == _EV_COMMIT:
+                        inflight_compute -= 1
+                        fu_release(nid)
+                        commit(dyn, payload, cycle)
+                    elif tag == _EV_SPM:
+                        if kind[nid] == K_LOAD:
+                            spm_reads += 1
+                            data = image.read(dyn[7], mem_size[nid])
+                            if trace_mem:
+                                emit_mem_trace(dyn, pump_cycle, cycle, True)
+                            outstanding_reads -= 1
+                            mem_window.remove(dyn)
+                            commit(dyn, decoders[nid](data), cycle)
+                        else:
+                            spm_writes += 1
+                            image.write(dyn[7], dyn[8])
+                            if trace_mem:
+                                emit_mem_trace(dyn, pump_cycle, cycle, True)
+                            outstanding_writes -= 1
+                            mem_window.remove(dyn)
+                            commit(dyn, None, cycle)
+                    else:  # _EV_IDEAL
+                        if trace_mem:
+                            emit_mem_trace(dyn, pump_cycle, cycle, False)
+                        if kind[nid] == K_LOAD:
+                            outstanding_reads -= 1
+                            mem_window.remove(dyn)
+                            commit(dyn, decoders[nid](payload), cycle)
+                        else:
+                            outstanding_writes -= 1
+                            mem_window.remove(dyn)
+                            commit(dyn, None, cycle)
+
+            # 2. the tick, phase for phase as RuntimeEngine._tick.
+            n_cycles += 1
+
+            # Fetch into the reservation window (the DynInst-creation
+            # body is inlined here — it runs once per dynamic
+            # instruction and dominates the fetch phase).
+            while fetch_queue and window < resw:
+                bid, pred = fetch_queue[0]
+                nids = blocks[bid]
+                n_nids = len(nids)
+                if fetch_cursor == 0:
+                    n_blocks += 1
+                while fetch_cursor < n_nids and window < resw:
+                    nid = nids[fetch_cursor]
+                    fetch_cursor += 1
+                    deps = dep_binds[nid]
+                    if deps is None:  # phi: one incoming per predecessor
+                        if pred < 0:
+                            raise EngineError(
+                                f"{engine_name}: phi in entry block")
+                        template, deps = phi_binds[nid][pred]
+                    else:
+                        template = init_vals[nid]
+                    dyn = [nid, seq, WAITING, 0, [], None, None, None,
+                           None, -1]
+                    seq += 1
+                    n_dyn_insts += 1
+                    pending = 0
+                    if deps:
+                        vals = template.copy()
+                        for index, pnid, is_addr in deps:
+                            producer = last_inst[pnid]
+                            if producer is None:
+                                vals[index] = 0
+                            elif producer[2] == COMMITTED:
+                                vals[index] = producer[6]
+                            else:
+                                pending += 1
+                                producer[4].append((dyn, index, is_addr))
+                    else:
+                        vals = template  # no producer-fed slots: shared
+                    dyn[5] = vals
+                    if is_mem[nid]:
+                        value = vals[addr_index[nid]]
+                        if value is not None:
+                            dyn[7] = value
+                        mem_window.append(dyn)
+                    if produces_value[nid]:
+                        previous = last_inst[nid]
+                        if previous is not None and previous[2] != COMMITTED:
+                            pending += 1
+                            previous[4].append(dyn)
+                        last_inst[nid] = dyn
+                    window += 1
+                    dyn[3] = pending
+                    if pending == 0:
+                        dyn[2] = READY
+                        heappush(ready, (dyn[1], dyn))
+                if fetch_cursor >= n_nids:
+                    fetch_queue.pop(0)
+                    fetch_cursor = 0
+                else:
+                    break
+
+            issued_classes: list[str] = []
+            issued_kinds: set[str] = set()
+            issued_total = 0
+            retry: list = []
+            while ready:
+                dyn = heappop(ready)[1]
+                nid = dyn[0]
+                nkind = kind[nid]
+                if nkind == K_LOAD:
+                    if dyn[7] is None:
+                        dyn[7] = dyn[5][0]
+                    if conflicts(dyn) or outstanding_reads >= read_q_size:
+                        retry.append(dyn)
+                        continue
+                    dyn[2] = ISSUED
+                    dyn[9] = cycle
+                    window -= 1
+                    outstanding_reads += 1
+                    n_loads += 1
+                    issued_kinds.add("load")
+                    read_queue.append(dyn)
+                elif nkind == K_STORE:
+                    if dyn[7] is None:
+                        dyn[7] = dyn[5][1]
+                    if conflicts(dyn) or outstanding_writes >= write_q_size:
+                        retry.append(dyn)
+                        continue
+                    dyn[2] = ISSUED
+                    dyn[9] = cycle
+                    window -= 1
+                    outstanding_writes += 1
+                    n_stores += 1
+                    issued_kinds.add("store")
+                    dyn[8] = encoders[nid](dyn[5][0])
+                    write_queue.append(dyn)
+                else:
+                    is_compute = nkind == K_COMPUTE
+                    if is_compute and not fu_acquire(nid, cycle):
+                        retry.append(dyn)
+                        continue
+                    dyn[2] = ISSUED
+                    dyn[9] = cycle
+                    window -= 1
+                    if is_compute:
+                        fu_energy += dyn_energy[nid]
+                        issued_classes.append(fu_class[nid])
+                        issued_kinds.add(issue_kind[nid])
+                        reg_energy += read_energy[nid]
+                        inflight_compute += 1
+                    thunk = evals[nid]
+                    result = thunk(dyn[5]) if thunk is not None else None
+                    lat = latency[nid] if is_compute else 0
+                    if nkind == K_BRANCH:
+                        if br_cond[nid]:
+                            target = br_true[nid] if dyn[5][0] else br_false[nid]
+                        else:
+                            target = br_true[nid]
+                        fetch_queue.append((target, block_of[nid]))
+                    elif nkind == K_RET:
+                        ret_seen = True
+                    if lat == 0:
+                        if is_compute:
+                            inflight_compute -= 1
+                            fu_release(nid)
+                        commit(dyn, result, cycle)
+                    else:
+                        done = cycle + lat
+                        bucket = buckets_get(done)
+                        entry = (_EV_COMMIT, dyn, result, cycle)
+                        if bucket is None:
+                            buckets[done] = [entry]
+                        else:
+                            bucket.append(entry)
+                issued_total += 1
+                # Zero-latency commits pushed their wakes straight onto
+                # `ready`, so they chain combinationally this cycle.
+            for dyn in retry:
+                heappush(ready, (dyn[1], dyn))
+
+            if read_queue or write_queue:
+                pump_memory(cycle)
+
+            obit = ((1 if outstanding_reads else 0)
+                    | (2 if outstanding_writes else 0)
+                    | (4 if inflight_compute else 0))
+            occ_issued_total += issued_total
+            for dyn in retry:
+                nkind = kind[dyn[0]]
+                key = ("load" if nkind == K_LOAD
+                       else "store" if nkind == K_STORE else "compute")
+                occ_blocked_ops += 1
+                occ_blocked_by_kind[key] = occ_blocked_by_kind.get(key, 0) + 1
+            # Busy units per class, in first-successful-acquire order —
+            # the dynamic allocator's inflight_by_class insertion order.
+            for ci in issue_order:
+                inflight = inflight_arr[ci]
+                if inflight > 0:
+                    units = units_arr[ci]
+                    name = class_names[ci]
+                    occ_fu_busy[name] = occ_fu_busy.get(name, 0) + (
+                        units if units and units < inflight else inflight)
+            if issued_classes or issued_kinds:
+                occ_issue_cycles += 1
+                occ_issued_ops += len(issued_classes)
+                for name in issued_classes:
+                    occ_issued_by_class[name] = (
+                        occ_issued_by_class.get(name, 0) + 1)
+                for name in frozenset(issued_kinds):
+                    occ_issue_kind_cycles[name] = (
+                        occ_issue_kind_cycles.get(name, 0) + 1)
+            elif obit:
+                occ_stall_cycles += 1
+                fs = outstanding_table[obit]
+                occ_stall_sources[fs] = occ_stall_sources.get(fs, 0) + 1
+            else:
+                occ_idle_cycles += 1
+            if hub is not None:
+                blocked_kinds: dict[str, int] = {}
+                for dyn in retry:
+                    nkind = kind[dyn[0]]
+                    key = ("load" if nkind == K_LOAD
+                           else "store" if nkind == K_STORE else "compute")
+                    blocked_kinds[key] = blocked_kinds.get(key, 0) + 1
+                hub.emit(
+                    "sched", engine_name, "cycle", cycle * period,
+                    dur=period,
+                    args={"issued": issued_total, "blocked": blocked_kinds,
+                          "outstanding": sorted(outstanding_table[obit])},
+                )
+
+            if (ret_seen and not ready
+                    and not fetch_queue and window == 0
+                    and inflight_compute == 0 and outstanding_reads == 0
+                    and outstanding_writes == 0):
+                end_cycle = cycle
+                completed = True
+                break
+
+        # -- write-back: same stat objects, same final values -----------
+        engine.stat_cycles.inc(n_cycles)
+        engine.stat_dyn_insts.inc(n_dyn_insts)
+        engine.stat_blocks.inc(n_blocks)
+        engine.stat_loads.inc(n_loads)
+        engine.stat_stores.inc(n_stores)
+        for ci in issue_order:
+            engine.stat_fu_issued.inc(class_names[ci], fu_issued_arr[ci])
+        for ci in stall_order:
+            engine.stat_fu_stalls.inc(class_names[ci], fu_stalled_arr[ci])
+        occupancy.cycles += n_cycles
+        occupancy.issued_op_total += occ_issued_total
+        occupancy.blocked_op_cycles += occ_blocked_ops
+        merge = occupancy.blocked_by_kind
+        for name, value in occ_blocked_by_kind.items():
+            merge[name] = merge.get(name, 0) + value
+        merge = occupancy.fu_busy_cycles
+        for name, value in occ_fu_busy.items():
+            merge[name] = merge.get(name, 0) + value
+        occupancy.issue_cycles += occ_issue_cycles
+        occupancy.issued_ops += occ_issued_ops
+        merge = occupancy.issued_by_class
+        for name, value in occ_issued_by_class.items():
+            merge[name] = merge.get(name, 0) + value
+        merge = occupancy.issue_kind_cycles
+        for name, value in occ_issue_kind_cycles.items():
+            merge[name] = merge.get(name, 0) + value
+        occupancy.stall_cycles += occ_stall_cycles
+        merge = occupancy.stall_sources
+        for fs, value in occ_stall_sources.items():
+            merge[fs] = merge.get(fs, 0) + value
+        occupancy.idle_cycles += occ_idle_cycles
+        engine.committed += n_committed
+        engine.fu_energy_pj = fu_energy
+        engine.register_energy_pj = reg_energy
+        engine.start_cycle = start_cycle
+        engine.end_cycle = end_cycle if completed else -1
+        memctrl.stat_reads.inc(m_reads)
+        memctrl.stat_writes.inc(m_writes)
+        memctrl.stat_bytes.inc(m_bytes)
+        memctrl.stat_read_stalls.inc(stall_reads)
+        memctrl.stat_write_stalls.inc(stall_writes)
+        if not ideal:
+            spm.stat_reads.inc(spm_reads)
+            spm.stat_writes.inc(spm_writes)
+            spm.stat_conflicts.inc(spm_conflicts)
+        # Advance simulated time to where the dynamic engine would end,
+        # so downstream consumers (irq trace ticks, system.cur_tick) see
+        # the same clock.
+        final_tick = end_cycle * period if completed else max_ticks
+        eventq = engine.eventq
+        if final_tick is not None and final_tick > eventq.cur_tick:
+            eventq._cur_tick = final_tick
+        return completed

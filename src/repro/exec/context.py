@@ -110,6 +110,7 @@ class SimContext:
         module: Union[Module, Artifact, None] = None,
         pipeline: Union[str, PipelineSpec, None] = None,
         artifact_store: Optional[ArtifactStore] = None,
+        engine: str = "dynamic",
         **acc_kwargs,
     ) -> None:
         if (workload is None) == (source is None):
@@ -145,6 +146,11 @@ class SimContext:
         self.module_input = module
         self.pipeline = PipelineSpec.parse(pipeline) if pipeline is not None else None
         self.artifact_store = artifact_store
+        # Engine selection is an execution strategy, not a design point:
+        # the graph backend produces byte-identical results, so it is
+        # deliberately NOT part of cache_key() — both engines share one
+        # run-cache entry.
+        self.engine = engine
         self.acc_kwargs = dict(acc_kwargs)
         # Live per-run state (rebuilt after reset; never pickled).
         self.fault_injector: Optional[FaultInjector] = None
@@ -175,6 +181,17 @@ class SimContext:
         """The built `StandaloneAccelerator` (None before `build`/after `reset`)."""
         return self._acc
 
+    @property
+    def engine_used(self) -> Optional[str]:
+        """Engine that executed the last run (None before a run, or
+        when the result came straight from the run cache)."""
+        return self._acc.engine_used if self._acc is not None else None
+
+    @property
+    def fallback_reason(self) -> Optional[str]:
+        """Why a requested graph run fell back to dynamic, if it did."""
+        return self._acc.fallback_reason if self._acc is not None else None
+
     def cache_key(self) -> str:
         """Content hash of this context's configuration (workload mode)."""
         if self.workload is None:
@@ -192,6 +209,8 @@ class SimContext:
             if self._module is None:
                 self._module = self._resolve_module()
             self._acc = StandaloneAccelerator(self._module, self.func_name,
+                                              artifact_store=self.artifact_store,
+                                              engine=self.engine,
                                               **self.acc_kwargs)
             if self.trace_hub is not None:
                 self._acc.system.attach_trace_hub(self.trace_hub)

@@ -96,7 +96,7 @@ def _execute_point(workload: Workload, acc_kwargs: dict, seed: int,
                    trace: Optional[TraceConfig] = None,
                    faults=None, watchdog=None,
                    timeout_s: Optional[float] = None,
-                   module=None) -> dict:
+                   module=None, engine: str = "dynamic") -> dict:
     """Worker body: one full SimContext lifecycle, returned as a payload dict.
 
     Runs in a pool process (or inline for the serial path — the same
@@ -112,7 +112,8 @@ def _execute_point(workload: Workload, acc_kwargs: dict, seed: int,
     try:
         ctx = SimContext(workload, seed=seed, verify=verify, max_ticks=max_ticks,
                          trace=trace, faults=faults, watchdog=watchdog,
-                         timeout_s=timeout_s, module=module, **acc_kwargs)
+                         timeout_s=timeout_s, module=module, engine=engine,
+                         **acc_kwargs)
         return ctx.run().to_dict()
     except Exception as exc:  # noqa: BLE001 - folded into a FailureRecord
         return {"__failure__": FailureRecord.from_exception(exc).to_dict()}
@@ -154,6 +155,11 @@ class ParallelSweep:
     #: point's ``unroll_factor``; a non-default spec joins the run-cache
     #: key so differently-optimized runs never collide.
     pipeline: object = None
+    #: Execution backend for every point ("dynamic" or "graph").  The
+    #: graph engine is byte-identical, so it shares run-cache entries
+    #: with dynamic runs; points the graph backend cannot model fall
+    #: back per-point (see `repro.engine.resolve_engine`).
+    engine: str = "dynamic"
 
     def run(
         self,
@@ -270,7 +276,8 @@ class ParallelSweep:
             __, __, kwargs, plan = pending[slot]
             return _execute_point(workload, kwargs, seed, self.verify,
                                   self.max_ticks, trace, plan, wd_spec,
-                                  self.point_timeout, modules[slot])
+                                  self.point_timeout, modules[slot],
+                                  self.engine)
 
         if self.workers == 1 or len(pending) <= 1:
             return [run_inline(slot) for slot in range(len(pending))]
@@ -290,7 +297,7 @@ class ParallelSweep:
                             _execute_point, workload, pending[slot][2], seed,
                             self.verify, self.max_ticks, trace,
                             pending[slot][3], wd_spec, self.point_timeout,
-                            modules[slot],
+                            modules[slot], self.engine,
                         )
                         for slot in remaining
                     }

@@ -100,10 +100,26 @@ class StandaloneAccelerator:
         dram_kwargs: Optional[dict] = None,
         artifact_store=None,
         pipeline=None,
+        engine: str = "dynamic",
     ) -> None:
         if memory not in ("spm", "cache", "ideal"):
             raise ValueError(f"unknown memory configuration '{memory}'")
+        from repro.engine import ENGINES
+
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine '{engine}'; valid: {', '.join(ENGINES)}"
+            )
         self.memory = memory
+        #: Requested execution backend; :meth:`run` may still fall back
+        #: to the dynamic engine (see `repro.engine.resolve_engine`).
+        self.engine_request = engine
+        #: Engine that actually executed the most recent run().
+        self.engine_used: Optional[str] = None
+        #: Why a graph request fell back to dynamic (None otherwise).
+        self.fallback_reason: Optional[str] = None
+        self.artifact_store = artifact_store
+        self._graph = None
         self.config = config or DeviceConfig()
         if memory == "ideal":
             self.config.ideal_memory = True
@@ -207,16 +223,52 @@ class StandaloneAccelerator:
         self.data_mem.reset_allocator()
 
     # -- execution ------------------------------------------------------------------
+    def _compiled_graph(self):
+        """Lower (once) to a `SimGraph` via the build pipeline's graph
+        stage, consulting the artifact store when one is attached."""
+        if self._graph is None:
+            from repro.build.artifact import ElaboratedDesign
+            from repro.build.pipeline import BuildPipeline
+
+            stage = BuildPipeline(store=self.artifact_store)
+            self._graph = stage.graph(ElaboratedDesign(self.unit.iface)).payload
+        return self._graph
+
     def run(self, args: list, max_ticks: Optional[int] = None,
-            max_events: Optional[int] = None, watchdog=None) -> RunResult:
-        done = {"flag": False}
-        self.unit.launch(args, on_done=lambda: done.update(flag=True))
-        self.system.run(max_tick=max_ticks, max_events=max_events,
-                        watchdog=watchdog)
-        if not done["flag"]:
-            raise RuntimeError(
-                f"{self.func_name}: simulation ended before kernel completion"
-            )
+            max_events: Optional[int] = None, watchdog=None,
+            engine: Optional[str] = None) -> RunResult:
+        from repro.engine import GraphLoweringError, resolve_engine
+
+        requested = engine if engine is not None else self.engine_request
+        chosen, reason = resolve_engine(requested, self,
+                                        max_events=max_events,
+                                        watchdog=watchdog)
+        graph = None
+        if chosen == "graph":
+            try:
+                graph = self._compiled_graph()
+            except GraphLoweringError as exc:
+                chosen, reason = "dynamic", f"lowering failed: {exc}"
+        self.engine_used = chosen
+        self.fallback_reason = reason
+        if chosen == "graph":
+            completed = self.unit.launch_compiled(graph, args,
+                                                  max_ticks=max_ticks)
+            if not completed:
+                raise RuntimeError(
+                    f"{self.func_name}: simulation ended before kernel "
+                    f"completion"
+                )
+        else:
+            done = {"flag": False}
+            self.unit.launch(args, on_done=lambda: done.update(flag=True))
+            self.system.run(max_tick=max_ticks, max_events=max_events,
+                            watchdog=watchdog)
+            if not done["flag"]:
+                raise RuntimeError(
+                    f"{self.func_name}: simulation ended before kernel "
+                    f"completion"
+                )
         engine = self.unit.engine
         return RunResult(
             cycles=engine.total_cycles,

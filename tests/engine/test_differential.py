@@ -1,0 +1,103 @@
+"""Differential property suite: graph engine ≡ dynamic engine.
+
+The graph backend's contract is *byte-identical* results: for every
+registered workload, at every supported unroll factor, the serialized
+`RunResult` (stats, energies, occupancy, memory-derived outputs) must
+match the dynamic engine's output byte for byte — and the run must
+actually have taken the graph path, so a silent fallback can never make
+these tests vacuously green.
+"""
+
+import json
+
+import pytest
+
+from repro.exec.cache import RunCache
+from repro.exec.context import SimContext
+from repro.workloads import all_workload_names, get_workload
+
+
+def _context(name, engine, unroll=1, **kwargs):
+    kwargs.setdefault("memory", "spm")
+    return SimContext(get_workload(name), seed=7, verify=False,
+                      engine=engine, unroll_factor=unroll, **kwargs)
+
+
+def _run_pair(name, unroll=1, **kwargs):
+    dynamic = _context(name, "dynamic", unroll, **kwargs).run()
+    ctx = _context(name, "graph", unroll, **kwargs)
+    graph = ctx.run()
+    assert ctx.engine_used == "graph", (
+        f"graph request fell back: {ctx.fallback_reason}")
+    return dynamic, graph
+
+
+# -- the property: every workload × unroll ∈ {1, 4} ---------------------
+@pytest.mark.parametrize("unroll", [1, 4])
+@pytest.mark.parametrize("name", all_workload_names())
+def test_graph_matches_dynamic_byte_identical(name, unroll):
+    dynamic, graph = _run_pair(name, unroll)
+    # json.dumps preserves dict insertion order, so this asserts byte
+    # identity of the serialized results, not just value equality.
+    assert json.dumps(graph.to_dict()) == json.dumps(dynamic.to_dict())
+
+
+@pytest.mark.parametrize("name", ["gemm", "spmv"])
+def test_graph_matches_dynamic_ideal_memory(name):
+    dynamic, graph = _run_pair(name, unroll=4, memory="ideal")
+    assert json.dumps(graph.to_dict()) == json.dumps(dynamic.to_dict())
+
+
+def test_graph_run_passes_golden_model_verification():
+    ctx = SimContext(get_workload("gemm"), seed=7, verify=True,
+                     engine="graph", memory="spm", unroll_factor=4)
+    ctx.run()  # workload.verify raises on any functional mismatch
+    assert ctx.engine_used == "graph"
+
+
+# -- run-cache interchangeability ---------------------------------------
+def test_cache_key_excludes_engine_choice():
+    dynamic = _context("gemm", "dynamic", 4)
+    graph = _context("gemm", "graph", 4)
+    assert dynamic.cache_key() == graph.cache_key()
+
+
+def test_engines_share_run_cache_entries():
+    cache = RunCache()
+    dynamic = _context("gemm", "dynamic", 4, cache=cache)
+    first = dynamic.run()
+    assert cache.misses == 1
+    graph = _context("gemm", "graph", 4, cache=cache)
+    served = graph.run()
+    # The dynamic run's entry satisfies the graph request outright.
+    assert cache.hits == 1
+    assert graph.engine_used is None  # no simulation ran
+    assert served.to_dict() == first.to_dict()
+
+
+def test_cache_entries_byte_identical_across_engines(tmp_path):
+    results = {}
+    for engine in ("dynamic", "graph"):
+        cache = RunCache(tmp_path / engine)
+        _context("gemm", engine, 4, cache=cache).run()
+        files = sorted(p.name for p in (tmp_path / engine).glob("*.json"))
+        assert len(files) == 1
+        results[engine] = (files[0],
+                           (tmp_path / engine / files[0]).read_bytes())
+    # Same fingerprint-keyed file name, same bytes inside.
+    assert results["dynamic"] == results["graph"]
+
+
+# -- FU pool accounting under contention --------------------------------
+def test_fu_stall_stats_match_under_fu_limits():
+    from repro.core.config import DeviceConfig
+
+    config = DeviceConfig(fu_limits={"fp_mul": 1, "fp_add": 1})
+    dynamic, graph = _run_pair("gemm", unroll=4, config=config)
+    assert json.dumps(graph.to_dict()) == json.dumps(dynamic.to_dict())
+    stalls = {key: value for key, value in graph.stats.items()
+              if "fu_issue_stalls" in key}
+    total = sum(sum(value.values()) if isinstance(value, dict) else value
+                for value in stalls.values())
+    assert stalls and total > 0, (
+        "a 1-unit fp pool on unrolled gemm must block some acquires")

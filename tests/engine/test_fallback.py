@@ -1,0 +1,83 @@
+"""Fallback rules: a graph request degrades to dynamic — never errors —
+whenever a feature the graph backend does not model is active, and the
+degraded run behaves exactly like an explicit dynamic run."""
+
+import json
+
+import pytest
+
+from repro.exec.context import SimContext
+from repro.workloads import get_workload
+
+
+def _graph_ctx(**kwargs):
+    kwargs.setdefault("memory", "spm")
+    return SimContext(get_workload("gemm"), seed=7, verify=False,
+                      engine="graph", **kwargs)
+
+
+def test_fault_injection_falls_back():
+    ctx = _graph_ctx(faults="port_stall@memctrl:tick=50000,cycles=300")
+    ctx.run()
+    assert ctx.engine_used == "dynamic"
+    assert "fault" in ctx.fallback_reason
+
+
+def test_watchdog_falls_back():
+    ctx = _graph_ctx(watchdog=True)
+    ctx.run()
+    assert ctx.engine_used == "dynamic"
+    assert "watchdog" in ctx.fallback_reason
+
+
+def test_timeout_falls_back():
+    # timeout_s is implemented as a wall-clock watchdog.
+    ctx = _graph_ctx(timeout_s=60.0)
+    ctx.run()
+    assert ctx.engine_used == "dynamic"
+    assert "watchdog" in ctx.fallback_reason
+
+
+def test_max_events_budget_falls_back():
+    ctx = _graph_ctx(max_events=10**9)
+    ctx.run()
+    assert ctx.engine_used == "dynamic"
+    assert "max_events" in ctx.fallback_reason
+
+
+def test_cache_memory_falls_back():
+    ctx = _graph_ctx(memory="cache")
+    ctx.run()
+    assert ctx.engine_used == "dynamic"
+    assert "memory" in ctx.fallback_reason
+
+
+def test_fallback_run_identical_to_explicit_dynamic():
+    degraded = _graph_ctx(watchdog=True)
+    first = degraded.run()
+    explicit = SimContext(get_workload("gemm"), seed=7, verify=False,
+                          engine="dynamic", memory="spm", watchdog=True)
+    second = explicit.run()
+    assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+
+
+def test_honoured_request_reports_no_reason():
+    ctx = _graph_ctx()
+    ctx.run()
+    assert ctx.engine_used == "graph"
+    assert ctx.fallback_reason is None
+
+
+def test_dynamic_request_never_reports_fallback():
+    ctx = SimContext(get_workload("gemm"), seed=7, verify=False,
+                     engine="dynamic", memory="spm")
+    ctx.run()
+    assert ctx.engine_used == "dynamic"
+    assert ctx.fallback_reason is None
+
+
+def test_unknown_engine_rejected():
+    ctx = SimContext(get_workload("gemm"), seed=7, verify=False,
+                     engine="warp", memory="spm")
+    with pytest.raises(ValueError, match="engine"):
+        ctx.build()

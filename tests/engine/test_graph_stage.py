@@ -1,0 +1,91 @@
+"""The `graph` build-pipeline stage: content-addressed lowering.
+
+`BuildPipeline.graph` lowers an `ElaboratedDesign` to a `SimGraph`
+artifact keyed by the module fingerprint + device config + profile (+
+format version), so the artifact store amortizes lowering across runs
+exactly like the frontend compile."""
+
+import pickle
+
+import pytest
+
+from repro.build.artifact import ARTIFACT_KINDS, ElaboratedDesign
+from repro.build.pipeline import STAGE_COUNTERS, BuildPipeline
+from repro.build.store import ArtifactStore
+from repro.engine import GRAPH_FORMAT_VERSION, compile_graph, graph_key
+from repro.exec.context import SimContext
+from repro.workloads import get_workload
+
+
+def _design(unroll=1):
+    ctx = SimContext(get_workload("gemm"), seed=7, verify=False,
+                     memory="spm", unroll_factor=unroll)
+    acc = ctx.build()
+    return ElaboratedDesign(acc.unit.iface)
+
+
+def test_graph_is_a_registered_artifact_kind():
+    assert "graph" in ARTIFACT_KINDS
+
+
+def test_graph_stage_produces_versioned_artifact():
+    design = _design()
+    artifact = BuildPipeline().graph(design)
+    assert artifact.kind == "graph"
+    assert artifact.meta["graph_version"] == GRAPH_FORMAT_VERSION
+    assert artifact.key == graph_key(design)
+    assert artifact.payload.n_nodes > 0
+
+
+def test_graph_stage_hits_the_artifact_store():
+    design = _design()
+    store = ArtifactStore()
+    pipeline = BuildPipeline(store=store)
+    lowered_before = STAGE_COUNTERS.graph
+    first = pipeline.graph(design)
+    assert STAGE_COUNTERS.graph == lowered_before + 1
+    second = pipeline.graph(design)
+    # Served from the store: no second lowering.
+    assert STAGE_COUNTERS.graph == lowered_before + 1
+    assert store.hits >= 1
+    assert second.key == first.key
+
+
+def test_graph_key_tracks_the_lowered_module():
+    assert graph_key(_design(unroll=1)) != graph_key(_design(unroll=4))
+
+
+def test_sim_graph_pickles_and_rebuilds_evals():
+    graph = compile_graph(_design())
+    assert graph.evals is not None  # force the lazy build
+    clone = pickle.loads(pickle.dumps(graph))
+    assert clone.n_nodes == graph.n_nodes
+    assert clone.arg_count == graph.arg_count
+    # Eval closures are dropped on pickle and rebuilt lazily.
+    assert len(clone.evals) == len(graph.evals)
+
+
+def test_accelerator_reuses_store_cached_graph(tmp_path):
+    store = ArtifactStore(tmp_path)
+    for _ in range(2):
+        ctx = SimContext(get_workload("gemm"), seed=7, verify=False,
+                         engine="graph", memory="spm",
+                         artifact_store=store)
+        ctx.run()
+        assert ctx.engine_used == "graph"
+    assert store.hits >= 1
+
+
+def test_graph_sweep_matches_dynamic_sweep():
+    from repro.dse.sweep import sweep
+
+    def configure(params):
+        return {"memory": "spm", "spm_banks": params["banks"]}
+
+    grid = {"banks": [2, 4]}
+    runs = {}
+    for engine in ("dynamic", "graph"):
+        points = sweep(get_workload("gemm"), grid, configure, seed=7,
+                       verify=False, engine=engine)
+        runs[engine] = [(p.params, p.result.to_dict()) for p in points]
+    assert runs["dynamic"] == runs["graph"]
