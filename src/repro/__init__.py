@@ -65,10 +65,11 @@ from repro.system.soc import (
     build_soc,
     run_standalone,
 )
+from repro.serve import JobServer, ServeClient, start_server_thread
 from repro.trace import TraceConfig, TraceHub
 from repro.workloads import all_workload_names, get_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisReport",
@@ -104,6 +105,9 @@ __all__ = [
     "SoC",
     "build_soc",
     "run_standalone",
+    "JobServer",
+    "ServeClient",
+    "start_server_thread",
     "TraceConfig",
     "TraceHub",
     "get_workload",

@@ -22,6 +22,7 @@ from __future__ import annotations
 import contextlib
 import os
 import pickle
+import threading
 from pathlib import Path
 from typing import Optional, Union
 
@@ -93,8 +94,11 @@ class ArtifactStore:
         entry = self._entry(key)
         if entry is not None:
             # Atomic publish: readers see the old entry, no entry, or
-            # the complete new one — never a partial write.
-            tmp = entry.parent / f"{entry.name}.tmp{os.getpid()}"
+            # the complete new one — never a partial write.  The temp
+            # name is unique per writer thread, not just per process:
+            # the job server's workers share one store.
+            tmp = (entry.parent
+                   / f"{entry.name}.tmp{os.getpid()}.{threading.get_ident()}")
             tmp.write_bytes(blob)
             os.replace(tmp, entry)
 

@@ -10,6 +10,8 @@ Mirrors the day-to-day gem5-SALAM workflow from a shell:
 * ``run``       — simulate a kernel on a workload from the registry
 * ``workloads`` — list the bundled MachSuite-style benchmarks
 * ``sweep``     — small port/FU design-space sweep with a Pareto summary
+* ``serve``     — async simulation-as-a-service job server (`repro.serve`)
+* ``submit``    — send a compile/run/sweep/analyze job to a running server
 
 ``run`` and ``sweep`` go through the `repro.exec` execution layer:
 ``--workers N`` fans sweep points out across processes and
@@ -26,11 +28,15 @@ Examples::
     python -m repro run gemm --ports 8 --memory spm
     python -m repro sweep gemm_dse --unroll 8 --workers 4 --cache-dir .runcache
     python -m repro sweep gemm_dse --workers 4 --artifact-dir .artifacts
+    python -m repro serve --port 8333 --workers 4 --cache-dir .runcache
+    python -m repro submit run gemm_dse --ports 4 --unroll 2
+    python -m repro submit sweep gemm_dse --ports 1 2 4 8 --events
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -437,12 +443,123 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.exec import RunCache
+    from repro.serve.server import serve_forever
+
+    cache = RunCache(args.cache_dir) if args.cache_dir else None
+    store = _artifact_store(args)
+
+    def announce(port: int) -> None:
+        print(f"repro serve listening on http://{args.host}:{port} "
+              f"({args.workers} worker(s))", flush=True)
+
+    try:
+        serve_forever(host=args.host, port=args.port, workers=args.workers,
+                      run_cache=cache, artifact_store=store,
+                      announce=announce)
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: shut down cleanly")
+    return 0
+
+
+def _submit_spec(args: argparse.Namespace) -> dict:
+    """One job spec from the ``repro submit`` arguments."""
+    from repro.workloads import all_workload_names
+
+    spec: dict = {"seed": args.seed, "unroll": args.unroll}
+    target = args.target
+    if target in all_workload_names():
+        spec["workload"] = target
+    elif Path(target).exists():
+        spec["source"] = _read_source(target)
+        spec["func"] = args.func or Path(target).stem
+    else:
+        # Let the server report the unknown workload as a job failure.
+        spec["workload"] = target
+    if args.kind in ("run", "sweep"):
+        spec.update(memory=args.memory, engine=args.engine)
+        if args.kind == "run":
+            spec["ports"] = args.ports[0] if args.ports else 2
+        else:
+            spec["ports"] = args.ports or [1, 2, 4, 8]
+    if args.passes:
+        spec["passes"] = args.passes
+    return spec
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.jobs import JobState
+
+    client = ServeClient(host=args.host, port=args.port)
+    try:
+        job = client.submit(args.kind, _submit_spec(args),
+                            priority=args.priority)
+        print(f"job             : {job['id']} ({args.kind})")
+        if job.get("deduped_of"):
+            print(f"dedup           : coalesced onto {job['deduped_of']} "
+                  "(identical active request)")
+        if args.events and job["state"] in JobState.ACTIVE:
+            for event in client.events(job["id"]):
+                detail = {k: v for k, v in event.items()
+                          if k not in ("seq", "t", "event")}
+                print(f"  event {event['seq']:>3}: {event['event']} "
+                      f"{detail if detail else ''}".rstrip())
+        if not args.no_wait and job["state"] in JobState.ACTIVE:
+            job = client.wait(job["id"], timeout=args.timeout)
+    except ServeError as err:
+        raise SystemExit(f"submit: {err}")
+    except ConnectionError as err:
+        raise SystemExit(f"submit: cannot reach {args.host}:{args.port} "
+                         f"({err}); is `repro serve` running?")
+    print(f"state           : {job['state']}")
+    if job.get("cache_hit"):
+        print("cache hit       : yes (served from the run cache)")
+    if job["state"] == JobState.FAILED:
+        failure = job.get("failure") or {}
+        print(f"FAILED          : {failure.get('error_type')}: "
+              f"{failure.get('message')}")
+        return 1
+    result = job.get("result")
+    if job["state"] == JobState.DONE and result is not None:
+        _print_submit_result(args.kind, result)
+    return 0
+
+
+def _print_submit_result(kind: str, result: dict) -> None:
+    if kind == "run":
+        from repro.exec import RunResult
+
+        run = RunResult.from_dict(result)
+        print(f"cycles          : {run.cycles}")
+        print(f"runtime         : {run.runtime_ns / 1e3:.2f} us")
+        print(f"total power     : {run.power.total_mw:.3f} mW")
+    elif kind == "sweep":
+        from repro.dse import format_table
+
+        print(format_table(result["rows"], title="sweep"))
+        if result.get("failed"):
+            print(f"failed points   : {result['failed']}")
+    elif kind == "compile":
+        status = "store hit" if result.get("store_hit") else "compiled"
+        print(f"artifact        : {result['artifact_key'][:12]} ({status})")
+        print(result["ir"])
+    elif kind == "analyze":
+        diags = result.get("diagnostics", [])
+        print(f"diagnostics     : {len(diags)}")
+        for diag in diags:
+            print(f"  {diag.get('code')} [{diag.get('severity')}] "
+                  f"{diag.get('message')}")
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.engine.bench import check_bench, run_bench, write_bench
 
     payload = run_bench(workloads=args.workloads, unroll=args.unroll,
                         seed=args.seed, quick=args.quick,
-                        repeats=args.repeats)
+                        repeats=args.repeats, serve_jobs=args.serve_jobs)
     path = write_bench(payload, args.out)
     header = (f"{'workload':12s} {'cycles':>10s} {'dynamic':>10s} "
               f"{'graph':>10s} {'speedup':>8s}  identical")
@@ -453,6 +570,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"{row['dynamic_wall_s']:>9.3f}s {row['graph_wall_s']:>9.3f}s "
               f"{row['speedup']:>7.2f}x  "
               f"{'yes' if row['identical_stats'] else 'NO'}")
+    serve = payload.get("serve")
+    if serve:
+        print(f"serve dedup     : {serve['jobs']} duplicate jobs in "
+              f"{serve['duplicate_wall_s']:.3f}s vs distinct in "
+              f"{serve['distinct_wall_s']:.3f}s "
+              f"({serve['dedup_speedup']:.1f}x, "
+              f"{serve['executed']} executed)")
     print(f"wrote {path}")
     failures = check_bench(payload, min_speedup=args.min_speedup)
     for failure in failures:
@@ -461,9 +585,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="gem5-SALAM reproduction toolkit"
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_compile = sub.add_parser("compile", help="compile mini-C to textual IR")
@@ -603,6 +731,56 @@ def build_parser() -> argparse.ArgumentParser:
                               "'run --engine')")
     p_sweep.set_defaults(handler=cmd_sweep)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service job server")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8333,
+                         help="listen port (0 picks an ephemeral one)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="background executor threads draining the "
+                              "job queue")
+    p_serve.add_argument("--cache-dir", metavar="DIR",
+                         help="on-disk run cache shared by every job "
+                              "(in-memory only when omitted)")
+    p_serve.add_argument("--artifact-dir", metavar="DIR",
+                         help="on-disk build-artifact store shared by "
+                              "every job")
+    p_serve.set_defaults(handler=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a job to a running `repro serve` instance")
+    p_submit.add_argument("kind", choices=["compile", "run", "sweep",
+                                           "analyze"])
+    p_submit.add_argument("target",
+                          help="a bundled workload name or a kernel file")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8333)
+    p_submit.add_argument("--ports", type=int, nargs="+",
+                          help="read ports (run uses the first value, "
+                               "sweep runs the whole list)")
+    p_submit.add_argument("--unroll", type=int, default=1)
+    p_submit.add_argument("--seed", type=int, default=7)
+    p_submit.add_argument("--memory", choices=["spm", "cache", "ideal"],
+                          default="spm")
+    p_submit.add_argument("--engine", choices=["dynamic", "graph"],
+                          default="dynamic")
+    p_submit.add_argument("--func", help="entry function for kernel files")
+    p_submit.add_argument("--passes", metavar="SPEC",
+                          help="explicit pass pipeline (see 'compile')")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="higher runs earlier")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="print the job id and return without "
+                               "polling for the result")
+    p_submit.add_argument("--events", action="store_true",
+                          help="stream the job's progress events (SSE) "
+                               "while it runs")
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          help="seconds to wait for completion")
+    p_submit.set_defaults(handler=cmd_submit)
+
     p_bench = sub.add_parser(
         "bench",
         help="benchmark the graph engine against the dynamic engine")
@@ -616,9 +794,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--repeats", type=int, default=3, metavar="N",
                          help="timed repetitions per engine; the minimum "
                               "wall-clock is reported (default: 3)")
-    p_bench.add_argument("--out", metavar="FILE", default="BENCH_6.json",
+    p_bench.add_argument("--out", metavar="FILE", default="BENCH_7.json",
                          help="where to write the JSON record "
-                              "(default: BENCH_6.json)")
+                              "(default: BENCH_7.json)")
+    p_bench.add_argument("--serve-jobs", type=int, default=20, metavar="N",
+                         help="also bench the job server: N duplicate run "
+                              "jobs vs N distinct ones (0 disables; quick "
+                              "mode caps at 5)")
     p_bench.add_argument("--min-speedup", type=float, default=0.0,
                          metavar="RATIO",
                          help="fail unless the graph engine reaches this "
@@ -631,7 +813,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head` that exited early; the
+        # conventional quiet death, not a stack trace.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":  # pragma: no cover

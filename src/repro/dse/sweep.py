@@ -38,6 +38,7 @@ def sweep(
     artifact_store=None,
     pipeline=None,
     engine: str = "dynamic",
+    on_point=None,
 ) -> list[SweepPoint]:
     """Run ``workload`` across the cartesian product of ``param_grid``.
 
@@ -53,7 +54,8 @@ def sweep(
     ``watchdog``) and the build knobs (``artifact_store``,
     ``pipeline`` — see `repro.build`) forward to `ParallelSweep`
     unchanged, as does the execution backend choice (``engine`` — see
-    `repro.engine`).
+    `repro.engine`) and the ``on_point(done, total, point)`` progress
+    callback.
     """
     executor = ParallelSweep(workers=workers, cache=cache, verify=verify,
                              point_timeout=point_timeout, retries=retries,
@@ -61,4 +63,4 @@ def sweep(
                              artifact_store=artifact_store, pipeline=pipeline,
                              engine=engine)
     return executor.run(workload, param_grid, configure, seed=seed,
-                        unroll_factor=unroll_factor)
+                        unroll_factor=unroll_factor, on_point=on_point)

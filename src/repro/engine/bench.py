@@ -77,16 +77,21 @@ def run_bench(
     seed: int = 7,
     quick: bool = False,
     repeats: int = 3,
+    serve_jobs: int = 0,
 ) -> dict:
     """Benchmark every workload on both engines; return the JSON payload.
 
     ``quick`` restricts the set to its first workload (gemm by default)
     and drops to 2 repetitions — the CI smoke configuration.
+    ``serve_jobs > 0`` additionally measures the job-server dedup layer
+    (`repro.serve.bench`): N duplicate run jobs submitted concurrently
+    vs N distinct ones, recorded under a ``serve`` section.
     """
     names = list(workloads) if workloads else list(BENCH_WORKLOADS)
     if quick:
         names = names[:1]
         repeats = min(repeats, 2)
+        serve_jobs = min(serve_jobs, 5)
     payload: dict = {
         "bench": "engine-comparison",
         "unroll": unroll,
@@ -112,6 +117,10 @@ def run_bench(
             "graph_engine_used": graph["engine_used"],
             "graph_fallback_reason": graph["fallback_reason"],
         }
+    if serve_jobs > 0:
+        from repro.serve.bench import run_serve_bench
+
+        payload["serve"] = run_serve_bench(jobs=serve_jobs)
     return payload
 
 

@@ -19,6 +19,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Optional, Union
 
@@ -140,7 +141,12 @@ class RunCache:
         if self.path is not None:
             # Atomic publish: readers either see the old entry, no
             # entry, or the complete new one — never a partial write.
-            tmp = self.path / f"{key}.json.tmp{os.getpid()}"
+            # The temp name is unique per writer *thread*, not just per
+            # process: the job server's worker threads share one cache,
+            # and a pid-only suffix would let two threads interleave
+            # writes into the same temp file.
+            tmp = (self.path
+                   / f"{key}.json.tmp{os.getpid()}.{threading.get_ident()}")
             tmp.write_text(json.dumps(payload, sort_keys=True))
             os.replace(tmp, self.path / f"{key}.json")
 

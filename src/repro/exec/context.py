@@ -162,6 +162,10 @@ class SimContext:
         self._args: Optional[list] = None
         self._ran = False
         self.last_result: Optional[RunResult] = None
+        #: True when the last `run()` was served from the run cache
+        #: (no simulation happened); consumers like `repro.serve` use
+        #: this to report cache hits per request.
+        self.cache_hit = False
 
     @classmethod
     def from_source(
@@ -253,12 +257,14 @@ class SimContext:
         ``ctx.run()`` is always a fresh, deterministic run.
         """
         key: Optional[str] = None
+        self.cache_hit = False
         if self.cache is not None and not self.faults:
             # Faulty runs never touch the cache: an injected corruption
             # must not be served back as a clean result (or vice versa).
             key = self.cache_key()
             cached = self.cache.get(key)
             if cached is not None:
+                self.cache_hit = True
                 self.last_result = cached
                 return cached
         if self._ran:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
@@ -168,6 +168,7 @@ class ParallelSweep:
         configure: Callable[[dict], dict],
         seed: int = 7,
         unroll_factor: int = 1,
+        on_point: Optional[Callable[[int, int, SweepPoint], None]] = None,
     ) -> list[SweepPoint]:
         """Run ``workload`` across the cartesian product of ``param_grid``.
 
@@ -175,6 +176,14 @@ class ParallelSweep:
         arguments of `StandaloneAccelerator` (it may include a 'config'
         DeviceConfig).  Every point runs the same dataset (same seed), so
         differences are purely architectural.
+
+        ``on_point(done, total, point)`` is called in the parent process
+        once per resolved point — cache hits first (grid order), then
+        executed points as they complete (completion order under
+        ``workers>1``) — with ``done`` counting monotonically to
+        ``total``.  Observability only: it never joins cache keys, and
+        both the serial and parallel paths report every point exactly
+        once.
         """
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
@@ -183,6 +192,26 @@ class ParallelSweep:
             kwargs = configure(params)
             kwargs.setdefault("unroll_factor", unroll_factor)
             entries.append((params, kwargs, self._plan_for(params)))
+
+        total = len(entries)
+        done = 0
+
+        def notify(index: int, payload: Optional[dict],
+                   result: Optional[RunResult] = None) -> None:
+            nonlocal done
+            done += 1
+            if on_point is None:
+                return
+            failure = None
+            if payload is not None:
+                failure_dict = payload.get("__failure__")
+                if failure_dict is not None:
+                    failure = FailureRecord.from_dict(failure_dict)
+                else:
+                    result = RunResult.from_dict(payload)
+            on_point(done, total,
+                     SweepPoint(params=entries[index][0], result=result,
+                                failure=failure))
 
         results: list[Optional[RunResult]] = [None] * len(entries)
         failures: list[Optional[FailureRecord]] = [None] * len(entries)
@@ -199,11 +228,14 @@ class ParallelSweep:
                 cached = self.cache.get(key)
                 if cached is not None:
                     results[index] = cached
+                    notify(index, None, result=cached)
                     continue
             pending.append((index, key, kwargs, plan))
 
         modules = self._prebuild(workload, pending)
-        payloads = self._execute(workload, pending, seed, modules)
+        payloads = self._execute(
+            workload, pending, seed, modules,
+            progress=lambda slot, payload: notify(pending[slot][0], payload))
         for (index, key, __, ___), payload in zip(pending, payloads):
             failure_dict = payload.get("__failure__")
             if failure_dict is not None:
@@ -261,16 +293,31 @@ class ParallelSweep:
     def _execute(self, workload: Workload,
                  pending: list[tuple[int, Optional[str], dict,
                                      Optional[FaultPlan]]],
-                 seed: int, modules: list) -> list[dict]:
+                 seed: int, modules: list,
+                 progress: Optional[Callable[[int, dict], None]] = None,
+                 ) -> list[dict]:
         """Run the pending points, preserving submission order.
 
         Pool crashes (a worker segfaults or is OOM-killed) don't discard
         the sweep: completed futures are harvested, only genuinely
         unfinished points are resubmitted (up to ``retries`` times, with
         backoff), and whatever still remains runs serially in-process.
+
+        ``progress(slot, payload)`` fires in the parent exactly once per
+        slot, the moment its payload is first recorded — the retry path
+        can observe the same future twice, so recording (not completion)
+        is the notification point.
         """
         trace = TraceConfig.coerce(self.trace)
         wd_spec = watchdog_spec(self.watchdog)
+        payloads: dict[int, dict] = {}
+
+        def record(slot: int, payload: dict) -> None:
+            if slot in payloads:
+                return
+            payloads[slot] = payload
+            if progress is not None:
+                progress(slot, payload)
 
         def run_inline(slot: int) -> dict:
             __, __, kwargs, plan = pending[slot]
@@ -280,9 +327,10 @@ class ParallelSweep:
                                   self.engine)
 
         if self.workers == 1 or len(pending) <= 1:
-            return [run_inline(slot) for slot in range(len(pending))]
+            for slot in range(len(pending)):
+                record(slot, run_inline(slot))
+            return [payloads[slot] for slot in range(len(pending))]
 
-        payloads: dict[int, dict] = {}
         remaining = list(range(len(pending)))
         attempts = 0
         pool_ok = True
@@ -301,8 +349,11 @@ class ParallelSweep:
                         )
                         for slot in remaining
                     }
-                    for slot, future in futures.items():
-                        payloads[slot] = future.result()
+                    # Harvest in completion order so progress callbacks
+                    # fire as points finish, not in submission order.
+                    slot_of = {future: slot for slot, future in futures.items()}
+                    for future in as_completed(slot_of):
+                        record(slot_of[future], future.result())
                     remaining = []
             except (BrokenProcessPool, PermissionError, OSError):
                 # A worker died mid-flight (or this environment forbids
@@ -312,7 +363,7 @@ class ParallelSweep:
                     if (slot not in payloads and future.done()
                             and not future.cancelled()
                             and future.exception() is None):
-                        payloads[slot] = future.result()
+                        record(slot, future.result())
                 remaining = [slot for slot in remaining if slot not in payloads]
                 if not payloads:
                     # Nothing ever completed: process support is likely
@@ -322,5 +373,5 @@ class ParallelSweep:
         # Leftovers (retry budget exhausted, or no process support at
         # all) degrade to the serial path, which is result-identical.
         for slot in remaining:
-            payloads[slot] = run_inline(slot)
+            record(slot, run_inline(slot))
         return [payloads[slot] for slot in range(len(pending))]

@@ -1,0 +1,62 @@
+"""Serve-layer benchmark: what request dedup is worth.
+
+Starts an in-process `JobServer` (background thread, ephemeral port)
+and submits ``jobs`` run jobs concurrently — once as *duplicates*
+(identical spec: every submission after the first coalesces onto one
+execution or hits the run cache) and once as *distinct* jobs (the seed
+varies, so every one must simulate).  Wall-clock for the duplicate
+batch over wall-clock for the distinct batch is the dedup speedup; on
+a healthy server duplicates are near-free.
+
+The payload lands in the ``serve`` section of ``BENCH_7.json`` next to
+the engine-comparison numbers (see `repro.engine.bench`).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+
+def _submit_batch(client, specs: list[dict], timeout: float = 300.0) -> float:
+    """Submit every spec from its own thread; wall-clock to all-done."""
+    from repro.serve.jobs import JobState
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=len(specs)) as pool:
+        jobs = list(pool.map(lambda spec: client.submit("run", spec), specs))
+    for job in jobs:
+        if job["state"] in JobState.ACTIVE:
+            job = client.wait(job["id"], timeout=timeout)
+        if job["state"] != JobState.DONE:
+            raise RuntimeError(f"bench job {job['id']} ended "
+                               f"{job['state']}: {job.get('failure')}")
+    return time.perf_counter() - start
+
+
+def run_serve_bench(jobs: int = 20, workload: str = "gemm_dse",
+                    workers: int = 2, **spec_extra) -> dict:
+    """Measure duplicate vs distinct batches of ``jobs`` run jobs."""
+    from repro.serve.client import ServeClient
+    from repro.serve.server import start_server_thread
+
+    base = dict(workload=workload, ports=4, unroll=2, **spec_extra)
+    with start_server_thread(workers=workers) as handle:
+        client = ServeClient(port=handle.port)
+        # Warm nothing: the first duplicate executes, the rest coalesce.
+        duplicate_s = _submit_batch(client, [dict(base)] * jobs)
+        distinct_s = _submit_batch(
+            client, [dict(base, seed=100 + i) for i in range(jobs)])
+        stats = client.stats()
+    return {
+        "jobs": jobs,
+        "workload": workload,
+        "workers": workers,
+        "duplicate_wall_s": round(duplicate_s, 6),
+        "distinct_wall_s": round(distinct_s, 6),
+        "dedup_speedup": round(distinct_s / duplicate_s, 3)
+        if duplicate_s > 0 else 0.0,
+        "dedup_hits": stats["queue"]["dedup_hits"],
+        "executed": stats["queue"]["executed"],
+        "run_cache_hits": stats["run_cache"]["hits"],
+    }

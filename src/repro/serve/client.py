@@ -1,0 +1,116 @@
+"""`ServeClient`: the thin stdlib HTTP client for a running `JobServer`.
+
+Used by ``repro submit``, the test suite, and the serve benchmark.
+One method per endpoint, plus `wait()` (poll a job to a terminal
+state) and `events()` (iterate the SSE progress stream as dicts).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterator, Optional
+
+from repro.serve.jobs import JobState
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+
+
+class ServeClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 8333,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read() or b"{}")
+            if response.status >= 400:
+                raise ServeError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def version(self) -> str:
+        return self._request("GET", "/version")["version"]
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, kind: str, spec: dict, priority: int = 0) -> dict:
+        """POST a job; returns the job record (may already be done on a
+        submit-time run-cache hit)."""
+        return self._request("POST", "/v1/jobs", {
+            "kind": kind, "spec": spec, "priority": priority,
+        })["job"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def pause(self) -> None:
+        self._request("POST", "/v1/queue/pause")
+
+    def resume(self) -> None:
+        self._request("POST", "/v1/queue/resume")
+
+    def shutdown(self) -> None:
+        self._request("POST", "/v1/shutdown")
+
+    # -- conveniences --------------------------------------------------
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_s: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] not in JobState.ACTIVE:
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s")
+            time.sleep(poll_s)
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream the job's SSE progress events as dicts (ends when the
+        job reaches a terminal state and the server closes the stream)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise ServeError(response.status,
+                                 json.loads(response.read() or b"{}"))
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if line.startswith("data:"):
+                    yield json.loads(line[len("data:"):])
+        finally:
+            conn.close()

@@ -1,0 +1,290 @@
+"""Job records and the dedup-aware priority queue.
+
+A `Job` is one client request: a kind (compile/run/sweep/analyze), a
+JSON spec, a priority, and a lifecycle
+(``queued -> running -> done | failed``, or ``cancelled`` before it
+ever runs).  Every state change and every progress tick lands on the
+job's ordered event log, which is what the SSE endpoint streams.
+
+`JobQueue` holds the jobs.  Its defining feature is **request dedup**:
+each job carries a content-addressed ``dedup_key`` (for run jobs, the
+run-cache key itself — see `repro.serve.workers.job_dedup_key`), and a
+submission whose key matches a still-active job does not queue a second
+execution.  It becomes a *follower*: a full job record of its own that
+resolves (result, failure, or cancellation of the primary) the moment
+the primary resolves.  Twenty identical submissions cost one
+simulation.
+
+The queue is deliberately lock-free: every mutation happens on the
+server's event loop (workers hand results back via
+``call_soon_threadsafe``), and the unit tests drive it synchronously.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exec.failures import FailureRecord
+
+
+class JobState:
+    """The five job states (plain strings, JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    #: States a job can still leave.
+    ACTIVE = (QUEUED, RUNNING)
+
+
+#: Job kinds the worker pool knows how to execute.
+JOB_KINDS = ("compile", "run", "sweep", "analyze")
+
+
+@dataclass
+class Job:
+    """One submitted request and everything that happened to it."""
+
+    id: str
+    kind: str
+    spec: dict
+    priority: int = 0
+    state: str = JobState.QUEUED
+    #: Content hash of (kind, spec); identical active requests coalesce.
+    dedup_key: Optional[str] = None
+    #: Set on followers: the id of the job actually executing.
+    deduped_of: Optional[str] = None
+    #: True when the result came from the run cache (or a dedup primary
+    #: that itself hit the cache) instead of a fresh simulation.
+    cache_hit: bool = False
+    result: Optional[dict] = None
+    failure: Optional[dict] = None
+    submitted_s: float = field(default_factory=time.time)
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    #: Ordered progress log: [{"seq": n, "t": ..., "event": ..., ...}].
+    events: list = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state not in JobState.ACTIVE
+
+    def publish(self, event: str, **detail) -> None:
+        """Append one progress event (thread-safe: a bare list append)."""
+        self.events.append({
+            "seq": len(self.events),
+            "t": round(time.time(), 6),
+            "event": event,
+            **detail,
+        })
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        payload = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "dedup_key": self.dedup_key,
+            "deduped_of": self.deduped_of,
+            "cache_hit": self.cache_hit,
+            "submitted_s": self.submitted_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "events": len(self.events),
+            "failure": self.failure,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+
+class JobQueue:
+    """Priority queue of jobs with content-addressed request dedup.
+
+    ``claim()`` hands out the highest-priority queued job (FIFO within
+    a priority level); ``resolve()`` finishes it and fans the outcome
+    out to every follower that coalesced onto it.  ``pause()`` stops
+    ``claim()`` from yielding work — submissions still queue — which is
+    both an operational drain switch and what makes cancellation/dedup
+    deterministically testable.
+    """
+
+    def __init__(self) -> None:
+        self.jobs: dict[str, Job] = {}
+        self._heap: list[tuple[int, int, str]] = []
+        self._counter = itertools.count()
+        #: dedup_key -> id of the active (queued/running) primary.
+        self._active_by_key: dict[str, str] = {}
+        #: primary id -> follower ids awaiting its outcome.
+        self._followers: dict[str, list[str]] = {}
+        self.paused = False
+        self.dedup_hits = 0
+        self.executed = 0
+        self.cancelled = 0
+
+    # -- submission ----------------------------------------------------
+    def submit(self, kind: str, spec: dict, priority: int = 0,
+               dedup_key: Optional[str] = None) -> Job:
+        """Queue a request; an identical active one absorbs it instead."""
+        job = Job(id=f"j{next(self._counter):06d}", kind=kind, spec=spec,
+                  priority=priority, dedup_key=dedup_key)
+        self.jobs[job.id] = job
+        job.publish("queued")
+        primary_id = (self._active_by_key.get(dedup_key)
+                      if dedup_key is not None else None)
+        if primary_id is not None:
+            primary = self.jobs[primary_id]
+            job.deduped_of = primary_id
+            job.state = primary.state  # mirrors queued/running
+            self._followers.setdefault(primary_id, []).append(job.id)
+            self.dedup_hits += 1
+            job.publish("deduped", of=primary_id)
+            return job
+        if dedup_key is not None:
+            self._active_by_key[dedup_key] = job.id
+        heapq.heappush(self._heap, (-priority, next(self._counter), job.id))
+        return job
+
+    def finish_immediately(self, job: Job, result: dict,
+                           cache_hit: bool = False) -> None:
+        """Short-circuit a job at submit time (run-cache hit)."""
+        job.started_s = job.finished_s = time.time()
+        job.state = JobState.DONE
+        job.result = result
+        job.cache_hit = cache_hit
+        job.publish("cache_hit" if cache_hit else "done")
+        self._release(job)
+        self._resolve_followers(job)
+
+    # -- worker side ---------------------------------------------------
+    def claim(self) -> Optional[Job]:
+        """Pop the next runnable job, or None (empty or paused)."""
+        if self.paused:
+            return None
+        while self._heap:
+            __, __, job_id = heapq.heappop(self._heap)
+            job = self.jobs[job_id]
+            if job.state != JobState.QUEUED:
+                continue  # cancelled while queued
+            job.state = JobState.RUNNING
+            job.started_s = time.time()
+            job.publish("running")
+            for follower in self._follower_jobs(job):
+                follower.state = JobState.RUNNING
+                follower.started_s = job.started_s
+                follower.publish("running")
+            return job
+        return None
+
+    def resolve(self, job: Job, result: Optional[dict] = None,
+                failure: Optional[FailureRecord] = None,
+                cache_hit: bool = False) -> None:
+        """Finish a claimed job and fan the outcome out to followers."""
+        job.finished_s = time.time()
+        job.result = result
+        job.failure = failure.to_dict() if failure is not None else None
+        job.cache_hit = cache_hit
+        job.state = JobState.FAILED if failure is not None else JobState.DONE
+        job.publish(job.state)
+        self.executed += 1
+        self._release(job)
+        self._resolve_followers(job)
+
+    # -- cancellation --------------------------------------------------
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job (a follower detaches; a running one is
+        past the point of no return and keeps running)."""
+        job = self.jobs[job_id]
+        if job.terminal:
+            return job
+        if job.state == JobState.RUNNING:
+            return job  # can't un-run a simulation; report the state
+        if job.deduped_of is not None:
+            followers = self._followers.get(job.deduped_of, [])
+            if job_id in followers:
+                followers.remove(job_id)
+        else:
+            self._release(job)
+            # Followers of a cancelled primary are promoted: the first
+            # still-queued one becomes the new primary.
+            self._promote_followers(job)
+        job.state = JobState.CANCELLED
+        job.finished_s = time.time()
+        job.publish("cancelled")
+        self.cancelled += 1
+        return job
+
+    # -- internals -----------------------------------------------------
+    def _follower_jobs(self, primary: Job) -> list[Job]:
+        return [self.jobs[fid] for fid in self._followers.get(primary.id, [])]
+
+    def _release(self, job: Job) -> None:
+        if (job.dedup_key is not None
+                and self._active_by_key.get(job.dedup_key) == job.id):
+            del self._active_by_key[job.dedup_key]
+
+    def _resolve_followers(self, primary: Job) -> None:
+        for follower in self._follower_jobs(primary):
+            follower.state = primary.state
+            follower.result = primary.result
+            follower.failure = primary.failure
+            follower.cache_hit = primary.cache_hit
+            follower.finished_s = primary.finished_s
+            follower.publish(primary.state, shared_with=primary.id)
+        self._followers.pop(primary.id, None)
+
+    def _promote_followers(self, cancelled_primary: Job) -> None:
+        followers = self._followers.pop(cancelled_primary.id, [])
+        queued = [fid for fid in followers
+                  if self.jobs[fid].state == JobState.QUEUED]
+        if not queued:
+            return
+        new_primary = self.jobs[queued[0]]
+        new_primary.deduped_of = None
+        if new_primary.dedup_key is not None:
+            self._active_by_key[new_primary.dedup_key] = new_primary.id
+        heapq.heappush(self._heap, (-new_primary.priority,
+                                    next(self._counter), new_primary.id))
+        new_primary.publish("promoted", was_follower_of=cancelled_primary.id)
+        rest = queued[1:]
+        if rest:
+            self._followers[new_primary.id] = rest
+            for fid in rest:
+                self.jobs[fid].deduped_of = new_primary.id
+
+    # -- ops -----------------------------------------------------------
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+
+    def depth(self) -> int:
+        """Jobs still waiting to run (excludes followers and cancels)."""
+        return sum(1 for job in self.jobs.values()
+                   if job.state == JobState.QUEUED and job.deduped_of is None)
+
+    def stats(self) -> dict:
+        by_state: dict[str, int] = {state: 0 for state in JobState.ALL}
+        by_kind: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+            by_kind[job.kind] = by_kind.get(job.kind, 0) + 1
+        return {
+            "depth": self.depth(),
+            "paused": self.paused,
+            "jobs": len(self.jobs),
+            "by_state": by_state,
+            "by_kind": by_kind,
+            "dedup_hits": self.dedup_hits,
+            "executed": self.executed,
+            "cancelled": self.cancelled,
+        }

@@ -1,0 +1,362 @@
+"""The asyncio HTTP/JSON front door (``repro serve``).
+
+Stdlib-only by design: requests are parsed directly off an
+``asyncio.start_server`` stream (request line, headers, Content-Length
+body), responses are JSON with ``Connection: close``.  That is all a
+job API needs, keeps the dependency count at zero, and makes the whole
+server one readable file.
+
+Endpoints::
+
+    POST   /v1/jobs             submit {"kind", "spec", "priority"}
+    GET    /v1/jobs             list job summaries (?state=queued,...)
+    GET    /v1/jobs/{id}        one job, including its result payload
+    GET    /v1/jobs/{id}/events live SSE progress stream
+    DELETE /v1/jobs/{id}        cancel (queued jobs only)
+    GET    /v1/stats            queue depth, cache hit rates, counters
+    POST   /v1/queue/pause      stop handing out work (drain switch)
+    POST   /v1/queue/resume     resume
+    POST   /v1/shutdown         graceful stop
+    GET    /healthz             liveness probe
+    GET    /version             repro.__version__
+
+Submissions dedup through the `JobQueue`; additionally, a run job whose
+run-cache key is already in the cache completes *at submit time* — the
+POST response itself carries ``state: done, cache_hit: true`` — which
+is what makes repeated interactive DSE queries sub-second.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import threading
+import time
+from typing import Optional
+
+from repro.serve.jobs import JOB_KINDS, JobQueue, JobState
+from repro.serve.workers import (
+    ServerState,
+    SpecError,
+    WorkerPool,
+    job_dedup_key,
+)
+
+_JOB_PATH = re.compile(r"^/v1/jobs/([a-z0-9]+)(/events)?$")
+
+#: How often the SSE stream checks a job's event log for news.
+_SSE_POLL_S = 0.05
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+_REASONS = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            500: "Internal Server Error"}
+
+
+class JobServer:
+    """One listening socket, one `JobQueue`, one `WorkerPool`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 2, run_cache=None, artifact_store=None,
+                 verify: bool = True) -> None:
+        self.host = host
+        self.port = port
+        self.verify = verify
+        self.queue = JobQueue()
+        self.state = ServerState(run_cache=run_cache,
+                                 artifact_store=artifact_store)
+        self.pool = WorkerPool(self.queue, self.state, workers=workers)
+        self.started_s = time.time()
+        self.requests = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> int:
+        """Bind, start workers; returns the actual port (ephemeral-safe)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        await self.pool.start()
+        return self.port
+
+    async def serve_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        await self.pool.stop()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- request plumbing ----------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            method, path, body = await self._read_request(reader)
+            self.requests += 1
+            if path.endswith("/events"):
+                await self._stream_events(writer, path)
+            else:
+                status, payload = self._route(method, path, body)
+                await self._respond(writer, status, payload)
+        except HttpError as err:
+            await self._respond(writer, err.status, {"error": err.message})
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request
+        except Exception as exc:  # noqa: BLE001 - the server must survive
+            try:
+                await self._respond(writer, 500,
+                                    {"error": f"{type(exc).__name__}: {exc}"})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(reader) -> tuple[str, str, dict]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) < 2:
+            raise HttpError(400, f"malformed request line: {request_line!r}")
+        # Query strings are tolerated but unused: every resource is
+        # addressed purely by path.
+        method, path = parts[0].upper(), parts[1].partition("?")[0]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, __, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        body: dict = {}
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                raise HttpError(400, "request body is not valid JSON")
+            if not isinstance(body, dict):
+                raise HttpError(400, "request body must be a JSON object")
+        return method, path, body
+
+    @staticmethod
+    async def _respond(writer, status: int, payload: dict) -> None:
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(blob)}\r\n"
+                "Connection: close\r\n\r\n").encode("latin-1")
+        writer.write(head + blob)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------
+    def _route(self, method: str, path: str, body: dict) -> tuple[int, dict]:
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok", "uptime_s": self._uptime()}
+        if path == "/version" and method == "GET":
+            import repro
+
+            return 200, {"version": repro.__version__}
+        if path == "/v1/stats" and method == "GET":
+            return 200, self._stats()
+        if path == "/v1/jobs" and method == "POST":
+            return self._submit(body)
+        if path == "/v1/jobs" and method == "GET":
+            return 200, self._list_jobs()
+        if path == "/v1/queue/pause" and method == "POST":
+            self.queue.pause()
+            return 200, {"paused": True}
+        if path == "/v1/queue/resume" and method == "POST":
+            self.queue.resume()
+            return 200, {"paused": False}
+        if path == "/v1/shutdown" and method == "POST":
+            self._shutdown.set()
+            return 200, {"shutting_down": True}
+        match = _JOB_PATH.match(path)
+        if match and not match.group(2):
+            job = self.queue.jobs.get(match.group(1))
+            if job is None:
+                raise HttpError(404, f"no such job: {match.group(1)}")
+            if method == "GET":
+                return 200, {"job": job.to_dict()}
+            if method == "DELETE":
+                before = job.state
+                job = self.queue.cancel(job.id)
+                if job.state != JobState.CANCELLED and before == job.state:
+                    return 409, {"job": job.to_dict(include_result=False),
+                                 "error": f"job is {job.state}, "
+                                          "not cancellable"}
+                return 200, {"job": job.to_dict(include_result=False)}
+            raise HttpError(405, f"{method} not allowed here")
+        raise HttpError(404, f"no route for {method} {path}")
+
+    def _submit(self, body: dict) -> tuple[int, dict]:
+        kind = body.get("kind")
+        if kind not in JOB_KINDS:
+            raise HttpError(400, f"bad kind {kind!r} "
+                                 f"(expected one of {', '.join(JOB_KINDS)})")
+        spec = body.get("spec")
+        if not isinstance(spec, dict):
+            raise HttpError(400, "spec must be a JSON object")
+        if not self.verify:
+            spec = dict(spec, verify=False)
+        key = job_dedup_key(kind, spec)
+        job = self.queue.submit(kind, spec, priority=int(body.get("priority", 0)),
+                                dedup_key=key)
+        if job.deduped_of is None and kind == "run":
+            cached = self._probe_run_cache(spec)
+            if cached is not None:
+                self.queue.finish_immediately(job, cached, cache_hit=True)
+        return 201, {"job": job.to_dict()}
+
+    def _probe_run_cache(self, spec: dict) -> Optional[dict]:
+        """Submit-time fast path: an already-cached run completes now."""
+        from repro.exec.cache import run_cache_key
+        from repro.serve.workers import _spec_workload, run_spec_kwargs
+
+        try:
+            workload = _spec_workload(spec)
+            key = run_cache_key(workload.source, workload.func_name,
+                                seed=int(spec.get("seed", 7)),
+                                **run_spec_kwargs(spec))
+        except Exception:  # noqa: BLE001 - unkeyable spec: just queue it
+            return None
+        cached = self.state.run_cache.get(key)
+        return cached.to_dict() if cached is not None else None
+
+    def _list_jobs(self) -> dict:
+        return {"jobs": [job.to_dict(include_result=False)
+                         for job in self.queue.jobs.values()]}
+
+    def _stats(self) -> dict:
+        stats = {
+            "queue": self.queue.stats(),
+            "workers": self.pool.workers,
+            "uptime_s": self._uptime(),
+            "requests": self.requests,
+        }
+        stats.update(self.state.cache_stats())
+        return stats
+
+    def _uptime(self) -> float:
+        return round(time.time() - self.started_s, 3)
+
+    # -- SSE -----------------------------------------------------------
+    async def _stream_events(self, writer, path: str) -> None:
+        match = _JOB_PATH.match(path)
+        job = self.queue.jobs.get(match.group(1)) if match else None
+        if job is None:
+            raise HttpError(404, f"no such job: {path}")
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-cache\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        sent = 0
+        while True:
+            # The worker thread only ever appends; reading a snapshot of
+            # the tail is race-free.
+            events = job.events
+            while sent < len(events):
+                blob = json.dumps(events[sent], sort_keys=True)
+                writer.write(f"data: {blob}\n\n".encode("utf-8"))
+                sent += 1
+            await writer.drain()
+            if job.terminal and sent >= len(job.events):
+                break
+            await asyncio.sleep(_SSE_POLL_S)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+async def _serve_async(server: JobServer, announce=None) -> None:
+    port = await server.start()
+    if announce is not None:
+        announce(port)
+    await server.serve_until_shutdown()
+
+
+def serve_forever(host: str = "127.0.0.1", port: int = 8333,
+                  workers: int = 2, run_cache=None, artifact_store=None,
+                  verify: bool = True, announce=None) -> None:
+    """Blocking entry point behind ``repro serve``."""
+    server = JobServer(host=host, port=port, workers=workers,
+                       run_cache=run_cache, artifact_store=artifact_store,
+                       verify=verify)
+    asyncio.run(_serve_async(server, announce=announce))
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, bench, CI)."""
+
+    def __init__(self, server: JobServer, thread: threading.Thread,
+                 port: int) -> None:
+        self.server = server
+        self.thread = thread
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self.thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server._shutdown.set)
+        self.thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_server_thread(host: str = "127.0.0.1", port: int = 0,
+                        workers: int = 2, run_cache=None,
+                        artifact_store=None, verify: bool = True,
+                        timeout: float = 10.0) -> ServerHandle:
+    """Start a `JobServer` on its own thread + event loop; returns a
+    handle with the bound (ephemeral) port."""
+    server = JobServer(host=host, port=port, workers=workers,
+                       run_cache=run_cache, artifact_store=artifact_store,
+                       verify=verify)
+    ready = threading.Event()
+    bound: dict = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        handle._loop = loop
+
+        async def main() -> None:
+            bound["port"] = await server.start()
+            ready.set()
+            await server.serve_until_shutdown()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="repro-serve", daemon=True)
+    handle = ServerHandle(server, thread, 0)
+    thread.start()
+    if not ready.wait(timeout=timeout):
+        raise RuntimeError("server failed to start within "
+                           f"{timeout}s")
+    handle.port = bound["port"]
+    return handle

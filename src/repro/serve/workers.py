@@ -1,0 +1,338 @@
+"""Job execution: spec -> simulation, off the event loop.
+
+One function per job kind, all with the same shape
+``(spec, state, publish) -> result dict``:
+
+* ``compile`` — `build_module` through the shared `ArtifactStore`;
+  returns the printed IR and the artifact key.
+* ``run`` — one `SimContext` lifecycle through the shared `RunCache`;
+  the result dict is byte-identical to a direct `SimContext.run`.
+* ``sweep`` — a hardened `ParallelSweep` over a port grid; per-point
+  progress (the new ``on_point`` callback) is published to the job's
+  event log, which the SSE endpoint streams live.
+* ``analyze`` — IR lints + memory-dependence report as JSON.
+
+`WorkerPool` owns N asyncio worker tasks that claim jobs from the
+`JobQueue` and run these bodies in a `ThreadPoolExecutor`, so the
+event loop keeps answering ``/healthz`` (and accepting submissions that
+may dedup onto the running job) while simulations grind.  Anything a
+body raises is folded into a per-job `FailureRecord` — a crashing job
+marks itself ``failed``; the worker and the server keep serving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+
+from repro.exec.cache import RunCache, run_cache_key
+from repro.exec.failures import FailureRecord
+from repro.serve.jobs import JOB_KINDS, Job, JobQueue
+
+
+class SpecError(ValueError):
+    """A job spec the workers cannot execute (client error, HTTP 400)."""
+
+
+# ----------------------------------------------------------------------
+# Spec handling
+# ----------------------------------------------------------------------
+def run_spec_kwargs(spec: dict) -> dict:
+    """`StandaloneAccelerator` kwargs for a run/sweep spec.
+
+    Mirrors ``repro run``'s defaults exactly, so a job submitted over
+    HTTP and a CLI run of the same parameters share one run-cache key.
+    """
+    from repro.core.config import DeviceConfig
+
+    ports = int(spec.get("ports", 2))
+    memory = spec.get("memory", "spm")
+    if memory not in ("spm", "cache", "ideal"):
+        raise SpecError(f"bad memory '{memory}' (spm|cache|ideal)")
+    config = DeviceConfig(
+        clock_freq_hz=float(spec.get("clock_mhz", 100.0)) * 1e6,
+        read_ports=ports,
+        write_ports=max(1, ports // 2),
+        fu_limits={str(k): int(v)
+                   for k, v in (spec.get("fu_limits") or {}).items()},
+    )
+    kwargs = dict(config=config, memory=memory,
+                  unroll_factor=int(spec.get("unroll", 1)))
+    if memory in ("spm", "ideal"):
+        kwargs.update(spm_bytes=int(spec.get("spm_bytes", 1 << 16)),
+                      spm_read_ports=ports)
+    return kwargs
+
+
+def _spec_workload(spec: dict):
+    from repro.workloads import get_workload
+
+    name = spec.get("workload")
+    if not name:
+        raise SpecError("spec needs a 'workload' name")
+    return get_workload(name)
+
+
+def job_dedup_key(kind: str, spec: dict) -> str:
+    """Content-addressed identity of one request.
+
+    Run jobs reuse the run-cache key itself, so "identical request"
+    and "identical cached result" are literally the same equivalence
+    class; other kinds hash their canonical spec.  A spec too broken
+    to key still gets a (unique-enough) hash — it will queue, fail in
+    the worker, and report a proper `FailureRecord`.
+    """
+    if kind == "run":
+        try:
+            workload = _spec_workload(spec)
+            return "run:" + run_cache_key(
+                workload.source, workload.func_name,
+                seed=int(spec.get("seed", 7)), **run_spec_kwargs(spec))
+        except Exception:  # noqa: BLE001 - fall through to the spec hash
+            pass
+    blob = json.dumps({"kind": kind, "spec": spec}, sort_keys=True,
+                      separators=(",", ":"), default=str)
+    return f"{kind}:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Job bodies
+# ----------------------------------------------------------------------
+def _job_compile(spec: dict, state: "ServerState", publish) -> dict:
+    from repro.build import build_module
+    from repro.ir.printer import print_module
+
+    source = spec.get("source")
+    if not source:
+        workload = _spec_workload(spec)
+        source, func = workload.source, workload.func_name
+    else:
+        func = spec.get("func", "module")
+    publish("compiling")
+    artifact = build_module(source, func,
+                            pipeline=spec.get("passes"),
+                            unroll_factor=int(spec.get("unroll", 1)),
+                            store=state.artifact_store)
+    return {
+        "ir": print_module(artifact.module),
+        "artifact_key": artifact.key,
+        "store_hit": bool(artifact.meta.get("cached")),
+    }
+
+
+def _job_run(spec: dict, state: "ServerState", publish) -> dict:
+    from repro.exec.context import SimContext
+
+    workload = _spec_workload(spec)
+    ctx = SimContext(workload, seed=int(spec.get("seed", 7)),
+                     verify=bool(spec.get("verify", True)),
+                     cache=state.run_cache,
+                     artifact_store=state.artifact_store,
+                     engine=spec.get("engine", "dynamic"),
+                     timeout_s=spec.get("timeout_s"),
+                     **run_spec_kwargs(spec))
+    # Probe before building so a cache hit never pays a compile
+    # (`in` is accounting-neutral; `run()` below does the counted get).
+    will_hit = (state.run_cache is not None
+                and ctx.cache_key() in state.run_cache)
+    if not will_hit:
+        publish("compiling")
+        ctx.build()
+        ctx.stage()
+        publish("running", engine=ctx.engine)
+    result = ctx.run()
+    publish("cache_hit" if ctx.cache_hit else "ran",
+            cycles=result.cycles)
+    payload = result.to_dict()
+    payload["__cache_hit__"] = ctx.cache_hit
+    return payload
+
+
+def _job_sweep(spec: dict, state: "ServerState", publish) -> dict:
+    from repro.core.config import DeviceConfig
+    from repro.dse import pareto_front
+    from repro.exec.parallel import ParallelSweep
+
+    workload = _spec_workload(spec)
+    ports = [int(p) for p in spec.get("ports", [1, 2, 4, 8])]
+
+    def configure(params):
+        point_spec = dict(spec, ports=params["ports"])
+        return run_spec_kwargs(point_spec)
+
+    def on_point(done, total, point):
+        publish("point", done=done, total=total, params=point.params,
+                ok=point.ok, cycles=point.cycles)
+
+    executor = ParallelSweep(
+        workers=int(spec.get("sweep_workers", 1)),
+        cache=state.run_cache,
+        verify=bool(spec.get("verify", True)),
+        point_timeout=spec.get("point_timeout"),
+        retries=int(spec.get("retries", 0)),
+        artifact_store=state.artifact_store,
+        engine=spec.get("engine", "dynamic"),
+    )
+    publish("compiling")
+    points = executor.run(workload, {"ports": ports}, configure,
+                          seed=int(spec.get("seed", 7)),
+                          unroll_factor=int(spec.get("unroll", 1)),
+                          on_point=on_point)
+    healthy = [p for p in points if p.ok]
+    front = pareto_front(healthy,
+                         objectives=lambda p: (p.runtime_us, p.power_mw))
+    rows = []
+    for point in points:
+        row = point.record()
+        row["pareto"] = point in front
+        rows.append(row)
+    return {"rows": rows, "failed": sum(1 for p in points if not p.ok)}
+
+
+def _job_analyze(spec: dict, state: "ServerState", publish) -> dict:
+    from repro.analysis import AnalysisReport, lint_function
+    from repro.analysis.memdep import memdep_diagnostics
+    from repro.build import build_module
+
+    source = spec.get("source")
+    if source:
+        label = func = spec.get("func", "module")
+        unroll = int(spec.get("unroll", 1))
+    else:
+        workload = _spec_workload(spec)
+        source, func = workload.source, workload.func_name
+        label = workload.name
+        unroll = int(spec.get("unroll", workload.default_unroll))
+    publish("compiling")
+    artifact = build_module(source, func, unroll_factor=unroll,
+                            pipeline=spec.get("passes"),
+                            store=state.artifact_store)
+    module = artifact.module
+    publish("linting")
+    report = AnalysisReport(subject=label)
+    for function in module:
+        if not function.blocks:
+            continue
+        lint_function(function, module, report=report)
+        report.extend(memdep_diagnostics(function))
+    return json.loads(report.render_json())
+
+
+_BODIES: dict[str, Callable] = {
+    "compile": _job_compile,
+    "run": _job_run,
+    "sweep": _job_sweep,
+    "analyze": _job_analyze,
+}
+assert set(_BODIES) == set(JOB_KINDS)
+
+
+class ServerState:
+    """Everything the job bodies share: the caches and counters.
+
+    Both caches default to in-memory instances, so even a bare
+    ``repro serve`` dedups repeat compiles and runs across jobs;
+    ``--cache-dir``/``--artifact-dir`` make them survive restarts.
+    """
+
+    def __init__(self, run_cache: Optional[RunCache] = None,
+                 artifact_store=None) -> None:
+        from repro.build.store import ArtifactStore
+
+        self.run_cache = run_cache if run_cache is not None else RunCache()
+        self.artifact_store = (artifact_store if artifact_store is not None
+                               else ArtifactStore())
+
+    def cache_stats(self) -> dict:
+        from repro.build import STAGE_COUNTERS
+
+        stats = {
+            "run_cache": {
+                "entries": len(self.run_cache),
+                "hits": self.run_cache.hits,
+                "misses": self.run_cache.misses,
+                "quarantined": self.run_cache.quarantined,
+            },
+            "stage_counters": STAGE_COUNTERS.snapshot(),
+        }
+        store = self.artifact_store
+        stats["artifact_store"] = {
+            "entries": len(store),
+            "hits": store.hits,
+            "misses": store.misses,
+            "quarantined": store.quarantined,
+        }
+        return stats
+
+
+def execute_job(job: Job, state: ServerState) -> tuple[Optional[dict],
+                                                       Optional[FailureRecord],
+                                                       bool]:
+    """Run one job body; returns ``(result, failure, cache_hit)``.
+
+    Runs inside an executor thread.  ``job.publish`` is the only thing
+    it touches concurrently with the event loop, and that is a bare
+    list append.
+    """
+    body = _BODIES.get(job.kind)
+    try:
+        if body is None:
+            raise SpecError(f"unknown job kind '{job.kind}' "
+                            f"(expected one of {', '.join(JOB_KINDS)})")
+        result = body(job.spec, state, job.publish)
+        cache_hit = bool(result.pop("__cache_hit__", False))
+        return result, None, cache_hit
+    except Exception as exc:  # noqa: BLE001 - jobs fail, servers don't
+        return None, FailureRecord.from_exception(exc), False
+
+
+class WorkerPool:
+    """N asyncio worker tasks draining the queue via executor threads."""
+
+    def __init__(self, queue: JobQueue, state: ServerState,
+                 workers: int = 2, poll_s: float = 0.02) -> None:
+        self.queue = queue
+        self.state = state
+        self.workers = max(1, int(workers))
+        self.poll_s = poll_s
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._tasks: list = []
+        self._stopping = False
+
+    async def start(self) -> None:
+        import asyncio
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve")
+        self._tasks = [asyncio.create_task(self._worker_loop(i))
+                       for i in range(self.workers)]
+
+    async def _worker_loop(self, index: int) -> None:
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            job = self.queue.claim()
+            if job is None:
+                await asyncio.sleep(self.poll_s)
+                continue
+            result, failure, cache_hit = await loop.run_in_executor(
+                self._executor, execute_job, job, self.state)
+            self.queue.resolve(job, result=result, failure=failure,
+                               cache_hit=cache_hit)
+
+    async def stop(self) -> None:
+        import asyncio
+
+        self._stopping = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)

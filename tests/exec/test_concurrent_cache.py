@@ -1,0 +1,119 @@
+"""Concurrent writers on the content-addressed caches.
+
+The job server shares one `RunCache`/`ArtifactStore` across worker
+threads, and parallel sweeps share the on-disk mirrors across
+processes.  Many writers racing on the *same* key is therefore a
+normal Tuesday: every `put` must land atomically (temp + rename), every
+subsequent `get` must return a valid entry, and nothing may end up
+quarantined.
+"""
+
+import threading
+
+import pytest
+
+from repro.build import ArtifactStore, build_module
+from repro.core.config import DeviceConfig
+from repro.exec import RunCache, SimContext
+from repro.exec.cache import run_cache_key
+from repro.workloads import get_workload
+
+THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    """One real RunResult to hammer the cache with."""
+    return SimContext(get_workload("gemm_dse"),
+                      config=DeviceConfig(read_ports=2), memory="spm",
+                      spm_bytes=1 << 16).run()
+
+
+def hammer(fn):
+    """Run ``fn`` from THREADS threads released by a barrier at once."""
+    barrier = threading.Barrier(THREADS)
+    errors = []
+
+    def worker():
+        try:
+            barrier.wait()
+            fn()
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for __ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+
+
+def test_runcache_concurrent_same_key_puts(tmp_path, run_result):
+    cache = RunCache(tmp_path)
+    workload = get_workload("gemm_dse")
+    key = run_cache_key(workload.source, workload.func_name, seed=7)
+
+    hammer(lambda: cache.put(key, run_result))
+
+    assert cache.quarantined == 0
+    assert not list(tmp_path.glob("*.corrupt"))
+    assert not list(tmp_path.glob("*.tmp*"))
+    # A fresh cache (cold memory, must read the disk entry) sees a
+    # complete, valid payload.
+    fresh = RunCache(tmp_path)
+    cached = fresh.get(key)
+    assert cached is not None
+    assert cached.to_dict() == run_result.to_dict()
+    assert fresh.quarantined == 0
+
+
+def test_runcache_concurrent_distinct_key_puts(tmp_path, run_result):
+    cache = RunCache(tmp_path)
+    keys = [f"{i:064d}" for i in range(THREADS)]
+    counter = iter(range(THREADS))
+    lock = threading.Lock()
+
+    def put_one():
+        with lock:
+            key = keys[next(counter)]
+        cache.put(key, run_result)
+
+    hammer(put_one)
+    fresh = RunCache(tmp_path)
+    assert all(fresh.get(key) is not None for key in keys)
+    assert fresh.quarantined == 0
+
+
+def test_artifact_store_concurrent_same_key_puts(tmp_path):
+    artifact = build_module(get_workload("gemm_dse").source, "gemm_dse")
+    store = ArtifactStore(tmp_path)
+
+    hammer(lambda: store.put(artifact.key, artifact))
+
+    assert store.quarantined == 0
+    assert not list(tmp_path.glob("*.corrupt"))
+    assert not list(tmp_path.glob("*.tmp*"))
+    fresh = ArtifactStore(tmp_path)
+    loaded = fresh.get(artifact.key)
+    assert loaded is not None
+    assert loaded.key == artifact.key
+    assert fresh.quarantined == 0
+    # The rehydrated module still elaborates (i.e. it is not a torn write).
+    assert "gemm_dse" in loaded.module.functions
+
+
+def test_concurrent_put_get_mix(tmp_path, run_result):
+    """Readers racing writers see either a miss or a complete entry."""
+    cache = RunCache(tmp_path)
+    key = "ab" * 32
+    seen = []
+
+    def read_or_write():
+        cache.put(key, run_result)
+        got = RunCache(tmp_path).get(key)  # cold read straight from disk
+        seen.append(got)
+
+    hammer(read_or_write)
+    assert all(entry is not None for entry in seen)
+    assert all(entry.to_dict() == run_result.to_dict() for entry in seen)

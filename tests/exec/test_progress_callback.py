@@ -1,0 +1,99 @@
+"""`ParallelSweep.run(on_point=...)`: observable sweep progress.
+
+The serve layer's SSE stream is built on this callback, so the contract
+matters: every point is reported exactly once, ``done`` counts
+monotonically to ``total``, and the serial and parallel paths agree on
+the final count.
+"""
+
+import pytest
+
+from repro.core.config import DeviceConfig
+from repro.exec import ParallelSweep, RunCache, SweepPoint
+from repro.workloads import get_workload
+
+
+def configure(params):
+    return dict(config=DeviceConfig(read_ports=params["ports"]),
+                memory="spm", spm_bytes=1 << 16,
+                spm_read_ports=params["ports"])
+
+
+def run_with_callback(workers, cache=None, faults=None):
+    calls = []
+
+    def on_point(done, total, point):
+        calls.append((done, total, point))
+
+    points = ParallelSweep(workers=workers, cache=cache,
+                           faults=faults).run(
+        get_workload("gemm_dse"), {"ports": [1, 2]}, configure,
+        on_point=on_point)
+    return points, calls
+
+
+def check_contract(points, calls):
+    assert len(calls) == len(points) == 2
+    assert [done for done, __, __ in calls] == [1, 2]
+    assert all(total == 2 for __, total, __ in calls)
+    assert all(isinstance(point, SweepPoint) for __, __, point in calls)
+    # Every grid point is reported exactly once (order may differ).
+    reported = sorted(point.params["ports"] for __, __, point in calls)
+    assert reported == [1, 2]
+
+
+def test_serial_reports_every_point():
+    points, calls = run_with_callback(workers=1)
+    check_contract(points, calls)
+    # The callback's points carry the same metrics as the returned rows.
+    by_ports = {p.params["ports"]: p for __, __, p in calls}
+    for point in points:
+        assert by_ports[point.params["ports"]].cycles == point.cycles
+
+
+def test_parallel_reports_same_final_count():
+    serial_points, serial_calls = run_with_callback(workers=1)
+    parallel_points, parallel_calls = run_with_callback(workers=2)
+    check_contract(parallel_points, parallel_calls)
+    assert len(parallel_calls) == len(serial_calls)
+    # Byte-identical results regardless of the execution path.
+    assert [p.record() for p in parallel_points] \
+        == [p.record() for p in serial_points]
+
+
+def test_cache_hits_are_reported_too():
+    cache = RunCache()
+    __, first_calls = run_with_callback(workers=1, cache=cache)
+    assert len(first_calls) == 2
+    points, second_calls = run_with_callback(workers=1, cache=cache)
+    # Fully cached sweep: every point still reported, now in grid order.
+    assert [done for done, __, __ in second_calls] == [1, 2]
+    assert [p.params["ports"] for __, __, p in second_calls] == [1, 2]
+    assert all(p.ok for __, __, p in second_calls)
+    assert cache.hits == 2
+
+
+def test_failed_points_are_reported():
+    flip = "bit_flip@spm:access=1,addr=0x20000007,bit=6"
+    points, calls = run_with_callback(
+        workers=1, faults=lambda p: flip if p["ports"] == 2 else None)
+    assert len(calls) == 2
+    failed = [p for __, __, p in calls if not p.ok]
+    assert len(failed) == 1
+    assert failed[0].failure is not None
+
+
+def test_no_callback_still_works():
+    points = ParallelSweep(workers=1).run(
+        get_workload("gemm_dse"), {"ports": [1]}, configure)
+    assert points[0].ok
+
+
+def test_callback_exception_propagates():
+    def exploding(done, total, point):
+        raise RuntimeError("observer crashed")
+
+    with pytest.raises(RuntimeError, match="observer crashed"):
+        ParallelSweep(workers=1).run(
+            get_workload("gemm_dse"), {"ports": [1]}, configure,
+            on_point=exploding)

@@ -1,0 +1,181 @@
+"""JobQueue unit tests: priorities, dedup, cancellation, lifecycle."""
+
+from repro.exec.failures import FailureRecord
+from repro.serve.jobs import JobQueue, JobState
+
+
+def make_failure(message="boom"):
+    try:
+        raise ValueError(message)
+    except ValueError as exc:
+        return FailureRecord.from_exception(exc)
+
+
+def test_fifo_within_priority():
+    queue = JobQueue()
+    first = queue.submit("run", {"n": 1})
+    second = queue.submit("run", {"n": 2})
+    assert queue.claim() is first
+    assert queue.claim() is second
+    assert queue.claim() is None
+
+
+def test_higher_priority_runs_first():
+    queue = JobQueue()
+    low = queue.submit("run", {"n": 1}, priority=0)
+    high = queue.submit("run", {"n": 2}, priority=5)
+    mid = queue.submit("run", {"n": 3}, priority=1)
+    assert [queue.claim() for __ in range(3)] == [high, mid, low]
+
+
+def test_claim_transitions_to_running():
+    queue = JobQueue()
+    job = queue.submit("run", {})
+    assert job.state == JobState.QUEUED
+    claimed = queue.claim()
+    assert claimed.state == JobState.RUNNING
+    assert claimed.started_s is not None
+    queue.resolve(claimed, result={"answer": 42})
+    assert claimed.state == JobState.DONE
+    assert claimed.result == {"answer": 42}
+    assert claimed.finished_s is not None
+    assert queue.executed == 1
+
+
+def test_dedup_coalesces_identical_requests():
+    queue = JobQueue()
+    primary = queue.submit("run", {"spec": 1}, dedup_key="k1")
+    follower = queue.submit("run", {"spec": 1}, dedup_key="k1")
+    assert follower.deduped_of == primary.id
+    assert queue.dedup_hits == 1
+    # Only the primary is ever handed to a worker.
+    assert queue.claim() is primary
+    assert follower.state == JobState.RUNNING  # mirrors the primary
+    assert queue.claim() is None
+    queue.resolve(primary, result={"cycles": 9})
+    assert follower.state == JobState.DONE
+    assert follower.result == {"cycles": 9}
+    assert queue.executed == 1
+
+
+def test_dedup_failure_fans_out_to_followers():
+    queue = JobQueue()
+    primary = queue.submit("run", {}, dedup_key="k")
+    follower = queue.submit("run", {}, dedup_key="k")
+    queue.claim()
+    queue.resolve(primary, failure=make_failure())
+    assert primary.state == JobState.FAILED
+    assert follower.state == JobState.FAILED
+    assert follower.failure["error_type"] == "ValueError"
+
+
+def test_dedup_key_released_after_resolution():
+    queue = JobQueue()
+    first = queue.submit("run", {}, dedup_key="k")
+    queue.claim()
+    queue.resolve(first, result={})
+    again = queue.submit("run", {}, dedup_key="k")
+    assert again.deduped_of is None  # a finished job no longer absorbs
+
+
+def test_distinct_keys_do_not_coalesce():
+    queue = JobQueue()
+    a = queue.submit("run", {}, dedup_key="ka")
+    b = queue.submit("run", {}, dedup_key="kb")
+    assert b.deduped_of is None
+    assert [queue.claim(), queue.claim()] == [a, b]
+
+
+def test_cancel_queued_job_never_runs():
+    queue = JobQueue()
+    job = queue.submit("run", {})
+    cancelled = queue.cancel(job.id)
+    assert cancelled.state == JobState.CANCELLED
+    assert queue.claim() is None
+    assert queue.executed == 0
+    assert queue.cancelled == 1
+
+
+def test_cancel_running_job_is_refused():
+    queue = JobQueue()
+    job = queue.submit("run", {})
+    queue.claim()
+    assert queue.cancel(job.id).state == JobState.RUNNING
+
+
+def test_cancel_follower_leaves_primary_queued():
+    queue = JobQueue()
+    primary = queue.submit("run", {}, dedup_key="k")
+    follower = queue.submit("run", {}, dedup_key="k")
+    queue.cancel(follower.id)
+    assert follower.state == JobState.CANCELLED
+    assert queue.claim() is primary
+    queue.resolve(primary, result={"ok": True})
+    # The cancelled follower must not be resurrected by the fan-out.
+    assert follower.state == JobState.CANCELLED
+    assert follower.result is None
+
+
+def test_cancel_primary_promotes_first_queued_follower():
+    queue = JobQueue()
+    primary = queue.submit("run", {"n": 1}, dedup_key="k")
+    f1 = queue.submit("run", {"n": 1}, dedup_key="k")
+    f2 = queue.submit("run", {"n": 1}, dedup_key="k")
+    queue.cancel(primary.id)
+    assert primary.state == JobState.CANCELLED
+    assert f1.deduped_of is None  # promoted
+    assert f2.deduped_of == f1.id  # re-attached to the new primary
+    claimed = queue.claim()
+    assert claimed is f1
+    queue.resolve(claimed, result={"v": 1})
+    assert f2.state == JobState.DONE
+    assert f2.result == {"v": 1}
+
+
+def test_pause_blocks_claims_but_not_submissions():
+    queue = JobQueue()
+    queue.pause()
+    job = queue.submit("run", {})
+    assert queue.claim() is None
+    assert job.state == JobState.QUEUED
+    queue.resume()
+    assert queue.claim() is job
+
+
+def test_finish_immediately_marks_cache_hit():
+    queue = JobQueue()
+    job = queue.submit("run", {}, dedup_key="k")
+    queue.finish_immediately(job, {"cycles": 1}, cache_hit=True)
+    assert job.state == JobState.DONE
+    assert job.cache_hit
+    assert job.result == {"cycles": 1}
+    # The key is released: identical later requests are fresh jobs.
+    assert queue.submit("run", {}, dedup_key="k").deduped_of is None
+    # No simulation happened.
+    assert queue.executed == 0
+
+
+def test_event_log_records_lifecycle():
+    queue = JobQueue()
+    job = queue.submit("run", {})
+    queue.claim()
+    job.publish("point", done=1, total=2)
+    queue.resolve(job, result={})
+    names = [event["event"] for event in job.events]
+    assert names == ["queued", "running", "point", "done"]
+    assert [event["seq"] for event in job.events] == [0, 1, 2, 3]
+
+
+def test_stats_counts():
+    queue = JobQueue()
+    a = queue.submit("run", {}, dedup_key="k")
+    queue.submit("run", {}, dedup_key="k")
+    queue.submit("analyze", {})
+    queue.claim()
+    queue.resolve(a, result={})
+    stats = queue.stats()
+    assert stats["jobs"] == 3
+    assert stats["by_kind"] == {"run": 2, "analyze": 1}
+    assert stats["dedup_hits"] == 1
+    assert stats["executed"] == 1
+    assert stats["depth"] == 1  # the analyze job still waits

@@ -1,0 +1,28 @@
+"""Version is declared in two places; they must agree.
+
+`repro --version` reports `repro.__version__`; packaging metadata lives
+in ``pyproject.toml``.  A release that bumps one but not the other ships
+a lying ``/v1/version`` endpoint, so the suite pins them together.
+"""
+
+import tomllib
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_pyproject_and_package_versions_agree():
+    pyproject = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    assert pyproject["project"]["version"] == repro.__version__
+
+
+def test_cli_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
