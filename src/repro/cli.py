@@ -419,11 +419,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     cache = RunCache(args.cache_dir) if args.cache_dir else None
     store = _artifact_store(args)
+    checkpoint = None
+    if args.checkpoint:
+        from repro.exec import SweepCheckpoint
+
+        checkpoint = SweepCheckpoint(args.checkpoint)
     points = sweep(workload, {"ports": args.ports}, configure, seed=args.seed,
                    workers=args.workers, cache=cache,
                    point_timeout=args.point_timeout, retries=args.retries,
                    strict=args.strict, artifact_store=store,
-                   engine=args.engine)
+                   engine=args.engine, checkpoint=checkpoint)
     healthy = [point for point in points if point.ok]
     front = pareto_front(healthy, objectives=lambda p: (p.runtime_us, p.power_mw))
     rows = []
@@ -440,6 +445,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if store is not None:
         print(f"artifact cache  : {store.hits} hit(s), "
               f"{store.misses} miss(es)")
+    if checkpoint is not None:
+        print(f"checkpoint      : {checkpoint.resumed} point(s) resumed "
+              f"from {checkpoint.path}")
     return 1 if failed else 0
 
 
@@ -451,13 +459,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     store = _artifact_store(args)
 
     def announce(port: int) -> None:
+        durable = (f", state dir {args.state_dir}" if args.state_dir else "")
         print(f"repro serve listening on http://{args.host}:{port} "
-              f"({args.workers} worker(s))", flush=True)
+              f"({args.workers} worker(s){durable})", flush=True)
 
     try:
         serve_forever(host=args.host, port=args.port, workers=args.workers,
                       run_cache=cache, artifact_store=store,
-                      announce=announce)
+                      announce=announce, state_dir=args.state_dir,
+                      drain_timeout=args.drain_timeout)
     except KeyboardInterrupt:
         pass
     print("repro serve: shut down cleanly")
@@ -486,6 +496,14 @@ def _submit_spec(args: argparse.Namespace) -> dict:
             spec["ports"] = args.ports or [1, 2, 4, 8]
     if args.passes:
         spec["passes"] = args.passes
+    # Per-job durability policy (retry/backoff/timeout), enforced by
+    # the server's worker pool.
+    if args.retries:
+        spec["retries"] = args.retries
+    if args.backoff_s is not None:
+        spec["backoff_s"] = args.backoff_s
+    if args.job_timeout is not None:
+        spec["timeout_s"] = args.job_timeout
     return spec
 
 
@@ -725,6 +743,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="content-addressed build-artifact store; the "
                               "kernel is compiled once per sweep and hits "
                               "on reruns")
+    p_sweep.add_argument("--checkpoint", metavar="FILE",
+                         help="durable sweep checkpoint (JSONL): completed "
+                              "points are appended as they finish, and a "
+                              "re-run resumes from them instead of "
+                              "re-simulating")
     p_sweep.add_argument("--engine", choices=["dynamic", "graph"],
                          default="dynamic",
                          help="execution backend for every point (see "
@@ -743,6 +766,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-dir", metavar="DIR",
                          help="on-disk run cache shared by every job "
                               "(in-memory only when omitted)")
+    p_serve.add_argument("--state-dir", metavar="DIR",
+                         help="durable server state: a write-ahead job "
+                              "journal under DIR records every submission "
+                              "and transition, and a restarted server "
+                              "replays it — re-queueing in-flight jobs and "
+                              "still serving results for finished ones")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="graceful-drain budget: how long SIGTERM or "
+                              "POST /v1/shutdown?mode=drain waits for "
+                              "running jobs before exiting (default 30)")
     p_serve.add_argument("--artifact-dir", metavar="DIR",
                          help="on-disk build-artifact store shared by "
                               "every job")
@@ -769,6 +803,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--func", help="entry function for kernel files")
     p_submit.add_argument("--passes", metavar="SPEC",
                           help="explicit pass pipeline (see 'compile')")
+    p_submit.add_argument("--retries", type=int, default=0,
+                          help="per-job retry budget: the server re-queues "
+                               "a failed attempt up to N times with "
+                               "exponential backoff")
+    p_submit.add_argument("--backoff-s", type=float, default=None,
+                          metavar="SECONDS",
+                          help="base retry backoff (doubles per attempt, "
+                               "capped; server default 0.5)")
+    p_submit.add_argument("--job-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-attempt wall-clock budget enforced by "
+                               "the simulation watchdog")
     p_submit.add_argument("--priority", type=int, default=0,
                           help="higher runs earlier")
     p_submit.add_argument("--no-wait", action="store_true",

@@ -39,6 +39,7 @@ def sweep(
     pipeline=None,
     engine: str = "dynamic",
     on_point=None,
+    checkpoint=None,
 ) -> list[SweepPoint]:
     """Run ``workload`` across the cartesian product of ``param_grid``.
 
@@ -54,13 +55,15 @@ def sweep(
     ``watchdog``) and the build knobs (``artifact_store``,
     ``pipeline`` — see `repro.build`) forward to `ParallelSweep`
     unchanged, as does the execution backend choice (``engine`` — see
-    `repro.engine`) and the ``on_point(done, total, point)`` progress
-    callback.
+    `repro.engine`), the ``on_point(done, total, point)`` progress
+    callback, and ``checkpoint`` — a JSONL path recording completed
+    points so an interrupted sweep resumes instead of restarting (see
+    `repro.exec.checkpoint.SweepCheckpoint`).
     """
     executor = ParallelSweep(workers=workers, cache=cache, verify=verify,
                              point_timeout=point_timeout, retries=retries,
                              strict=strict, faults=faults, watchdog=watchdog,
                              artifact_store=artifact_store, pipeline=pipeline,
-                             engine=engine)
+                             engine=engine, checkpoint=checkpoint)
     return executor.run(workload, param_grid, configure, seed=seed,
                         unroll_factor=unroll_factor, on_point=on_point)

@@ -9,6 +9,7 @@ launch simulations through this layer.
 """
 
 from repro.exec.cache import RunCache, run_cache_key
+from repro.exec.checkpoint import SweepCheckpoint
 from repro.exec.context import SimContext, Simulation
 from repro.exec.failures import FailureRecord, SweepPointError
 from repro.exec.parallel import ParallelSweep, SweepPoint, grid_points
@@ -19,6 +20,7 @@ __all__ = [
     "run_cache_key",
     "SimContext",
     "Simulation",
+    "SweepCheckpoint",
     "FailureRecord",
     "SweepPointError",
     "ParallelSweep",

@@ -1,0 +1,132 @@
+"""Durable sweep checkpoints: resume a half-done sweep, not restart it.
+
+A long DSE sweep killed at point 700 of 1000 should re-execute 300
+points, not 1000.  The `RunCache` already gives this *when it is
+durable and attached*; `SweepCheckpoint` covers the rest — it is a
+tiny append-only JSONL file recording every completed point as
+``{"key": <run-cache key>, "payload": <RunResult.to_dict()>}``, and a
+restarted sweep loads it and skips every key it already holds.
+
+Rows are keyed by the full run-cache key — the content hash of
+(kernel, seed, every accelerator knob, pass pipeline) — so two sweeps
+whose parameter dicts happen to collide can never steal each other's
+rows, and a checkpoint file is safely shareable between an in-memory
+cache run and a cached one.
+
+Failure handling mirrors `RunCache`:
+
+* appends are single flushed ``write()`` calls under a lock —
+  concurrent writers never interleave partial lines;
+* a truncated or corrupt tail (the crash happened mid-append) is
+  quarantined to ``<name>.corrupt`` and the file rewritten to its
+  parsable prefix — load never raises on a damaged file;
+* only *successful* points are recorded: a failed point stays
+  re-runnable on resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+
+class SweepCheckpoint:
+    """Append-only JSONL record of completed sweep points."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._seen: set = set()
+        self.quarantined = 0
+        self.write_errors = 0
+        #: Rows successfully loaded by the last `load()`.
+        self.loaded = 0
+        #: Points the last `ParallelSweep.run` skipped thanks to this
+        #: checkpoint (set by the sweep, reported by the CLI).
+        self.resumed = 0
+
+    @classmethod
+    def coerce(cls, value) -> Optional["SweepCheckpoint"]:
+        """None | path-like | SweepCheckpoint -> SweepCheckpoint | None."""
+        if value is None:
+            return None
+        if isinstance(value, cls):
+            return value
+        return cls(value)
+
+    # -- reading -------------------------------------------------------
+    def load(self) -> dict:
+        """``{key: payload}`` for every parsable row; damaged tails are
+        quarantined (never raised)."""
+        rows: dict = {}
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return rows
+        good_lines: list = []
+        bad_tail = b""
+        offset = 0
+        for line in raw.splitlines(keepends=True):
+            stripped = line.strip()
+            if stripped:
+                try:
+                    row = json.loads(stripped)
+                    key = row["key"]
+                    payload = row["payload"]
+                    if not isinstance(key, str) or not isinstance(payload,
+                                                                  dict):
+                        raise ValueError("malformed checkpoint row")
+                except (ValueError, KeyError, TypeError,
+                        UnicodeDecodeError):
+                    bad_tail = raw[offset:]
+                    break
+                rows[key] = payload
+                good_lines.append(stripped + b"\n")
+            offset += len(line)
+        else:
+            if raw and not raw.endswith(b"\n"):
+                self._rewrite(good_lines)
+        if bad_tail:
+            self.quarantined += 1
+            try:
+                with open(self.path.parent / (self.path.name + ".corrupt"),
+                          "ab") as fh:
+                    fh.write(bad_tail)
+            except OSError:
+                pass
+            self._rewrite(good_lines)
+        self._seen = set(rows)
+        self.loaded = len(rows)
+        return rows
+
+    # -- writing -------------------------------------------------------
+    def record(self, key: str, payload: dict) -> None:
+        """Append one completed point (idempotent per key, never raises)."""
+        with self._lock:
+            if key in self._seen:
+                return
+            line = json.dumps({"key": key, "payload": payload},
+                              sort_keys=True, separators=(",", ":"),
+                              default=str) + "\n"
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(line)
+                    fh.flush()
+            except OSError:
+                self.write_errors += 1
+                return
+            self._seen.add(key)
+
+    def _rewrite(self, good_lines: list) -> None:
+        """Replace the file with its parsable prefix (atomic)."""
+        tmp = self.path.parent / f"{self.path.name}.tmp{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.writelines(good_lines)
+            os.replace(tmp, self.path)
+        except OSError:
+            self.write_errors += 1

@@ -22,8 +22,15 @@ adding sweep points never adds frontend work.
 Sweeps are *hardened*: a point that crashes, hangs (watchdog), or
 exceeds ``point_timeout`` yields a `SweepPoint` carrying a
 `FailureRecord` while every other point completes normally.  Crashed
-workers are retried up to ``retries`` times with backoff;
+workers are retried up to ``retries`` times with deterministic
+exponential backoff (capped by ``retry_backoff_cap_s``);
 ``strict=True`` restores fail-fast semantics.
+
+Sweeps are also *checkpointable*: with ``checkpoint=<path>`` every
+completed point is appended to a durable JSONL file keyed by its
+run-cache key, and a re-run of the same sweep — after a crash, a
+SIGKILL, a new process — loads the file and re-executes only the
+points it is missing (see `repro.exec.checkpoint.SweepCheckpoint`).
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from repro.exec.cache import RunCache, run_cache_key
+from repro.exec.checkpoint import SweepCheckpoint
 from repro.exec.context import SimContext
 from repro.exec.failures import FailureRecord, SweepPointError
 from repro.faults import FaultPlan, watchdog_spec
@@ -136,8 +144,12 @@ class ParallelSweep:
     point_timeout: Optional[float] = None
     #: How many times to resubmit points lost to a crashed worker
     #: process before falling back to in-process serial execution.
+    #: Retry N sleeps ``retry_backoff_s * 2^(N-1)`` seconds, capped at
+    #: ``retry_backoff_cap_s`` — deterministic (no jitter) so schedules
+    #: are testable and reproducible.
     retries: int = 0
     retry_backoff_s: float = 0.1
+    retry_backoff_cap_s: float = 5.0
     #: Fail-fast: re-raise the first point failure as `SweepPointError`
     #: instead of degrading gracefully.
     strict: bool = False
@@ -160,6 +172,10 @@ class ParallelSweep:
     #: with dynamic runs; points the graph backend cannot model fall
     #: back per-point (see `repro.engine.resolve_engine`).
     engine: str = "dynamic"
+    #: Durable resume: a path (or `SweepCheckpoint`) recording every
+    #: completed point; a re-run skips the points already on disk.
+    #: After `run()`, ``checkpoint_resumed`` counts the skipped points.
+    checkpoint: object = None
 
     def run(
         self,
@@ -213,24 +229,43 @@ class ParallelSweep:
                      SweepPoint(params=entries[index][0], result=result,
                                 failure=failure))
 
+        ckpt = SweepCheckpoint.coerce(self.checkpoint)
+        ckpt_rows = ckpt.load() if ckpt is not None else {}
+        self.checkpoint_resumed = 0
         results: list[Optional[RunResult]] = [None] * len(entries)
         failures: list[Optional[FailureRecord]] = [None] * len(entries)
         pending: list[tuple[int, Optional[str], dict, Optional[FaultPlan]]] = []
         for index, (params, kwargs, plan) in enumerate(entries):
             key: Optional[str] = None
-            # Faulty points bypass the cache in both directions: a
-            # corrupted result must never be cached, and a clean cached
-            # result must never stand in for an injected run.
-            if self.cache is not None and not plan:
+            # Faulty points bypass the cache *and* the checkpoint in
+            # both directions: a corrupted result must never be stored,
+            # and a clean stored result must never stand in for an
+            # injected run.
+            if (self.cache is not None or ckpt is not None) and not plan:
                 key = run_cache_key(workload.source, workload.func_name,
                                     seed=seed, pipeline=self.pipeline,
                                     **kwargs)
+            if key is not None and self.cache is not None:
                 cached = self.cache.get(key)
                 if cached is not None:
                     results[index] = cached
+                    if ckpt is not None:
+                        ckpt.record(key, cached.to_dict())
                     notify(index, None, result=cached)
                     continue
+            if key is not None and ckpt is not None and key in ckpt_rows:
+                # Resumed from the checkpoint: the same lossless dict
+                # round trip every other path takes.
+                result = RunResult.from_dict(ckpt_rows[key])
+                results[index] = result
+                self.checkpoint_resumed += 1
+                if self.cache is not None:
+                    self.cache.put(key, result)
+                notify(index, None, result=result)
+                continue
             pending.append((index, key, kwargs, plan))
+        if ckpt is not None:
+            ckpt.resumed = self.checkpoint_resumed
 
         modules = self._prebuild(workload, pending)
         payloads = self._execute(
@@ -247,12 +282,22 @@ class ParallelSweep:
             result = RunResult.from_dict(payload)
             results[index] = result
             if key is not None:
-                self.cache.put(key, result)
+                if self.cache is not None:
+                    self.cache.put(key, result)
+                if ckpt is not None:
+                    ckpt.record(key, payload)
         return [
             SweepPoint(params=params, result=results[index],
                        failure=failures[index])
             for index, (params, __, ___) in enumerate(entries)
         ]
+
+    def retry_delay(self, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based):
+        ``retry_backoff_s * 2^(attempt-1)``, capped — exponential but
+        deterministic, so the schedule is testable."""
+        return min(self.retry_backoff_s * (2 ** max(0, attempt - 1)),
+                   self.retry_backoff_cap_s)
 
     # ------------------------------------------------------------------
     def _prebuild(self, workload: Workload, pending: list) -> list:
@@ -336,7 +381,7 @@ class ParallelSweep:
         pool_ok = True
         while remaining and pool_ok and attempts <= self.retries:
             if attempts > 0:
-                time.sleep(self.retry_backoff_s * attempts)
+                time.sleep(self.retry_delay(attempts))
             futures: dict = {}
             try:
                 with ProcessPoolExecutor(max_workers=self.workers) as pool:

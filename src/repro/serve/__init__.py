@@ -19,15 +19,25 @@ This package is the multi-tenant front door on top of it:
   ``GET /version``.
 * :class:`ServeClient` (`repro.serve.client`) — thin `http.client`
   wrapper used by ``repro submit`` and the tests.
+* :class:`JobJournal` (`repro.serve.journal`) — the write-ahead log
+  behind ``repro serve --state-dir``: every submission, state change,
+  and progress event journaled; a restarted server replays it,
+  re-queues in-flight jobs, and still serves GETs for finished ones.
+* :class:`CircuitBreaker` (`repro.serve.jobs`) — per-dedup-key
+  fail-fast after K consecutive failures, with cooldown + half-open
+  probe.
 """
 
 from repro.serve.client import ServeClient, ServeError
-from repro.serve.jobs import Job, JobQueue, JobState
+from repro.serve.jobs import CircuitBreaker, Job, JobQueue, JobState
+from repro.serve.journal import JobJournal, recover_queue
 from repro.serve.server import JobServer, start_server_thread
 from repro.serve.workers import WorkerPool, job_dedup_key, run_spec_kwargs
 
 __all__ = [
+    "CircuitBreaker",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobState",
     "JobServer",
@@ -35,6 +45,7 @@ __all__ = [
     "ServeError",
     "WorkerPool",
     "job_dedup_key",
+    "recover_queue",
     "run_spec_kwargs",
     "start_server_thread",
 ]

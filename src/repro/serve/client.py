@@ -2,7 +2,9 @@
 
 Used by ``repro submit``, the test suite, and the serve benchmark.
 One method per endpoint, plus `wait()` (poll a job to a terminal
-state) and `events()` (iterate the SSE progress stream as dicts).
+state) and `events()` (iterate the SSE progress stream as dicts,
+transparently reconnecting after a dropped connection and resuming
+from the last seen ``seq`` via the ``Last-Event-ID`` header).
 """
 
 from __future__ import annotations
@@ -80,8 +82,10 @@ class ServeClient:
     def resume(self) -> None:
         self._request("POST", "/v1/queue/resume")
 
-    def shutdown(self) -> None:
-        self._request("POST", "/v1/shutdown")
+    def shutdown(self, mode: str = "now") -> dict:
+        """Stop the server; ``mode="drain"`` lets running jobs finish
+        (up to the server's drain timeout) before it exits."""
+        return self._request("POST", f"/v1/shutdown?mode={mode}")
 
     # -- conveniences --------------------------------------------------
     def wait(self, job_id: str, timeout: float = 120.0,
@@ -97,13 +101,17 @@ class ServeClient:
                     f"job {job_id} still {job['state']} after {timeout}s")
             time.sleep(poll_s)
 
-    def events(self, job_id: str) -> Iterator[dict]:
-        """Stream the job's SSE progress events as dicts (ends when the
-        job reaches a terminal state and the server closes the stream)."""
+    def _event_stream(self, job_id: str,
+                      last_seq: Optional[int] = None) -> Iterator[dict]:
+        """One SSE connection, yielding events after ``last_seq``."""
         conn = http.client.HTTPConnection(self.host, self.port,
                                           timeout=self.timeout)
         try:
-            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            headers = {}
+            if last_seq is not None:
+                headers["Last-Event-ID"] = str(last_seq)
+            conn.request("GET", f"/v1/jobs/{job_id}/events",
+                         headers=headers)
             response = conn.getresponse()
             if response.status >= 400:
                 raise ServeError(response.status,
@@ -114,3 +122,49 @@ class ServeClient:
                     yield json.loads(line[len("data:"):])
         finally:
             conn.close()
+
+    def events(self, job_id: str, reconnect: bool = True,
+               max_reconnects: int = 10,
+               reconnect_delay_s: float = 0.2) -> Iterator[dict]:
+        """Stream the job's SSE progress events as dicts.
+
+        The stream ends when the job reaches a terminal state.  A
+        dropped connection (server restart, network blip) is not the
+        end: the client reconnects — up to ``max_reconnects``
+        consecutive times — and resumes from the last ``seq`` it saw
+        via the ``Last-Event-ID`` header, so no event is missed or
+        duplicated.  Any successfully received event resets the
+        reconnect budget.  A clean close is double-checked against the
+        job's state: only a terminal job ends the iteration.
+        """
+        last_seq: Optional[int] = None
+        consecutive = 0
+        while True:
+            dropped = False
+            try:
+                for event in self._event_stream(job_id, last_seq):
+                    seq = event.get("seq")
+                    if isinstance(seq, int):
+                        last_seq = seq
+                    consecutive = 0
+                    yield event
+            except (http.client.HTTPException, OSError):
+                dropped = True  # ServeError (404 etc.) propagates above
+            if not reconnect:
+                return
+            if not dropped:
+                # Clean close: trust it only if the job really is done
+                # (a draining/restarting server may close early).
+                try:
+                    job = self.job(job_id)
+                except (http.client.HTTPException, OSError):
+                    dropped = True
+                else:
+                    if job["state"] not in JobState.ACTIVE:
+                        return
+            consecutive += 1
+            if consecutive > max_reconnects:
+                raise ConnectionError(
+                    f"SSE stream for {job_id} dropped and "
+                    f"{max_reconnects} reconnects failed")
+            time.sleep(reconnect_delay_s)

@@ -1,4 +1,4 @@
-"""Job records and the dedup-aware priority queue.
+"""Job records, the dedup-aware priority queue, and the circuit breaker.
 
 A `Job` is one client request: a kind (compile/run/sweep/analyze), a
 JSON spec, a priority, and a lifecycle
@@ -18,6 +18,15 @@ simulation.
 The queue is deliberately lock-free: every mutation happens on the
 server's event loop (workers hand results back via
 ``call_soon_threadsafe``), and the unit tests drive it synchronously.
+With a `repro.serve.journal.JobJournal` attached, every mutation is
+also written to the append-only journal, which is what lets a
+restarted server pick the queue back up (see ``adopt``).
+
+`CircuitBreaker` is the queue's fail-fast policy: after K consecutive
+failures of one dedup key the key is *open* — identical submissions
+fail immediately with a structured reason instead of burning a worker
+— until a cooldown expires and a single half-open probe is let
+through.
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.exec.failures import FailureRecord
 
@@ -70,8 +79,14 @@ class Job:
     submitted_s: float = field(default_factory=time.time)
     started_s: Optional[float] = None
     finished_s: Optional[float] = None
+    #: How many times a worker has claimed this job (retries increment).
+    attempts: int = 0
+    #: Retry backoff gate: ``claim()`` skips the job until this time.
+    not_before_s: Optional[float] = None
     #: Ordered progress log: [{"seq": n, "t": ..., "event": ..., ...}].
     events: list = field(default_factory=list)
+    #: Optional journal hook called with ``(job, event)`` per publish.
+    sink: Optional[Callable] = field(default=None, repr=False, compare=False)
 
     @property
     def terminal(self) -> bool:
@@ -79,12 +94,16 @@ class Job:
 
     def publish(self, event: str, **detail) -> None:
         """Append one progress event (thread-safe: a bare list append)."""
-        self.events.append({
+        record = {
             "seq": len(self.events),
             "t": round(time.time(), 6),
             "event": event,
             **detail,
-        })
+        }
+        self.events.append(record)
+        sink = self.sink
+        if sink is not None:
+            sink(self, record)
 
     def to_dict(self, include_result: bool = True) -> dict:
         payload = {
@@ -98,12 +117,58 @@ class Job:
             "submitted_s": self.submitted_s,
             "started_s": self.started_s,
             "finished_s": self.finished_s,
+            "attempts": self.attempts,
             "events": len(self.events),
             "failure": self.failure,
         }
         if include_result:
             payload["result"] = self.result
         return payload
+
+    # -- journal round trip --------------------------------------------
+    def to_journal(self) -> dict:
+        """Full, lossless payload (unlike `to_dict`, includes the spec
+        and the event log) — what the write-ahead journal persists."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "spec": self.spec,
+            "priority": self.priority,
+            "state": self.state,
+            "dedup_key": self.dedup_key,
+            "deduped_of": self.deduped_of,
+            "cache_hit": self.cache_hit,
+            "result": self.result,
+            "failure": self.failure,
+            "submitted_s": self.submitted_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "attempts": self.attempts,
+            "events": list(self.events),
+        }
+
+    @classmethod
+    def from_journal(cls, payload: dict) -> "Job":
+        state = payload.get("state", JobState.QUEUED)
+        if state not in JobState.ALL:
+            raise ValueError(f"unknown job state {state!r}")
+        return cls(
+            id=payload["id"],
+            kind=payload["kind"],
+            spec=dict(payload.get("spec") or {}),
+            priority=int(payload.get("priority", 0)),
+            state=state,
+            dedup_key=payload.get("dedup_key"),
+            deduped_of=payload.get("deduped_of"),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            result=payload.get("result"),
+            failure=payload.get("failure"),
+            submitted_s=float(payload.get("submitted_s") or 0.0),
+            started_s=payload.get("started_s"),
+            finished_s=payload.get("finished_s"),
+            attempts=int(payload.get("attempts", 0)),
+            events=list(payload.get("events") or []),
+        )
 
 
 class JobQueue:
@@ -114,11 +179,14 @@ class JobQueue:
     out to every follower that coalesced onto it.  ``pause()`` stops
     ``claim()`` from yielding work — submissions still queue — which is
     both an operational drain switch and what makes cancellation/dedup
-    deterministically testable.
+    deterministically testable.  ``requeue()`` puts a failed job back
+    with a backoff gate (per-job retry policy), and ``adopt()`` inserts
+    a job recovered from the journal after a restart.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, journal=None) -> None:
         self.jobs: dict[str, Job] = {}
+        self.journal = journal
         self._heap: list[tuple[int, int, str]] = []
         self._counter = itertools.count()
         #: dedup_key -> id of the active (queued/running) primary.
@@ -129,6 +197,7 @@ class JobQueue:
         self.dedup_hits = 0
         self.executed = 0
         self.cancelled = 0
+        self.retried = 0
 
     # -- submission ----------------------------------------------------
     def submit(self, kind: str, spec: dict, priority: int = 0,
@@ -137,6 +206,11 @@ class JobQueue:
         job = Job(id=f"j{next(self._counter):06d}", kind=kind, spec=spec,
                   priority=priority, dedup_key=dedup_key)
         self.jobs[job.id] = job
+        if self.journal is not None:
+            # Submit record first, then the event sink: replay must see
+            # the job before any of its events.
+            self.journal.record_submit(job)
+            job.sink = self.journal.record_event_sink
         job.publish("queued")
         primary_id = (self._active_by_key.get(dedup_key)
                       if dedup_key is not None else None)
@@ -147,6 +221,7 @@ class JobQueue:
             self._followers.setdefault(primary_id, []).append(job.id)
             self.dedup_hits += 1
             job.publish("deduped", of=primary_id)
+            self._journal_state(job)
             return job
         if dedup_key is not None:
             self._active_by_key[dedup_key] = job.id
@@ -163,26 +238,56 @@ class JobQueue:
         job.publish("cache_hit" if cache_hit else "done")
         self._release(job)
         self._resolve_followers(job)
+        self._journal_state(job, via="immediate")
+
+    def fail_immediately(self, job: Job, failure: FailureRecord) -> None:
+        """Short-circuit a job at submit time with a structured failure
+        (the circuit breaker's fail-fast path)."""
+        job.started_s = job.finished_s = time.time()
+        job.state = JobState.FAILED
+        job.failure = failure.to_dict()
+        job.publish(JobState.FAILED, reason=failure.reason)
+        self._release(job)
+        self._resolve_followers(job)
+        self._journal_state(job, via="immediate")
 
     # -- worker side ---------------------------------------------------
     def claim(self) -> Optional[Job]:
-        """Pop the next runnable job, or None (empty or paused)."""
+        """Pop the next runnable job, or None (empty, paused, or every
+        queued job is inside its retry-backoff window)."""
         if self.paused:
             return None
+        now = time.time()
+        deferred: list[tuple[int, int, str]] = []
+        job: Optional[Job] = None
         while self._heap:
-            __, __, job_id = heapq.heappop(self._heap)
-            job = self.jobs[job_id]
-            if job.state != JobState.QUEUED:
+            entry = heapq.heappop(self._heap)
+            candidate = self.jobs[entry[2]]
+            if candidate.state != JobState.QUEUED:
                 continue  # cancelled while queued
-            job.state = JobState.RUNNING
-            job.started_s = time.time()
-            job.publish("running")
-            for follower in self._follower_jobs(job):
-                follower.state = JobState.RUNNING
-                follower.started_s = job.started_s
-                follower.publish("running")
-            return job
-        return None
+            if (candidate.not_before_s is not None
+                    and candidate.not_before_s > now):
+                deferred.append(entry)  # still backing off; keep looking
+                continue
+            job = candidate
+            break
+        for entry in deferred:
+            # Original (priority, counter) entries: FIFO order survives.
+            heapq.heappush(self._heap, entry)
+        if job is None:
+            return None
+        job.state = JobState.RUNNING
+        job.started_s = time.time()
+        job.attempts += 1
+        job.not_before_s = None
+        job.publish("running", attempt=job.attempts)
+        self._journal_state(job)
+        for follower in self._follower_jobs(job):
+            follower.state = JobState.RUNNING
+            follower.started_s = job.started_s
+            follower.publish("running")
+            self._journal_state(follower)
+        return job
 
     def resolve(self, job: Job, result: Optional[dict] = None,
                 failure: Optional[FailureRecord] = None,
@@ -197,6 +302,83 @@ class JobQueue:
         self.executed += 1
         self._release(job)
         self._resolve_followers(job)
+        self._journal_state(job, via="resolve")
+
+    def requeue(self, job: Job, delay_s: float = 0.0,
+                reason: Optional[str] = None) -> None:
+        """Put a failed attempt back in the queue with a backoff gate
+        (the per-job retry policy).  The dedup key stays active, so
+        identical submissions keep coalescing onto the retrying job."""
+        job.state = JobState.QUEUED
+        job.not_before_s = time.time() + delay_s if delay_s > 0 else None
+        detail = {"attempt": job.attempts, "delay_s": round(delay_s, 3)}
+        if reason is not None:
+            detail["reason"] = reason
+        job.publish("retrying", **detail)
+        self.retried += 1
+        heapq.heappush(self._heap, (-job.priority, next(self._counter),
+                                    job.id))
+        self._journal_state(job, via="retry")
+        for follower in self._follower_jobs(job):
+            follower.state = JobState.QUEUED
+            follower.publish("retrying", of=job.id)
+            self._journal_state(follower)
+
+    # -- recovery ------------------------------------------------------
+    def adopt(self, job: Job) -> bool:
+        """Insert a job recovered from the journal; True if re-queued.
+
+        Terminal jobs are kept verbatim so GET still serves their
+        results.  Jobs that were ``queued``/``running`` at crash time
+        go back in the queue (keeping their attempt counter — the next
+        ``claim`` increments it), and active jobs sharing a dedup key
+        re-coalesce: first adopted becomes primary, the rest followers.
+        """
+        self.jobs[job.id] = job
+        if self.journal is not None:
+            job.sink = self.journal.record_event_sink
+        if job.terminal:
+            return False
+        was = job.state
+        primary_id = (self._active_by_key.get(job.dedup_key)
+                      if job.dedup_key is not None else None)
+        if primary_id is not None and primary_id != job.id:
+            primary = self.jobs[primary_id]
+            job.deduped_of = primary_id
+            job.state = primary.state
+            self._followers.setdefault(primary_id, []).append(job.id)
+            job.publish("recovered", coalesced_onto=primary_id)
+            self._journal_state(job)
+            return True
+        job.deduped_of = None
+        job.state = JobState.QUEUED
+        job.not_before_s = None
+        if job.dedup_key is not None:
+            self._active_by_key[job.dedup_key] = job.id
+        heapq.heappush(self._heap, (-job.priority, next(self._counter),
+                                    job.id))
+        job.publish("recovered", was=was, attempts_so_far=job.attempts)
+        self._journal_state(job)
+        return True
+
+    def bump_counter(self, floor: int) -> None:
+        """Ensure future ids/heap counters start at or above ``floor``."""
+        current = next(self._counter)
+        self._counter = itertools.count(max(current, int(floor)))
+
+    def restore_counters(self, counters: dict) -> None:
+        self.dedup_hits = int(counters.get("dedup_hits", 0))
+        self.executed = int(counters.get("executed", 0))
+        self.cancelled = int(counters.get("cancelled", 0))
+        self.retried = int(counters.get("retried", 0))
+
+    def counters(self) -> dict:
+        return {
+            "dedup_hits": self.dedup_hits,
+            "executed": self.executed,
+            "cancelled": self.cancelled,
+            "retried": self.retried,
+        }
 
     # -- cancellation --------------------------------------------------
     def cancel(self, job_id: str) -> Job:
@@ -220,9 +402,14 @@ class JobQueue:
         job.finished_s = time.time()
         job.publish("cancelled")
         self.cancelled += 1
+        self._journal_state(job, via="cancel")
         return job
 
     # -- internals -----------------------------------------------------
+    def _journal_state(self, job: Job, via: Optional[str] = None) -> None:
+        if self.journal is not None:
+            self.journal.record_state(job, via=via)
+
     def _follower_jobs(self, primary: Job) -> list[Job]:
         return [self.jobs[fid] for fid in self._followers.get(primary.id, [])]
 
@@ -239,6 +426,7 @@ class JobQueue:
             follower.cache_hit = primary.cache_hit
             follower.finished_s = primary.finished_s
             follower.publish(primary.state, shared_with=primary.id)
+            self._journal_state(follower)
         self._followers.pop(primary.id, None)
 
     def _promote_followers(self, cancelled_primary: Job) -> None:
@@ -254,11 +442,13 @@ class JobQueue:
         heapq.heappush(self._heap, (-new_primary.priority,
                                     next(self._counter), new_primary.id))
         new_primary.publish("promoted", was_follower_of=cancelled_primary.id)
+        self._journal_state(new_primary)
         rest = queued[1:]
         if rest:
             self._followers[new_primary.id] = rest
             for fid in rest:
                 self.jobs[fid].deduped_of = new_primary.id
+                self._journal_state(self.jobs[fid])
 
     # -- ops -----------------------------------------------------------
     def pause(self) -> None:
@@ -266,6 +456,11 @@ class JobQueue:
 
     def resume(self) -> None:
         self.paused = False
+
+    def running(self) -> list[Job]:
+        """Primaries currently executing (what a drain waits on)."""
+        return [job for job in self.jobs.values()
+                if job.state == JobState.RUNNING and job.deduped_of is None]
 
     def depth(self) -> int:
         """Jobs still waiting to run (excludes followers and cancels)."""
@@ -287,4 +482,72 @@ class JobQueue:
             "dedup_hits": self.dedup_hits,
             "executed": self.executed,
             "cancelled": self.cancelled,
+            "retried": self.retried,
+        }
+
+
+class CircuitBreaker:
+    """Per-dedup-key fail-fast after K consecutive failures.
+
+    States per key: *closed* (normal), *open* (``threshold`` consecutive
+    failures — submissions fail immediately with a structured reason),
+    *half-open* (cooldown expired — exactly one probe submission is let
+    through; its success closes the breaker, its failure re-opens it
+    for another cooldown).
+
+    Breaker state is deliberately in-memory only: a restart starts
+    every key closed, and the journal-recovered retries re-prove the
+    failure pattern quickly if it persists.  ``clock`` is injectable
+    for deterministic tests.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.threshold = max(1, int(threshold))
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        #: key -> {"fails": n, "opened_at": t|None, "probe": bool}
+        self._keys: dict[str, dict] = {}
+
+    def check(self, key: str) -> Optional[dict]:
+        """None if the key may execute; a structured block reason if not.
+
+        Calling this *admits* the half-open probe — only call it when
+        the submission would actually queue.
+        """
+        entry = self._keys.get(key)
+        if entry is None or entry["opened_at"] is None:
+            return None
+        elapsed = self._clock() - entry["opened_at"]
+        if elapsed >= self.cooldown_s and not entry["probe"]:
+            entry["probe"] = True  # one probe through; others stay blocked
+            return None
+        return {
+            "consecutive_failures": entry["fails"],
+            "cooldown_s": self.cooldown_s,
+            "retry_in_s": round(max(0.0, self.cooldown_s - elapsed), 3),
+            "probe_in_flight": entry["probe"],
+        }
+
+    def record_failure(self, key: str) -> None:
+        entry = self._keys.setdefault(
+            key, {"fails": 0, "opened_at": None, "probe": False})
+        entry["fails"] += 1
+        entry["probe"] = False
+        if entry["fails"] >= self.threshold:
+            entry["opened_at"] = self._clock()
+
+    def record_success(self, key: str) -> None:
+        self._keys.pop(key, None)
+
+    def open_keys(self) -> list[str]:
+        return [key for key, entry in self._keys.items()
+                if entry["opened_at"] is not None]
+
+    def stats(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "cooldown_s": self.cooldown_s,
+            "tracked_keys": len(self._keys),
+            "open_keys": len(self.open_keys()),
         }

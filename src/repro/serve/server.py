@@ -9,21 +9,31 @@ server one readable file.
 Endpoints::
 
     POST   /v1/jobs             submit {"kind", "spec", "priority"}
-    GET    /v1/jobs             list job summaries (?state=queued,...)
+    GET    /v1/jobs             list job summaries
     GET    /v1/jobs/{id}        one job, including its result payload
-    GET    /v1/jobs/{id}/events live SSE progress stream
+    GET    /v1/jobs/{id}/events live SSE progress stream (resumable:
+                                honors Last-Event-ID, emits id: lines)
     DELETE /v1/jobs/{id}        cancel (queued jobs only)
-    GET    /v1/stats            queue depth, cache hit rates, counters
+    GET    /v1/stats            queue depth, cache/journal/breaker stats
     POST   /v1/queue/pause      stop handing out work (drain switch)
     POST   /v1/queue/resume     resume
-    POST   /v1/shutdown         graceful stop
-    GET    /healthz             liveness probe
+    POST   /v1/shutdown         stop; ?mode=drain finishes running jobs
+                                first (up to --drain-timeout), ?mode=now
+                                (default) stops immediately
+    GET    /healthz             liveness probe: ok | draining | degraded
     GET    /version             repro.__version__
 
 Submissions dedup through the `JobQueue`; additionally, a run job whose
 run-cache key is already in the cache completes *at submit time* — the
 POST response itself carries ``state: done, cache_hit: true`` — which
 is what makes repeated interactive DSE queries sub-second.
+
+With ``--state-dir`` the server is *durable*: every submission, state
+transition, and progress event is written ahead to
+`repro.serve.journal.JobJournal`, and a restarted server replays it —
+re-queueing the jobs that were queued/running at crash time and still
+serving GET for terminal ones.  SIGTERM/SIGINT trigger the same
+graceful drain as ``POST /v1/shutdown?mode=drain``.
 """
 
 from __future__ import annotations
@@ -34,8 +44,16 @@ import re
 import threading
 import time
 from typing import Optional
+from urllib.parse import parse_qs
 
-from repro.serve.jobs import JOB_KINDS, JobQueue, JobState
+from repro.exec.failures import FailureRecord
+from repro.serve.jobs import (
+    JOB_KINDS,
+    CircuitBreaker,
+    JobQueue,
+    JobState,
+)
+from repro.serve.journal import JobJournal, recover_queue
 from repro.serve.workers import (
     ServerState,
     SpecError,
@@ -48,6 +66,9 @@ _JOB_PATH = re.compile(r"^/v1/jobs/([a-z0-9]+)(/events)?$")
 #: How often the SSE stream checks a job's event log for news.
 _SSE_POLL_S = 0.05
 
+#: How often a drain re-checks whether running jobs have finished.
+_DRAIN_POLL_S = 0.05
+
 
 class HttpError(Exception):
     def __init__(self, status: int, message: str) -> None:
@@ -58,26 +79,47 @@ class HttpError(Exception):
 
 _REASONS = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 409: "Conflict",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 
 class JobServer:
-    """One listening socket, one `JobQueue`, one `WorkerPool`."""
+    """One listening socket, one `JobQueue`, one `WorkerPool`.
+
+    With ``state_dir`` set, also one `JobJournal`: the queue journals
+    every mutation, and ``__init__`` replays whatever a previous
+    process left behind *before* the workers start — so recovered jobs
+    are first in line.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  workers: int = 2, run_cache=None, artifact_store=None,
-                 verify: bool = True) -> None:
+                 verify: bool = True, state_dir=None,
+                 drain_timeout: float = 30.0,
+                 breaker_threshold: int = 5,
+                 breaker_cooldown_s: float = 30.0) -> None:
         self.host = host
         self.port = port
         self.verify = verify
-        self.queue = JobQueue()
+        self.drain_timeout = float(drain_timeout)
+        self.journal = (JobJournal(state_dir)
+                        if state_dir is not None else None)
+        self.queue = JobQueue(journal=self.journal)
+        self.recovery: Optional[dict] = None
+        if self.journal is not None:
+            self.recovery = recover_queue(self.queue, self.journal)
+        self.breaker = CircuitBreaker(threshold=breaker_threshold,
+                                      cooldown_s=breaker_cooldown_s)
         self.state = ServerState(run_cache=run_cache,
-                                 artifact_store=artifact_store)
-        self.pool = WorkerPool(self.queue, self.state, workers=workers)
+                                 artifact_store=artifact_store,
+                                 state_dir=state_dir)
+        self.pool = WorkerPool(self.queue, self.state, workers=workers,
+                               breaker=self.breaker)
         self.started_s = time.time()
         self.requests = 0
+        self.draining = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
+        self._drain_task: Optional[asyncio.Task] = None
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> int:
@@ -94,20 +136,43 @@ class JobServer:
 
     async def stop(self) -> None:
         await self.pool.stop()
+        if self.journal is not None:
+            self.journal.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+
+    def begin_drain(self) -> None:
+        """Stop claiming work; finish running jobs (up to the drain
+        timeout), snapshot the journal, then shut down.  Idempotent;
+        must be called on the event loop (routes and signal handlers
+        both are)."""
+        if self.draining:
+            return
+        self.draining = True
+        self.queue.pause()
+        self._drain_task = asyncio.get_event_loop().create_task(self._drain())
+
+    async def _drain(self) -> None:
+        deadline = time.monotonic() + self.drain_timeout
+        while self.queue.running() and time.monotonic() < deadline:
+            await asyncio.sleep(_DRAIN_POLL_S)
+        if self.journal is not None:
+            # Final snapshot: recovery after a clean drain is O(1).
+            self.journal.compact(self.queue)
+        self._shutdown.set()
 
     # -- request plumbing ----------------------------------------------
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         try:
-            method, path, body = await self._read_request(reader)
+            method, path, query, headers, body = \
+                await self._read_request(reader)
             self.requests += 1
             if path.endswith("/events"):
-                await self._stream_events(writer, path)
+                await self._stream_events(writer, path, headers)
             else:
-                status, payload = self._route(method, path, body)
+                status, payload = self._route(method, path, query, body)
                 await self._respond(writer, status, payload)
         except HttpError as err:
             await self._respond(writer, err.status, {"error": err.message})
@@ -127,23 +192,24 @@ class JobServer:
                 pass
 
     @staticmethod
-    async def _read_request(reader) -> tuple[str, str, dict]:
+    async def _read_request(reader) -> tuple[str, str, dict, dict, dict]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         parts = request_line.split()
         if len(parts) < 2:
             raise HttpError(400, f"malformed request line: {request_line!r}")
-        # Query strings are tolerated but unused: every resource is
-        # addressed purely by path.
-        method, path = parts[0].upper(), parts[1].partition("?")[0]
-        content_length = 0
+        method = parts[0].upper()
+        path, __, raw_query = parts[1].partition("?")
+        query = {name: values[-1]
+                 for name, values in parse_qs(raw_query).items()}
+        headers: dict = {}
         while True:
             line = (await reader.readline()).decode("latin-1").strip()
             if not line:
                 break
             name, __, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                content_length = int(value.strip())
+            headers[name.strip().lower()] = value.strip()
         body: dict = {}
+        content_length = int(headers.get("content-length") or 0)
         if content_length:
             raw = await reader.readexactly(content_length)
             try:
@@ -152,7 +218,7 @@ class JobServer:
                 raise HttpError(400, "request body is not valid JSON")
             if not isinstance(body, dict):
                 raise HttpError(400, "request body must be a JSON object")
-        return method, path, body
+        return method, path, query, headers, body
 
     @staticmethod
     async def _respond(writer, status: int, payload: dict) -> None:
@@ -166,9 +232,10 @@ class JobServer:
         await writer.drain()
 
     # -- routing -------------------------------------------------------
-    def _route(self, method: str, path: str, body: dict) -> tuple[int, dict]:
+    def _route(self, method: str, path: str, query: dict,
+               body: dict) -> tuple[int, dict]:
         if path == "/healthz" and method == "GET":
-            return 200, {"status": "ok", "uptime_s": self._uptime()}
+            return 200, self._healthz()
         if path == "/version" and method == "GET":
             import repro
 
@@ -186,8 +253,17 @@ class JobServer:
             self.queue.resume()
             return 200, {"paused": False}
         if path == "/v1/shutdown" and method == "POST":
+            mode = query.get("mode") or body.get("mode") or "now"
+            if mode == "drain":
+                self.begin_drain()
+                return 200, {"shutting_down": True, "mode": "drain",
+                             "running": len(self.queue.running()),
+                             "drain_timeout_s": self.drain_timeout}
+            if mode != "now":
+                raise HttpError(400, f"bad shutdown mode {mode!r} "
+                                     "(expected now|drain)")
             self._shutdown.set()
-            return 200, {"shutting_down": True}
+            return 200, {"shutting_down": True, "mode": "now"}
         match = _JOB_PATH.match(path)
         if match and not match.group(2):
             job = self.queue.jobs.get(match.group(1))
@@ -216,13 +292,39 @@ class JobServer:
             raise HttpError(400, "spec must be a JSON object")
         if not self.verify:
             spec = dict(spec, verify=False)
-        key = job_dedup_key(kind, spec)
-        job = self.queue.submit(kind, spec, priority=int(body.get("priority", 0)),
+        fallback_reasons: list = []
+        key = job_dedup_key(kind, spec, on_fallback=fallback_reasons.append)
+        job = self.queue.submit(kind, spec,
+                                priority=int(body.get("priority", 0)),
                                 dedup_key=key)
-        if job.deduped_of is None and kind == "run":
+        if fallback_reasons:
+            # The spec could not be keyed the content-addressed way —
+            # say so on the job's own event log, so a silently
+            # un-deduped submission is diagnosable after the fact.
+            job.publish("dedup_fallback", reason=fallback_reasons[0])
+        if job.deduped_of is not None:
+            return 201, {"job": job.to_dict()}
+        if kind == "run":
             cached = self._probe_run_cache(spec)
             if cached is not None:
                 self.queue.finish_immediately(job, cached, cache_hit=True)
+                return 201, {"job": job.to_dict()}
+        # Breaker check comes last: followers and cached results serve
+        # even when the key is open, and check() admits the half-open
+        # probe as a side effect, so only jobs that would really queue
+        # may ask.
+        blocked = self.breaker.check(key)
+        if blocked is not None:
+            job.publish("circuit_open", **blocked)
+            failure = FailureRecord(
+                error_type="CircuitOpen",
+                message=(f"circuit open after "
+                         f"{blocked['consecutive_failures']} consecutive "
+                         f"failures; retry in {blocked['retry_in_s']}s"),
+                attempts=0,
+                reason="circuit_open",
+            )
+            self.queue.fail_immediately(job, failure)
         return 201, {"job": job.to_dict()}
 
     def _probe_run_cache(self, spec: dict) -> Optional[dict]:
@@ -235,8 +337,8 @@ class JobServer:
             key = run_cache_key(workload.source, workload.func_name,
                                 seed=int(spec.get("seed", 7)),
                                 **run_spec_kwargs(spec))
-        except Exception:  # noqa: BLE001 - unkeyable spec: just queue it
-            return None
+        except (SpecError, KeyError, TypeError, ValueError):
+            return None  # unkeyable spec: just queue it
         cached = self.state.run_cache.get(key)
         return cached.to_dict() if cached is not None else None
 
@@ -244,13 +346,35 @@ class JobServer:
         return {"jobs": [job.to_dict(include_result=False)
                          for job in self.queue.jobs.values()]}
 
+    def _healthz(self) -> dict:
+        status = "ok"
+        open_keys = self.breaker.open_keys()
+        journal_errors = (self.journal.write_errors
+                          if self.journal is not None else 0)
+        if open_keys or journal_errors:
+            status = "degraded"
+        if self.draining:
+            status = "draining"
+        payload = {"status": status, "uptime_s": self._uptime()}
+        if open_keys:
+            payload["open_breakers"] = len(open_keys)
+        if journal_errors:
+            payload["journal_write_errors"] = journal_errors
+        return payload
+
     def _stats(self) -> dict:
         stats = {
             "queue": self.queue.stats(),
             "workers": self.pool.workers,
             "uptime_s": self._uptime(),
             "requests": self.requests,
+            "health": self._healthz()["status"],
+            "breaker": self.breaker.stats(),
         }
+        if self.journal is not None:
+            stats["journal"] = self.journal.stats()
+        if self.recovery is not None:
+            stats["recovery"] = self.recovery
         stats.update(self.state.cache_stats())
         return stats
 
@@ -258,7 +382,8 @@ class JobServer:
         return round(time.time() - self.started_s, 3)
 
     # -- SSE -----------------------------------------------------------
-    async def _stream_events(self, writer, path: str) -> None:
+    async def _stream_events(self, writer, path: str,
+                             headers: Optional[dict] = None) -> None:
         match = _JOB_PATH.match(path)
         job = self.queue.jobs.get(match.group(1)) if match else None
         if job is None:
@@ -268,14 +393,19 @@ class JobServer:
                      b"Cache-Control: no-cache\r\n"
                      b"Connection: close\r\n\r\n")
         await writer.drain()
+        # A reconnecting client resumes from the last seq it saw.
         sent = 0
+        last_id = (headers or {}).get("last-event-id")
+        if last_id is not None and last_id.strip().isdigit():
+            sent = int(last_id.strip()) + 1
         while True:
             # The worker thread only ever appends; reading a snapshot of
             # the tail is race-free.
             events = job.events
             while sent < len(events):
                 blob = json.dumps(events[sent], sort_keys=True)
-                writer.write(f"data: {blob}\n\n".encode("utf-8"))
+                writer.write(f"id: {events[sent]['seq']}\n"
+                             f"data: {blob}\n\n".encode("utf-8"))
                 sent += 1
             await writer.drain()
             if job.terminal and sent >= len(job.events):
@@ -288,18 +418,33 @@ class JobServer:
 # ----------------------------------------------------------------------
 async def _serve_async(server: JobServer, announce=None) -> None:
     port = await server.start()
+    _install_signal_handlers(server)
     if announce is not None:
         announce(port)
     await server.serve_until_shutdown()
 
 
+def _install_signal_handlers(server: JobServer) -> None:
+    """SIGTERM/SIGINT → graceful drain (same as /v1/shutdown?mode=drain)."""
+    import signal
+
+    loop = asyncio.get_event_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server.begin_drain)
+        except (NotImplementedError, RuntimeError, ValueError):
+            return  # non-main thread or platform without signal support
+
+
 def serve_forever(host: str = "127.0.0.1", port: int = 8333,
                   workers: int = 2, run_cache=None, artifact_store=None,
-                  verify: bool = True, announce=None) -> None:
+                  verify: bool = True, announce=None, state_dir=None,
+                  drain_timeout: float = 30.0) -> None:
     """Blocking entry point behind ``repro serve``."""
     server = JobServer(host=host, port=port, workers=workers,
                        run_cache=run_cache, artifact_store=artifact_store,
-                       verify=verify)
+                       verify=verify, state_dir=state_dir,
+                       drain_timeout=drain_timeout)
     asyncio.run(_serve_async(server, announce=announce))
 
 
@@ -328,12 +473,18 @@ class ServerHandle:
 def start_server_thread(host: str = "127.0.0.1", port: int = 0,
                         workers: int = 2, run_cache=None,
                         artifact_store=None, verify: bool = True,
-                        timeout: float = 10.0) -> ServerHandle:
+                        timeout: float = 10.0, state_dir=None,
+                        drain_timeout: float = 30.0,
+                        breaker_threshold: int = 5,
+                        breaker_cooldown_s: float = 30.0) -> ServerHandle:
     """Start a `JobServer` on its own thread + event loop; returns a
     handle with the bound (ephemeral) port."""
     server = JobServer(host=host, port=port, workers=workers,
                        run_cache=run_cache, artifact_store=artifact_store,
-                       verify=verify)
+                       verify=verify, state_dir=state_dir,
+                       drain_timeout=drain_timeout,
+                       breaker_threshold=breaker_threshold,
+                       breaker_cooldown_s=breaker_cooldown_s)
     ready = threading.Event()
     bound: dict = {}
 

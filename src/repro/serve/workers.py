@@ -9,7 +9,10 @@ One function per job kind, all with the same shape
   the result dict is byte-identical to a direct `SimContext.run`.
 * ``sweep`` — a hardened `ParallelSweep` over a port grid; per-point
   progress (the new ``on_point`` callback) is published to the job's
-  event log, which the SSE endpoint streams live.
+  event log, which the SSE endpoint streams.  With a ``--state-dir``
+  the sweep also journals completed points to a per-request checkpoint
+  file, so a sweep interrupted by a crash resumes from its finished
+  points instead of re-simulating them.
 * ``analyze`` — IR lints + memory-dependence report as JSON.
 
 `WorkerPool` owns N asyncio worker tasks that claim jobs from the
@@ -17,7 +20,10 @@ One function per job kind, all with the same shape
 event loop keeps answering ``/healthz`` (and accepting submissions that
 may dedup onto the running job) while simulations grind.  Anything a
 body raises is folded into a per-job `FailureRecord` — a crashing job
-marks itself ``failed``; the worker and the server keep serving.
+marks itself ``failed``; the worker and the server keep serving.  The
+pool also enforces the per-job retry policy (``retries`` /
+``backoff_s`` in the spec: deterministic exponential backoff, capped)
+and feeds outcomes to the server's `CircuitBreaker`.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import json
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Callable, Optional
 
 from repro.exec.cache import RunCache, run_cache_key
@@ -34,6 +41,10 @@ from repro.serve.jobs import JOB_KINDS, Job, JobQueue
 
 class SpecError(ValueError):
     """A job spec the workers cannot execute (client error, HTTP 400)."""
+
+
+#: Ceiling for the per-job exponential retry backoff.
+RETRY_BACKOFF_CAP_S = 30.0
 
 
 # ----------------------------------------------------------------------
@@ -75,14 +86,19 @@ def _spec_workload(spec: dict):
     return get_workload(name)
 
 
-def job_dedup_key(kind: str, spec: dict) -> str:
+def job_dedup_key(kind: str, spec: dict,
+                  on_fallback: Optional[Callable[[str], None]] = None) -> str:
     """Content-addressed identity of one request.
 
     Run jobs reuse the run-cache key itself, so "identical request"
     and "identical cached result" are literally the same equivalence
     class; other kinds hash their canonical spec.  A spec too broken
-    to key still gets a (unique-enough) hash — it will queue, fail in
-    the worker, and report a proper `FailureRecord`.
+    to key that way still gets a (unique-enough) hash — it will queue,
+    fail in the worker, and report a proper `FailureRecord` — and the
+    reason for the fallback is handed to ``on_fallback`` so the server
+    can record it on the job's event log.  Only *expected* spec errors
+    (unknown workload, malformed knob values) take the fallback;
+    anything else is a server bug and propagates.
     """
     if kind == "run":
         try:
@@ -90,11 +106,32 @@ def job_dedup_key(kind: str, spec: dict) -> str:
             return "run:" + run_cache_key(
                 workload.source, workload.func_name,
                 seed=int(spec.get("seed", 7)), **run_spec_kwargs(spec))
-        except Exception:  # noqa: BLE001 - fall through to the spec hash
-            pass
+        except (SpecError, KeyError, TypeError, ValueError) as exc:
+            if on_fallback is not None:
+                on_fallback(f"{type(exc).__name__}: {exc}")
     blob = json.dumps({"kind": kind, "spec": spec}, sort_keys=True,
                       separators=(",", ":"), default=str)
     return f"{kind}:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def job_retry_policy(spec: dict) -> tuple[int, float]:
+    """``(retries, backoff_s)`` from a job spec, defensively coerced."""
+    try:
+        retries = max(0, int(spec.get("retries", 0)))
+    except (TypeError, ValueError):
+        retries = 0
+    try:
+        backoff_s = max(0.0, float(spec.get("backoff_s", 0.5)))
+    except (TypeError, ValueError):
+        backoff_s = 0.5
+    return retries, backoff_s
+
+
+def retry_delay(backoff_s: float, attempt: int,
+                cap_s: float = RETRY_BACKOFF_CAP_S) -> float:
+    """Deterministic exponential backoff: ``backoff * 2^(attempt-1)``,
+    capped — attempt 1 waits ``backoff_s``, 2 waits double, ..."""
+    return min(backoff_s * (2 ** max(0, attempt - 1)), cap_s)
 
 
 # ----------------------------------------------------------------------
@@ -172,14 +209,19 @@ def _job_sweep(spec: dict, state: "ServerState", publish) -> dict:
         verify=bool(spec.get("verify", True)),
         point_timeout=spec.get("point_timeout"),
         retries=int(spec.get("retries", 0)),
+        retry_backoff_s=float(spec.get("backoff_s", 0.1)),
         artifact_store=state.artifact_store,
         engine=spec.get("engine", "dynamic"),
+        checkpoint=state.sweep_checkpoint_path(spec),
     )
     publish("compiling")
     points = executor.run(workload, {"ports": ports}, configure,
                           seed=int(spec.get("seed", 7)),
                           unroll_factor=int(spec.get("unroll", 1)),
                           on_point=on_point)
+    resumed = getattr(executor, "checkpoint_resumed", 0)
+    if resumed:
+        publish("checkpoint", resumed=resumed)
     healthy = [p for p in points if p.ok]
     front = pareto_front(healthy,
                          objectives=lambda p: (p.runtime_us, p.power_mw))
@@ -188,7 +230,8 @@ def _job_sweep(spec: dict, state: "ServerState", publish) -> dict:
         row = point.record()
         row["pareto"] = point in front
         rows.append(row)
-    return {"rows": rows, "failed": sum(1 for p in points if not p.ok)}
+    return {"rows": rows, "failed": sum(1 for p in points if not p.ok),
+            "resumed": resumed}
 
 
 def _job_analyze(spec: dict, state: "ServerState", publish) -> dict:
@@ -234,16 +277,31 @@ class ServerState:
 
     Both caches default to in-memory instances, so even a bare
     ``repro serve`` dedups repeat compiles and runs across jobs;
-    ``--cache-dir``/``--artifact-dir`` make them survive restarts.
+    ``--cache-dir``/``--artifact-dir`` make them survive restarts, and
+    ``--state-dir`` additionally gives sweep jobs durable per-request
+    checkpoints (``<state-dir>/sweeps/``).
     """
 
     def __init__(self, run_cache: Optional[RunCache] = None,
-                 artifact_store=None) -> None:
+                 artifact_store=None, state_dir=None) -> None:
         from repro.build.store import ArtifactStore
 
         self.run_cache = run_cache if run_cache is not None else RunCache()
         self.artifact_store = (artifact_store if artifact_store is not None
                                else ArtifactStore())
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+
+    def sweep_checkpoint_path(self, spec: dict) -> Optional[Path]:
+        """Durable checkpoint file for one sweep request, or None.
+
+        Keyed by the request's dedup hash, so an identical sweep
+        resubmitted after a crash (including the journal-recovered
+        re-queue of the same job) lands on the same checkpoint file.
+        """
+        if self.state_dir is None:
+            return None
+        digest = job_dedup_key("sweep", spec).split(":", 1)[1]
+        return self.state_dir / "sweeps" / f"{digest[:32]}.jsonl"
 
     def cache_stats(self) -> dict:
         from repro.build import STAGE_COUNTERS
@@ -274,7 +332,7 @@ def execute_job(job: Job, state: ServerState) -> tuple[Optional[dict],
 
     Runs inside an executor thread.  ``job.publish`` is the only thing
     it touches concurrently with the event loop, and that is a bare
-    list append.
+    list append (plus the lock-guarded journal sink).
     """
     body = _BODIES.get(job.kind)
     try:
@@ -289,14 +347,26 @@ def execute_job(job: Job, state: ServerState) -> tuple[Optional[dict],
 
 
 class WorkerPool:
-    """N asyncio worker tasks draining the queue via executor threads."""
+    """N asyncio worker tasks draining the queue via executor threads.
+
+    Beyond plain execution the pool enforces the durability policies:
+
+    * a failed attempt whose job still has retry budget is re-queued
+      with a deterministic exponential backoff instead of resolving;
+    * final outcomes are reported to the `CircuitBreaker` (when one is
+      attached) so repeat offenders start failing fast at submit time;
+    * after each resolution the journal is compacted once it has
+      accumulated ``snapshot_every`` appends.
+    """
 
     def __init__(self, queue: JobQueue, state: ServerState,
-                 workers: int = 2, poll_s: float = 0.02) -> None:
+                 workers: int = 2, poll_s: float = 0.02,
+                 breaker=None) -> None:
         self.queue = queue
         self.state = state
         self.workers = max(1, int(workers))
         self.poll_s = poll_s
+        self.breaker = breaker
         self._executor: Optional[ThreadPoolExecutor] = None
         self._tasks: list = []
         self._stopping = False
@@ -320,8 +390,25 @@ class WorkerPool:
                 continue
             result, failure, cache_hit = await loop.run_in_executor(
                 self._executor, execute_job, job, self.state)
+            if failure is not None and not self._stopping:
+                retries, backoff_s = job_retry_policy(job.spec)
+                if job.attempts <= retries:
+                    delay = retry_delay(backoff_s, job.attempts)
+                    self.queue.requeue(job, delay_s=delay,
+                                       reason=failure.reason)
+                    continue
+            if failure is not None:
+                failure.attempts = job.attempts
+            if self.breaker is not None and job.dedup_key is not None:
+                if failure is not None:
+                    self.breaker.record_failure(job.dedup_key)
+                else:
+                    self.breaker.record_success(job.dedup_key)
             self.queue.resolve(job, result=result, failure=failure,
                                cache_hit=cache_hit)
+            journal = self.queue.journal
+            if journal is not None and journal.should_compact():
+                journal.compact(self.queue)
 
     async def stop(self) -> None:
         import asyncio

@@ -1,0 +1,160 @@
+"""SSE resume: `id:` lines, Last-Event-ID, and client reconnection.
+
+The unit tests fake `_event_stream` to script exact drop scenarios;
+the integration tests run a real server and sever a live connection,
+asserting the stream comes back with no event missed or duplicated.
+"""
+
+import pytest
+
+from repro.serve import ServeClient, ServeError, start_server_thread
+from repro.serve.jobs import JobState
+
+RUN_SPEC = {"workload": "gemm_dse", "ports": 2, "unroll": 1, "seed": 7}
+
+
+# ----------------------------------------------------------------------
+# Unit: scripted streams
+# ----------------------------------------------------------------------
+class ScriptedClient(ServeClient):
+    """A ServeClient whose streams follow a script instead of a socket.
+
+    ``script`` is a list of per-connection instructions: each entry is
+    ``(events, exc)`` — yield the events, then raise ``exc`` (or close
+    cleanly when None).  ``states`` feeds `job()` one state per call.
+    """
+
+    def __init__(self, script, states):
+        super().__init__(port=1)
+        self.script = list(script)
+        self.states = list(states)
+        self.stream_calls = []
+
+    def _event_stream(self, job_id, last_seq=None):
+        self.stream_calls.append(last_seq)
+        events, exc = self.script.pop(0)
+        yield from events
+        if exc is not None:
+            raise exc
+
+    def job(self, job_id):
+        return {"state": self.states.pop(0)}
+
+
+def ev(seq, name="point"):
+    return {"seq": seq, "event": name}
+
+
+def test_reconnect_resumes_from_last_seen_seq():
+    client = ScriptedClient(
+        script=[([ev(0), ev(1)], ConnectionResetError()),
+                ([ev(2), ev(3, "done")], None)],
+        states=[JobState.DONE],
+    )
+    events = list(client.events("j0", reconnect_delay_s=0.0))
+    assert [e["seq"] for e in events] == [0, 1, 2, 3]
+    # Second connection carried the resume point.
+    assert client.stream_calls == [None, 1]
+
+
+def test_clean_close_of_active_job_reconnects():
+    # The server may close a stream early (drain/restart) without the
+    # job being done — the client must double-check and reconnect.
+    client = ScriptedClient(
+        script=[([ev(0)], None), ([ev(1, "done")], None)],
+        states=[JobState.RUNNING, JobState.DONE],
+    )
+    events = list(client.events("j0", reconnect_delay_s=0.0))
+    assert [e["seq"] for e in events] == [0, 1]
+    assert client.stream_calls == [None, 0]
+
+
+def test_reconnect_false_stops_at_first_drop():
+    client = ScriptedClient(
+        script=[([ev(0)], ConnectionResetError())],
+        states=[],
+    )
+    events = list(client.events("j0", reconnect=False))
+    assert [e["seq"] for e in events] == [0]
+    assert client.stream_calls == [None]
+
+
+def test_reconnect_budget_exhausts_with_error():
+    client = ScriptedClient(
+        script=[([], ConnectionResetError()) for __ in range(4)],
+        states=[],
+    )
+    with pytest.raises(ConnectionError, match="reconnects failed"):
+        list(client.events("j0", max_reconnects=2, reconnect_delay_s=0.0))
+    assert len(client.stream_calls) == 3  # initial + 2 retries
+
+
+def test_received_events_reset_the_reconnect_budget():
+    # Three drops, but each connection delivers progress — so a budget
+    # of 1 consecutive reconnect survives all of them.
+    client = ScriptedClient(
+        script=[([ev(0)], ConnectionResetError()),
+                ([ev(1)], ConnectionResetError()),
+                ([ev(2)], ConnectionResetError()),
+                ([ev(3, "done")], None)],
+        states=[JobState.DONE],
+    )
+    events = list(client.events("j0", max_reconnects=1,
+                                reconnect_delay_s=0.0))
+    assert [e["seq"] for e in events] == [0, 1, 2, 3]
+
+
+def test_http_errors_propagate_not_retried():
+    def explode(job_id, last_seq=None):
+        raise ServeError(404, {"error": "no such job"})
+        yield  # pragma: no cover - makes this a generator
+
+    client = ScriptedClient(script=[], states=[])
+    client._event_stream = explode
+    with pytest.raises(ServeError):
+        list(client.events("j404"))
+
+
+# ----------------------------------------------------------------------
+# Integration: real server, real drops
+# ----------------------------------------------------------------------
+@pytest.fixture
+def server():
+    with start_server_thread(workers=1) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(port=server.port)
+
+
+def test_server_honors_last_event_id(client):
+    job = client.wait(client.submit("run", dict(RUN_SPEC))["id"])
+    full = list(client._event_stream(job["id"]))
+    assert [e["seq"] for e in full] == list(range(len(full)))
+    resumed = list(client._event_stream(job["id"], last_seq=1))
+    assert resumed == full[2:]
+
+
+def test_dropped_connection_resumes_without_loss_or_dup(client):
+    job = client.wait(client.submit("run", dict(RUN_SPEC))["id"])
+    real_stream = client._event_stream
+    state = {"dropped": False}
+
+    def flaky(job_id, last_seq=None):
+        inner = real_stream(job_id, last_seq)
+        for event in inner:
+            yield event
+            if not state["dropped"]:
+                state["dropped"] = True
+                inner.close()
+                raise ConnectionResetError("mid-stream drop")
+
+    client._event_stream = flaky
+    events = list(client.events(job["id"], reconnect_delay_s=0.01))
+    assert state["dropped"], "the test never exercised the drop"
+    seqs = [e["seq"] for e in events]
+    assert seqs == list(range(len(seqs))), "events lost or duplicated"
+    assert events[0]["event"] == "queued"
+    assert events[-1]["event"] == JobState.DONE
