@@ -47,6 +47,7 @@ from repro.analysis.memdep import (
     resolve_pointer,
     static_footprint,
 )
+from repro.analysis.partition import check_sweep_partition
 from repro.analysis.syslint import (
     DmaTransfer,
     KernelFootprint,
@@ -75,6 +76,7 @@ __all__ = [
     "Location",
     "MemAccess",
     "MemRegion",
+    "check_sweep_partition",
     "PassDivergenceError",
     "ReachingDefinitions",
     "Severity",

@@ -1,0 +1,118 @@
+"""DEP204: sweep parameters outside the datapath/memory partition.
+
+The incremental re-simulation machinery (`repro.engine.retime`) groups
+sweep points by their datapath key and re-times everything within a
+group.  A grid parameter that is classified in neither
+`repro.exec.params.DATAPATH_PARAMS` nor `MEMORY_PARAMS` lands on the
+datapath side *by default* — sound (every distinct value gets its own
+full simulation), but silently: a sweep the user expected to be mostly
+re-timed degrades to full re-simulation with no visible cause.  DEP204
+makes that degradation loud: it names every parameter that (a) varies
+across the sweep's points and (b) has no declared side — including
+unknown `DeviceConfig` fields, reported as ``config.<field>``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import AnalysisReport, Location, Severity
+from repro.exec.params import (
+    CONFIG_DATAPATH_FIELDS,
+    CONFIG_MEMORY_FIELDS,
+    classify_param,
+)
+
+
+def _stamp(value) -> str:
+    """A comparable fingerprint of one parameter value (dataclasses via
+    their dict form; unserializable values via repr — only *distinctness*
+    matters here, not stability across processes)."""
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        value = dataclasses.asdict(value)
+    try:
+        return json.dumps(value, sort_keys=True, default=repr)
+    except TypeError:
+        return repr(value)
+
+
+def _varying(points: list[dict]) -> list[str]:
+    """Names of keys whose values differ across ``points`` (a key absent
+    from some points counts as varying when present elsewhere with a
+    non-default meaning — absence is stamped distinctly)."""
+    names: list[str] = []
+    seen: set[str] = set()
+    for point in points:
+        for name in point:
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    missing = object()
+    varying = []
+    for name in names:
+        stamps = {_stamp(point.get(name, missing)) if name in point
+                  else "<absent>" for point in points}
+        if len(stamps) > 1:
+            varying.append(name)
+    return varying
+
+
+def check_sweep_partition(point_kwargs: list[dict],
+                          subject: str = "sweep") -> AnalysisReport:
+    """DEP204 over one sweep's accelerator-kwargs points.
+
+    ``point_kwargs`` is the ``configure(params)`` output for every grid
+    point.  Returns an `AnalysisReport` with one WARNING per varying
+    unclassified parameter; ``meta["partition"]`` summarizes how every
+    varying parameter was classified.
+    """
+    analysis = AnalysisReport(subject=subject)
+    classified: dict[str, str] = {}
+    with analysis.timed("partition"):
+        for name in _varying(point_kwargs):
+            if name == "config":
+                configs = []
+                for point in point_kwargs:
+                    value = point.get("config")
+                    if value is None:
+                        configs.append({})
+                    elif isinstance(value, dict):
+                        configs.append(value)
+                    else:
+                        configs.append(value.to_dict())
+                for field_name in _varying(configs):
+                    if field_name in CONFIG_MEMORY_FIELDS:
+                        classified[f"config.{field_name}"] = "memory"
+                    elif field_name in CONFIG_DATAPATH_FIELDS:
+                        classified[f"config.{field_name}"] = "datapath"
+                    else:
+                        classified[f"config.{field_name}"] = "unclassified"
+                        _warn(analysis, f"config.{field_name}")
+                continue
+            side = classify_param(name)
+            if side is None:
+                classified[name] = "unclassified"
+                _warn(analysis, name)
+            else:
+                classified[name] = side
+    analysis.meta["partition"] = classified
+    return analysis
+
+
+def _warn(analysis: AnalysisReport, name: str) -> None:
+    analysis.add(
+        "DEP204",
+        Severity.WARNING,
+        Location(ref=name),
+        f"sweep varies '{name}', which is in neither DATAPATH_PARAMS "
+        f"nor MEMORY_PARAMS; every distinct value forces a full "
+        f"re-simulation (no trace reuse)",
+        hint="declare the parameter in repro.exec.params — memory-side "
+             "if it can only change timing, datapath-side if it can "
+             "change values, branches, or addresses",
+    )
+
+
+__all__ = ["check_sweep_partition"]

@@ -38,6 +38,7 @@ def sweep(
     artifact_store=None,
     pipeline=None,
     engine: str = "dynamic",
+    retime: bool = False,
     on_point=None,
     checkpoint=None,
 ) -> list[SweepPoint]:
@@ -59,11 +60,18 @@ def sweep(
     callback, and ``checkpoint`` — a JSONL path recording completed
     points so an interrupted sweep resumes instead of restarting (see
     `repro.exec.checkpoint.SweepCheckpoint`).
+
+    ``retime=True`` turns on incremental re-simulation: points sharing a
+    datapath key run one full graph simulation (capturing a
+    `ScheduleTrace`) and the rest are re-timed against their memory
+    configuration — byte-identical results at a fraction of the cost for
+    memory-only grids (see `repro.engine.retime`).
     """
     executor = ParallelSweep(workers=workers, cache=cache, verify=verify,
                              point_timeout=point_timeout, retries=retries,
                              strict=strict, faults=faults, watchdog=watchdog,
                              artifact_store=artifact_store, pipeline=pipeline,
-                             engine=engine, checkpoint=checkpoint)
+                             engine=engine, retime=retime,
+                             checkpoint=checkpoint)
     return executor.run(workload, param_grid, configure, seed=seed,
                         unroll_factor=unroll_factor, on_point=on_point)

@@ -68,8 +68,11 @@ from repro.ir.values import Argument, Constant, Instruction
 
 #: Bump when the lowering output changes shape — part of the graph
 #: artifact key, so stale store entries never deserialize into a
-#: scheduler that expects different arrays.
-GRAPH_FORMAT_VERSION = 1
+#: scheduler that expects different arrays.  (v2: memory-side
+#: `DeviceConfig` fields left the key — lowering never reads them, the
+#: scheduler consults the live config — so memory-only sweeps share one
+#: stored graph.)
+GRAPH_FORMAT_VERSION = 2
 
 # Operand-source descriptor tags.
 SRC_CONST = 0
@@ -490,22 +493,27 @@ def graph_key(design) -> str:
     """Content address for a compiled graph.
 
     Covers everything lowering reads: the module text (via
-    `module_fingerprint`), the kernel name, the device config (FU
-    limits, latency overrides, queue/window sizes, clock), the hardware
-    profile, and the lowering format version.  Deliberately *not* the
-    engine choice — graphs are engine-internal, and run-cache keys stay
-    engine-agnostic (byte-identical results make the engines
-    interchangeable).
+    `module_fingerprint`), the kernel name, the datapath side of the
+    device config (FU limits, latency overrides, window, clock), the
+    hardware profile, and the lowering format version.  Deliberately
+    *not* the engine choice — graphs are engine-internal, and run-cache
+    keys stay engine-agnostic (byte-identical results make the engines
+    interchangeable).  Also deliberately not the memory-side config
+    fields (`repro.exec.params.CONFIG_MEMORY_FIELDS`): lowering never
+    reads them (`GraphScheduler` consults the live config at run time),
+    so every point of a memory-only sweep shares one stored graph.
     """
     from repro.build.artifact import module_fingerprint
+    from repro.exec.params import split_device_config
 
     iface = design.iface if hasattr(design, "iface") else design
     profile = iface.profile
+    datapath_config, _memory_config = split_device_config(iface.config)
     payload = {
         "version": GRAPH_FORMAT_VERSION,
         "module": module_fingerprint(iface.module),
         "func": iface.func.name,
-        "config": iface.config.to_dict(),
+        "config": datapath_config,
         "profile": {
             "name": profile.name,
             "units": {name: asdict(spec) for name, spec in sorted(profile.units.items())},

@@ -1,0 +1,166 @@
+"""Memory re-timing: replay a captured schedule trace, skip the datapath.
+
+The LightningSim observation, applied to this simulator: for a fixed
+datapath configuration (kernel, pass pipeline, dataset seed, FU
+structure — see `repro.exec.params.DATAPATH_PARAMS`), the *content* of
+a run is invariant under memory-system changes.  Every computed value,
+every branch outcome, and every resolved address is decided by the
+dataflow alone; memory parameters (SPM ports/banks, queue depths,
+issue widths, ideal-memory latency) only move events in time.  The
+graph scheduler's conflict logic guarantees this: overlapping accesses
+always commit in program order, so reordering legal under one memory
+configuration never changes the bytes another configuration observes.
+
+So the expensive half of a run — evaluating instruction thunks,
+encoding/decoding memory bytes, computing branch conditions — can be
+done **once** per datapath configuration and captured as a
+`ScheduleTrace`:
+
+* ``block_seq`` — the block-level control path (entry block followed by
+  every branch target, in branch-issue order, which is exactly block
+  fetch order);
+* ``addrs`` — resolved address per memory instruction, keyed by the
+  instruction's dynamic sequence number (fetch order is deterministic,
+  so sequence numbers line up between capture and replay);
+* ``store_data`` — the encoded bytes of every store, keyed the same way
+  (replay still performs the image writes, so the final memory image —
+  and golden-model verification — is byte-identical).
+
+Replay (`GraphScheduler.run(..., replay=trace)`) re-runs the *timing*
+machinery in full — dependency tracking, conflict scanning, FU
+allocation, the memory pump, occupancy accounting — against the current
+memory configuration, consuming captured content instead of computing
+it.  The result is byte-identical to a full simulation at that
+configuration, at a fraction of the cost.
+
+Traces are content-addressed by the **datapath key** (the first half of
+`repro.exec.cache.split_cache_key`) and stored as ``trace`` artifacts
+via `repro.build.pipeline.BuildPipeline.trace`, so they are shared
+across sweep points, processes, and program invocations exactly like
+compiled kernels and lowered graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+#: Bump when the trace layout (or anything replay reads from it)
+#: changes; stored traces with a different version are ignored, so a
+#: stale artifact dir degrades to re-capture instead of misbehaving.
+TRACE_FORMAT_VERSION = 1
+
+
+class RetimeError(Exception):
+    """A schedule trace that cannot re-time the requested run (wrong
+    datapath shape, stale format, truncated capture).  Callers fall
+    back to a full simulation."""
+
+
+@dataclass
+class ScheduleTrace:
+    """The memory-parameter-independent content of one run."""
+
+    func_name: str
+    n_nodes: int
+    entry_block: int
+    #: Block fetch order: ``[entry] + [target of i-th branch issue]``.
+    block_seq: list[int]
+    #: Dynamic sequence number -> resolved address (memory ops only).
+    addrs: dict[int, int]
+    #: Dynamic sequence number -> encoded store bytes (stores only).
+    store_data: dict[int, bytes]
+    #: Dynamic instruction count of the captured run (sanity check).
+    n_dyn: int = 0
+    version: int = TRACE_FORMAT_VERSION
+    #: Provenance: the datapath key the trace was captured under.
+    datapath_key: str = ""
+
+    def validate(self, graph, func_name: str) -> None:
+        """Cheap structural checks before a replay starts.
+
+        Content addressing (the datapath key) already guarantees the
+        trace matches the design; this guards against store corruption
+        and format drift.  Raises `RetimeError` on any mismatch.
+        """
+        if self.version != TRACE_FORMAT_VERSION:
+            raise RetimeError(
+                f"trace format v{self.version} != v{TRACE_FORMAT_VERSION}")
+        if self.func_name != func_name:
+            raise RetimeError(
+                f"trace captured for '{self.func_name}', "
+                f"replaying '{func_name}'")
+        if self.n_nodes != graph.n_nodes:
+            raise RetimeError(
+                f"trace captured over {self.n_nodes} nodes, "
+                f"graph has {graph.n_nodes}")
+        if not self.block_seq or self.block_seq[0] != graph.entry_block:
+            raise RetimeError("trace entry block does not match the graph")
+
+
+class TraceCapture:
+    """Capture hooks handed to `GraphScheduler.run(capture=...)`.
+
+    The scheduler records into the three plain containers at issue time
+    (the only point where addresses and store bytes are final); the
+    capture is turned into a `ScheduleTrace` only when the run
+    completed — a truncated run (``max_ticks``) must never publish a
+    partial trace.
+    """
+
+    def __init__(self) -> None:
+        self.targets: list[int] = []
+        self.addrs: dict[int, int] = {}
+        self.store_data: dict[int, bytes] = {}
+        self.n_dyn = 0
+
+    def to_trace(self, graph, func_name: str,
+                 datapath_key: str = "") -> ScheduleTrace:
+        return ScheduleTrace(
+            func_name=func_name,
+            n_nodes=graph.n_nodes,
+            entry_block=graph.entry_block,
+            block_seq=[graph.entry_block] + self.targets,
+            addrs=self.addrs,
+            store_data=self.store_data,
+            n_dyn=self.n_dyn,
+            datapath_key=datapath_key,
+        )
+
+
+@dataclass
+class TraceCounters:
+    """Process-wide trace-cache accounting (the retime sibling of
+    `repro.build.pipeline.STAGE_COUNTERS`).  The serve layer surfaces a
+    snapshot under ``/v1/stats`` as ``trace_cache``."""
+
+    hits: int = 0
+    misses: int = 0
+    captures: int = 0
+    retimed_runs: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: Every trace-store probe / capture / replay in this process bumps these.
+TRACE_COUNTERS = TraceCounters()
+
+
+def trace_cache_key(datapath_key: str) -> str:
+    """Artifact-store key of the trace for one datapath configuration."""
+    return f"trace:v{TRACE_FORMAT_VERSION}:{datapath_key}"
+
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TRACE_COUNTERS",
+    "RetimeError",
+    "ScheduleTrace",
+    "TraceCapture",
+    "TraceCounters",
+    "trace_cache_key",
+]

@@ -43,6 +43,53 @@ def _canonical(value):
     )
 
 
+def _digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def split_cache_key(source, func_name: str, *, seed: int = 7, pipeline=None,
+                    **acc_kwargs) -> tuple[str, str]:
+    """The two-level content address ``(datapath_key, memory_key)``.
+
+    The datapath key covers everything that shapes the dynamic schedule
+    *content* — kernel source (an IR `Module` is hashed via its printed
+    text), entry function, dataset seed, pass pipeline, and the
+    datapath-side kwargs per `repro.exec.params` (unclassified kwargs
+    conservatively included).  The memory key covers only the
+    memory-side kwargs.  Two sweep points with equal datapath keys are
+    schedule-equivalent: one captured `ScheduleTrace` re-times both
+    (see `repro.engine.retime`), which is why traces are
+    content-addressed by the datapath key alone.
+
+    A non-default ``pipeline`` (pass spec, see `repro.passes.pipeline`)
+    changes which optimizations shaped the datapath, so it joins the
+    datapath key; the default (None — the standard
+    ``unroll_factor``-driven preset) is omitted so explicit-default and
+    implicit-default callers agree.
+    """
+    from repro.exec.params import split_acc_kwargs
+    from repro.ir.module import Module
+
+    if isinstance(source, Module):
+        from repro.ir.printer import print_module
+
+        source = print_module(source)
+    datapath_kwargs, memory_kwargs, _unclassified = split_acc_kwargs(acc_kwargs)
+    datapath_payload = {
+        "source": source,
+        "func_name": func_name,
+        "seed": seed,
+        "kwargs": _canonical(datapath_kwargs),
+    }
+    if pipeline is not None:
+        from repro.passes.pipeline import PipelineSpec
+
+        datapath_payload["pipeline"] = PipelineSpec.parse(pipeline).canonical()
+    memory_payload = {"kwargs": _canonical(memory_kwargs)}
+    return _digest(datapath_payload), _digest(memory_payload)
+
+
 def run_cache_key(source, func_name: str, *, seed: int = 7, pipeline=None,
                   **acc_kwargs) -> str:
     """Content hash of one simulation configuration.
@@ -50,30 +97,14 @@ def run_cache_key(source, func_name: str, *, seed: int = 7, pipeline=None,
     ``source`` is the kernel (mini-C text, or an IR `Module`, which is
     hashed via its printed text); ``acc_kwargs`` are the
     `StandaloneAccelerator` keyword arguments (config, memory,
-    unroll_factor, SPM/cache/DRAM geometry, ...).  A non-default
-    ``pipeline`` (pass spec, see `repro.passes.pipeline`) changes which
-    optimizations shaped the datapath, so it joins the key; the default
-    (None — the standard ``unroll_factor``-driven preset) is omitted to
-    keep keys stable with caches written before pipelines existed.
+    unroll_factor, SPM/cache/DRAM geometry, ...).  The flat key is the
+    hash of the two-level ``(datapath_key, memory_key)`` pair from
+    `split_cache_key`, so run-cache identity and trace-cache identity
+    derive from one parameter partition (`repro.exec.params`).
     """
-    from repro.ir.module import Module
-
-    if isinstance(source, Module):
-        from repro.ir.printer import print_module
-
-        source = print_module(source)
-    payload = {
-        "source": source,
-        "func_name": func_name,
-        "seed": seed,
-        "kwargs": _canonical(acc_kwargs),
-    }
-    if pipeline is not None:
-        from repro.passes.pipeline import PipelineSpec
-
-        payload["pipeline"] = PipelineSpec.parse(pipeline).canonical()
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    datapath_key, memory_key = split_cache_key(
+        source, func_name, seed=seed, pipeline=pipeline, **acc_kwargs)
+    return _digest({"datapath": datapath_key, "memory": memory_key})
 
 
 class RunCache:

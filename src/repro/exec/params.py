@@ -1,0 +1,169 @@
+"""The datapath/memory parameter partition — single source of truth.
+
+The incremental re-simulation machinery (see DESIGN.md, "Incremental
+re-simulation") rests on one fact: a kernel's dynamic schedule *content*
+— the values every instruction computes, the branch outcomes, and the
+resolved memory addresses — depends only on the datapath-side inputs
+(kernel, dataset seed, pass pipeline, FU structure), never on the
+memory-system timing.  Memory-side parameters change *when* things
+happen, not *what* happens, so a `ScheduleTrace` captured once per
+datapath configuration can be re-timed against any memory configuration
+(`repro.engine.retime`).
+
+This module declares which `StandaloneAccelerator` keyword argument
+falls on which side.  Everything keys off these sets:
+
+* `repro.exec.cache.run_cache_key` builds its two-level
+  ``(datapath_key, memory_key)`` hash from `split_acc_kwargs`;
+* `repro.engine.graph.graph_key` drops the memory-side `DeviceConfig`
+  fields so compiled graphs are shared across memory-only sweeps;
+* `ParallelSweep` groups grid points by datapath key and re-times
+  within each group;
+* `repro.analysis.partition` raises DEP204 when a sweep varies a
+  parameter classified on neither side (those points silently fall back
+  to full re-simulation).
+
+A kwarg not in any set is treated as **datapath-side** by every
+consumer: unknown parameters conservatively get their own trace (i.e.
+a full simulation), never an unsound reuse.
+
+`DeviceConfig` is special-cased: it is one object holding knobs from
+both sides, so it is split field-wise (`split_device_config`) using
+`CONFIG_DATAPATH_FIELDS` / `CONFIG_MEMORY_FIELDS`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: `StandaloneAccelerator` kwargs that shape the datapath schedule:
+#: they change computed values, branch outcomes, or resolved addresses,
+#: so any difference here invalidates a captured `ScheduleTrace`.
+#: (``config`` is split field-wise — see `CONFIG_DATAPATH_FIELDS`.)
+DATAPATH_PARAMS = frozenset({
+    "config",
+    "profile",
+    "unroll_factor",
+})
+
+#: Kwargs that only tune memory-system timing: the schedule trace is
+#: invariant under any change confined to these, so sweep points that
+#: differ only here share one datapath simulation and re-time the rest.
+#: ``memory`` itself is memory-side: "spm" and "ideal" stage identical
+#: addresses (same base, same allocator), and "cache" never reaches the
+#: retimer at all (`resolve_engine` falls back to the dynamic engine).
+MEMORY_PARAMS = frozenset({
+    "memory",
+    "spm_bytes",
+    "spm_read_ports",
+    "spm_write_ports",
+    "spm_banks",
+    "cache_kwargs",
+    "dram_kwargs",
+})
+
+#: Execution machinery, not design points: never part of any cache key
+#: (`run_cache_key` has always excluded these), so they are classified
+#: here only to make the partition total over the accelerator's
+#: signature — the property test asserts exactly-once coverage.
+EXECUTION_PARAMS = frozenset({
+    "artifact_store",
+    "pipeline",
+    "engine",
+})
+
+#: `DeviceConfig` fields that shape the datapath schedule (FU pools,
+#: latencies, the clock the profile derives energies from, the
+#: reservation window that bounds fetch).
+CONFIG_DATAPATH_FIELDS = frozenset({
+    "name",
+    "clock_freq_hz",
+    "fu_limits",
+    "latency_overrides",
+    "reservation_window",
+})
+
+#: `DeviceConfig` fields that only tune memory-interface timing: issue
+#: widths, queue depths, and the ideal-memory switch.  None of them can
+#: change a computed value or a resolved address — only cycle counts.
+CONFIG_MEMORY_FIELDS = frozenset({
+    "read_queue_size",
+    "write_queue_size",
+    "read_ports",
+    "write_ports",
+    "ideal_memory",
+})
+
+
+def classify_param(name: str) -> Optional[str]:
+    """``"datapath"`` / ``"memory"`` / ``"execution"``, or None when the
+    parameter is unclassified (consumers treat that as datapath-side)."""
+    if name in DATAPATH_PARAMS:
+        return "datapath"
+    if name in MEMORY_PARAMS:
+        return "memory"
+    if name in EXECUTION_PARAMS:
+        return "execution"
+    return None
+
+
+def split_device_config(config) -> tuple[dict, dict]:
+    """Split a `DeviceConfig` (or its ``to_dict`` payload) field-wise.
+
+    Returns ``(datapath_fields, memory_fields)`` as plain dicts.  An
+    unknown field (a future knob added to `DeviceConfig` but not to the
+    field sets above) lands on the datapath side — conservatively
+    invalidating traces rather than unsoundly reusing them.
+    """
+    payload = config if isinstance(config, dict) else config.to_dict()
+    datapath: dict = {}
+    memory: dict = {}
+    for field_name, value in payload.items():
+        side = memory if field_name in CONFIG_MEMORY_FIELDS else datapath
+        side[field_name] = value
+    return datapath, memory
+
+
+def split_acc_kwargs(acc_kwargs: dict) -> tuple[dict, dict, list[str]]:
+    """Partition accelerator kwargs into ``(datapath, memory,
+    unclassified)``.
+
+    ``datapath`` and ``memory`` are the two halves of the two-level
+    cache key (`repro.exec.cache.split_cache_key`); ``unclassified``
+    names the kwargs that fell on the datapath side only because no
+    declaration covers them (DEP204 material — see
+    `repro.analysis.partition`).  Execution-machinery kwargs are
+    dropped entirely, exactly as the flat key always excluded them.
+    """
+    datapath: dict = {}
+    memory: dict = {}
+    unclassified: list[str] = []
+    for name in sorted(acc_kwargs):
+        value = acc_kwargs[name]
+        if name == "config" and value is not None:
+            cfg_datapath, cfg_memory = split_device_config(value)
+            datapath["config"] = cfg_datapath
+            memory["config"] = cfg_memory
+            continue
+        side = classify_param(name)
+        if side == "memory":
+            memory[name] = value
+        elif side == "execution":
+            continue
+        else:
+            if side is None:
+                unclassified.append(name)
+            datapath[name] = value
+    return datapath, memory, unclassified
+
+
+__all__ = [
+    "DATAPATH_PARAMS",
+    "MEMORY_PARAMS",
+    "EXECUTION_PARAMS",
+    "CONFIG_DATAPATH_FIELDS",
+    "CONFIG_MEMORY_FIELDS",
+    "classify_param",
+    "split_device_config",
+    "split_acc_kwargs",
+]

@@ -1,0 +1,58 @@
+"""DEP204: sweep grids that vary unclassified parameters.
+
+An unclassified varying parameter silently degrades a retimed sweep to
+full re-simulation (it lands on the datapath side, one full run per
+distinct value).  DEP204 is the loud version of that degradation.
+"""
+
+from repro.analysis import check_sweep_partition
+from repro.core.config import DeviceConfig
+
+
+def _codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+def test_classified_memory_grid_is_clean():
+    report = check_sweep_partition([
+        {"spm_read_ports": 1, "memory": "spm"},
+        {"spm_read_ports": 4, "memory": "spm"},
+    ])
+    assert _codes(report) == []
+    assert report.meta["partition"]["spm_read_ports"] == "memory"
+
+
+def test_varying_unclassified_kwarg_warns():
+    report = check_sweep_partition([
+        {"spm_read_ports": 1, "burst": 2},
+        {"spm_read_ports": 1, "burst": 8},
+    ])
+    assert _codes(report) == ["DEP204"]
+    assert "burst" in report.diagnostics[0].message
+    assert report.meta["partition"]["burst"] == "unclassified"
+
+
+def test_constant_unclassified_kwarg_is_fine():
+    # Only *varying* parameters can split datapath groups.
+    report = check_sweep_partition([
+        {"spm_read_ports": 1, "burst": 8},
+        {"spm_read_ports": 4, "burst": 8},
+    ])
+    assert _codes(report) == []
+
+
+def test_config_fields_are_classified_field_wise():
+    report = check_sweep_partition([
+        {"config": DeviceConfig(read_ports=1)},
+        {"config": DeviceConfig(read_ports=8)},
+    ])
+    assert _codes(report) == []
+    assert report.meta["partition"]["config.read_ports"] == "memory"
+
+
+def test_kwarg_absent_from_some_points_counts_as_varying():
+    report = check_sweep_partition([
+        {"spm_read_ports": 1, "burst": 8},
+        {"spm_read_ports": 1},
+    ])
+    assert _codes(report) == ["DEP204"]

@@ -1,0 +1,52 @@
+"""The trace slot of the build pipeline (BuildPipeline.trace).
+
+Schedule traces are build artifacts: content-addressed by datapath key,
+published once per capture, shared across processes via the store, and
+counted like every other stage so the compile-once guards (and the
+serve layer's /v1/stats) can see trace traffic.
+"""
+
+from repro.build import STAGE_COUNTERS
+from repro.build.artifact import ARTIFACT_KINDS
+from repro.build.pipeline import BuildPipeline
+from repro.build.store import ArtifactStore
+from repro.engine.retime import ScheduleTrace, trace_cache_key
+
+
+def _trace(func_name="gemm"):
+    return ScheduleTrace(func_name=func_name, n_nodes=3, entry_block=0,
+                         block_seq=[0, 1], addrs={1: 0x2000_0000},
+                         store_data={2: b"\x00" * 8}, n_dyn=3)
+
+
+def test_trace_is_a_registered_artifact_kind():
+    assert "trace" in ARTIFACT_KINDS
+
+
+def test_publish_then_lookup_roundtrips_through_the_store():
+    store = ArtifactStore()
+    pipe = BuildPipeline(store=store)
+    published = pipe.trace("dk123", _trace())
+    assert published.kind == "trace"
+    assert published.key == trace_cache_key("dk123")
+    assert published.payload.datapath_key == "dk123"
+    found = BuildPipeline(store=store).trace("dk123")
+    assert found is not None
+    assert found.payload.func_name == "gemm"
+    assert BuildPipeline(store=store).trace("other-key") is None
+
+
+def test_lookup_without_a_store_is_a_clean_miss():
+    assert BuildPipeline(store=None).trace("dk123") is None
+
+
+def test_capture_bumps_the_stage_counter():
+    STAGE_COUNTERS.reset()
+    pipe = BuildPipeline(store=ArtifactStore())
+    pipe.trace("dk1", _trace())
+    pipe.trace("dk2", _trace())
+    assert STAGE_COUNTERS.trace == 2
+    assert STAGE_COUNTERS.snapshot()["trace"] == 2
+    # Lookups are store probes, not stage invocations.
+    pipe.trace("dk1")
+    assert STAGE_COUNTERS.trace == 2

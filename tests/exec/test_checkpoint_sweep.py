@@ -25,8 +25,16 @@ def _configure(params):
     )
 
 
+#: Provenance columns describe what ran *this invocation* (a resumed
+#: point ran nothing, so its engine_used is "" by design); the resume
+#: bar is byte-identity of the result columns.
+PROVENANCE = ("engine_used", "fallback_reason", "retimed")
+
+
 def _rows(points):
-    return [json.dumps(p.record(), sort_keys=True) for p in points]
+    return [json.dumps({k: v for k, v in p.record().items()
+                        if k not in PROVENANCE}, sort_keys=True)
+            for p in points]
 
 
 # ----------------------------------------------------------------------
