@@ -18,6 +18,10 @@ package is the static-analysis layer that argument rests on:
 * `repro.analysis.syslint`     — system/config lints: overlapping
   MMR/SPM/DRAM ranges, kernel footprints vs. SPM size, DMA transfers
   into unmapped ranges.
+* `repro.analysis.concurrency` — system-level concurrency analysis:
+  per-agent access model, happens-before over host/IRQ/DMA/stream
+  ordering edges, race (SYS304), static-deadlock (SYS305), and
+  start-before-fill (SYS306) rules.
 * `repro.analysis.verified`    — verified pass pipelines: golden
   interpreter differential checks after every pass, pinpointing the
   offending pass on divergence.
@@ -25,6 +29,12 @@ package is the static-analysis layer that argument rests on:
 Everything surfaces through ``python -m repro analyze``.
 """
 
+from repro.analysis.concurrency import (
+    AgentOp,
+    ConcurrencyModel,
+    describe_concurrency,
+    lint_concurrency,
+)
 from repro.analysis.dataflow import (
     DataflowAnalysis,
     DataflowResult,
@@ -63,8 +73,10 @@ from repro.analysis.verified import (
 )
 
 __all__ = [
+    "AgentOp",
     "AliasKind",
     "AnalysisReport",
+    "ConcurrencyModel",
     "DataflowAnalysis",
     "DataflowResult",
     "DependenceReport",
@@ -85,7 +97,9 @@ __all__ = [
     "all_rules",
     "classify_accesses",
     "dependence_report",
+    "describe_concurrency",
     "describe_soc",
+    "lint_concurrency",
     "differential_check",
     "lint_function",
     "lint_module",

@@ -1,0 +1,502 @@
+"""System-level concurrency analysis: SYS304/305/306.
+
+Builds a per-agent access model of a platform — which accelerator, DMA
+engine, or host agent reads/writes which byte ranges, and the ordering
+edges the platform's synchronization primitives imply (host driver
+sequencing, MMR-start handoffs, IRQ completion waits, blocking DMA
+copies, stream-buffer token flow) — then computes a happens-before
+relation over it and checks three rules:
+
+======  ========  ==========================================================
+SYS304  error     two agents access overlapping bytes, at least one
+                  writes, and no ordering path connects the accesses
+SYS305  error     cycle in the agent wait-for graph (static deadlock)
+SYS306  warning   an accelerator's MMR start is not ordered after the
+                  DMA-in that fills the data it reads
+======  ========  ==========================================================
+
+The model comes from two sources that cross-validate each other:
+:func:`describe_concurrency` extracts it from a live platform after a
+run (host ``op_log``, compute-unit ``launch_log``, static per-argument
+footprints), and `repro.system.scenario_gen` builds it directly from a
+generated scenario's plan, before anything simulates.  The runtime
+ground truth is `repro.sim.sanitizer.AccessSanitizer`, which tracks the
+same release/acquire pairs with vector clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import AnalysisReport, Location, Severity
+
+
+@dataclass
+class AgentOp:
+    """One unit of an agent's work: a launch, a DMA transfer, a driver op.
+
+    ``reads``/``writes`` are byte ranges as ``(base, size)`` pairs.
+    Consecutive ops of the same agent are implicitly ordered (program
+    order); cross-agent ordering comes from explicit edges.
+    """
+
+    label: str
+    agent: str
+    kind: str  # "compute" | "dma" | "stream" | "host"
+    reads: list[tuple[int, int]] = field(default_factory=list)
+    writes: list[tuple[int, int]] = field(default_factory=list)
+    index: int = -1
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label, "agent": self.agent, "kind": self.kind,
+            "reads": [list(r) for r in self.reads],
+            "writes": [list(w) for w in self.writes],
+        }
+
+
+def _overlap(a: tuple[int, int], b: tuple[int, int]) -> Optional[tuple[int, int]]:
+    """Intersection of two (base, size) ranges as (lo, hi), or None."""
+    lo = max(a[0], b[0])
+    hi = min(a[0] + a[1], b[0] + b[1])
+    return (lo, hi) if lo < hi else None
+
+
+class ConcurrencyModel:
+    """Agents, their ops, and the ordering/wait edges between them."""
+
+    def __init__(self) -> None:
+        self.agents: dict[str, str] = {}  # name -> kind
+        self.ops: list[AgentOp] = []
+        self._by_label: dict[str, AgentOp] = {}
+        self.edges: list[tuple[str, str]] = []
+        #: (waiter, waitee, reason) agent-level dependencies for SYS305.
+        self.waits: list[tuple[str, str, str]] = []
+
+    # -- construction ----------------------------------------------------
+    def add_agent(self, name: str, kind: str) -> None:
+        self.agents.setdefault(name, kind)
+
+    def add_op(
+        self,
+        agent: str,
+        label: str,
+        kind: str = "host",
+        reads: Iterable[tuple[int, int]] = (),
+        writes: Iterable[tuple[int, int]] = (),
+    ) -> AgentOp:
+        if label in self._by_label:
+            raise ValueError(f"duplicate op label '{label}'")
+        self.agents.setdefault(agent, kind)
+        op = AgentOp(label, agent, kind,
+                     [tuple(r) for r in reads if r[1] > 0],
+                     [tuple(w) for w in writes if w[1] > 0])
+        op.index = len(self.ops)
+        self.ops.append(op)
+        self._by_label[label] = op
+        return op
+
+    def add_edge(self, src_label: str, dst_label: str) -> None:
+        """Order op ``src`` before op ``dst`` (happens-before)."""
+        for label in (src_label, dst_label):
+            if label not in self._by_label:
+                raise ValueError(f"unknown op label '{label}'")
+        self.edges.append((src_label, dst_label))
+
+    def add_wait(self, waiter: str, waitee: str, reason: str = "") -> None:
+        """Record that agent ``waiter`` blocks on agent ``waitee``."""
+        self.waits.append((waiter, waitee, reason))
+
+    # -- happens-before --------------------------------------------------
+    def _closure(self) -> list[int]:
+        """Per-op reachability bitmasks over program order + edges.
+
+        Fixpoint propagation, so a malformed (cyclic) op graph still
+        terminates with every cycle member reaching the whole cycle.
+        """
+        n = len(self.ops)
+        succ: list[list[int]] = [[] for _ in range(n)]
+        last_of: dict[str, int] = {}
+        for op in self.ops:
+            prev = last_of.get(op.agent)
+            if prev is not None:
+                succ[prev].append(op.index)
+            last_of[op.agent] = op.index
+        for src, dst in self.edges:
+            succ[self._by_label[src].index].append(self._by_label[dst].index)
+        reach = [0] * n
+        changed = True
+        while changed:
+            changed = False
+            for i in range(n - 1, -1, -1):
+                acc = reach[i]
+                for j in succ[i]:
+                    acc |= reach[j] | (1 << j)
+                if acc != reach[i]:
+                    reach[i] = acc
+                    changed = True
+        return reach
+
+    def happens_before(self):
+        """A predicate ``hb(i, j)`` over op indices."""
+        reach = self._closure()
+
+        def hb(i: int, j: int) -> bool:
+            return bool(reach[i] >> j & 1)
+
+        return hb
+
+    def to_dict(self) -> dict:
+        return {
+            "agents": dict(self.agents),
+            "ops": [op.to_dict() for op in self.ops],
+            "edges": [list(e) for e in self.edges],
+            "waits": [list(w) for w in self.waits],
+        }
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+
+def lint_concurrency(
+    model: ConcurrencyModel,
+    report: Optional[AnalysisReport] = None,
+    max_pair_reports: int = 32,
+) -> AnalysisReport:
+    """Run SYS304/305/306 over a concurrency model."""
+    if report is None:
+        report = AnalysisReport(subject="concurrency")
+    hb = model.happens_before()
+    _check_races(model, hb, report, max_pair_reports)
+    _check_wait_cycles(model, report)
+    _check_start_ordering(model, hb, report)
+    return report
+
+
+def _conflict(a: AgentOp, b: AgentOp) -> Optional[tuple[str, tuple[int, int]]]:
+    """First write-involved overlap between two ops' access sets."""
+    for aw in a.writes:
+        for bw in b.writes:
+            span = _overlap(aw, bw)
+            if span:
+                return "write-write", span
+        for br in b.reads:
+            span = _overlap(aw, br)
+            if span:
+                return "write-read", span
+    for ar in a.reads:
+        for bw in b.writes:
+            span = _overlap(ar, bw)
+            if span:
+                return "read-write", span
+    return None
+
+
+def _check_races(model: ConcurrencyModel, hb, report: AnalysisReport,
+                 max_pair_reports: int) -> None:
+    reported = 0
+    for i, a in enumerate(model.ops):
+        for j in range(i + 1, len(model.ops)):
+            b = model.ops[j]
+            if a.agent == b.agent:
+                continue
+            if hb(i, j) or hb(j, i):
+                continue
+            hit = _conflict(a, b)
+            if hit is None:
+                continue
+            kind, (lo, hi) = hit
+            if reported >= max_pair_reports:
+                return
+            reported += 1
+            report.add(
+                "SYS304", Severity.ERROR,
+                Location(function=a.label, ref=b.label),
+                f"unordered {kind} conflict: {a.agent} ({a.label}) and "
+                f"{b.agent} ({b.label}) both touch [{lo:#x}, {hi:#x}) "
+                f"with no happens-before path",
+                hint="order the accesses with an IRQ wait, a blocking DMA "
+                     "completion, or a stream handoff — or give the agents "
+                     "disjoint buffers",
+            )
+
+
+def _check_wait_cycles(model: ConcurrencyModel, report: AnalysisReport) -> None:
+    graph: dict[str, set[str]] = {}
+    for waiter, waitee, _reason in model.waits:
+        graph.setdefault(waiter, set()).add(waitee)
+    reasons = {(w, e): r for w, e, r in model.waits}
+    seen_cycles: set[frozenset] = set()
+    color: dict[str, int] = {}  # 0 unvisited / 1 on stack / 2 done
+
+    def visit(node: str, stack: list[str]) -> None:
+        color[node] = 1
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if color.get(nxt, 0) == 1:
+                cycle = stack[stack.index(nxt):] + [nxt]
+                key = frozenset(cycle)
+                if key in seen_cycles:
+                    continue
+                seen_cycles.add(key)
+                steps = " -> ".join(
+                    f"{a} (waits on {reasons.get((a, b), '?')})"
+                    for a, b in zip(cycle, cycle[1:])
+                ) + f" -> {cycle[-1]}"
+                report.add(
+                    "SYS305", Severity.ERROR,
+                    Location(function=cycle[0]),
+                    f"wait-for cycle (static deadlock): {steps}",
+                    hint="every agent in the cycle blocks on the next — "
+                         "break the cycle by pre-filling a stream buffer, "
+                         "reordering launches, or removing a wait",
+                )
+            elif color.get(nxt, 0) == 0:
+                visit(nxt, stack)
+        stack.pop()
+        color[node] = 2
+
+    for node in sorted(graph):
+        if color.get(node, 0) == 0:
+            visit(node, [])
+
+
+def _check_start_ordering(model: ConcurrencyModel, hb, report: AnalysisReport) -> None:
+    dma_ops = [op for op in model.ops if op.kind in ("dma", "stream")]
+    for compute in model.ops:
+        if compute.kind != "compute":
+            continue
+        for dma in dma_ops:
+            overlap = None
+            for dw in dma.writes:
+                for cr in compute.reads:
+                    overlap = _overlap(dw, cr)
+                    if overlap:
+                        break
+                if overlap:
+                    break
+            if overlap is None:
+                continue
+            if hb(dma.index, compute.index) or hb(compute.index, dma.index):
+                continue
+            lo, hi = overlap
+            report.add(
+                "SYS306", Severity.WARNING,
+                Location(function=compute.label, ref=dma.label),
+                f"{compute.agent} may start before {dma.agent} finishes "
+                f"filling its input [{lo:#x}, {hi:#x}): the MMR start is "
+                f"not ordered after the DMA-in",
+                hint="wait for the DMA completion (blocking dma_copy or an "
+                     "IRQ) before writing the accelerator's START bit",
+            )
+
+
+# ----------------------------------------------------------------------
+# Live extraction
+# ----------------------------------------------------------------------
+
+def _arg_directions(func) -> dict[str, list[bool]]:
+    """Per pointer-argument [reads?, writes?] from the kernel's IR."""
+    from repro.analysis.memdep import collect_accesses
+
+    dirs: dict[str, list[bool]] = {}
+    for access in collect_accesses(func):
+        base = access.base
+        if base is None:
+            continue
+        entry = dirs.setdefault(base.name, [False, False])
+        entry[1 if access.is_store else 0] = True
+    return dirs
+
+
+def _launch_access_sets(unit, regions) -> list[tuple[list, list]]:
+    """(reads, writes) range lists for each recorded launch of ``unit``.
+
+    Ranges come from the kernel's static per-argument footprint applied
+    to the launch's actual pointer values.  Inexact footprints (a
+    non-constant index somewhere) widen to the end of the containing
+    mapped region — a sound over-approximation for the race check.
+    """
+    from repro.analysis.memdep import static_footprint
+
+    func = unit.iface.func
+    footprint = static_footprint(unit.iface.module, func.name)
+    dirs = _arg_directions(func)
+
+    def region_end(addr: int) -> Optional[int]:
+        for region in regions:
+            if region.base <= addr < region.end:
+                return region.end
+        return None
+
+    sets = []
+    for _tick, args in unit.launch_log:
+        reads: list[tuple[int, int]] = []
+        writes: list[tuple[int, int]] = []
+        for arg, value in zip(func.args, args):
+            if not arg.type.is_pointer:
+                continue
+            entry = footprint.get(f"%{arg.name}")
+            if entry is None:
+                continue
+            base = int(value)
+            nbytes = entry["bytes"]
+            if not entry["exact"]:
+                end = region_end(base)
+                if end is not None:
+                    nbytes = max(nbytes, end - base)
+            if nbytes <= 0:
+                continue
+            direction = dirs.get(arg.name, [True, True])
+            if direction[0]:
+                reads.append((base, nbytes))
+            if direction[1]:
+                writes.append((base, nbytes))
+        sets.append((reads, writes))
+    return sets
+
+
+def describe_concurrency(platform) -> Optional[ConcurrencyModel]:
+    """Extract a concurrency model from a live platform after a run.
+
+    Returns None when there is nothing to analyze (no host driver ran
+    and no accelerator launched), so pre-run lints skip the SYS304-306
+    rules cleanly.
+    """
+    from repro.analysis.syslint import describe_soc
+    from repro.core.mmr import CTRL_START
+
+    system = getattr(platform, "system", platform)
+    objects = list(system.objects.values())
+    hosts = [o for o in objects
+             if hasattr(o, "op_log") and hasattr(o, "run_driver")]
+    units = [o for o in objects
+             if hasattr(o, "launch_log") and hasattr(o, "comm")]
+    if not any(h.op_log for h in hosts) and not any(u.launch_log for u in units):
+        return None
+
+    regions = describe_soc(platform).regions
+    model = ConcurrencyModel()
+
+    # Accelerator compute ops, one per recorded launch.
+    unit_ops: dict[str, list[str]] = {}
+    irq_owner: dict[int, list] = {}
+    mmr_owner: dict[int, object] = {}
+    for unit in units:
+        model.add_agent(unit.name, "accelerator")
+        unit_ops[unit.name] = []
+        mmr_owner[unit.comm.mmr.range.start] = unit
+        for irq in unit.comm.irq_lines:
+            irq_owner.setdefault(irq, []).append(unit)
+        for k, (reads, writes) in enumerate(_launch_access_sets(unit, regions)):
+            label = f"{unit.name}#{k}"
+            model.add_op(unit.name, label, "compute", reads, writes)
+            unit_ops[unit.name].append(label)
+
+    # Stream endpoints: which window region maps onto which buffer.
+    stream_windows: list[tuple] = []  # (AddrRange-like, buffer_name)
+    for obj in objects:
+        buffer = getattr(obj, "buffer", None)
+        rng = getattr(obj, "range", None)
+        if buffer is not None and rng is not None:
+            stream_windows.append((rng, buffer.name))
+
+    # Host driver replay: one op per executed driver operation, plus the
+    # DMA ops it programmed and the ordering edges between them.
+    buffer_producers: dict[str, list[str]] = {}
+    buffer_consumers: dict[str, list[str]] = {}
+    for host in hosts:
+        model.add_agent(host.name, "host")
+        started: dict[str, int] = {name: 0 for name in unit_ops}
+        waited: dict[str, int] = {name: 0 for name in unit_ops}
+        sdma_last: dict[str, str] = {}
+        pending_done: list[str] = []
+        for onum, (_tick, kind, args) in enumerate(host.op_log):
+            label = f"{host.name}@{onum}:{kind}"
+            if kind == "memcpy":
+                model.add_op(host.name, label, "host",
+                             reads=[(args["src"], args["size"])],
+                             writes=[(args["dst"], args["size"])])
+            else:
+                model.add_op(host.name, label, "host")
+            # A blocking DMA from the previous op completes before this
+            # op executes.
+            for done_label in pending_done:
+                model.add_edge(done_label, label)
+            pending_done = []
+
+            if kind == "write_mmr":
+                unit = mmr_owner.get(args["addr"])
+                if unit is not None and args["value"] & CTRL_START:
+                    k = started[unit.name]
+                    if k < len(unit_ops[unit.name]):
+                        model.add_edge(label, unit_ops[unit.name][k])
+                        started[unit.name] = k + 1
+            elif kind == "wait_irq":
+                for unit in irq_owner.get(args["irq"], ()):
+                    k = waited[unit.name]
+                    if k < len(unit_ops[unit.name]):
+                        model.add_edge(unit_ops[unit.name][k], label)
+                        waited[unit.name] = k + 1
+                    model.add_wait(host.name, unit.name,
+                                   f"irq {args['irq']}")
+            elif kind == "dma_copy":
+                dma_name = args["dma"]
+                model.add_agent(dma_name, "dma")
+                dma_label = f"{dma_name}@{onum}"
+                model.add_op(dma_name, dma_label, "dma",
+                             reads=[(args["src"], args["size"])],
+                             writes=[(args["dst"], args["size"])])
+                model.add_edge(label, dma_label)
+                model.add_wait(host.name, dma_name, "dma completion")
+                pending_done.append(dma_label)
+            elif kind == "start_stream":
+                dma = system.objects[args["dma"]]
+                model.add_agent(dma.name, "stream_dma")
+                dma_label = f"{dma.name}@{onum}"
+                size = args["tokens"] * dma.buffer.token_bytes
+                if dma.direction == "mem_to_stream":
+                    model.add_op(dma.name, dma_label, "stream",
+                                 reads=[(args["addr"], size)])
+                    buffer_producers.setdefault(
+                        dma.buffer.name, []).append(dma_label)
+                else:
+                    model.add_op(dma.name, dma_label, "stream",
+                                 writes=[(args["addr"], size)])
+                    buffer_consumers.setdefault(
+                        dma.buffer.name, []).append(dma_label)
+                model.add_edge(label, dma_label)
+                sdma_last[dma.name] = dma_label
+            elif kind == "wait_stream":
+                dma_name = args["dma"]
+                if dma_name in sdma_last:
+                    model.add_edge(sdma_last[dma_name], label)
+                model.add_wait(host.name, dma_name, "stream drain")
+
+    # Compute ops join the token flow of any stream window they touch.
+    for op in list(model.ops):
+        if op.kind != "compute":
+            continue
+        for rng, buffer_name in stream_windows:
+            window = (rng.start, rng.size)
+            if any(_overlap(window, w) for w in op.writes):
+                buffer_producers.setdefault(buffer_name, []).append(op.label)
+            if any(_overlap(window, r) for r in op.reads):
+                buffer_consumers.setdefault(buffer_name, []).append(op.label)
+
+    # Token flow: everything a producer did is ordered before the
+    # consumer that pops its tokens (FIFO cumulative semantics); the
+    # consumer statically waits on the producer for data.
+    for buffer_name, producers in buffer_producers.items():
+        for producer in producers:
+            for consumer in buffer_consumers.get(buffer_name, ()):
+                if model._by_label[producer].agent == \
+                        model._by_label[consumer].agent:
+                    continue
+                model.add_edge(producer, consumer)
+                model.add_wait(model._by_label[consumer].agent,
+                               model._by_label[producer].agent,
+                               f"stream {buffer_name}")
+    return model

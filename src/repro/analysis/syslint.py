@@ -48,12 +48,21 @@ class MemRegion:
 
 @dataclass(frozen=True)
 class DmaTransfer:
-    """One programmed DMA copy: ``size`` bytes from ``src`` to ``dst``."""
+    """One programmed DMA copy: ``size`` bytes from ``src`` to ``dst``.
+
+    Provenance fields (ticks, direction, engine kind) are excluded from
+    equality so descriptions built from bare ``(src, dst, size)`` tuples
+    compare equal to ones built from live transfer records.
+    """
 
     name: str
     src: int
     dst: int
     size: int
+    start_tick: int = field(default=-1, compare=False)
+    end_tick: int = field(default=-1, compare=False)
+    direction: str = field(default="mem_to_mem", compare=False)
+    engine: str = field(default="block", compare=False)
 
 
 @dataclass(frozen=True)
@@ -77,6 +86,10 @@ class SystemDescription:
     regions: list[MemRegion] = field(default_factory=list)
     transfers: list[DmaTransfer] = field(default_factory=list)
     kernels: list[KernelFootprint] = field(default_factory=list)
+    # Optional per-agent access/ordering model (see
+    # repro.analysis.concurrency); None when the platform was described
+    # before any run, so there is no host op log to extract from.
+    concurrency: Optional[object] = None
 
     def region_named(self, name: str) -> Optional[MemRegion]:
         for region in self.regions:
@@ -92,7 +105,9 @@ class SystemDescription:
                 for r in self.regions
             ],
             "transfers": [
-                {"name": t.name, "src": t.src, "dst": t.dst, "size": t.size}
+                {"name": t.name, "src": t.src, "dst": t.dst, "size": t.size,
+                 "start_tick": t.start_tick, "end_tick": t.end_tick,
+                 "direction": t.direction, "engine": t.engine}
                 for t in self.transfers
             ],
             "kernels": [
@@ -100,6 +115,12 @@ class SystemDescription:
                  "region": k.region, "exact": k.exact}
                 for k in self.kernels
             ],
+            "concurrency": (
+                self.concurrency.to_dict()
+                if self.concurrency is not None
+                and hasattr(self.concurrency, "to_dict")
+                else None
+            ),
         }
 
 
@@ -132,8 +153,17 @@ def describe_soc(platform) -> SystemDescription:
                 name=obj.name, kind=_region_kind(obj),
                 base=rng.start, size=rng.size,
             ))
-        for src, dst, size in getattr(obj, "transfer_log", ()):
-            desc.transfers.append(DmaTransfer(obj.name, src, dst, size))
+        for entry in getattr(obj, "transfer_log", ()):
+            # Live engines log TransferRecord objects with provenance;
+            # hand-built descriptions may still use bare 3-tuples.
+            src, dst, size = entry
+            desc.transfers.append(DmaTransfer(
+                obj.name, src, dst, size,
+                start_tick=getattr(entry, "start_tick", -1),
+                end_tick=getattr(entry, "end_tick", -1),
+                direction=getattr(entry, "direction", "mem_to_mem"),
+                engine=getattr(entry, "engine", "block"),
+            ))
     return desc
 
 
@@ -141,7 +171,8 @@ def lint_system(
     desc: SystemDescription,
     report: Optional[AnalysisReport] = None,
 ) -> AnalysisReport:
-    """Run SYS301/302/303 over a system description."""
+    """Run SYS301-303 (and, when ``desc.concurrency`` is populated,
+    SYS304-306) over a system description."""
     if report is None:
         report = AnalysisReport(subject="system")
     with report.timed("sys-overlap"):
@@ -150,6 +181,11 @@ def lint_system(
         _check_footprints(desc, report)
     with report.timed("sys-dma"):
         _check_transfers(desc, report)
+    if desc.concurrency is not None:
+        from repro.analysis.concurrency import lint_concurrency
+
+        with report.timed("sys-concurrency"):
+            lint_concurrency(desc.concurrency, report)
     report.meta.setdefault("system", desc.to_dict())
     return report
 
@@ -192,16 +228,36 @@ def _check_footprints(desc: SystemDescription, report: AnalysisReport) -> None:
             )
 
 
+def _union_covers(regions: list[MemRegion], addr: int, size: int) -> bool:
+    """Whether ``[addr, addr+size)`` lies inside the union of regions.
+
+    A transfer may legitimately span two adjacent mapped regions (e.g. a
+    copy straddling two banks), so coverage is checked against the
+    merged region set, not any single region.
+    """
+    end = addr + size
+    cursor = addr
+    for region in sorted(regions, key=lambda r: r.base):
+        if region.end <= cursor:
+            continue
+        if region.base > cursor:
+            return False  # gap at [cursor, region.base)
+        cursor = region.end
+        if cursor >= end:
+            return True
+    return cursor >= end
+
+
 def _check_transfers(desc: SystemDescription, report: AnalysisReport) -> None:
     for transfer in desc.transfers:
         for label, addr in (("source", transfer.src),
                             ("destination", transfer.dst)):
-            if not any(r.contains(addr, transfer.size) for r in desc.regions):
+            if not _union_covers(desc.regions, addr, transfer.size):
                 report.add(
                     "SYS303", Severity.ERROR,
                     Location(function=transfer.name),
                     f"DMA {label} [{addr:#x}, {addr + transfer.size:#x}) "
-                    f"is not fully inside any mapped region",
+                    f"is not fully covered by the mapped regions",
                     hint="the transfer would fault (or silently wrap) at "
                          "simulation time — fix the programmed address or "
                          "map the region",

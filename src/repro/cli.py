@@ -250,6 +250,34 @@ def _analyze_one(label: str, module, args):
     return report
 
 
+def _analyze_scenario(spec_text: str):
+    """System-level (SYS301-306) report for one scenario.
+
+    ``gen:SEED[:racy]`` forms lint the generated scenario *statically*
+    from its plan; named CNN scenarios run once and are linted from the
+    recorded host/accelerator logs.
+    """
+    from repro.system import scenario_gen
+
+    if spec_text.startswith("gen:"):
+        spec = scenario_gen.parse_gen_spec(spec_text)
+        scenario = scenario_gen.build(spec)
+        report = scenario.static_report()
+        report.subject = spec.name
+        return report
+    from repro.system.cnn_scenarios import SCENARIOS
+
+    runner = SCENARIOS.get(spec_text)
+    if runner is None:
+        raise ValueError(
+            f"unknown scenario '{spec_text}' "
+            f"(choose from {', '.join(sorted(SCENARIOS))}, or gen:SEED[:racy])")
+    result = runner()
+    report = result.soc.lint()
+    report.subject = spec_text
+    return report
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import (
         AnalysisReport,
@@ -262,10 +290,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     targets = list(args.targets)
     if args.all:
         targets.extend(n for n in all_workload_names() if n not in targets)
-    if not targets:
-        raise SystemExit("analyze: no targets (pass files/workloads or --all)")
+    scenarios = list(args.scenario or [])
+    if not targets and not scenarios:
+        raise SystemExit(
+            "analyze: no targets (pass files/workloads, --scenario, or --all)")
     store = _artifact_store(args)
     reports = []
+    for spec_text in scenarios:
+        try:
+            reports.append(_analyze_scenario(spec_text))
+        except ValueError as err:
+            raise SystemExit(f"analyze: {err}")
     for target in targets:
         try:
             resolved = _analyze_modules(target, args, store)
@@ -286,7 +321,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             continue
         for label, module in resolved:
             reports.append(_analyze_one(label, module, args))
-    merged = AnalysisReport.merged(reports, subject=",".join(targets))
+    merged = AnalysisReport.merged(reports, subject=",".join(scenarios + targets))
     if args.format == "json":
         text = merged.render_json()
     else:
@@ -352,7 +387,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     context = SimContext(workload, seed=args.seed, cache=cache,
                          trace=trace_cfg, faults=plan,
                          timeout_s=args.point_timeout,
-                         artifact_store=store, engine=args.engine, **kwargs)
+                         artifact_store=store, engine=args.engine,
+                         sanitize=args.sanitize, **kwargs)
     hardened = bool(plan) or args.point_timeout is not None
     try:
         result = context.run()
@@ -384,6 +420,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"datapath area   : {result.area.datapath_um2 / 1e3:.1f} kum^2")
     print(f"functional units: {dict(sorted(result.fu_counts.items()))}")
     print(f"stalled entries : {result.occupancy.entry_stall_fraction():.1%}")
+    if args.sanitize and result.sanitizer is not None:
+        san = result.sanitizer
+        verdict = ("clean" if san["clean"]
+                   else f"{len(san['races'])} race(s) detected")
+        print(f"sanitizer       : {verdict} "
+              f"({san['num_records']} accesses, {san['num_syncs']} sync ops, "
+              f"{len(san['agents'])} agents; results bypass the run cache)")
+        for race in san["races"][:5]:
+            lo, hi = race["range"]
+            print(f"  race: {race['kind']} {race['agents'][0]} vs "
+                  f"{race['agents'][1]} at [{lo:#x}, {hi:#x})")
     if trace_cfg is not None:
         if context.trace_hub is None:
             print("trace           : skipped (cache hit -- no simulation ran; "
@@ -491,7 +538,11 @@ def _submit_spec(args: argparse.Namespace) -> dict:
 
     spec: dict = {"seed": args.seed, "unroll": args.unroll}
     target = args.target
-    if target in all_workload_names():
+    if args.kind == "analyze" and (
+            target.startswith("gen:")
+            or target in ("private_spm", "shared_spm", "stream")):
+        spec["scenario"] = target
+    elif target in all_workload_names():
         spec["workload"] = target
     elif Path(target).exists():
         spec["source"] = _read_source(target)
@@ -691,6 +742,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="differentially verify every pass while "
                            "compiling; a divergent pass becomes a VRF401 "
                            "error naming the pass")
+    p_an.add_argument("--scenario", action="append", metavar="NAME",
+                      help="system-level concurrency lint (SYS301-306) of a "
+                           "scenario: a CNN integration scenario by name "
+                           "(private_spm, shared_spm, stream; runs it once), "
+                           "or gen:SEED[:racy] for a generated topology "
+                           "(linted statically from its plan); repeatable")
     p_an.add_argument("--spm-bytes", type=int, metavar="N",
                       help="check each kernel's static footprint against "
                            "an N-byte scratchpad (SYS302)")
@@ -742,6 +799,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "engine, the graph-compiled fast path, or "
                             "trace-replay re-timing (byte-identical stats; "
                             "falls back for features it does not model)")
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="attach the runtime access sanitizer: vector-"
+                            "clock race detection over every attributed "
+                            "memory access (zero timing impact; results "
+                            "bypass the run cache)")
     p_run.set_defaults(handler=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="port sweep with Pareto summary")
@@ -817,7 +879,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("kind", choices=["compile", "run", "sweep",
                                            "analyze"])
     p_submit.add_argument("target",
-                          help="a bundled workload name or a kernel file")
+                          help="a bundled workload name or a kernel file; "
+                               "for analyze, also a scenario (private_spm, "
+                               "shared_spm, stream, or gen:SEED[:racy])")
     p_submit.add_argument("--host", default="127.0.0.1")
     p_submit.add_argument("--port", type=int, default=8333)
     p_submit.add_argument("--ports", type=int, nargs="+",

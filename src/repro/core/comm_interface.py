@@ -35,6 +35,10 @@ class CommInterface(SimObject):
     ) -> None:
         super().__init__(name, system, clock)
         config = config or DeviceConfig()
+        # The agent identity shared by this interface and its memory
+        # controller: the owning compute unit's name (comm interfaces
+        # are conventionally named "<unit>.comm").
+        self.agent = name[: -len(".comm")] if name.endswith(".comm") else name
         self.mmr = MMRFile(
             f"{name}.mmr",
             system,
@@ -50,9 +54,14 @@ class CommInterface(SimObject):
             write_ports=config.write_ports,
             ideal=config.ideal_memory,
             clock=clock,
+            agent=self.agent,
         )
         self._on_start: Optional[Callable[[], None]] = None
         self._irq_handlers: list[Callable[[], None]] = []
+        #: IRQ numbers this interface raises (recovered from connected
+        #: controller lines) — lets the concurrency analysis map a host
+        #: ``wait_irq(n)`` back to the accelerator that signals ``n``.
+        self.irq_lines: list[int] = []
         self.stat_interrupts = self.stats.scalar("interrupts_raised")
 
     # -- wiring --------------------------------------------------------------
@@ -83,15 +92,28 @@ class CommInterface(SimObject):
     def connect_irq(self, handler: Callable[[], None]) -> None:
         """Attach an interrupt destination (GIC line / host waiter)."""
         self._irq_handlers.append(handler)
+        irq = getattr(handler, "irq", None)
+        if irq is not None:
+            self.irq_lines.append(irq)
 
     # -- control ----------------------------------------------------------------
     def _mmr_written(self, offset: int, value: int) -> None:
         if offset == 0 and value & CTRL_START and self._on_start is not None:
+            if self._san is not None:
+                # The starter (host) released this key when its control
+                # write landed; acquiring orders the launch after every
+                # host access that preceded the start.
+                self._san.acquire(self.agent, ("mmr", self.mmr.name))
             self._on_start()
 
     def raise_interrupt(self) -> None:
         if self.mmr.control & CTRL_IRQ_EN or not self._irq_handlers:
             self.stat_interrupts.inc()
+        if self._san is not None:
+            # Publish the accelerator's finished work before any waiter
+            # resumes on these lines.
+            for irq in self.irq_lines:
+                self._san.release(self.agent, ("irq", irq))
         for handler in self._irq_handlers:
             handler()
 

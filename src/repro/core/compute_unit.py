@@ -62,6 +62,9 @@ class ComputeUnit(SimObject):
         self._run_callbacks: list[Callable[[], None]] = []
         self.invocations = 0
         self.total_busy_cycles = 0
+        #: (tick, args) per launch — replayed by the concurrency
+        #: analysis to recover each invocation's pointer arguments.
+        self.launch_log: list[tuple[int, list]] = []
 
     # ------------------------------------------------------------------
     def attach_private_spm(self, spm: Scratchpad) -> None:
@@ -76,6 +79,7 @@ class ComputeUnit(SimObject):
         arg_types = [a.type for a in self.iface.func.args]
         args = self.comm.read_arguments(arg_types)
         self.invocations += 1
+        self.launch_log.append((self.cur_tick, list(args)))
         self.engine.start(args, on_done=self._finished)
 
     def _finished(self) -> None:
@@ -89,6 +93,7 @@ class ComputeUnit(SimObject):
     def launch(self, args: list, on_done: Optional[Callable[[], None]] = None) -> None:
         """Start directly with python argument values (no host involved)."""
         self.invocations += 1
+        self.launch_log.append((self.cur_tick, list(args)))
         def _done():
             self.total_busy_cycles += self.engine.total_cycles
             self.comm.mmr.set_done()
@@ -114,6 +119,7 @@ class ComputeUnit(SimObject):
         from repro.engine.scheduler import GraphScheduler
 
         self.invocations += 1
+        self.launch_log.append((self.cur_tick, list(args)))
         scheduler = GraphScheduler(graph, self)
         completed = scheduler.run(args, max_ticks=max_ticks,
                                   capture=capture, replay=replay)

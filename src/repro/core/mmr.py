@@ -104,6 +104,12 @@ class MMRFile(SimObject):
             resp = pkt.make_response(data=data)
         else:
             self.stat_writes.inc()
+            if self._san is not None and pkt.agent is not None:
+                # Control/argument writes are the release half of the
+                # MMR-start handoff: everything the writer did so far
+                # becomes visible to the device that launches off this
+                # register file.
+                self._san.release(pkt.agent, ("mmr", self.name))
             self._apply_write(offset, pkt.data)
             resp = pkt.make_response()
         self.eventq.schedule_callback(

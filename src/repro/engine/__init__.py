@@ -67,6 +67,9 @@ def resolve_engine(requested: str, acc, max_events: Optional[int] = None,
     if any(getattr(obj, "_finj", None) is not None
            for obj in acc.system.objects.values()):
         return "dynamic", "fault injection active"
+    if any(getattr(obj, "_san", None) is not None
+           for obj in acc.system.objects.values()):
+        return "dynamic", "access sanitizer attached"
     if acc.unit.engine.pipeline_trace is not None:
         return "dynamic", "pipeline trace attached"
     if acc.unit.comm.memctrl.strict_ranges:

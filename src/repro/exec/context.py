@@ -105,6 +105,7 @@ class SimContext:
         args_builder: Optional[Callable[[StandaloneAccelerator], list]] = None,
         trace=None,
         faults=None,
+        sanitize: bool = False,
         watchdog=None,
         timeout_s: Optional[float] = None,
         module: Union[Module, Artifact, None] = None,
@@ -136,6 +137,9 @@ class SimContext:
         # Robustness knobs: fault plans poison results, so faulty runs
         # bypass the cache entirely; watchdog/timeout are observability.
         self.faults = FaultPlan.coerce(faults)
+        # Race detection: sanitized runs carry extra result payload and
+        # force the dynamic engine, so they also bypass the run cache.
+        self.sanitize = sanitize
         self.watchdog = watchdog
         self.timeout_s = timeout_s
         # Build-pipeline plumbing: a prebuilt module (compiled once by
@@ -154,6 +158,7 @@ class SimContext:
         self.acc_kwargs = dict(acc_kwargs)
         # Live per-run state (rebuilt after reset; never pickled).
         self.fault_injector: Optional[FaultInjector] = None
+        self.sanitizer = None
         self.trace_hub: Optional[TraceHub] = None
         self._module: Optional[Module] = None
         self._acc: Optional[StandaloneAccelerator] = None
@@ -238,6 +243,11 @@ class SimContext:
             if self.faults:
                 self.fault_injector = FaultInjector(self.faults)
                 self.fault_injector.attach(self._acc.system)
+            if self.sanitize:
+                from repro.sim.sanitizer import AccessSanitizer
+
+                self.sanitizer = self._acc.system.attach_sanitizer(
+                    AccessSanitizer())
         return self._acc
 
     def _resolve_module(self) -> Module:
@@ -275,7 +285,7 @@ class SimContext:
         """
         key: Optional[str] = None
         self.cache_hit = False
-        if self.cache is not None and not self.faults:
+        if self.cache is not None and not self.faults and not self.sanitize:
             # Faulty runs never touch the cache: an injected corruption
             # must not be served back as a clean result (or vice versa).
             key = self.cache_key()
@@ -301,7 +311,7 @@ class SimContext:
         capture_trace = False
         datapath_key: Optional[str] = None
         if (self.engine == "retime" and self.workload is not None
-                and not self.faults
+                and not self.faults and not self.sanitize
                 and self.acc_kwargs.get("memory", "spm") != "cache"):
             # (cache-backed memory can never replay — resolve_engine
             # sends it down the dynamic path — so don't touch the
@@ -337,6 +347,8 @@ class SimContext:
         self._ran = True
         if self.trace_hub is not None:
             result.trace_summary = self.trace_hub.summary()
+        if self.sanitizer is not None:
+            result.sanitizer = self.sanitizer.summary()
         if self.verify and self.workload is not None:
             self.workload.verify(acc, self._addresses, self._data)
         if key is not None:
@@ -371,9 +383,12 @@ class SimContext:
                 self._acc.system.detach_trace_hub()
             if self.fault_injector is not None:
                 self.fault_injector.detach()
+            if self.sanitizer is not None:
+                self._acc.system.detach_sanitizer()
             self._acc.reset()
         self._acc = None
         self.fault_injector = None
+        self.sanitizer = None
         self.trace_hub = None
         self._data = None
         self._addresses = None
@@ -386,7 +401,8 @@ class SimContext:
         # Live simulator state is full of closures and cyclic wiring;
         # only the spec crosses process boundaries.
         for live in ("_module", "_acc", "_data", "_addresses", "_args",
-                     "last_result", "trace_hub", "fault_injector"):
+                     "last_result", "trace_hub", "fault_injector",
+                     "sanitizer"):
             state[live] = None
         state["_ran"] = False
         # Caches/stores are owned by the parent process.  A prebuilt

@@ -115,6 +115,11 @@ class Cache(SimObject):
         pkt.req_tick = self.cur_tick
         if self._finj is not None:
             self._finj.on_access(self)
+        if self._san is not None and pkt.agent is not None:
+            # Record once at the cache boundary; fill/writeback traffic
+            # below carries no agent and is skipped at the DRAM hook.
+            self._san.record(pkt.agent, pkt.addr, pkt.size, pkt.is_write,
+                             self.cur_tick)
         if pkt.size > self.line_size:
             raise ValueError(
                 f"{self.name}: access of {pkt.size}B exceeds line size; split upstream"

@@ -25,6 +25,35 @@ class DMAError(RuntimeError):
     pass
 
 
+class TransferRecord:
+    """One programmed DMA transfer with timing/kind provenance.
+
+    Iterates as the historical ``(src, dst, size)`` 3-tuple so existing
+    consumers that unpack transfer-log entries keep working.
+    """
+
+    __slots__ = ("src", "dst", "size", "start_tick", "end_tick",
+                 "direction", "engine")
+
+    def __init__(self, src: int, dst: int, size: int, start_tick: int,
+                 direction: str, engine: str) -> None:
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.start_tick = start_tick
+        self.end_tick = -1  # set when the transfer completes
+        self.direction = direction
+        self.engine = engine
+
+    def __iter__(self):
+        return iter((self.src, self.dst, self.size))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<TransferRecord {self.engine} {self.direction} "
+                f"src={self.src:#x} dst={self.dst:#x} size={self.size} "
+                f"ticks=[{self.start_tick}, {self.end_tick}]>")
+
+
 class BlockDMA(SimObject):
     """Burst-based memory-to-memory copy engine."""
 
@@ -49,9 +78,11 @@ class BlockDMA(SimObject):
         self._on_done: Optional[Callable[[], None]] = None
         self._xfer_start_tick = -1
         self._xfer_args: Optional[dict] = None
-        #: Every programmed transfer as (src, dst, size) — consumed by
-        #: the system lints (`repro.analysis.syslint.describe_soc`).
-        self.transfer_log: list[tuple[int, int, int]] = []
+        self._xfer_record: Optional[TransferRecord] = None
+        #: Every programmed transfer as a TransferRecord (iterable as the
+        #: historical (src, dst, size) 3-tuple) — consumed by the system
+        #: lints (`repro.analysis.syslint.describe_soc`).
+        self.transfer_log: list[TransferRecord] = []
         self.stat_transfers = self.stats.scalar("transfers")
         self.stat_bytes = self.stats.scalar("bytes")
 
@@ -80,13 +111,20 @@ class BlockDMA(SimObject):
             self._read_queue.append((src + offset, dst + offset, chunk))
             self._remaining_writes += 1
             offset += chunk
-        self.transfer_log.append((src, dst, size))
+        self._xfer_record = TransferRecord(
+            src, dst, size, self.cur_tick, "mem_to_mem", "block")
+        self.transfer_log.append(self._xfer_record)
         self.stat_transfers.inc()
         self.stat_bytes.inc(size)
         self._xfer_start_tick = self.cur_tick
         self._xfer_args = {"src": src, "dst": dst, "size": size}
         if self._thub is not None:
             self.trace_emit("dma", "start", args=self._xfer_args)
+        if self._san is not None:
+            # The command handoff orders this transfer after whoever
+            # programmed the engine (the host's dma_copy releases the
+            # matching key just before calling start()).
+            self._san.acquire(self.name, ("cmd", self.name))
         delay = 0
         if self._finj is not None:
             action = self._finj.dma_action(self)
@@ -106,8 +144,12 @@ class BlockDMA(SimObject):
 
     def _complete_dropped(self) -> None:
         self._busy = False
+        if self._xfer_record is not None:
+            self._xfer_record.end_tick = self.cur_tick
         if self._thub is not None:
             self.trace_emit("dma", "dropped", args=self._xfer_args)
+        if self._san is not None:
+            self._san.release(self.name, ("done", self.name))
         if self._on_done is not None:
             done, self._on_done = self._on_done, None
             done()
@@ -115,7 +157,7 @@ class BlockDMA(SimObject):
     def _pump(self) -> None:
         while self._read_queue and self._inflight < self.max_outstanding:
             src, dst, chunk = self._read_queue.popleft()
-            pkt = read_packet(src, chunk, origin=("dma_read", dst))
+            pkt = read_packet(src, chunk, origin=("dma_read", dst), agent=self.name)
             if not self.port.send_timing_req(pkt):
                 self._read_queue.appendleft((src, dst, chunk))
                 self.schedule_callback_in_cycles(self._pump, 1, name=f"{self.name}.pump")
@@ -126,7 +168,7 @@ class BlockDMA(SimObject):
         kind = pkt.origin[0] if isinstance(pkt.origin, tuple) else ""
         if kind == "dma_read":
             __, dst = pkt.origin
-            write = write_packet(dst, pkt.data, origin=("dma_write",))
+            write = write_packet(dst, pkt.data, origin=("dma_write",), agent=self.name)
             if not self.port.send_timing_req(write):
                 # Retry the write next cycle; keep the burst in flight.
                 self.schedule_callback_in_cycles(
@@ -140,12 +182,19 @@ class BlockDMA(SimObject):
                 self._pump()
             if self._remaining_writes == 0 and not self._read_queue:
                 self._busy = False
+                if self._xfer_record is not None:
+                    self._xfer_record.end_tick = self.cur_tick
                 hub = self._thub
                 if hub is not None:
                     # The whole copy as one span, programmed -> last write.
                     hub.emit("dma", self.name, "transfer", self._xfer_start_tick,
                              dur=self.cur_tick - self._xfer_start_tick,
                              args=self._xfer_args)
+                if self._san is not None:
+                    # Publish completion before the done callback so the
+                    # waiter's acquire observes every byte this engine
+                    # moved.
+                    self._san.release(self.name, ("done", self.name))
                 if self._on_done is not None:
                     done, self._on_done = self._on_done, None
                     done()
@@ -196,9 +245,11 @@ class StreamDMA(SimObject):
         self._on_done: Optional[Callable[[], None]] = None
         self._xfer_start_tick = -1
         self._xfer_args: Optional[dict] = None
-        #: (src, dst, size) per transfer; a stream DMA only touches one
-        #: memory address, so src == dst == the programmed base.
-        self.transfer_log: list[tuple[int, int, int]] = []
+        self._xfer_record: Optional[TransferRecord] = None
+        #: TransferRecord per transfer (iterable as (src, dst, size)); a
+        #: stream DMA only touches one memory address, so src == dst ==
+        #: the programmed base.
+        self.transfer_log: list[TransferRecord] = []
         self.stat_tokens = self.stats.scalar("tokens")
 
     @property
@@ -212,13 +263,17 @@ class StreamDMA(SimObject):
         self._addr = addr
         self._remaining = tokens
         self._on_done = on_done
-        self.transfer_log.append(
-            (addr, addr, tokens * self.buffer.token_bytes))
+        self._xfer_record = TransferRecord(
+            addr, addr, tokens * self.buffer.token_bytes,
+            self.cur_tick, self.direction, "stream")
+        self.transfer_log.append(self._xfer_record)
         self._xfer_start_tick = self.cur_tick
         self._xfer_args = {"addr": addr, "tokens": tokens,
                            "direction": self.direction}
         if self._thub is not None:
             self.trace_emit("dma", "start", args=self._xfer_args)
+        if self._san is not None:
+            self._san.acquire(self.name, ("cmd", self.name))
         self.schedule_callback_in_cycles(self._step, 1, name=f"{self.name}.step")
 
     def _finish_if_done(self) -> bool:
@@ -226,11 +281,15 @@ class StreamDMA(SimObject):
             return False
         if self._remaining == 0 and not self._waiting_mem:
             self._busy = False
+            if self._xfer_record is not None:
+                self._xfer_record.end_tick = self.cur_tick
             hub = self._thub
             if hub is not None:
                 hub.emit("dma", self.name, "stream", self._xfer_start_tick,
                          dur=self.cur_tick - self._xfer_start_tick,
                          args=self._xfer_args)
+            if self._san is not None:
+                self._san.release(self.name, ("done", self.name))
             if self._on_done is not None:
                 done, self._on_done = self._on_done, None
                 done()
@@ -250,12 +309,17 @@ class StreamDMA(SimObject):
                 self._held_tokens.pop(0)
                 self._remaining -= 1
                 self.stat_tokens.inc()
+                if self._san is not None:
+                    # Token handoff: the consumer popping this token
+                    # acquires the same key, ordering it after our reads.
+                    self._san.release(self.name, ("stream", self.buffer.name))
             if self._finish_if_done():
                 return
             if self._waiting_mem:
                 return
             count = min(self.burst_tokens, self._remaining)
-            pkt = read_packet(self._addr, token_bytes * count, origin="stream_read")
+            pkt = read_packet(self._addr, token_bytes * count,
+                              origin="stream_read", agent=self.name)
             if self.port.send_timing_req(pkt):
                 self._waiting_mem = True
             else:
@@ -268,6 +332,8 @@ class StreamDMA(SimObject):
                 token = self.buffer.try_pop()
                 if token is None:
                     break
+                if self._san is not None:
+                    self._san.acquire(self.name, ("stream", self.buffer.name))
                 self._out_burst.extend(token)
                 self._remaining -= 1
                 self.stat_tokens.inc()
@@ -275,7 +341,8 @@ class StreamDMA(SimObject):
                     break
             burst_full = len(self._out_burst) >= self.burst_tokens * token_bytes
             if self._out_burst and (burst_full or self._remaining == 0):
-                pkt = write_packet(self._addr, bytes(self._out_burst), origin="stream_write")
+                pkt = write_packet(self._addr, bytes(self._out_burst),
+                                   origin="stream_write", agent=self.name)
                 self._addr += len(self._out_burst)
                 self._out_burst.clear()
                 self._waiting_mem = True

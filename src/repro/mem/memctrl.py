@@ -46,12 +46,17 @@ class AcceleratorMemController(SimObject):
         ideal: bool = False,
         ideal_latency_cycles: int = 1,
         clock: Optional[ClockDomain] = None,
+        agent: Optional[str] = None,
     ) -> None:
         super().__init__(name, system, clock)
         self.read_ports = read_ports
         self.write_ports = write_ports
         self.ideal = ideal
         self.ideal_latency_cycles = ideal_latency_cycles
+        # Agent identity stamped on outgoing packets for access
+        # attribution (the owning compute unit's name, when the comm
+        # interface built us).
+        self.agent = agent or name
         self._routes: list[tuple[AddrRange, MasterPort]] = []
         # Device regions with strictly-ordered access semantics (stream
         # windows, MMRs of other devices): same-address loads must not
@@ -155,9 +160,11 @@ class AcceleratorMemController(SimObject):
                 self._complete_ideal(request)
                 continue
             if request.is_read:
-                pkt = read_packet(request.addr, request.size, origin=request)
+                pkt = read_packet(request.addr, request.size,
+                                  origin=request, agent=self.agent)
             else:
-                pkt = write_packet(request.addr, request.data, origin=request)
+                pkt = write_packet(request.addr, request.data,
+                                   origin=request, agent=self.agent)
             port = self._route(request.addr, request.size)
             if not port.send_timing_req(pkt):
                 # Backpressure: try again next cycle.
@@ -170,7 +177,11 @@ class AcceleratorMemController(SimObject):
 
     def _complete_ideal(self, request: MemRequest) -> None:
         # Ideal memory: functional access against whichever route matches,
-        # completing after a fixed latency.
+        # completing after a fixed latency.  The functional path bypasses
+        # the memory-side sanitizer hooks, so record the access here.
+        if self._san is not None:
+            self._san.record(self.agent, request.addr, request.size,
+                             not request.is_read, self.cur_tick)
         port = self._route(request.addr, request.size)
         if request.is_read:
             pkt = read_packet(request.addr, request.size, origin=request)

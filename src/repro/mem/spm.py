@@ -101,6 +101,9 @@ class Scratchpad(SimObject):
         pkt.req_tick = self.cur_tick
         if self._finj is not None:
             self._finj.on_access(self)
+        if self._san is not None and pkt.agent is not None:
+            self._san.record(pkt.agent, pkt.addr, pkt.size, pkt.is_write,
+                             self.cur_tick)
         self._prune_counter += 1
         if self._prune_counter % 4096 == 0:
             now = self.cur_cycle

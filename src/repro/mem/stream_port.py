@@ -71,6 +71,11 @@ class StreamPort(SimObject):
                 return
             pkt = self._readers.popleft()
             self.stat_reads.inc()
+            if self._san is not None and pkt.agent is not None:
+                # Popping a token is the acquire half of the FIFO
+                # handoff: the popper inherits everything the pusher
+                # published.
+                self._san.acquire(pkt.agent, ("stream", self.buffer.name))
             resp = pkt.make_response(data=token)
             self.eventq.schedule_callback(
                 lambda r=resp: self.port.send_timing_resp(r),
@@ -86,6 +91,8 @@ class StreamPort(SimObject):
                 return
             pkt = self._writers.popleft()
             self.stat_writes.inc()
+            if self._san is not None and pkt.agent is not None:
+                self._san.release(pkt.agent, ("stream", self.buffer.name))
             resp = pkt.make_response()
             self.eventq.schedule_callback(
                 lambda r=resp: self.port.send_timing_resp(r),

@@ -252,6 +252,16 @@ def _job_analyze(spec: dict, state: "ServerState", publish) -> dict:
     from repro.analysis.memdep import memdep_diagnostics
     from repro.build import build_module
 
+    scenario = spec.get("scenario")
+    if scenario:
+        # System-level concurrency lint (SYS301-306) of a scenario, the
+        # same resolution rules as ``repro analyze --scenario``.
+        from repro.cli import _analyze_scenario
+
+        publish("linting scenario")
+        report = _analyze_scenario(scenario)
+        return json.loads(report.render_json())
+
     source = spec.get("source")
     if source:
         label = func = spec.get("func", "module")

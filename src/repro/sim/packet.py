@@ -51,6 +51,7 @@ class Packet:
         "size",
         "data",
         "origin",
+        "agent",
         "pkt_id",
         "req_tick",
         "resp_tick",
@@ -65,6 +66,7 @@ class Packet:
         size: int,
         data: Optional[bytes] = None,
         origin: Any = None,
+        agent: Optional[str] = None,
     ) -> None:
         if size <= 0:
             raise ValueError(f"packet size must be positive, got {size}")
@@ -75,6 +77,11 @@ class Packet:
         self.size = size
         self.data = data
         self.origin = origin
+        # Identity of the requesting agent (host, a DMA engine, an
+        # accelerator's memory controller) for access attribution —
+        # consumed by the runtime sanitizer; None on internal traffic
+        # like cache fills, which proxy an already-recorded access.
+        self.agent = agent
         self.pkt_id = next(_packet_ids)
         self.req_tick: int = -1
         self.resp_tick: int = -1
@@ -98,7 +105,14 @@ class Packet:
         """Build the matching response packet (sharing origin and id)."""
         if self.cmd is MemCmd.READ and data is None:
             raise ValueError("read response must carry data")
-        resp = Packet(self.cmd.response(), self.addr, self.size, data=data, origin=self.origin)
+        resp = Packet(
+            self.cmd.response(),
+            self.addr,
+            self.size,
+            data=data,
+            origin=self.origin,
+            agent=self.agent,
+        )
         resp.pkt_id = self.pkt_id
         resp.req_tick = self.req_tick
         resp.hops = list(self.hops)
@@ -115,9 +129,13 @@ class Packet:
         )
 
 
-def read_packet(addr: int, size: int, origin: Any = None) -> Packet:
-    return Packet(MemCmd.READ, addr, size, origin=origin)
+def read_packet(
+    addr: int, size: int, origin: Any = None, agent: Optional[str] = None
+) -> Packet:
+    return Packet(MemCmd.READ, addr, size, origin=origin, agent=agent)
 
 
-def write_packet(addr: int, data: bytes, origin: Any = None) -> Packet:
-    return Packet(MemCmd.WRITE, addr, len(data), data=bytes(data), origin=origin)
+def write_packet(
+    addr: int, data: bytes, origin: Any = None, agent: Optional[str] = None
+) -> Packet:
+    return Packet(MemCmd.WRITE, addr, len(data), data=bytes(data), origin=origin, agent=agent)

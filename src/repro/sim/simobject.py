@@ -59,6 +59,9 @@ class SimObject(ClockedObject):
         # Same contract as _thub: a fault-free simulation pays a single
         # pointer compare per hook site and stays cycle-identical.
         self._finj = None
+        # Access sanitizer, or None when the run is unsanitized.  Same
+        # zero-overhead contract as _thub/_finj.
+        self._san = None
         system.register(self)
 
     def init(self) -> None:
@@ -95,6 +98,7 @@ class System:
         self.clock = ClockDomain(f"{name}.clk", clock_freq_hz)
         self.objects: dict[str, SimObject] = {}
         self.trace_hub: Optional["TraceHub"] = None
+        self.sanitizer = None
         self._initialized = False
 
     def register(self, obj: SimObject) -> None:
@@ -103,6 +107,7 @@ class System:
         self.objects[obj.name] = obj
         # Late registrations on a traced system pick the hub up here.
         obj._thub = self.trace_hub
+        obj._san = self.sanitizer
 
     # -- tracing ------------------------------------------------------------
     def attach_trace_hub(self, hub: "TraceHub") -> "TraceHub":
@@ -127,6 +132,23 @@ class System:
         for obj in self.objects.values():
             obj._thub = None
         self.eventq.trace_hook = None
+
+    # -- sanitizing ---------------------------------------------------------
+    def attach_sanitizer(self, sanitizer):
+        """Route every registered object's access records into ``sanitizer``.
+
+        Objects registered after attachment inherit the sanitizer;
+        :meth:`detach_sanitizer` restores the no-op state.
+        """
+        self.sanitizer = sanitizer
+        for obj in self.objects.values():
+            obj._san = sanitizer
+        return sanitizer
+
+    def detach_sanitizer(self) -> None:
+        self.sanitizer = None
+        for obj in self.objects.values():
+            obj._san = None
 
     def __getitem__(self, name: str) -> SimObject:
         return self.objects[name]

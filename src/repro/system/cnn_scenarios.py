@@ -21,7 +21,7 @@ output against the golden model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -69,6 +69,10 @@ class ScenarioResult:
     total_ns: float
     acc_cycles: dict[str, int]
     verified: bool
+    sanitizer: dict | None = None
+    #: The live platform, for post-run analysis (``soc.lint()`` sees the
+    #: recorded op/launch logs).  Excluded from repr/comparison.
+    soc: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def total_us(self) -> float:
@@ -103,11 +107,14 @@ def _finish(soc, name, units, d_out, golden) -> ScenarioResult:
         raise RuntimeError(f"scenario '{name}' did not finish ({cause})")
     out = soc.dram.image.read_array(d_out, np.float64, POOL * POOL)
     verified = bool(np.allclose(out, golden.ravel(), rtol=1e-9, atol=1e-12))
+    san = soc.system.sanitizer
     return ScenarioResult(
         name=name,
         total_ns=soc.host.finish_tick / 1000.0,
         acc_cycles={u.name: u.engine.total_cycles for u in units},
         verified=verified,
+        sanitizer=san.summary() if san is not None else None,
+        soc=soc,
     )
 
 
@@ -131,12 +138,14 @@ def _compile(source: str, name: str):
 
 
 # ---------------------------------------------------------------------------
-def run_private_spm(seed: int = 7, trace_hub=None) -> ScenarioResult:
+def run_private_spm(seed: int = 7, trace_hub=None, sanitizer=None) -> ScenarioResult:
     """Fig. 16a: private SPMs, DMA between stages, host-synchronized."""
     rng = np.random.default_rng(seed)
     soc, image, kernel, golden, d_image, d_kernel, d_out = _build_platform(rng)
     if trace_hub is not None:
         soc.system.attach_trace_hub(trace_hub)
+    if sanitizer is not None:
+        soc.system.attach_sanitizer(sanitizer)
     cluster = soc.add_cluster("cl")
     profile = default_profile()
     conv = cluster.add_accelerator(
@@ -189,12 +198,14 @@ def run_private_spm(seed: int = 7, trace_hub=None) -> ScenarioResult:
 
 
 # ---------------------------------------------------------------------------
-def run_shared_spm(seed: int = 7, trace_hub=None) -> ScenarioResult:
+def run_shared_spm(seed: int = 7, trace_hub=None, sanitizer=None) -> ScenarioResult:
     """Fig. 16b: shared scratchpad, central-controller synchronization."""
     rng = np.random.default_rng(seed)
     soc, image, kernel, golden, d_image, d_kernel, d_out = _build_platform(rng)
     if trace_hub is not None:
         soc.system.attach_trace_hub(trace_hub)
+    if sanitizer is not None:
+        soc.system.attach_sanitizer(sanitizer)
     cluster = soc.add_cluster("cl", shared_spm_bytes=1 << 14)
     profile = default_profile()
     units = []
@@ -242,12 +253,14 @@ def run_shared_spm(seed: int = 7, trace_hub=None) -> ScenarioResult:
 
 
 # ---------------------------------------------------------------------------
-def run_stream(seed: int = 7, trace_hub=None) -> ScenarioResult:
+def run_stream(seed: int = 7, trace_hub=None, sanitizer=None) -> ScenarioResult:
     """Fig. 16c: direct accelerator-to-accelerator streaming."""
     rng = np.random.default_rng(seed)
     soc, image, kernel, golden, d_image, d_kernel, d_out = _build_platform(rng)
     if trace_hub is not None:
         soc.system.attach_trace_hub(trace_hub)
+    if sanitizer is not None:
+        soc.system.attach_sanitizer(sanitizer)
     cluster = soc.add_cluster("cl")
     profile = default_profile()
 
@@ -319,11 +332,15 @@ def run_stream(seed: int = 7, trace_hub=None) -> ScenarioResult:
     return _finish(soc, "stream", (conv, relu, pool), d_out, golden)
 
 
+#: Name -> runner registry, the lookup surface for ``repro analyze
+#: --scenario`` and the serve workers.
+SCENARIOS = {
+    "private_spm": run_private_spm,
+    "shared_spm": run_shared_spm,
+    "stream": run_stream,
+}
+
+
 def run_all_scenarios(seed: int = 7) -> dict[str, ScenarioResult]:
     """Run the three Fig. 16 scenarios and report speedups vs baseline."""
-    results = {
-        "private_spm": run_private_spm(seed),
-        "shared_spm": run_shared_spm(seed),
-        "stream": run_stream(seed),
-    }
-    return results
+    return {name: runner(seed) for name, runner in SCENARIOS.items()}

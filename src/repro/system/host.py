@@ -77,6 +77,10 @@ class HostAgent(SimObject):
         self._send_value: Any = None
         self._on_done: Optional[Callable[[], None]] = None
         self._finished = False
+        #: Executed driver ops as (tick, kind, args) — the sequencing
+        #: record the concurrency analysis replays to recover ordering
+        #: edges (`repro.analysis.concurrency.describe_concurrency`).
+        self.op_log: list[tuple[int, str, dict]] = []
         self.stat_ops = self.stats.scalar("driver_ops")
         self.stat_mmr_writes = self.stats.scalar("mmr_writes")
         self.stat_irq_waits = self.stats.scalar("irq_waits")
@@ -122,6 +126,7 @@ class HostAgent(SimObject):
         self._driver = driver
         self._on_done = on_done
         self._finished = False
+        self.op_log = []
         self.schedule_callback_in_cycles(self._advance, 1, name=f"{self.name}.boot")
 
     @property
@@ -148,29 +153,54 @@ class HostAgent(SimObject):
 
     def _execute(self, op: tuple) -> None:
         kind = op[0]
+        self.op_log.append((self.cur_tick, kind, self._op_log_args(op)))
         if self._thub is not None:
             self.trace_emit("host", kind, args=self._op_trace_args(op))
         if kind == "write_mmr":
             __, addr, value = op
             self.stat_mmr_writes.inc()
             payload = (int(value) & ((1 << 64) - 1)).to_bytes(8, "little")
-            pkt = write_packet(addr, payload, origin="host")
+            pkt = write_packet(addr, payload, origin="host", agent=self.name)
             self._send_with_retry(pkt)
         elif kind == "read_mmr":
             __, addr = op
-            pkt = read_packet(addr, 8, origin="host_read")
+            pkt = read_packet(addr, 8, origin="host_read", agent=self.name)
             self._send_with_retry(pkt)
         elif kind == "wait_irq":
             __, irq = op
             if self.irq_controller is None:
                 raise RuntimeError(f"{self.name}: no interrupt controller attached")
             self.stat_irq_waits.inc()
-            self.irq_controller.wait(irq, self._advance)
+            if self._san is not None:
+                san = self._san
+
+                def _resume(irq=irq, san=san):
+                    # The raiser released this key, so acquiring here
+                    # orders everything after the wait behind the
+                    # device's completed work.
+                    san.acquire(self.name, ("irq", irq))
+                    self._advance()
+
+                self.irq_controller.wait(irq, _resume)
+            else:
+                self.irq_controller.wait(irq, self._advance)
         elif kind == "dma_copy":
             __, dma, src, dst, size = op
-            dma.start(src, dst, size, on_done=self._advance)
+            if self._san is not None:
+                san = self._san
+                san.release(self.name, ("cmd", dma.name))
+
+                def _dma_done(dma=dma, san=san):
+                    san.acquire(self.name, ("done", dma.name))
+                    self._advance()
+
+                dma.start(src, dst, size, on_done=_dma_done)
+            else:
+                dma.start(src, dst, size, on_done=self._advance)
         elif kind == "start_stream":
             __, dma, addr, tokens = op
+            if self._san is not None:
+                self._san.release(self.name, ("cmd", dma.name))
             dma.start(addr, tokens, on_done=None)
             self._advance()
         elif kind == "wait_stream":
@@ -185,6 +215,28 @@ class HostAgent(SimObject):
             self._memcpy_step()
         else:
             raise ValueError(f"{self.name}: unknown driver op '{kind}'")
+
+    @staticmethod
+    def _op_log_args(op: tuple) -> dict:
+        """Full operand record for the op log (richer than trace args)."""
+        kind = op[0]
+        if kind == "write_mmr":
+            return {"addr": op[1], "value": op[2]}
+        if kind == "read_mmr":
+            return {"addr": op[1]}
+        if kind == "wait_irq":
+            return {"irq": op[1]}
+        if kind == "dma_copy":
+            return {"dma": op[1].name, "src": op[2], "dst": op[3], "size": op[4]}
+        if kind == "start_stream":
+            return {"dma": op[1].name, "addr": op[2], "tokens": op[3]}
+        if kind == "wait_stream":
+            return {"dma": op[1].name}
+        if kind == "delay":
+            return {"cycles": op[1]}
+        if kind == "memcpy":
+            return {"dst": op[1], "src": op[2], "size": op[3]}
+        return {}
 
     @staticmethod
     def _op_trace_args(op: tuple) -> dict:
@@ -217,7 +269,8 @@ class HostAgent(SimObject):
             self._advance()
         elif pkt.origin == "host_memcpy_read":
             dst, src, size, offset = self._memcpy_state
-            write = write_packet(dst + offset, pkt.data, origin="host_memcpy_write")
+            write = write_packet(dst + offset, pkt.data,
+                                 origin="host_memcpy_write", agent=self.name)
             self._send_with_retry(write)
         elif pkt.origin == "host_memcpy_write":
             dst, src, size, offset = self._memcpy_state
@@ -231,11 +284,14 @@ class HostAgent(SimObject):
     def _memcpy_step(self) -> None:
         dst, src, size, offset = self._memcpy_state
         chunk = min(8, size - offset)
-        pkt = read_packet(src + offset, chunk, origin="host_memcpy_read")
+        pkt = read_packet(src + offset, chunk,
+                          origin="host_memcpy_read", agent=self.name)
         self._send_with_retry(pkt)
 
     def _wait_stream(self, dma: StreamDMA) -> None:
         if not dma.busy:
+            if self._san is not None:
+                self._san.acquire(self.name, ("done", dma.name))
             self._advance()
         else:
             self.schedule_callback_in_cycles(

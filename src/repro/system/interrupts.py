@@ -13,6 +13,27 @@ from typing import Callable
 from repro.sim.simobject import SimObject, System
 
 
+class _IrqLine:
+    """A bound assertion callback that remembers its line number.
+
+    Devices hold these as plain callables; the ``irq`` attribute lets
+    introspection (the concurrency analysis, the access sanitizer) map
+    a device back to the line it signals.
+    """
+
+    __slots__ = ("controller", "irq")
+
+    def __init__(self, controller: "InterruptController", irq: int) -> None:
+        self.controller = controller
+        self.irq = irq
+
+    def __call__(self) -> None:
+        self.controller.raise_irq(self.irq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<IrqLine {self.controller.name}.{self.irq}>"
+
+
 class InterruptController(SimObject):
     def __init__(self, name: str, system: System, clock=None) -> None:
         super().__init__(name, system, clock)
@@ -22,7 +43,7 @@ class InterruptController(SimObject):
 
     def line(self, irq: int) -> Callable[[], None]:
         """A callback that asserts ``irq`` (bind this to a device)."""
-        return lambda: self.raise_irq(irq)
+        return _IrqLine(self, irq)
 
     def raise_irq(self, irq: int) -> None:
         self.stat_raised.inc(str(irq))

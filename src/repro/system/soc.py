@@ -47,6 +47,8 @@ class RunResult:
     stats: dict = field(default_factory=dict)
     #: `TraceHub.summary()` of the run's trace, when tracing was enabled.
     trace_summary: Optional[dict] = None
+    #: `AccessSanitizer.summary()` when the run was sanitized.
+    sanitizer: Optional[dict] = None
     #: Transient provenance: which engine produced this result and why a
     #: request fell back.  Deliberately *not* serialized — cached entries
     #: must stay byte-identical no matter which engine produced them
@@ -69,6 +71,7 @@ class RunResult:
                 for key, value in self.stats.items()
             },
             "trace_summary": self.trace_summary,
+            "sanitizer": self.sanitizer,
         }
 
     @classmethod
@@ -82,6 +85,7 @@ class RunResult:
             fu_counts=dict(data["fu_counts"]),
             stats=dict(data.get("stats", {})),
             trace_summary=data.get("trace_summary"),
+            sanitizer=data.get("sanitizer"),
         )
 
 
@@ -366,15 +370,19 @@ class SoC:
         return describe_soc(self).regions
 
     def lint(self):
-        """System lints (SYS301/302/303) over the assembled platform.
+        """System lints (SYS301-306) over the assembled platform.
 
         Returns an `repro.analysis.AnalysisReport`; run after
         :meth:`finalize` (and after a simulation, to also validate the
-        DMA transfers the run actually programmed).
+        DMA transfers the run actually programmed and check the
+        concurrency rules against the recorded driver/launch logs).
         """
+        from repro.analysis.concurrency import describe_concurrency
         from repro.analysis.syslint import describe_soc, lint_system
 
-        return lint_system(describe_soc(self))
+        desc = describe_soc(self)
+        desc.concurrency = describe_concurrency(self)
+        return lint_system(desc)
 
     def simulation(self) -> "Simulation":
         """An execution-layer `Simulation` owning this platform's system."""

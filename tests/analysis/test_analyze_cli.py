@@ -128,3 +128,23 @@ def test_analyze_verify_each_clean(clean_file, capsys):
 def test_compile_verify_each_flag(clean_file, capsys):
     assert main(["compile", clean_file, "--verify-each"]) == 0
     assert "define void @scale" in capsys.readouterr().out
+
+
+def test_analyze_generated_scenario_clean(capsys):
+    assert main(["analyze", "--scenario", "gen:0"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_analyze_generated_racy_scenario_fails(capsys):
+    assert main(["analyze", "--scenario", "gen:0:racy",
+                 "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert any(d["code"] == "SYS304" for d in data["diagnostics"])
+
+
+def test_analyze_unknown_scenario_fails():
+    with pytest.raises(SystemExit):
+        main(["analyze", "--scenario", "no_such_scenario"])
+    with pytest.raises(SystemExit):
+        main(["analyze", "--scenario", "gen:notanint"])

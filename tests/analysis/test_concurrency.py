@@ -1,0 +1,184 @@
+"""Concurrency model + SYS304/305/306 rule unit tests."""
+
+from repro.analysis.concurrency import (
+    AgentOp,
+    ConcurrencyModel,
+    lint_concurrency,
+)
+
+
+def _codes(report):
+    return [d.code for d in report]
+
+
+# ----------------------------------------------------------------------
+# Happens-before machinery
+# ----------------------------------------------------------------------
+def test_program_order_within_agent():
+    m = ConcurrencyModel()
+    m.add_op("a", "a0")
+    m.add_op("a", "a1")
+    hb = m.happens_before()
+    assert hb(0, 1) and not hb(1, 0)
+
+
+def test_cross_agent_edge_and_transitivity():
+    m = ConcurrencyModel()
+    m.add_op("a", "a0")
+    m.add_op("b", "b0")
+    m.add_op("b", "b1")
+    m.add_edge("a0", "b0")
+    hb = m.happens_before()
+    assert hb(0, 1)
+    assert hb(0, 2)  # a0 -> b0 -> b1 (program order)
+    assert not hb(1, 0)
+
+
+def test_cyclic_edges_terminate():
+    # A malformed model (mutual edges) must not hang the closure.
+    m = ConcurrencyModel()
+    m.add_op("a", "a0")
+    m.add_op("b", "b0")
+    m.add_edge("a0", "b0")
+    m.add_edge("b0", "a0")
+    hb = m.happens_before()
+    assert hb(0, 1) and hb(1, 0)
+
+
+def test_duplicate_label_rejected():
+    m = ConcurrencyModel()
+    m.add_op("a", "x")
+    try:
+        m.add_op("b", "x")
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("duplicate label accepted")
+
+
+# ----------------------------------------------------------------------
+# SYS304: unordered conflicting accesses
+# ----------------------------------------------------------------------
+def test_unordered_write_write_is_race():
+    m = ConcurrencyModel()
+    m.add_op("a", "a0", "compute", writes=[(0x1000, 64)])
+    m.add_op("b", "b0", "compute", writes=[(0x1020, 64)])
+    report = lint_concurrency(m)
+    hits = [d for d in report if d.code == "SYS304"]
+    assert len(hits) == 1
+    assert "write-write" in hits[0].message
+
+
+def test_ordered_accesses_not_a_race():
+    m = ConcurrencyModel()
+    m.add_op("a", "a0", "compute", writes=[(0x1000, 64)])
+    m.add_op("b", "b0", "compute", reads=[(0x1000, 64)])
+    m.add_edge("a0", "b0")
+    assert "SYS304" not in _codes(lint_concurrency(m))
+
+
+def test_disjoint_accesses_not_a_race():
+    m = ConcurrencyModel()
+    m.add_op("a", "a0", "compute", writes=[(0x1000, 64)])
+    m.add_op("b", "b0", "compute", writes=[(0x2000, 64)])
+    assert "SYS304" not in _codes(lint_concurrency(m))
+
+
+def test_read_read_overlap_not_a_race():
+    m = ConcurrencyModel()
+    m.add_op("a", "a0", "compute", reads=[(0x1000, 64)])
+    m.add_op("b", "b0", "compute", reads=[(0x1000, 64)])
+    assert "SYS304" not in _codes(lint_concurrency(m))
+
+
+def test_same_agent_never_races_with_itself():
+    m = ConcurrencyModel()
+    m.add_op("a", "a0", "compute", writes=[(0x1000, 64)])
+    m.add_op("a", "a1", "compute", writes=[(0x1000, 64)])
+    assert "SYS304" not in _codes(lint_concurrency(m))
+
+
+def test_race_report_cap():
+    m = ConcurrencyModel()
+    for i in range(8):
+        m.add_op(f"w{i}", f"w{i}#0", "compute", writes=[(0x1000, 64)])
+    report = lint_concurrency(m, max_pair_reports=3)
+    assert len([d for d in report if d.code == "SYS304"]) == 3
+
+
+# ----------------------------------------------------------------------
+# SYS305: wait-for cycles
+# ----------------------------------------------------------------------
+def test_wait_cycle_is_static_deadlock():
+    m = ConcurrencyModel()
+    m.add_wait("a", "b", "stream x")
+    m.add_wait("b", "a", "stream y")
+    report = lint_concurrency(m)
+    hits = [d for d in report if d.code == "SYS305"]
+    assert len(hits) == 1
+    assert "a" in hits[0].message and "b" in hits[0].message
+
+
+def test_wait_chain_without_cycle_clean():
+    m = ConcurrencyModel()
+    m.add_wait("host", "dma", "dma completion")
+    m.add_wait("host", "acc", "irq 0")
+    m.add_wait("acc", "dma", "data")
+    assert "SYS305" not in _codes(lint_concurrency(m))
+
+
+def test_three_way_cycle_reported_once():
+    m = ConcurrencyModel()
+    m.add_wait("a", "b", "1")
+    m.add_wait("b", "c", "2")
+    m.add_wait("c", "a", "3")
+    report = lint_concurrency(m)
+    assert len([d for d in report if d.code == "SYS305"]) == 1
+
+
+# ----------------------------------------------------------------------
+# SYS306: start not ordered after the DMA-in
+# ----------------------------------------------------------------------
+def test_unordered_start_after_fill_warns():
+    m = ConcurrencyModel()
+    m.add_op("dma", "dma@0", "dma", writes=[(0x2000, 256)])
+    m.add_op("acc", "acc#0", "compute", reads=[(0x2000, 256)])
+    report = lint_concurrency(m)
+    hits = [d for d in report if d.code == "SYS306"]
+    assert len(hits) == 1
+    assert hits[0].severity.name == "WARNING"
+
+
+def test_ordered_start_after_fill_clean():
+    m = ConcurrencyModel()
+    m.add_op("dma", "dma@0", "dma", writes=[(0x2000, 256)])
+    m.add_op("acc", "acc#0", "compute", reads=[(0x2000, 256)])
+    m.add_edge("dma@0", "acc#0")
+    assert "SYS306" not in _codes(lint_concurrency(m))
+
+
+def test_deliberate_reverse_order_is_not_a_306():
+    # compute -> dma (e.g. the DMA drains what the compute produced):
+    # ordered either way means no start-before-fill hazard.
+    m = ConcurrencyModel()
+    m.add_op("acc", "acc#0", "compute", reads=[(0x2000, 256)])
+    m.add_op("dma", "dma@0", "dma", writes=[(0x2000, 256)])
+    m.add_edge("acc#0", "dma@0")
+    assert "SYS306" not in _codes(lint_concurrency(m))
+
+
+def test_to_dict_round_trip_shape():
+    m = ConcurrencyModel()
+    m.add_op("a", "a0", "compute", reads=[(0, 8)], writes=[(8, 8)])
+    m.add_wait("a", "b", "x")
+    data = m.to_dict()
+    assert data["agents"] == {"a": "compute"}
+    assert data["ops"][0]["label"] == "a0"
+    assert data["waits"] == [["a", "b", "x"]]
+
+
+def test_agentop_to_dict():
+    op = AgentOp("l", "a", "dma", reads=[(0, 4)], writes=[(4, 4)])
+    d = op.to_dict()
+    assert d == {"label": "l", "agent": "a", "kind": "dma",
+                 "reads": [[0, 4]], "writes": [[4, 4]]}

@@ -1,0 +1,139 @@
+"""SYS304-306 over full scenarios: live extraction + seeded defects."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.concurrency import describe_concurrency
+from repro.analysis.syslint import describe_soc, lint_system
+from repro.core.config import DeviceConfig
+from repro.core.mmr import ARGS_OFFSET, CTRL_IRQ_EN, CTRL_START
+from repro.build.pipeline import build_module
+from repro.hw.default_profile import default_profile
+from repro.system.soc import build_soc
+
+SRC = """
+void stage(double in[16], double out[16]) {
+  for (int i = 0; i < 16; i++) { out[i] = in[i] * 2.0 + 1.0; }
+}
+"""
+
+
+def _one_acc_soc():
+    soc = build_soc(dram_size=1 << 20)
+    cluster = soc.add_cluster("cl")
+    unit = cluster.add_accelerator(
+        "acc", build_module(SRC, "stage").module, "stage",
+        default_profile(),
+        config=DeviceConfig(clock_freq_hz=100e6),
+        private_spm_bytes=1 << 12,
+    )
+    unit.comm.connect_irq(soc.irq.line(0))
+    soc.finalize()
+    return soc, cluster, unit
+
+
+def _start(h, mmr, args):
+    for i, value in enumerate(args):
+        yield h.write_mmr(mmr + ARGS_OFFSET + 8 * i, value)
+    yield h.write_mmr(mmr, CTRL_START | CTRL_IRQ_EN)
+
+
+def _run(soc, driver):
+    soc.host.run_driver(driver(soc.host))
+    soc.simulation().run(max_tick=1_000_000_000)
+
+
+def test_well_synchronized_driver_lints_clean():
+    soc, cluster, unit = _one_acc_soc()
+    d_in = soc.dram.image.alloc_array(np.arange(16.0))
+    d_out = soc.dram.image.alloc(128)
+    spm = unit.private_spm.range.start
+
+    def driver(h):
+        yield h.dma_copy(cluster.dma, d_in, spm, 128)
+        yield from _start(h, unit.comm.mmr.range.start, [spm, spm + 128])
+        yield h.wait_irq(0)
+        yield h.dma_copy(cluster.dma, spm + 128, d_out, 128)
+
+    _run(soc, driver)
+    assert soc.host.finished
+    report = soc.lint()
+    assert not report.has_errors
+    assert not any(d.code == "SYS306" for d in report)
+
+
+def test_missing_wait_trips_sys304():
+    """DMA drains the accelerator's output without waiting for its IRQ."""
+    soc, cluster, unit = _one_acc_soc()
+    d_in = soc.dram.image.alloc_array(np.arange(16.0))
+    d_out = soc.dram.image.alloc(128)
+    spm = unit.private_spm.range.start
+
+    def driver(h):
+        yield h.dma_copy(cluster.dma, d_in, spm, 128)
+        yield from _start(h, unit.comm.mmr.range.start, [spm, spm + 128])
+        # no wait_irq(0): the copy below races the accelerator's stores
+        yield h.dma_copy(cluster.dma, spm + 128, d_out, 128)
+
+    _run(soc, driver)
+    report = soc.lint()
+    hits = [d for d in report if d.code == "SYS304"]
+    assert hits, report.render_text()
+    assert any("acc" in d.message and "cl.dma" in d.message for d in hits)
+
+
+def test_early_start_trips_sys304_and_sys306():
+    """START written before the DMA that fills the input scratchpad."""
+    soc, cluster, unit = _one_acc_soc()
+    d_in = soc.dram.image.alloc_array(np.arange(16.0))
+    d_out = soc.dram.image.alloc(128)
+    spm = unit.private_spm.range.start
+
+    def driver(h):
+        yield from _start(h, unit.comm.mmr.range.start, [spm, spm + 128])
+        yield h.dma_copy(cluster.dma, d_in, spm, 128)
+        yield h.wait_irq(0)
+        yield h.dma_copy(cluster.dma, spm + 128, d_out, 128)
+
+    _run(soc, driver)
+    report = soc.lint()
+    codes = {d.code for d in report}
+    assert "SYS304" in codes, report.render_text()
+    assert "SYS306" in codes, report.render_text()
+
+
+def test_describe_concurrency_none_before_any_run():
+    soc, _cluster, _unit = _one_acc_soc()
+    assert describe_concurrency(soc) is None
+    # ... which keeps the pre-run lint at SYS301-303 only.
+    assert not soc.lint().has_errors
+
+
+@pytest.mark.parametrize("name", ["private_spm", "shared_spm", "stream"])
+def test_cnn_scenarios_lint_clean(name):
+    """All three Fig. 16 integration styles are SYS301-306 clean."""
+    from repro.system.cnn_scenarios import SCENARIOS
+
+    result = SCENARIOS[name]()
+    assert result.verified
+    report = result.soc.lint()
+    assert not report.has_errors, report.render_text()
+    assert not any(d.code == "SYS306" for d in report), report.render_text()
+
+
+def test_cnn_scenario_model_exposed_in_description():
+    from repro.system.cnn_scenarios import run_private_spm
+
+    result = run_private_spm()
+    desc = describe_soc(result.soc)
+    desc.concurrency = describe_concurrency(result.soc)
+    model = desc.concurrency
+    assert model is not None
+    # Three accelerators, the host, and the cluster DMA all participate.
+    kinds = set(model.agents.values())
+    assert {"host", "accelerator", "dma"} <= kinds
+    assert any(op.kind == "compute" for op in model.ops)
+    data = desc.to_dict()
+    assert data["concurrency"]["agents"] == model.agents
+    report = lint_system(desc)
+    assert not report.has_errors

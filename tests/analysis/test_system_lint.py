@@ -103,6 +103,28 @@ def test_dma_straddling_region_end_flagged():
     assert [d for d in lint_system(desc) if d.code == "SYS303"]
 
 
+def test_dma_spanning_two_adjacent_regions_clean():
+    # The union of the two mapped regions covers the transfer, even
+    # though no single region does — a legal cross-region burst.
+    desc = _desc(
+        regions=[MemRegion("a", "spm", 0x2000, 0x1000),
+                 MemRegion("b", "spm", 0x3000, 0x1000),
+                 MemRegion("dram", "dram", 0x8000, 0x1000)],
+        transfers=[DmaTransfer("dma0", src=0x8000, dst=0x2F80, size=0x100)],
+    )
+    assert not [d for d in lint_system(desc) if d.code == "SYS303"]
+
+
+def test_dma_across_gap_between_regions_flagged():
+    desc = _desc(
+        regions=[MemRegion("a", "spm", 0x2000, 0x1000),
+                 MemRegion("b", "spm", 0x3800, 0x1000),  # 0x800 hole
+                 MemRegion("dram", "dram", 0x8000, 0x1000)],
+        transfers=[DmaTransfer("dma0", src=0x8000, dst=0x2F80, size=0x1000)],
+    )
+    assert [d for d in lint_system(desc) if d.code == "SYS303"]
+
+
 def test_dma_inside_map_clean():
     desc = _desc(
         regions=[MemRegion("dram", "dram", 0x8000, 0x1000),
@@ -192,6 +214,13 @@ def test_dma_transfer_log_feeds_lint():
     desc = describe_soc(system)
     assert desc.transfers == [DmaTransfer("s.dma", src, dst, 128)]
     assert not lint_system(desc).has_errors
+    # Provenance rides along without breaking equality: the simulated
+    # copy knows when it ran, which way, and on what engine kind.
+    xfer = desc.transfers[0]
+    assert xfer.direction == "mem_to_mem"
+    assert xfer.engine == "block"
+    assert xfer.start_tick is not None
+    assert xfer.end_tick is not None and xfer.end_tick > xfer.start_tick
     # The same transfer against a map without DRAM is a SYS303 error.
     desc.regions = [r for r in desc.regions if r.kind != "dram"]
     assert any(d.code == "SYS303" for d in lint_system(desc).errors)

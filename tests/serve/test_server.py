@@ -151,6 +151,20 @@ def test_analyze_job_returns_diagnostics(client):
     assert "counts" in job["result"]
 
 
+def test_analyze_job_scenario_path(client):
+    # Generated scenarios lint statically through the same job kind.
+    job = client.wait(client.submit("analyze", {"scenario": "gen:1:racy"})["id"])
+    assert job["state"] == JobState.DONE
+    assert any(d["code"] == "SYS304" for d in job["result"]["diagnostics"])
+    clean = client.wait(client.submit("analyze", {"scenario": "gen:1"})["id"])
+    assert clean["state"] == JobState.DONE
+    assert clean["result"]["counts"]["error"] == 0
+    # An unknown scenario is a job failure, not a dead worker.
+    bad = client.wait(client.submit("analyze", {"scenario": "nope"})["id"])
+    assert bad["state"] == JobState.FAILED
+    assert "unknown scenario" in bad["failure"]["message"]
+
+
 def test_stats_shape(client):
     stats = client.stats()
     assert stats["workers"] == 2
